@@ -1,0 +1,58 @@
+//! Throughput of the compression substrate: BDI, FPC, best-of selector,
+//! and decompression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_compress::{bdi, compress_best, decompress, fpc};
+use pcm_trace::{BlockStream, SpecApp};
+use pcm_util::Line512;
+use std::hint::black_box;
+
+fn sample_lines() -> Vec<(&'static str, Line512)> {
+    let mut rng = pcm_util::seeded_rng(77);
+    let mut narrow = [0u8; 64];
+    for i in 0..8 {
+        narrow[i * 8] = i as u8;
+    }
+    vec![
+        ("zeros", Line512::zero()),
+        ("narrow", Line512::from_bytes(&narrow)),
+        ("random", Line512::random(&mut rng)),
+    ]
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    for (name, line) in sample_lines() {
+        group.bench_with_input(BenchmarkId::new("bdi", name), &line, |b, l| {
+            b.iter(|| bdi::compress(black_box(l)))
+        });
+        group.bench_with_input(BenchmarkId::new("fpc", name), &line, |b, l| {
+            b.iter(|| fpc::compress(black_box(l)))
+        });
+        group.bench_with_input(BenchmarkId::new("best", name), &line, |b, l| {
+            b.iter(|| compress_best(black_box(l)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    for (name, line) in sample_lines() {
+        let compressed = compress_best(&line);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, cw| {
+            b.iter(|| decompress(black_box(cw)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_stream(c: &mut Criterion) {
+    c.bench_function("compress/gcc_stream", |b| {
+        let mut stream = BlockStream::new(SpecApp::Gcc.profile(), 3);
+        b.iter(|| compress_best(black_box(&stream.next_data())))
+    });
+}
+
+criterion_group!(benches, bench_compressors, bench_decompression, bench_workload_stream);
+criterion_main!(benches);

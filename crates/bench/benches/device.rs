@@ -1,0 +1,54 @@
+//! Device-model hot paths: differential writes, Flip-N-Write, cell wear,
+//! and the access-timing simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_device::access::{simulate, AccessConfig, Op, Request};
+use pcm_device::dw::{diff_write, FlipNWrite};
+use pcm_device::{EnduranceModel, LineWear};
+use pcm_util::Line512;
+use std::hint::black_box;
+
+fn bench_diff_write(c: &mut Criterion) {
+    let mut rng = pcm_util::seeded_rng(3);
+    let a = Line512::random(&mut rng);
+    let b2 = Line512::random(&mut rng);
+    c.bench_function("dw/diff_write", |b| b.iter(|| diff_write(black_box(&a), black_box(&b2))));
+}
+
+fn bench_flip_n_write(c: &mut Criterion) {
+    let mut rng = pcm_util::seeded_rng(4);
+    let data = Line512::random(&mut rng);
+    c.bench_function("dw/flip_n_write", |b| {
+        let mut fnw = FlipNWrite::new(64);
+        let mut stored = Line512::zero();
+        b.iter(|| {
+            let (s, flips) = fnw.write(&stored, black_box(&data));
+            stored = s;
+            flips
+        })
+    });
+}
+
+fn bench_cell_write(c: &mut Criterion) {
+    let mut rng = pcm_util::seeded_rng(5);
+    let model = EnduranceModel::new(1e9, 0.15);
+    let mut line = LineWear::sample(&model, &mut rng);
+    let target = Line512::random(&mut rng);
+    c.bench_function("cell/line_write", |b| b.iter(|| line.write(black_box(&target))));
+}
+
+fn bench_access_sim(c: &mut Criterion) {
+    let cfg = AccessConfig::paper();
+    let requests: Vec<Request> = (0..10_000)
+        .map(|i| Request {
+            arrival: i * 20,
+            bank: (i % 8) as u32,
+            op: if i % 3 == 0 { Op::Write } else { Op::Read },
+            decompression_cycles: (i % 2) * 5,
+        })
+        .collect();
+    c.bench_function("access/simulate_10k", |b| b.iter(|| simulate(&cfg, black_box(&requests))));
+}
+
+criterion_group!(benches, bench_diff_write, bench_flip_n_write, bench_cell_write, bench_access_sim);
+criterion_main!(benches);

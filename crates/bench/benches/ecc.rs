@@ -1,0 +1,60 @@
+//! Feasibility-check and encode costs of the hard-error schemes, plus the
+//! Monte-Carlo kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_ecc::montecarlo::{failure_probability, MonteCarlo};
+use pcm_ecc::{find_window, Aegis, Ecp, HardErrorScheme, Safer};
+use rand::seq::SliceRandom;
+use std::hint::black_box;
+
+fn fault_sets() -> Vec<(usize, Vec<u16>)> {
+    let mut rng = pcm_util::seeded_rng(5);
+    let mut all: Vec<u16> = (0..512).collect();
+    [4usize, 12, 24]
+        .into_iter()
+        .map(|n| {
+            all.shuffle(&mut rng);
+            let mut f = all[..n].to_vec();
+            f.sort_unstable();
+            (n, f)
+        })
+        .collect()
+}
+
+fn bench_can_store(c: &mut Criterion) {
+    let schemes: Vec<(&str, Box<dyn HardErrorScheme>)> = vec![
+        ("ecp6", Box::new(Ecp::new(6))),
+        ("safer32", Box::new(Safer::new(32))),
+        ("aegis", Box::new(Aegis::new(17, 31))),
+    ];
+    let mut group = c.benchmark_group("can_store");
+    for (name, scheme) in &schemes {
+        for (n, faults) in fault_sets() {
+            group.bench_with_input(
+                BenchmarkId::new(*name, n),
+                &faults,
+                |b, f| b.iter(|| scheme.can_store(black_box(f))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_window_search(c: &mut Criterion) {
+    let ecp = Ecp::new(6);
+    let (_, faults) = fault_sets().pop().expect("three sets");
+    c.bench_function("find_window/ecp6_24faults_16B", |b| {
+        b.iter(|| find_window(&ecp, black_box(&faults), 16))
+    });
+}
+
+fn bench_montecarlo_kernel(c: &mut Criterion) {
+    let ecp = Ecp::new(6);
+    let mc = MonteCarlo { injections: 200, seed: 9, threads: 1 };
+    c.bench_function("montecarlo/ecp6_200inj_32B_24err", |b| {
+        b.iter(|| failure_probability(&ecp, 32, 24, black_box(&mc)))
+    });
+}
+
+criterion_group!(benches, bench_can_store, bench_window_search, bench_montecarlo_kernel);
+criterion_main!(benches);

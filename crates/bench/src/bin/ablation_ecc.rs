@@ -1,0 +1,25 @@
+//! Ablation: Comp+WF under ECP-6, SAFER-32, and Aegis 17×31.
+
+use pcm_bench::experiments::lifetime::Scale;
+use pcm_bench::experiments::ablation::ecc_ablation;
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Ablation: hard-error scheme under Comp+WF (lifetime in per-line writes)");
+    println!("app\tECP-6\tSAFER-32\tAegis\tECP_faults\tSAFER_faults\tAegis_faults");
+    for app in &opts.apps {
+        let rows = ecc_ablation(*app, scale, opts.seed);
+        println!(
+            "{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
+            app.name(),
+            rows[0].1.lifetime_writes(),
+            rows[1].1.lifetime_writes(),
+            rows[2].1.lifetime_writes(),
+            rows[0].1.mean_faults_at_death.unwrap_or(0.0),
+            rows[1].1.mean_faults_at_death.unwrap_or(0.0),
+            rows[2].1.mean_faults_at_death.unwrap_or(0.0),
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Ablation: Flip-N-Write vs plain differential writes (chip-level flips).
+
+use pcm_bench::experiments::ablation::flip_n_write_ablation;
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let writes = if opts.quick { 500 } else { 4_000 };
+    println!("# Ablation: mean flips per 64B write, DW vs Flip-N-Write (64-bit chunks)");
+    println!("app\tDW\tFNW\tsaving%");
+    for app in &opts.apps {
+        let c = flip_n_write_ablation(*app, writes, opts.seed);
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}",
+            app.name(),
+            c.dw_flips,
+            c.fnw_flips,
+            100.0 * (1.0 - c.fnw_flips / c.dw_flips.max(1e-9))
+        );
+    }
+}

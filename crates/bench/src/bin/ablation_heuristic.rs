@@ -1,0 +1,28 @@
+//! Ablation: the Fig. 8 compression heuristic on/off and its Threshold2
+//! sweep, under Comp+WF.
+
+use pcm_bench::experiments::lifetime::Scale;
+use pcm_bench::experiments::ablation::heuristic_ablation;
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Ablation: Fig. 8 heuristic under Comp+WF (lifetime in per-line writes)");
+    println!("app\tnaive\tT2=8\tT2=16\tT2=24\tnaive_flips\tT2=16_flips");
+    for app in &opts.apps {
+        let h = heuristic_ablation(*app, scale, opts.seed);
+        let t2 = |i: usize| h.with_heuristic[i].1.lifetime_writes();
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}",
+            app.name(),
+            h.naive.lifetime_writes(),
+            t2(0),
+            t2(1),
+            t2(2),
+            h.naive.mean_flips_per_write,
+            h.with_heuristic[1].1.mean_flips_per_write
+        );
+    }
+    println!("# finding: with byte-exact DW, alternating layouts costs more flips than the heuristic saves");
+}

@@ -1,0 +1,43 @@
+//! Ablation: SLC vs MLC-2 cells (the paper's footnote 1: the approach
+//! applies to both, and matters *more* for MLC's lower endurance).
+//!
+//! MLC halves the cell count per line and drops endurance an order of
+//! magnitude; when a cell dies, both of its bits freeze, so faults arrive
+//! in adjacent pairs — harder for partitioning schemes, easier for a
+//! sliding window that simply avoids the byte.
+
+use pcm_bench::experiments::lifetime::Scale;
+use pcm_bench::Options;
+use pcm_core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
+use pcm_core::{SystemConfig, SystemKind};
+use pcm_device::CellTech;
+use pcm_util::child_seed;
+
+fn normalized(app: pcm_trace::SpecApp, tech: CellTech, scale: Scale, seed: u64) -> (f64, f64) {
+    let run = |kind| {
+        let system = SystemConfig::new(kind)
+            .with_tech(tech)
+            .with_endurance_mean(scale.endurance_mean);
+        let mut line = LineSimConfig::new(system, app.profile());
+        line.sample_writes = scale.sample_writes;
+        let mut cfg = CampaignConfig::new(line, seed);
+        cfg.lines = scale.lines;
+        run_campaign(&cfg)
+    };
+    let base = run(SystemKind::Baseline);
+    let wf = run(SystemKind::CompWF);
+    (wf.normalized_against(&base), wf.mean_faults_at_death.unwrap_or(0.0))
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Ablation: Comp+WF normalized lifetime, SLC vs MLC-2 cells");
+    println!("app\tSLC\tMLC-2\tSLC_faults\tMLC_faults");
+    for app in &opts.apps {
+        let seed = child_seed(opts.seed, *app as u64);
+        let (slc, slc_f) = normalized(*app, CellTech::Slc, scale, seed);
+        let (mlc, mlc_f) = normalized(*app, CellTech::Mlc2, scale, seed);
+        println!("{}\t{slc:.2}\t{mlc:.2}\t{slc_f:.1}\t{mlc_f:.1}", app.name());
+    }
+}

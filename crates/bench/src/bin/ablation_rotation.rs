@@ -1,0 +1,20 @@
+//! Ablation: intra-line rotation period under Comp+W.
+
+use pcm_bench::experiments::lifetime::Scale;
+use pcm_bench::experiments::ablation::rotation_ablation;
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Ablation: rotation period (writes per line between 1-byte rotations), Comp+W");
+    println!("app\t256\t1024\t4096\t16384");
+    for app in &opts.apps {
+        let rows = rotation_ablation(*app, scale, opts.seed);
+        print!("{}", app.name());
+        for (_, r) in &rows {
+            print!("\t{}", r.lifetime_writes());
+        }
+        println!();
+    }
+}

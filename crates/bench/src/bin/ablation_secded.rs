@@ -1,0 +1,52 @@
+//! Ablation: SECDED vs ECP-6 as the hard-error scheme (paper §II-C) and
+//! the ECP-strength storage tradeoff (§V.A.5).
+//!
+//! Two claims are checked: (1) SECDED's one-error-per-word limit retires
+//! PCM lines as soon as faults start clustering, so a SECDED baseline dies
+//! far earlier than the ECP-6 baseline; (2) matching Comp+WF's tolerated
+//! fault depth with brute-force ECP would need many more entries — a ~40%
+//! storage increase the paper deems impractical.
+
+use pcm_bench::experiments::lifetime::Scale;
+use pcm_bench::Options;
+use pcm_core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
+use pcm_core::{EccChoice, SystemConfig, SystemKind};
+use pcm_util::child_seed;
+
+fn lifetime(kind: SystemKind, ecc: EccChoice, app: pcm_trace::SpecApp, scale: Scale, seed: u64) -> (u64, f64) {
+    let system = SystemConfig::new(kind)
+        .with_endurance_mean(scale.endurance_mean)
+        .with_ecc(ecc);
+    let mut line = LineSimConfig::new(system, app.profile());
+    line.sample_writes = scale.sample_writes;
+    let mut cfg = CampaignConfig::new(line, seed);
+    cfg.lines = scale.lines;
+    let r = run_campaign(&cfg);
+    (r.lifetime_writes(), r.mean_faults_at_death.unwrap_or(0.0))
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+
+    println!("# Part 1: SECDED vs ECP-6 baseline (lifetime in per-line writes)");
+    println!("app\tSECDED\tECP-6\tECP6/SECDED");
+    for app in &opts.apps {
+        let seed = child_seed(opts.seed, *app as u64);
+        let (secded, _) = lifetime(SystemKind::Baseline, EccChoice::Secded, *app, scale, seed);
+        let (ecp, _) = lifetime(SystemKind::Baseline, EccChoice::Ecp6, *app, scale, seed);
+        println!("{}\t{}\t{}\t{:.2}", app.name(), secded, ecp, ecp as f64 / secded as f64);
+    }
+
+    println!("\n# Part 2: ECP strength needed to match Comp+WF (milc)");
+    println!("config\tmetadata_bits\tlifetime\tfaults@death");
+    let app = pcm_trace::SpecApp::Milc;
+    for n in [2u8, 4, 6, 8, 12, 16, 20] {
+        let (l, f) =
+            lifetime(SystemKind::Baseline, EccChoice::EcpN(n), app, scale, child_seed(opts.seed, 50 + n as u64));
+        println!("Baseline ECP-{n}\t{}\t{}\t{:.1}", n as u32 * 10 + 1, l, f);
+    }
+    let (l, f) = lifetime(SystemKind::CompWF, EccChoice::Ecp6, app, scale, child_seed(opts.seed, 99));
+    println!("Comp+WF ECP-6\t61\t{l}\t{f:.1}");
+    println!("# paper: sustaining Comp+WF's error depth with plain ECP needs ~40% more storage");
+}

@@ -1,0 +1,34 @@
+//! Ablation: window-placement granularity under Comp+WF.
+//!
+//! A byte-granular start pointer costs 6 metadata bits; coarser grids (2,
+//! 4, 8 bytes) save pointer bits but give the fault-dodging search fewer
+//! places to put the window. This quantifies the lifetime cost of each
+//! step — the design-space point behind the paper's choice of a 6-bit
+//! pointer.
+
+use pcm_bench::experiments::lifetime::Scale;
+use pcm_bench::Options;
+use pcm_core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
+use pcm_core::{SystemConfig, SystemKind};
+use pcm_util::child_seed;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Ablation: Comp+WF lifetime (per-line writes) vs window placement step");
+    println!("app\tstep1(6b ptr)\tstep2(5b)\tstep4(4b)\tstep8(3b)");
+    for app in &opts.apps {
+        print!("{}", app.name());
+        for step in [1usize, 2, 4, 8] {
+            let system = SystemConfig::new(SystemKind::CompWF)
+                .with_endurance_mean(scale.endurance_mean)
+                .with_window_step(step);
+            let mut line = LineSimConfig::new(system, app.profile());
+            line.sample_writes = scale.sample_writes;
+            let mut cfg = CampaignConfig::new(line, child_seed(opts.seed, *app as u64));
+            cfg.lines = scale.lines;
+            print!("\t{}", run_campaign(&cfg).lifetime_writes());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Compressor study: BDI vs FPC vs the best-of selector vs a trained FVC
+//! dictionary, per workload — the design-space the paper's §III selector
+//! sits in. FVC needs persistent dictionary state, which is why the
+//! paper's controller prefers the stateless BDI/FPC pair.
+
+use pcm_bench::Options;
+use pcm_compress::{bdi, compress_best, fpc, FvcDictionary};
+use pcm_trace::TraceGenerator;
+use pcm_util::child_seed;
+
+fn main() {
+    let opts = Options::from_args();
+    let writes = if opts.quick { 2_000 } else { 10_000 };
+    println!("# Mean compressed size (bytes): BDI / FPC / BEST / FVC-64");
+    println!("app\tBDI\tFPC\tBEST\tFVC");
+    for app in &opts.apps {
+        let seed = child_seed(opts.seed, *app as u64);
+        // Train FVC on a separate warmup stream of the same workload.
+        let mut warmup = TraceGenerator::from_profile(app.profile(), 256, seed ^ 1);
+        let training: Vec<_> = (0..2_000).map(|_| warmup.next_write().data).collect();
+        let dict = FvcDictionary::train(training.iter(), 64);
+
+        let mut generator = TraceGenerator::from_profile(app.profile(), 256, seed);
+        let (mut b, mut f, mut best, mut v) = (0usize, 0usize, 0usize, 0usize);
+        for _ in 0..writes {
+            let data = generator.next_write().data;
+            b += bdi::compress(&data).map(|c| c.size()).unwrap_or(64);
+            f += fpc::compress(&data).size().min(64);
+            best += compress_best(&data).size();
+            v += dict.compress(&data).size_bytes().min(64);
+        }
+        let n = writes as f64;
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            app.name(),
+            b as f64 / n,
+            f as f64 / n,
+            best as f64 / n,
+            v as f64 / n
+        );
+    }
+}

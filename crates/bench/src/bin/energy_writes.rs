@@ -1,0 +1,39 @@
+//! Write-energy comparison: uncompressed vs compressed storage per
+//! workload (the paper's §I / §III-A.1 energy motivation, quantified).
+
+use pcm_bench::Options;
+use pcm_compress::compress_best;
+use pcm_device::dw::diff_write;
+use pcm_device::EnergyModel;
+use pcm_trace::BlockStream;
+use pcm_util::{child_seed, Line512};
+
+fn main() {
+    let opts = Options::from_args();
+    let (blocks, writes) = if opts.quick { (16, 60) } else { (64, 150) };
+    let e = EnergyModel::paper();
+    println!("# Write energy per 64B write-back (pJ), DW chip-level writes");
+    println!("app\tuncompressed\tcompressed\tsaving%");
+    for app in &opts.apps {
+        let mut plain_total = 0.0;
+        let mut comp_total = 0.0;
+        let mut n = 0u64;
+        for b in 0..blocks {
+            let mut stream = BlockStream::new(app.profile(), child_seed(opts.seed, b));
+            let mut plain = stream.current();
+            let mut comp_line = Line512::zero().with_bytes_at(0, compress_best(&plain).bytes());
+            for _ in 0..writes {
+                let data = stream.next_data();
+                plain_total += e.write_energy_pj(&diff_write(&plain, &data));
+                let c = compress_best(&data);
+                let target = comp_line.with_bytes_at(0, c.bytes());
+                comp_total += e.write_energy_pj(&diff_write(&comp_line, &target));
+                plain = data;
+                comp_line = target;
+                n += 1;
+            }
+        }
+        let (p, c) = (plain_total / n as f64, comp_total / n as f64);
+        println!("{}\t{:.0}\t{:.0}\t{:.1}", app.name(), p, c, 100.0 * (1.0 - c / p));
+    }
+}

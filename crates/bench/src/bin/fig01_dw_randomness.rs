@@ -1,0 +1,23 @@
+//! Fig. 1: distribution of updated bits for consecutive writes to one
+//! 64-byte block of gobmk under differential writes.
+
+use pcm_bench::experiments::compression::fig01_flip_series;
+use pcm_bench::Options;
+use pcm_trace::SpecApp;
+
+fn main() {
+    let opts = Options::from_args();
+    let writes = if opts.quick { 60 } else { 200 };
+    let series = fig01_flip_series(SpecApp::Gobmk, writes, opts.seed);
+    println!("# Fig 1: DW bit flips per consecutive write (gobmk, one block)");
+    println!("write\tflips");
+    for (i, f) in series.iter().enumerate() {
+        println!("{i}\t{f}");
+    }
+    let mean = series.iter().sum::<u32>() as f64 / series.len() as f64;
+    let max = series.iter().max().unwrap();
+    let min = series.iter().min().unwrap();
+    println!("# mean {mean:.1}, min {min}, max {max} of 512 cells");
+    let as_f64: Vec<f64> = series.iter().map(|&f| f as f64).collect();
+    println!("# shape: {}", pcm_bench::plot::sparkline(&pcm_bench::plot::downsample(&as_f64, 64)));
+}

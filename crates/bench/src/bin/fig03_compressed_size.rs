@@ -1,0 +1,25 @@
+//! Fig. 3: average compressed data size for BDI, FPC, and best-of-two.
+
+use pcm_bench::experiments::compression::fig03_sizes;
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let writes = if opts.quick { 2_000 } else { 20_000 };
+    println!("# Fig 3: average compressed size (bytes) per workload");
+    println!("app\tBDI\tFPC\tBEST\tCR");
+    let mut crs = Vec::new();
+    for app in &opts.apps {
+        let s = fig03_sizes(*app, writes, opts.seed);
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}\t{:.2}",
+            app.name(),
+            s.bdi_mean,
+            s.fpc_mean,
+            s.best_mean,
+            s.cr
+        );
+        crs.push(s.cr);
+    }
+    println!("# average CR {:.2} (paper: 0.43)", pcm_util::stats::mean(&crs));
+}

@@ -1,0 +1,22 @@
+//! Fig. 5: percentage of write-backs with increased / untouched (±5%) /
+//! decreased bit flips after compression.
+
+use pcm_bench::experiments::compression::fig05_flip_delta;
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let (blocks, writes) = if opts.quick { (24, 60) } else { (96, 150) };
+    println!("# Fig 5: flip-count change of compressed vs uncompressed storage");
+    println!("app\tincreased%\tuntouched%\tdecreased%");
+    for app in &opts.apps {
+        let d = fig05_flip_delta(*app, blocks, writes, opts.seed);
+        println!(
+            "{}\t{:.0}\t{:.0}\t{:.0}",
+            app.name(),
+            100.0 * d.increased,
+            100.0 * d.untouched,
+            100.0 * d.decreased
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Fig. 6: probability that two consecutive writes to the same block have
+//! different compressed sizes.
+
+use pcm_bench::experiments::compression::fig06_size_change;
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let writes = if opts.quick { 4_000 } else { 20_000 };
+    println!("# Fig 6: P(consecutive writes change compressed size)");
+    println!("app\tprobability");
+    for app in &opts.apps {
+        println!("{}\t{:.2}", app.name(), fig06_size_change(*app, writes, opts.seed));
+    }
+}

@@ -1,0 +1,31 @@
+//! Fig. 9: failure probability of a block vs. fault count and compressed
+//! size for ECP-6, SAFER-32, and Aegis 17×31 (Monte-Carlo injection).
+
+use pcm_bench::experiments::montecarlo::{faults_at_half, fig09};
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    // The paper uses 100k injections; 30k keeps the full sweep tractable
+    // on one core while leaving the curves visually identical.
+    let injections = if opts.quick { 3_000 } else { 30_000 };
+    let surfaces = fig09(injections, opts.seed, opts.quick);
+    for surface in &surfaces {
+        println!("# Fig 9: failure probability — {} ({injections} injections)", surface.scheme);
+        print!("errors");
+        for w in &surface.windows {
+            print!("\t{w}B");
+        }
+        println!();
+        for (e, &errors) in surface.errors.iter().enumerate() {
+            print!("{errors}");
+            for w in 0..surface.windows.len() {
+                print!("\t{:.3}", surface.probabilities[w][e]);
+            }
+            println!();
+        }
+        if let Some(f) = faults_at_half(surface, 32) {
+            println!("# {}: ~{f} faults tolerable at 32B window, p=0.5 (paper: ECP 18 / SAFER 38 / Aegis 41)", surface.scheme);
+        }
+    }
+}

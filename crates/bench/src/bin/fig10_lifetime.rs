@@ -1,0 +1,37 @@
+//! Fig. 10: lifetime of Comp, Comp+W, and Comp+WF normalized to the
+//! baseline (DW + Start-Gap + ECP-6) system.
+
+use pcm_bench::experiments::lifetime::{fig10_app, Scale};
+use pcm_bench::Options;
+use pcm_core::SystemKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Fig 10: normalized lifetime (x baseline)");
+    println!("app\tComp\tComp+W\tComp+WF");
+    let mut sums = [0.0f64; 3];
+    for app in &opts.apps {
+        let l = fig10_app(*app, scale, opts.seed);
+        let row = [
+            l.normalized(SystemKind::Comp),
+            l.normalized(SystemKind::CompW),
+            l.normalized(SystemKind::CompWF),
+        ];
+        println!("{}\t{:.2}\t{:.2}\t{:.2}", app.name(), row[0], row[1], row[2]);
+        for (s, r) in sums.iter_mut().zip(row) {
+            *s += r;
+        }
+    }
+    let n = opts.apps.len() as f64;
+    println!(
+        "Average\t{:.2}\t{:.2}\t{:.2}",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n
+    );
+    println!("# paper averages: Comp 1.35x, Comp+W 3.2x, Comp+WF 4.3x");
+    for (label, sum) in ["Comp", "Comp+W", "Comp+WF"].iter().zip(sums) {
+        println!("# {label:8} {}", pcm_bench::plot::bar(sum / n, 5.0, 40));
+    }
+}

@@ -1,0 +1,32 @@
+//! Fig. 12: average number of faulty cells in a failed 512-bit block under
+//! Comp+WF (baseline ECP-6 dies at 7).
+
+use pcm_bench::experiments::lifetime::{fig10_app, Scale};
+use pcm_bench::Options;
+use pcm_core::SystemKind;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Fig 12: mean faulty cells per failed block (Comp+WF)");
+    println!("app\tfaults/event\tfaults/final\tbaseline");
+    let mut events = Vec::new();
+    for app in &opts.apps {
+        let l = fig10_app(*app, scale, opts.seed);
+        let wf = l.result(SystemKind::CompWF);
+        let base = l.result(SystemKind::Baseline);
+        let e = wf.mean_faults_at_death.unwrap_or(0.0);
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.1}",
+            app.name(),
+            e,
+            wf.mean_final_death_faults.unwrap_or(0.0),
+            base.mean_faults_at_death.unwrap_or(0.0)
+        );
+        events.push(e);
+    }
+    println!(
+        "# average {:.1} faults per failed block (paper: ~3x the ECP-6 baseline of 7)",
+        pcm_util::stats::mean(&events)
+    );
+}

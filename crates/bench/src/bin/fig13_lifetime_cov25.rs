@@ -1,0 +1,20 @@
+//! Fig. 13: Comp+WF lifetime normalized to baseline under higher process
+//! variation (endurance CoV 0.25).
+
+use pcm_bench::experiments::lifetime::{fig13_app, Scale};
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Fig 13: Comp+WF normalized lifetime at CoV 0.25");
+    println!("app\tComp+WF");
+    let mut sum = 0.0;
+    for app in &opts.apps {
+        let (base, wf) = fig13_app(*app, scale, opts.seed);
+        let norm = wf.normalized_against(&base);
+        println!("{}\t{:.2}", app.name(), norm);
+        sum += norm;
+    }
+    println!("Average\t{:.2}", sum / opts.apps.len() as f64);
+}

@@ -1,0 +1,55 @@
+//! Metadata update rates (paper §III-B): the per-line metadata fields
+//! change far less often than the data, so metadata cell wear is a
+//! non-issue. The paper claims the start pointer changes every ~2^10
+//! writes to a line and the coding bits every 4–5 writes.
+
+use pcm_bench::Options;
+use pcm_compress::compress_best;
+use pcm_core::line::{EccEngine, ManagedLine, Payload};
+use pcm_core::{EccChoice, SystemConfig, SystemKind};
+use pcm_trace::BlockStream;
+use pcm_util::child_seed;
+use pcm_wear::IntraLineLeveler;
+
+fn main() {
+    let opts = Options::from_args();
+    let writes = if opts.quick { 20_000 } else { 100_000 };
+    let cfg = SystemConfig::new(SystemKind::CompWF);
+    println!("# Metadata update intervals (writes between changes), Comp+WF");
+    println!("app\twrites\tstart_ptr_every\tencoding_every\tsize_every");
+    for app in &opts.apps {
+        let engine = EccEngine::new(EccChoice::Ecp6);
+        let mut line = ManagedLine::with_endurance(vec![u32::MAX; 512]);
+        let mut leveler = IntraLineLeveler::new(cfg.rotation_period as u32, 1);
+        let mut stream = BlockStream::new(app.profile(), child_seed(opts.seed, *app as u64));
+        for _ in 0..writes {
+            let data = stream.next_data();
+            let c = compress_best(&data);
+            line.write(
+                &engine,
+                Payload { method: c.method(), bytes: c.bytes() },
+                leveler.offset(),
+                true,
+            )
+            .expect("healthy line");
+            leveler.note_write();
+        }
+        let m = line.meta_updates();
+        let every = |n: u64| {
+            if n == 0 {
+                "never".to_string()
+            } else {
+                format!("{:.0}", m.writes as f64 / n as f64)
+            }
+        };
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            app.name(),
+            m.writes,
+            every(m.start_pointer),
+            every(m.encoding),
+            every(m.size)
+        );
+    }
+    println!("# paper: start pointer ~ every 2^10 line writes; coding bits every 4-5 writes");
+}

@@ -1,0 +1,53 @@
+//! Extension study: multiprogrammed workload mixes.
+//!
+//! The paper runs homogeneous 16-copy workloads; consolidated machines
+//! interleave programs, so a physical line alternates between compressible
+//! and incompressible hosts — the regime dead-block resurrection was built
+//! for. This study pairs a highly-compressible app with an incompressible
+//! one at several ratios.
+
+use pcm_bench::experiments::lifetime::Scale;
+use pcm_bench::Options;
+use pcm_core::lifetime::{run_mixed_campaign, WorkloadMix};
+use pcm_core::{SystemConfig, SystemKind};
+use pcm_trace::SpecApp;
+use pcm_util::child_seed;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Mix study: Comp+WF lifetime (per-line writes) for milc/lbm blends");
+    println!("milc:lbm\tBaseline\tComp+WF\tnormalized");
+    for (a, b) in [(1.0f64, 0.0f64), (3.0, 1.0), (1.0, 1.0), (1.0, 3.0), (0.0, 1.0)] {
+        let mut entries = Vec::new();
+        if a > 0.0 {
+            entries.push((SpecApp::Milc.profile(), a));
+        }
+        if b > 0.0 {
+            entries.push((SpecApp::Lbm.profile(), b));
+        }
+        let mix = WorkloadMix::new(entries);
+        let seed = child_seed(opts.seed, (a * 10.0 + b) as u64);
+        let base = run_mixed_campaign(
+            SystemConfig::new(SystemKind::Baseline).with_endurance_mean(scale.endurance_mean),
+            &mix,
+            scale.lines,
+            scale.sample_writes,
+            seed,
+        );
+        let wf = run_mixed_campaign(
+            SystemConfig::new(SystemKind::CompWF).with_endurance_mean(scale.endurance_mean),
+            &mix,
+            scale.lines,
+            scale.sample_writes,
+            seed,
+        );
+        println!(
+            "{a}:{b}\t{}\t{}\t{:.2}",
+            base.lifetime_writes(),
+            wf.lifetime_writes(),
+            wf.normalized_against(&base)
+        );
+    }
+    println!("# gains should degrade smoothly from pure-milc to pure-lbm");
+}

@@ -1,0 +1,28 @@
+//! §V.B: read-latency and end-to-end overhead of decompression.
+
+use pcm_bench::experiments::perf::perf_app;
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    println!("# Section V.B: performance overhead of decompression");
+    println!("app\tread_lat(cyc)\tqueueing\tcomp_reads%\tdecomp(ns)\tread_lat+%\tslowdown%");
+    let mut worst_read = 0.0f64;
+    let mut worst_slow = 0.0f64;
+    for app in &opts.apps {
+        let r = perf_app(*app, opts.quick, opts.seed);
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.0}\t{:.2}\t{:.2}\t{:.3}",
+            app.name(),
+            r.base_read_latency_cycles,
+            r.read_queueing_cycles,
+            100.0 * r.compressed_read_fraction,
+            r.avg_decompression_ns,
+            r.read_latency_increase_pct,
+            r.slowdown_pct
+        );
+        worst_read = worst_read.max(r.read_latency_increase_pct);
+        worst_slow = worst_slow.max(r.slowdown_pct);
+    }
+    println!("# worst read-latency increase {worst_read:.2}% (paper: up to ~2%), worst slowdown {worst_slow:.3}% (paper: < 0.3%)");
+}

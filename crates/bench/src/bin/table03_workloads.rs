@@ -1,0 +1,24 @@
+//! Table III: workload characteristics — WPKI (model input) and the
+//! realized compression ratio of the synthetic trace.
+
+use pcm_bench::Options;
+use pcm_trace::calibrate::calibrate;
+
+fn main() {
+    let opts = Options::from_args();
+    let writes = if opts.quick { 3_000 } else { 12_000 };
+    println!("# Table III: workload characteristics");
+    println!("app\tWPKI\tCR(target)\tCR(realized)\tclass");
+    for app in &opts.apps {
+        let p = app.profile();
+        let c = calibrate(&p, 512, opts.seed ^ (*app as u64), writes);
+        println!(
+            "{}\t{:.2}\t{:.2}\t{:.2}\t{}",
+            app.name(),
+            p.wpki,
+            p.target_cr,
+            c.realized_cr,
+            p.class
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Table IV: final lifetime in months, Baseline vs Comp+WF, scaled back to
+//! the paper's 10^7 endurance and 4 GB / 16-core machine.
+
+use pcm_bench::experiments::lifetime::{fig10_app, table4_row, Scale};
+use pcm_bench::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let scale = Scale::from_quick(opts.quick);
+    println!("# Table IV: lifetime in months");
+    println!("app\tBaseline\tComp+WF\tratio");
+    let mut base_sum = 0.0;
+    let mut wf_sum = 0.0;
+    for app in &opts.apps {
+        let l = fig10_app(*app, scale, opts.seed);
+        let row = table4_row(*app, &l, scale);
+        println!(
+            "{}\t{:.1}\t{:.1}\t{:.2}",
+            app.name(),
+            row.baseline,
+            row.compwf,
+            row.compwf / row.baseline
+        );
+        base_sum += row.baseline;
+        wf_sum += row.compwf;
+    }
+    let n = opts.apps.len() as f64;
+    println!("Avg\t{:.1}\t{:.1}\t{:.2}", base_sum / n, wf_sum / n, wf_sum / base_sum);
+    println!("# paper: baseline avg 22 months, Comp+WF avg 79 months");
+}

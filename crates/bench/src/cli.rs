@@ -1,0 +1,105 @@
+//! Minimal command-line options shared by every experiment binary.
+
+use pcm_trace::{profile::ALL_APPS, SpecApp};
+
+/// Options accepted by every harness binary.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Reduced sample sizes for smoke runs.
+    pub quick: bool,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Workloads to evaluate (default: all 15).
+    pub apps: Vec<SpecApp>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { quick: false, seed: 2017, apps: ALL_APPS.to_vec() }
+    }
+}
+
+impl Options {
+    /// Parses `--quick`, `--seed N`, and `--apps a,b,c` from the process
+    /// arguments. Unknown flags abort with a usage message.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses options from an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags, missing values, or unknown app names.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Options::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                }
+                "--apps" => {
+                    let v = it.next().unwrap_or_else(|| usage("--apps needs a list"));
+                    opts.apps = v
+                        .split(',')
+                        .map(|name| {
+                            ALL_APPS
+                                .iter()
+                                .copied()
+                                .find(|a| a.name().eq_ignore_ascii_case(name.trim()))
+                                .unwrap_or_else(|| usage(&format!("unknown app '{name}'")))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        opts
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <binary> [--quick] [--seed N] [--apps astar,milc,...]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Prints a header line for an experiment table.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("# {title}");
+    println!("{}", columns.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(Vec::<String>::new());
+        assert!(!o.quick);
+        assert_eq!(o.apps.len(), 15);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = Options::parse(
+            ["--quick", "--seed", "7", "--apps", "milc,gcc"].map(String::from),
+        );
+        assert!(o.quick);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.apps, vec![SpecApp::Milc, SpecApp::Gcc]);
+    }
+
+    #[test]
+    fn app_names_case_insensitive() {
+        let o = Options::parse(["--apps", "CACTUSadm"].map(String::from));
+        assert_eq!(o.apps, vec![SpecApp::CactusADM]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+
+use super::lifetime::Scale;
+use pcm_core::lifetime::{run_campaign, CampaignConfig, LifetimeResult, LineSimConfig};
+use pcm_core::{CompressionHeuristic, EccChoice, SystemConfig, SystemKind};
+use pcm_device::dw::{diff_write, FlipNWrite};
+use pcm_trace::{BlockStream, SpecApp};
+use pcm_util::child_seed;
+use serde::{Deserialize, Serialize};
+
+fn campaign_with(system: SystemConfig, app: SpecApp, scale: Scale, seed: u64) -> LifetimeResult {
+    let mut line = LineSimConfig::new(system, app.profile());
+    line.sample_writes = scale.sample_writes;
+    let mut cfg = CampaignConfig::new(line, seed);
+    cfg.lines = scale.lines;
+    run_campaign(&cfg)
+}
+
+/// Heuristic ablation: Comp+WF lifetime and flips with the Fig. 8
+/// heuristic off (default) vs. on at several `Threshold2` settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeuristicAblation {
+    /// The workload.
+    pub app: SpecApp,
+    /// Naive (heuristic off) result.
+    pub naive: LifetimeResult,
+    /// `(threshold2, result)` with the heuristic on.
+    pub with_heuristic: Vec<(usize, LifetimeResult)>,
+}
+
+/// Runs the heuristic ablation for one workload.
+pub fn heuristic_ablation(app: SpecApp, scale: Scale, seed: u64) -> HeuristicAblation {
+    let base = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(scale.endurance_mean);
+    let naive = campaign_with(base, app, scale, child_seed(seed, 0));
+    let with_heuristic = [8usize, 16, 24]
+        .into_iter()
+        .map(|t2| {
+            let mut cfg = base.with_heuristic();
+            cfg.heuristic = CompressionHeuristic { threshold1: 16, threshold2: t2 };
+            (t2, campaign_with(cfg, app, scale, child_seed(seed, t2 as u64)))
+        })
+        .collect();
+    HeuristicAblation { app, naive, with_heuristic }
+}
+
+/// ECC ablation: Comp+WF lifetime under ECP-6, SAFER-32, and Aegis 17×31
+/// (paper §III-A.4 expects the partition schemes to stretch further).
+pub fn ecc_ablation(app: SpecApp, scale: Scale, seed: u64) -> Vec<(EccChoice, LifetimeResult)> {
+    [EccChoice::Ecp6, EccChoice::Safer32, EccChoice::Aegis17x31]
+        .into_iter()
+        .enumerate()
+        .map(|(i, ecc)| {
+            let cfg = SystemConfig::new(SystemKind::CompWF)
+                .with_endurance_mean(scale.endurance_mean)
+                .with_ecc(ecc);
+            (ecc, campaign_with(cfg, app, scale, child_seed(seed, i as u64)))
+        })
+        .collect()
+}
+
+/// Rotation-period ablation for Comp+W: how fast must the window rotate?
+pub fn rotation_ablation(
+    app: SpecApp,
+    scale: Scale,
+    seed: u64,
+) -> Vec<(u64, LifetimeResult)> {
+    [256u64, 1024, 4096, 16_384]
+        .into_iter()
+        .map(|period| {
+            let mut cfg =
+                SystemConfig::new(SystemKind::CompW).with_endurance_mean(scale.endurance_mean);
+            cfg.rotation_period = period;
+            (period, campaign_with(cfg, app, scale, child_seed(seed, period)))
+        })
+        .collect()
+}
+
+/// Flip-N-Write vs plain differential writes: mean flips per write for one
+/// workload's block stream (the chip-level alternative the paper treats as
+/// orthogonal).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FnwComparison {
+    /// The workload.
+    pub app: SpecApp,
+    /// Mean flips per write under plain DW.
+    pub dw_flips: f64,
+    /// Mean flips per write under Flip-N-Write (64-bit chunks, flag cells
+    /// included).
+    pub fnw_flips: f64,
+}
+
+/// Compares DW against Flip-N-Write over a block stream.
+pub fn flip_n_write_ablation(app: SpecApp, writes: usize, seed: u64) -> FnwComparison {
+    let mut stream = BlockStream::new(app.profile(), seed);
+    let mut fnw = FlipNWrite::new(64);
+    let mut plain = stream.current();
+    let mut stored = plain;
+    let mut dw_total = 0u64;
+    let mut fnw_total = 0u64;
+    for _ in 0..writes {
+        let data = stream.next_data();
+        dw_total += diff_write(&plain, &data).flips() as u64;
+        let (new_stored, flips) = fnw.write(&stored, &data);
+        fnw_total += flips as u64;
+        plain = data;
+        stored = new_stored;
+    }
+    FnwComparison {
+        app,
+        dw_flips: dw_total as f64 / writes as f64,
+        fnw_flips: fnw_total as f64 / writes as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { lines: 12, endurance_mean: 3e3, sample_writes: 8 }
+    }
+
+    #[test]
+    fn ecc_partition_schemes_extend_compwf() {
+        let rows = ecc_ablation(SpecApp::Milc, tiny(), 4);
+        let ecp = rows[0].1.lifetime_writes() as f64;
+        let safer = rows[1].1.lifetime_writes() as f64;
+        let aegis = rows[2].1.lifetime_writes() as f64;
+        assert!(safer > ecp * 0.9, "SAFER {safer} vs ECP {ecp}");
+        assert!(aegis > ecp * 0.9, "Aegis {aegis} vs ECP {ecp}");
+    }
+
+    #[test]
+    fn fnw_never_flips_more_than_dw_plus_flags() {
+        let c = flip_n_write_ablation(SpecApp::Gcc, 400, 9);
+        assert!(c.fnw_flips <= c.dw_flips + 8.0, "FNW {} vs DW {}", c.fnw_flips, c.dw_flips);
+    }
+
+    #[test]
+    fn heuristic_ablation_runs() {
+        let h = heuristic_ablation(SpecApp::Bzip2, tiny(), 2);
+        assert_eq!(h.with_heuristic.len(), 3);
+        assert!(h.naive.lifetime_writes() > 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Compression-behaviour experiments: Figs. 1, 3, 5, 6, 7, 11 and the CR
+//! column of Table III.
+
+use pcm_compress::compress_best;
+use pcm_trace::calibrate::{
+    block_size_series, compression_stats, max_size_cdf, size_change_probability,
+    CompressionStats,
+};
+use pcm_trace::{BlockStream, SpecApp, TraceGenerator};
+use pcm_util::stats::Ecdf;
+use pcm_util::{child_seed, Line512};
+use serde::{Deserialize, Serialize};
+
+/// Fig. 1: differential-write flips for consecutive writes to one block.
+pub fn fig01_flip_series(app: SpecApp, writes: usize, seed: u64) -> Vec<u32> {
+    let mut stream = BlockStream::new(app.profile(), seed);
+    let mut prev = stream.current();
+    (0..writes)
+        .map(|_| {
+            let next = stream.next_data();
+            let flips = prev.hamming_distance(&next);
+            prev = next;
+            flips
+        })
+        .collect()
+}
+
+/// Fig. 3 row: average compressed sizes for one workload.
+pub fn fig03_sizes(app: SpecApp, writes: usize, seed: u64) -> CompressionStats {
+    let mut generator = TraceGenerator::from_profile(app.profile(), 512, seed);
+    compression_stats(&mut generator, writes)
+}
+
+/// Fig. 5 row: fraction of write-backs whose flip count increased,
+/// stayed within ±5%, or decreased after compression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlipDelta {
+    /// Flips rose by more than 5%.
+    pub increased: f64,
+    /// Flips within ±5% of the uncompressed write.
+    pub untouched: f64,
+    /// Flips fell by more than 5%.
+    pub decreased: f64,
+}
+
+/// Computes Fig. 5 for one workload: each block is stored twice — verbatim
+/// and compressed (window at the line's low bytes) — and per write-back the
+/// differential-write flip counts of the two layouts are compared.
+pub fn fig05_flip_delta(app: SpecApp, blocks: usize, writes_per_block: usize, seed: u64) -> FlipDelta {
+    let mut increased = 0u64;
+    let mut untouched = 0u64;
+    let mut decreased = 0u64;
+    for b in 0..blocks {
+        let mut stream = BlockStream::new(app.profile(), child_seed(seed, b as u64));
+        let mut plain_line = stream.current();
+        let mut comp_line = {
+            let c = compress_best(&stream.current());
+            Line512::zero().with_bytes_at(0, c.bytes())
+        };
+        for _ in 0..writes_per_block {
+            let data = stream.next_data();
+            let plain_flips = plain_line.hamming_distance(&data);
+            let c = compress_best(&data);
+            let comp_target = comp_line.with_bytes_at(0, c.bytes());
+            let comp_flips = comp_line.hamming_distance(&comp_target);
+            plain_line = data;
+            comp_line = comp_target;
+            let hi = plain_flips as f64 * 1.05;
+            let lo = plain_flips as f64 * 0.95;
+            if (comp_flips as f64) > hi {
+                increased += 1;
+            } else if (comp_flips as f64) < lo {
+                decreased += 1;
+            } else {
+                untouched += 1;
+            }
+        }
+    }
+    let total = (increased + untouched + decreased) as f64;
+    FlipDelta {
+        increased: increased as f64 / total,
+        untouched: untouched as f64 / total,
+        decreased: decreased as f64 / total,
+    }
+}
+
+/// Fig. 6 value: probability consecutive writes to a block change
+/// compressed size.
+pub fn fig06_size_change(app: SpecApp, writes: usize, seed: u64) -> f64 {
+    let mut generator = TraceGenerator::from_profile(app.profile(), 64, seed);
+    size_change_probability(&mut generator, writes)
+}
+
+/// Fig. 7: compressed-size series of consecutive writes to several blocks.
+pub fn fig07_series(app: SpecApp, blocks: usize, writes: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut generator = TraceGenerator::from_profile(app.profile(), blocks as u64, seed);
+    (0..blocks as u64).map(|line| block_size_series(&mut generator, line, writes)).collect()
+}
+
+/// Fig. 11: per-address maximum compressed-size CDF.
+pub fn fig11_cdf(app: SpecApp, writes: usize, seed: u64) -> Ecdf {
+    let mut generator = TraceGenerator::from_profile(app.profile(), 256, seed);
+    max_size_cdf(&mut generator, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_series_is_random_looking() {
+        let series = fig01_flip_series(SpecApp::Gobmk, 200, 3);
+        assert_eq!(series.len(), 200);
+        // The paper's point: flips vary widely write to write.
+        let max = *series.iter().max().unwrap();
+        let min = *series.iter().min().unwrap();
+        assert!(max > min + 50, "flip series should vary, got {min}..{max}");
+    }
+
+    #[test]
+    fn fig05_fractions_sum_to_one() {
+        let d = fig05_flip_delta(SpecApp::Milc, 16, 50, 4);
+        assert!((d.increased + d.untouched + d.decreased - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig05_low_cr_apps_see_more_increases_than_high_cr() {
+        let gems = fig05_flip_delta(SpecApp::GemsFDTD, 24, 60, 4);
+        let cactus = fig05_flip_delta(SpecApp::CactusADM, 24, 60, 4);
+        assert!(
+            gems.increased > cactus.increased,
+            "GemsFDTD {:.2} should exceed cactusADM {:.2}",
+            gems.increased,
+            cactus.increased
+        );
+        assert!(cactus.decreased + cactus.untouched > 0.8);
+    }
+
+    #[test]
+    fn fig07_has_requested_shape() {
+        let series = fig07_series(SpecApp::Bzip2, 3, 40, 9);
+        assert_eq!(series.len(), 3);
+        assert!(series.iter().all(|s| s.len() == 40));
+    }
+}

@@ -1,0 +1,153 @@
+//! Lifetime experiments: Figs. 10, 12, 13 and Table IV.
+
+use pcm_core::lifetime::{run_campaign, CampaignConfig, LifetimeResult, LineSimConfig};
+use pcm_core::{SystemConfig, SystemKind};
+use pcm_trace::SpecApp;
+use pcm_util::child_seed;
+use serde::{Deserialize, Serialize};
+
+/// Campaign scale knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Lines per campaign.
+    pub lines: usize,
+    /// Mean cell endurance (reduced from the paper's 1e7; results scale).
+    pub endurance_mean: f64,
+    /// Sampled writes per segment.
+    pub sample_writes: u32,
+}
+
+impl Scale {
+    /// Default campaign scale: 96 lines at 2×10⁴ endurance.
+    pub fn standard() -> Self {
+        Scale { lines: 96, endurance_mean: 2e4, sample_writes: 16 }
+    }
+
+    /// Smoke-run scale.
+    pub fn quick() -> Self {
+        Scale { lines: 32, endurance_mean: 8e3, sample_writes: 8 }
+    }
+
+    /// Pick by the `--quick` flag.
+    pub fn from_quick(quick: bool) -> Self {
+        if quick {
+            Scale::quick()
+        } else {
+            Scale::standard()
+        }
+    }
+
+    /// Endurance scale factor back to the paper's 10⁷ (for Table IV).
+    pub fn endurance_scale(&self) -> f64 {
+        1e7 / self.endurance_mean
+    }
+}
+
+/// One workload's lifetime results across the four systems.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppLifetimes {
+    /// The workload.
+    pub app: SpecApp,
+    /// Results in [`SystemKind::ALL`] order.
+    pub results: Vec<LifetimeResult>,
+}
+
+impl AppLifetimes {
+    /// Normalized lifetime of system `kind` against the baseline (Fig. 10).
+    pub fn normalized(&self, kind: SystemKind) -> f64 {
+        let idx = SystemKind::ALL.iter().position(|&k| k == kind).expect("known kind");
+        self.results[idx].normalized_against(&self.results[0])
+    }
+
+    /// The result for one system.
+    pub fn result(&self, kind: SystemKind) -> &LifetimeResult {
+        let idx = SystemKind::ALL.iter().position(|&k| k == kind).expect("known kind");
+        &self.results[idx]
+    }
+}
+
+/// Runs one campaign.
+pub fn campaign(
+    app: SpecApp,
+    kind: SystemKind,
+    scale: Scale,
+    cov: f64,
+    seed: u64,
+) -> LifetimeResult {
+    let system = SystemConfig::new(kind)
+        .with_endurance_mean(scale.endurance_mean)
+        .with_endurance_cov(cov);
+    let mut line = LineSimConfig::new(system, app.profile());
+    line.sample_writes = scale.sample_writes;
+    let mut cfg = CampaignConfig::new(line, child_seed(seed, kind as u64));
+    cfg.lines = scale.lines;
+    run_campaign(&cfg)
+}
+
+/// Fig. 10: all four systems for one workload (CoV 0.15).
+pub fn fig10_app(app: SpecApp, scale: Scale, seed: u64) -> AppLifetimes {
+    let results = SystemKind::ALL
+        .iter()
+        .map(|&kind| campaign(app, kind, scale, 0.15, child_seed(seed, app as u64)))
+        .collect();
+    AppLifetimes { app, results }
+}
+
+/// Fig. 13: Baseline and Comp+WF at CoV 0.25.
+pub fn fig13_app(app: SpecApp, scale: Scale, seed: u64) -> (LifetimeResult, LifetimeResult) {
+    let s = child_seed(seed, 1000 + app as u64);
+    (
+        campaign(app, SystemKind::Baseline, scale, 0.25, s),
+        campaign(app, SystemKind::CompWF, scale, 0.25, s),
+    )
+}
+
+/// Table IV row: months of lifetime for Baseline and Comp+WF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonthsRow {
+    /// The workload.
+    pub app: SpecApp,
+    /// Baseline months.
+    pub baseline: f64,
+    /// Comp+WF months.
+    pub compwf: f64,
+}
+
+/// Converts a Fig. 10 result into Table IV months.
+pub fn table4_row(app: SpecApp, lifetimes: &AppLifetimes, scale: Scale) -> MonthsRow {
+    let wpki = app.profile().wpki;
+    MonthsRow {
+        app,
+        baseline: lifetimes.result(SystemKind::Baseline).months(wpki, scale.endurance_scale()),
+        compwf: lifetimes.result(SystemKind::CompWF).months(wpki, scale.endurance_scale()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_ordering_holds_for_compressible_app() {
+        let scale = Scale { lines: 24, endurance_mean: 4e3, sample_writes: 8 };
+        let l = fig10_app(SpecApp::Zeusmp, scale, 5);
+        let comp = l.normalized(SystemKind::Comp);
+        let w = l.normalized(SystemKind::CompW);
+        let wf = l.normalized(SystemKind::CompWF);
+        assert!(w > comp, "Comp+W ({w}) should beat Comp ({comp}) on zeusmp");
+        assert!(wf >= w * 0.9, "Comp+WF ({wf}) should not trail Comp+W ({w})");
+        assert!(wf > 3.0, "zeusmp Comp+WF gain {wf} too small");
+    }
+
+    #[test]
+    fn table4_months_scale_with_wpki() {
+        let scale = Scale { lines: 16, endurance_mean: 3e3, sample_writes: 8 };
+        let astar = fig10_app(SpecApp::Astar, scale, 6);
+        let lbm = fig10_app(SpecApp::Lbm, scale, 6);
+        let astar_row = table4_row(SpecApp::Astar, &astar, scale);
+        let lbm_row = table4_row(SpecApp::Lbm, &lbm, scale);
+        // astar writes ~15x less than lbm: far longer absolute lifetime.
+        assert!(astar_row.baseline > lbm_row.baseline * 4.0);
+        assert!(astar_row.compwf > astar_row.baseline);
+    }
+}

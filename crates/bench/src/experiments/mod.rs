@@ -1,0 +1,11 @@
+//! The experiment implementations behind the harness binaries.
+//!
+//! Functions here return plain result structs so the binaries can print
+//! them and the integration tests can assert on them. DESIGN.md §2 maps
+//! each experiment to its paper figure/table.
+
+pub mod ablation;
+pub mod compression;
+pub mod lifetime;
+pub mod montecarlo;
+pub mod perf;

@@ -1,0 +1,84 @@
+//! Fig. 9: Monte-Carlo fault injection over the three hard-error schemes.
+
+use pcm_ecc::montecarlo::{failure_surface, FailureSurface, MonteCarlo};
+use pcm_ecc::{Aegis, Ecp, HardErrorScheme, Safer};
+
+/// The window sizes the paper sweeps in Fig. 9 (bytes).
+pub const PAPER_WINDOWS: [usize; 10] = [1, 8, 16, 20, 24, 32, 34, 36, 40, 64];
+
+/// Error counts swept on the x-axis.
+pub fn error_grid(quick: bool) -> Vec<usize> {
+    let step = if quick { 16 } else { 4 };
+    (0..=128).step_by(step).collect()
+}
+
+/// Runs the Fig. 9 sweep for all three schemes.
+pub fn fig09(injections: usize, seed: u64, quick: bool) -> Vec<FailureSurface> {
+    let schemes: Vec<Box<dyn HardErrorScheme>> =
+        vec![Box::new(Ecp::new(6)), Box::new(Safer::new(32)), Box::new(Aegis::new(17, 31))];
+    let mc = MonteCarlo { injections, seed, threads: 0 };
+    let errors = error_grid(quick);
+    schemes
+        .iter()
+        .map(|s| failure_surface(s.as_ref(), &PAPER_WINDOWS, &errors, &mc))
+        .collect()
+}
+
+/// The paper's §III-A.4 spot check: tolerable faults at 50% failure
+/// probability for a 32-byte window (ECP-6 ≈ 18, SAFER ≈ 38, Aegis ≈ 41).
+pub fn faults_at_half(surface: &FailureSurface, window: usize) -> Option<usize> {
+    let w = surface.windows.iter().position(|&x| x == window)?;
+    let row = &surface.probabilities[w];
+    for (i, &p) in row.iter().enumerate() {
+        if p >= 0.5 {
+            return Some(surface.errors[i]);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig09_shape_matches_paper_spot_values() {
+        let surfaces = fig09(4_000, 11, true);
+        assert_eq!(surfaces.len(), 3);
+        let ecp = &surfaces[0];
+        let safer = &surfaces[1];
+        let aegis = &surfaces[2];
+        // §III-A.4: at a 32-byte window and 0.5 failure probability the
+        // tolerable fault counts are ~18 (ECP-6), ~38 (SAFER), ~41 (Aegis).
+        let e = faults_at_half(ecp, 32).expect("ECP curve crosses 0.5");
+        let s = faults_at_half(safer, 32).expect("SAFER curve crosses 0.5");
+        let a = faults_at_half(aegis, 32).expect("Aegis curve crosses 0.5");
+        assert!((8..=32).contains(&e), "ECP-6 @32B: {e}");
+        assert!(s > e, "SAFER ({s}) must beat ECP-6 ({e})");
+        assert!(a >= s.saturating_sub(8), "Aegis ({a}) roughly matches SAFER ({s})");
+    }
+
+    #[test]
+    fn smaller_windows_always_weakly_better() {
+        let surfaces = fig09(1_500, 12, true);
+        for surface in &surfaces {
+            // For each error count, failure probability should not
+            // decrease with window size (allowing Monte-Carlo noise).
+            for e in 0..surface.errors.len() {
+                for w in 1..surface.windows.len() {
+                    let small = surface.probabilities[w - 1][e];
+                    let big = surface.probabilities[w][e];
+                    assert!(
+                        big + 0.06 >= small,
+                        "{}: window {} errors {}: {} < {}",
+                        surface.scheme,
+                        surface.windows[w],
+                        surface.errors[e],
+                        big,
+                        small
+                    );
+                }
+            }
+        }
+    }
+}

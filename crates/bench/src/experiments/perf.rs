@@ -1,0 +1,34 @@
+//! §V.B: performance overhead of on-the-read-path decompression.
+
+use pcm_core::perf::{perf_overhead, PerfConfig, PerfReport};
+use pcm_trace::SpecApp;
+use pcm_util::child_seed;
+
+/// Runs the §V.B study for one workload.
+pub fn perf_app(app: SpecApp, quick: bool, seed: u64) -> PerfReport {
+    let mut cfg = PerfConfig::new(app.profile(), child_seed(seed, app as u64));
+    if quick {
+        cfg.lines = 512;
+        cfg.accesses = 40_000;
+    }
+    perf_overhead(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_match_paper_magnitudes() {
+        // Paper: reads delayed up to ~2% on average, slowdown < 0.3%.
+        let mut worst_read = 0.0f64;
+        let mut worst_slowdown = 0.0f64;
+        for app in [SpecApp::Milc, SpecApp::Sjeng, SpecApp::Lbm, SpecApp::Gcc] {
+            let r = perf_app(app, true, 3);
+            worst_read = worst_read.max(r.read_latency_increase_pct);
+            worst_slowdown = worst_slowdown.max(r.slowdown_pct);
+        }
+        assert!(worst_read < 3.0, "read latency increase {worst_read:.2}%");
+        assert!(worst_slowdown < 1.0, "slowdown {worst_slowdown:.2}%");
+    }
+}

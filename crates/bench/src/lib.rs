@@ -1,0 +1,33 @@
+//! Experiment harness: regenerates every table and figure of the DSN'17
+//! paper from the workspace's simulators.
+//!
+//! Each `fig*`/`table*` binary under `src/bin/` prints the same rows or
+//! series the paper reports; the heavy lifting lives in [`experiments`] so
+//! integration tests can assert on the numbers. All binaries accept:
+//!
+//! * `--quick` — reduced sample sizes for smoke runs,
+//! * `--seed N` — override the campaign seed,
+//! * `--apps a,b,c` — restrict to a subset of the 15 SPEC workloads.
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig01_dw_randomness` | Fig. 1 — DW bit flips per write are random |
+//! | `fig03_compressed_size` | Fig. 3 — BDI vs FPC vs BEST sizes |
+//! | `fig05_bitflip_delta` | Fig. 5 — flips increased/untouched/decreased |
+//! | `fig06_size_change_prob` | Fig. 6 — consecutive-write size changes |
+//! | `fig07_block_size_series` | Fig. 7 — per-block size over time |
+//! | `fig09_montecarlo` | Fig. 9 — ECP/SAFER/Aegis failure probability |
+//! | `fig10_lifetime` | Fig. 10 — normalized lifetime of Comp/W/WF |
+//! | `fig11_size_cdf` | Fig. 11 — per-address max-size CDFs |
+//! | `fig12_tolerated_errors` | Fig. 12 — faults tolerated per failed line |
+//! | `fig13_lifetime_cov25` | Fig. 13 — Comp+WF at CoV 0.25 |
+//! | `table03_workloads` | Table III — WPKI and realized CR |
+//! | `table04_months` | Table IV — lifetime in months |
+//! | `perf_overhead` | §V.B — decompression latency impact |
+//! | `ablation_*` | design-choice sweeps (heuristic, ECC, rotation, FNW) |
+
+pub mod cli;
+pub mod experiments;
+pub mod plot;
+
+pub use cli::Options;

@@ -1,0 +1,141 @@
+//! Terminal plotting helpers: sparklines and horizontal bars for the
+//! experiment binaries, so a figure's *shape* is visible without leaving
+//! the terminal.
+
+/// Unicode block ramp used by [`sparkline`].
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a one-line sparkline, scaled to its own min/max.
+///
+/// Empty input renders as an empty string; a constant series renders at
+/// mid-height.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_bench::plot::sparkline;
+///
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(s.chars().count(), 4);
+/// assert!(s.starts_with('▁'));
+/// assert!(s.ends_with('█'));
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    let Some((min, max)) = min_max(values) else {
+        return String::new();
+    };
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if span == 0.0 {
+                RAMP[3]
+            } else {
+                let idx = ((v - min) / span * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[idx.min(RAMP.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a horizontal bar of `width` cells, filled proportionally to
+/// `value / max`.
+///
+/// # Panics
+///
+/// Panics if `max <= 0` or `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_bench::plot::bar;
+///
+/// assert_eq!(bar(5.0, 10.0, 10), "█████     ");
+/// assert_eq!(bar(10.0, 10.0, 4), "████");
+/// ```
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    assert!(max > 0.0, "bar needs a positive maximum");
+    assert!(width > 0, "bar needs a positive width");
+    let filled = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut out = String::with_capacity(width);
+    for i in 0..width {
+        out.push(if i < filled { '█' } else { ' ' });
+    }
+    out
+}
+
+/// Downsamples a series to at most `points` by averaging equal chunks
+/// (plotting helper for long write series).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_bench::plot::downsample;
+///
+/// assert_eq!(downsample(&[1.0, 3.0, 5.0, 7.0], 2), vec![2.0, 6.0]);
+/// assert_eq!(downsample(&[1.0], 4), vec![1.0]);
+/// ```
+pub fn downsample(values: &[f64], points: usize) -> Vec<f64> {
+    if values.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    if values.len() <= points {
+        return values.to_vec();
+    }
+    (0..points)
+        .map(|i| {
+            let lo = i * values.len() / points;
+            let hi = ((i + 1) * values.len() / points).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let mut it = values.iter().copied();
+    let first = it.next()?;
+    let mut min = first;
+    let mut max = first;
+    for v in it {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(flat.chars().count(), 3);
+        assert!(flat.chars().all(|c| c == RAMP[3]));
+        let ramp = sparkline(&[0.0, 7.0]);
+        assert_eq!(ramp, "▁█");
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(20.0, 10.0, 5), "█████");
+        assert_eq!(bar(-1.0, 10.0, 5), "     ");
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ds = downsample(&xs, 10);
+        assert_eq!(ds.len(), 10);
+        let orig_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let ds_mean = ds.iter().sum::<f64>() / ds.len() as f64;
+        assert!((orig_mean - ds_mean).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive maximum")]
+    fn bar_rejects_zero_max() {
+        bar(1.0, 0.0, 5);
+    }
+}

@@ -1,0 +1,222 @@
+//! Bit-granular writer/reader used by the FPC codec.
+
+/// Appends values of arbitrary bit width (≤ 64) to a byte buffer,
+/// LSB-first within each byte.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_compress::bits::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.push(0b101, 3);
+/// w.push(0xFF, 8);
+/// let bytes = w.into_bytes();
+///
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.pull(3).unwrap(), 0b101);
+/// assert_eq!(r.pull(8).unwrap(), 0xFF);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the last byte (0 means the last byte is full
+    /// or the buffer is empty).
+    partial: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64, or if `value` has bits set
+    /// above `width`.
+    pub fn push(&mut self, value: u64, width: u32) {
+        assert!((1..=64).contains(&width), "width must be 1..=64, got {width}");
+        assert!(
+            width == 64 || value >> width == 0,
+            "value {value:#x} wider than {width} bits"
+        );
+        let mut remaining = width;
+        let mut v = value;
+        while remaining > 0 {
+            if self.partial == 0 {
+                self.bytes.push(0);
+            }
+            let free = 8 - self.partial;
+            let take = free.min(remaining);
+            let chunk = (v & ((1u64 << take) - 1)) as u8;
+            let last = self.bytes.last_mut().expect("byte pushed above");
+            *last |= chunk << self.partial;
+            self.partial = (self.partial + take) % 8;
+            v >>= take;
+            remaining -= take;
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.partial == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.partial as usize
+        }
+    }
+
+    /// Finishes writing and returns the packed bytes (final partial byte is
+    /// zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Error returned when a [`BitReader`] runs past the end of its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit stream exhausted")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+/// Reads values of arbitrary bit width (≤ 64) from a byte buffer written by
+/// [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads the next `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBits`] if fewer than `width` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn pull(&mut self, width: u32) -> Result<u64, OutOfBits> {
+        assert!((1..=64).contains(&width), "width must be 1..=64, got {width}");
+        if self.pos + width as usize > self.bytes.len() * 8 {
+            return Err(OutOfBits);
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < width {
+            let byte = self.bytes[self.pos / 8];
+            let off = (self.pos % 8) as u32;
+            let avail = 8 - off;
+            let take = avail.min(width - got);
+            let chunk = ((byte >> off) & ((1u16 << take) - 1) as u8) as u64;
+            out |= chunk << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Ok(out)
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        for i in 0..16 {
+            w.push((i % 2) as u64, 1);
+        }
+        assert_eq!(w.bit_len(), 16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..16 {
+            assert_eq!(r.pull(1).unwrap(), (i % 2) as u64);
+        }
+        assert!(r.pull(1).is_err());
+    }
+
+    #[test]
+    fn mixed_widths_round_trip() {
+        let values: &[(u64, u32)] = &[
+            (0b101, 3),
+            (0xDEAD, 16),
+            (0x1F, 5),
+            (u64::MAX, 64),
+            (0, 7),
+            (0x3FFFF, 18),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, width) in values {
+            w.push(v, width);
+        }
+        let total: u32 = values.iter().map(|&(_, w)| w).sum();
+        assert_eq!(w.bit_len(), total as usize);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in values {
+            assert_eq!(r.pull(width).unwrap(), v, "width {width}");
+        }
+    }
+
+    #[test]
+    fn crossing_byte_boundaries() {
+        let mut w = BitWriter::new();
+        w.push(0b11, 2);
+        w.push(0x1FF, 9); // crosses a byte boundary
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.pull(2).unwrap(), 0b11);
+        assert_eq!(r.pull(9).unwrap(), 0x1FF);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn push_rejects_overwide_value() {
+        BitWriter::new().push(0b100, 2);
+    }
+
+    #[test]
+    fn out_of_bits_error() {
+        let bytes = [0xAAu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.pull(8).unwrap(), 0xAA);
+        assert_eq!(r.pull(1), Err(OutOfBits));
+        assert_eq!(OutOfBits.to_string(), "bit stream exhausted");
+    }
+
+    #[test]
+    fn remaining_and_pos_track() {
+        let bytes = [0u8; 4];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 32);
+        r.pull(5).unwrap();
+        assert_eq!(r.bit_pos(), 5);
+        assert_eq!(r.remaining(), 27);
+    }
+}

@@ -1,0 +1,155 @@
+//! Adversarial and exhaustive-corner tests for the compression codecs.
+
+use pcm_compress::{bdi, compress_best, decompress, fpc, CompressedWrite, Method};
+use pcm_util::{seeded_rng, Line512};
+use rand::RngExt;
+
+/// Lines engineered to sit exactly on each BDI variant's decision edge.
+#[test]
+fn bdi_boundary_deltas() {
+    // For each (element size k, delta size d): a line whose max delta is
+    // exactly the largest representable, and one that exceeds it by one.
+    for (k, d, lo, hi) in [
+        (8usize, 1usize, -128i64, 127i64),
+        (8, 2, -32768, 32767),
+        (8, 4, -2147483648, 2147483647),
+    ] {
+        let base: u64 = 0x0123_4567_89AB_CDEF;
+        let mut fits = [0u8; 64];
+        let n = 64 / k;
+        for i in 0..n {
+            let e = match i {
+                0 => base,
+                1 => base.wrapping_add(hi as u64),
+                2 => base.wrapping_add(lo as u64),
+                _ => base,
+            };
+            fits[i * k..(i + 1) * k].copy_from_slice(&e.to_le_bytes()[..k]);
+        }
+        let line = Line512::from_bytes(&fits);
+        let c = bdi::compress(&line).unwrap_or_else(|| panic!("k={k} d={d} must fit"));
+        assert_eq!(bdi::decompress(c.encoding(), c.data()).unwrap(), line);
+
+        // Exceed hi by one: this geometry must NOT be chosen.
+        let mut over = fits;
+        let e = base.wrapping_add(hi as u64 + 1);
+        over[k..2 * k].copy_from_slice(&e.to_le_bytes()[..k]);
+        let line_over = Line512::from_bytes(&over);
+        if let Some(c) = bdi::compress(&line_over) {
+            // A *different* (larger or smaller-element) encoding may apply;
+            // round-trip must still hold.
+            assert_eq!(bdi::decompress(c.encoding(), c.data()).unwrap(), line_over);
+            assert!(
+                c.encoding().compressed_size() != k + n * d
+                    || c.encoding().geometry() != Some((k, d)),
+                "k={k} d={d}: out-of-range delta accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn fpc_every_prefix_round_trips_exhaustively() {
+    // Single-word lines covering each FPC pattern at its boundaries.
+    let words: Vec<u32> = vec![
+        0,
+        1,
+        7,
+        8, // first value beyond i4
+        0xFFFF_FFF8, // -8, the most negative i4
+        0xFFFF_FFF7, // -9, beyond i4
+        127,
+        128,
+        0xFFFF_FF80, // -128
+        0xFFFF_FF7F, // -129
+        32767,
+        32768,
+        0xFFFF_8000, // -32768
+        0xFFFF_7FFF, // -32769
+        0xABCD_0000, // low-zero halfword
+        0x0001_0000, // low-zero, minimal
+        0x00FF_00FF, // two sign-extended bytes? 0x00FF = 255 > 127: no
+        0x007F_007F, // two sign-extended bytes: 127/127
+        0xFF80_FF80, // two sign-extended bytes: -128/-128
+        0x11111111,  // repeated byte
+        0xDEADBEEF,  // raw
+        u32::MAX,
+    ];
+    for (i, &w) in words.iter().enumerate() {
+        let mut bytes = [0u8; 64];
+        bytes[0..4].copy_from_slice(&w.to_le_bytes());
+        bytes[32..36].copy_from_slice(&w.to_le_bytes());
+        let line = Line512::from_bytes(&bytes);
+        let c = fpc::compress(&line);
+        assert_eq!(fpc::decompress(c.data()).unwrap(), line, "word #{i} = {w:#010x}");
+    }
+}
+
+#[test]
+fn fpc_all_single_byte_lines() {
+    // 256 lines of a single repeated byte: always compressible, always
+    // exact.
+    for b in 0u8..=255 {
+        let line = Line512::from_bytes(&[b; 64]);
+        let c = fpc::compress(&line);
+        assert_eq!(fpc::decompress(c.data()).unwrap(), line, "byte {b:#04x}");
+        assert!(c.size() < 64, "byte {b:#04x} must compress");
+        let best = compress_best(&line);
+        assert!(best.size() <= 8, "repeated bytes are BDI Rep8 at worst, got {}", best.size());
+    }
+}
+
+#[test]
+fn selector_never_corrupts_any_of_10k_random_lines() {
+    let mut rng = seeded_rng(1001);
+    for _ in 0..10_000 {
+        // Mix fully random lines with sparse, structured ones.
+        let line = match rng.random_range(0..4) {
+            0 => Line512::random(&mut rng),
+            1 => {
+                let mut l = Line512::zero();
+                for _ in 0..rng.random_range(0..8) {
+                    l.set_byte(rng.random_range(0..64), rng.random());
+                }
+                l
+            }
+            2 => {
+                let v: u64 = rng.random();
+                Line512::from_words([v; 8])
+            }
+            _ => {
+                let base: u64 = rng.random();
+                let mut words = [0u64; 8];
+                for w in &mut words {
+                    *w = base.wrapping_add(rng.random_range(-100i64..100) as u64);
+                }
+                Line512::from_words(words)
+            }
+        };
+        let c = compress_best(&line);
+        assert_eq!(decompress(&c), line);
+        let rebuilt = CompressedWrite::from_parts(c.method(), c.bytes().to_vec()).unwrap();
+        assert_eq!(decompress(&rebuilt), line);
+    }
+}
+
+#[test]
+fn metadata_codes_cover_all_methods_seen_in_practice() {
+    let mut rng = seeded_rng(1002);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..5_000 {
+        let line = match rng.random_range(0..3) {
+            0 => Line512::zero(),
+            1 => Line512::random(&mut rng),
+            _ => {
+                let mut l = Line512::zero();
+                l.set_byte(rng.random_range(0..64), rng.random());
+                l
+            }
+        };
+        let m = compress_best(&line).method();
+        seen.insert(m.encode_5bit());
+        assert_eq!(Method::decode_5bit(m.encode_5bit()), Some(m));
+    }
+    assert!(seen.len() >= 3, "expected several distinct methods, saw {seen:?}");
+}

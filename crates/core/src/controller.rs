@@ -1,0 +1,518 @@
+//! The functional whole-memory model.
+//!
+//! [`PcmMemory`] wires every mechanism together exactly as the paper's
+//! architecture does: per-bank Start-Gap inter-line wear-leveling (gap
+//! moves are real writes), per-bank intra-line rotation counters, the
+//! compression pipeline with the Fig. 8 heuristic, the sliding compression
+//! window, ECC encode/decode, and dead-block resurrection at relocation
+//! events. It simulates every write cell-accurately — use it for
+//! correctness tests, examples, and to cross-validate the accelerated
+//! lifetime engine; use [`crate::lifetime`] for endurance-scale campaigns.
+
+use crate::heuristic::Decision;
+use crate::line::{EccEngine, LineWriteReport, ManagedLine, Payload};
+use crate::system::SystemConfig;
+use pcm_compress::{compress_best, decompress, CompressedWrite, Method};
+use pcm_util::{seeded_rng, Line512, DATA_BYTES};
+use pcm_wear::{IntraLineLeveler, StartGap};
+use serde::{Deserialize, Serialize};
+
+/// Per-logical-block controller metadata (mirrored to the LLC, §III-B).
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    sc: u8,
+    last_size: usize,
+}
+
+impl Default for BlockMeta {
+    fn default() -> Self {
+        BlockMeta { sc: 0, last_size: DATA_BYTES }
+    }
+}
+
+/// Cumulative statistics of a [`PcmMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Demand write-backs served.
+    pub demand_writes: u64,
+    /// Start-Gap gap movements (each is one extra line write).
+    pub gap_moves: u64,
+    /// Total programmed cells.
+    pub total_flips: u64,
+    /// Cells that became stuck.
+    pub new_faults: u64,
+    /// Writes stored compressed.
+    pub compressed_writes: u64,
+    /// Lines revived by dead-block resurrection.
+    pub resurrections: u64,
+    /// Relocations that could not place their data (data parked until the
+    /// next successful write).
+    pub relocation_failures: u64,
+}
+
+/// Report of one successful demand write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteReport {
+    /// The line-level outcome.
+    pub line: LineWriteReport,
+    /// Whether the payload was stored compressed.
+    pub compressed: bool,
+    /// Whether this write triggered a Start-Gap move.
+    pub gap_moved: bool,
+}
+
+/// Error returned by [`PcmMemory::write`] / [`PcmMemory::read`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteError {
+    /// The target line cannot store this payload: an uncorrectable error.
+    LineDead {
+        /// Faulty cells in the failed line.
+        faults: u32,
+    },
+    /// The logical address is out of range.
+    BadAddress,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::LineDead { faults } => {
+                write!(f, "uncorrectable error: line dead with {faults} faulty cells")
+            }
+            WriteError::BadAddress => write!(f, "logical address out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// A functional PCM main memory under one of the four evaluated systems.
+///
+/// Logical lines interleave over banks; each bank has `lines_per_bank`
+/// logical lines over `lines_per_bank + 1` physical lines (Start-Gap's
+/// spare).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_core::{PcmMemory, SystemConfig, SystemKind};
+/// use pcm_util::Line512;
+///
+/// let cfg = SystemConfig::new(SystemKind::Comp).with_endurance_mean(1e6);
+/// let mut mem = PcmMemory::new(cfg, 64, 1);
+/// mem.write(0, Line512::ones()).unwrap();
+/// assert_eq!(mem.read(0).unwrap(), Line512::ones());
+/// ```
+#[derive(Debug)]
+pub struct PcmMemory {
+    cfg: SystemConfig,
+    engine: EccEngine,
+    banks: usize,
+    lines_per_bank: u64,
+    phys: Vec<ManagedLine>,
+    start_gap: Vec<StartGap>,
+    levelers: Vec<IntraLineLeveler>,
+    shadow: Vec<Option<Line512>>,
+    parked: Vec<bool>,
+    meta: Vec<BlockMeta>,
+    stats: MemoryStats,
+}
+
+impl PcmMemory {
+    /// Creates a memory with `logical_lines` lines (split over 8 banks when
+    /// divisible, else one bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_lines < 2`.
+    pub fn new(cfg: SystemConfig, logical_lines: u64, seed: u64) -> Self {
+        assert!(logical_lines >= 2, "need at least two logical lines");
+        // Eight banks when each bank gets at least two lines (Start-Gap
+        // needs a region), otherwise a single bank.
+        let banks = if logical_lines % 8 == 0 && logical_lines >= 16 { 8 } else { 1 };
+        let lines_per_bank = logical_lines / banks as u64;
+        let mut rng = seeded_rng(seed);
+        let phys_per_bank = lines_per_bank + 1;
+        let phys = (0..banks as u64 * phys_per_bank)
+            .map(|_| ManagedLine::sample_with_tech(&cfg.endurance, cfg.tech, &mut rng))
+            .collect();
+        let start_gap =
+            (0..banks).map(|_| StartGap::new(lines_per_bank, cfg.start_gap_psi)).collect();
+        let levelers = (0..banks)
+            .map(|_| IntraLineLeveler::new(cfg.bank_counter_period, 1))
+            .collect();
+        PcmMemory {
+            cfg,
+            engine: EccEngine::new(cfg.ecc),
+            banks,
+            lines_per_bank,
+            phys,
+            start_gap,
+            levelers,
+            shadow: vec![None; logical_lines as usize],
+            parked: vec![false; logical_lines as usize],
+            meta: vec![BlockMeta::default(); logical_lines as usize],
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// Number of logical lines.
+    pub fn logical_lines(&self) -> u64 {
+        self.lines_per_bank * self.banks as u64
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Fraction of physical lines currently dead.
+    pub fn dead_fraction(&self) -> f64 {
+        let dead = self.phys.iter().filter(|l| l.is_dead()).count();
+        dead as f64 / self.phys.len() as f64
+    }
+
+    /// The paper's failure criterion: 50% of capacity worn out.
+    pub fn is_failed(&self) -> bool {
+        self.dead_fraction() >= 0.5
+    }
+
+    fn locate(&self, logical: u64) -> (usize, u64) {
+        let bank = (logical % self.banks as u64) as usize;
+        let idx = logical / self.banks as u64;
+        (bank, idx)
+    }
+
+    fn phys_index(&self, bank: usize, idx: u64) -> usize {
+        let mapped = self.start_gap[bank].map(idx);
+        bank * (self.lines_per_bank as usize + 1) + mapped as usize
+    }
+
+    /// Serves one LLC write-back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteError::LineDead`] on an uncorrectable error (the line
+    /// cannot hold the payload) and [`WriteError::BadAddress`] for an
+    /// out-of-range address.
+    pub fn write(&mut self, logical: u64, data: Line512) -> Result<WriteReport, WriteError> {
+        if logical >= self.logical_lines() {
+            return Err(WriteError::BadAddress);
+        }
+        let (bank, idx) = self.locate(logical);
+        let phys = self.phys_index(bank, idx);
+        let report = self.write_to_phys(phys, bank, logical, data)?;
+        self.stats.demand_writes += 1;
+
+        // Bank bookkeeping: rotation counter and Start-Gap.
+        self.levelers[bank].note_write();
+        let gap_moved = if let Some(mv) = self.start_gap[bank].on_write() {
+            self.relocate(bank, mv.to);
+            true
+        } else {
+            false
+        };
+        Ok(WriteReport { line: report.0, compressed: report.1, gap_moved })
+    }
+
+    /// Reads one line back, decompressing as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteError::BadAddress`] out of range,
+    /// [`WriteError::LineDead`] when the data was lost to an uncorrectable
+    /// error or a failed relocation.
+    pub fn read(&self, logical: u64) -> Result<Line512, WriteError> {
+        if logical >= self.logical_lines() {
+            return Err(WriteError::BadAddress);
+        }
+        let (bank, idx) = self.locate(logical);
+        let phys = self.phys_index(bank, idx);
+        let line = &self.phys[phys];
+        if self.parked[logical as usize] || !line.is_valid() {
+            return Err(WriteError::LineDead { faults: line.faults().count() });
+        }
+        let (method, bytes) = line.read(&self.engine).expect("valid line reads");
+        let c = CompressedWrite::from_parts(method, bytes)
+            .expect("stored payload is self-consistent");
+        Ok(decompress(&c))
+    }
+
+    /// Decompression latency (CPU cycles) a demand read of this line pays.
+    pub fn read_decompression_cycles(&self, logical: u64) -> u64 {
+        let (bank, idx) = self.locate(logical);
+        let phys = self.phys_index(bank, idx);
+        self.phys[phys].method().decompression_cycles()
+    }
+
+    fn write_to_phys(
+        &mut self,
+        phys: usize,
+        bank: usize,
+        logical: u64,
+        data: Line512,
+    ) -> Result<(LineWriteReport, bool), WriteError> {
+        let kind = self.cfg.kind;
+        let (mut payload_bytes, mut method, new_meta, fallback) =
+            self.choose_payload(logical, &data);
+        let preferred = if kind.rotates() { self.levelers[bank].offset() } else { 0 };
+        let line = &mut self.phys[phys];
+        // Revert a heuristic "store uncompressed" decision when only the
+        // compressed form still fits this line.
+        if let Some((fb_bytes, fb_method)) = fallback {
+            if line.can_host(&self.engine, payload_bytes.len(), preferred, kind.slides()).is_none()
+                && line
+                    .can_host(&self.engine, fb_bytes.len(), preferred, kind.slides())
+                    .is_some()
+            {
+                payload_bytes = fb_bytes;
+                method = fb_method;
+            }
+        }
+        if line.is_dead() {
+            // Comp+WF checks dead lines for fit before giving up.
+            if kind.slides() {
+                if let Some(offset) =
+                    line.can_host(&self.engine, payload_bytes.len(), preferred, true)
+                {
+                    line.revive();
+                    self.stats.resurrections += 1;
+                    let r = line
+                        .write(
+                            &self.engine,
+                            Payload { method, bytes: &payload_bytes },
+                            offset,
+                            true,
+                        )
+                        .map_err(|e| WriteError::LineDead { faults: e.faults })?;
+                    self.commit(logical, data, method, payload_bytes.len(), new_meta, &r);
+                    return Ok((r, method.is_compressed()));
+                }
+            }
+            return Err(WriteError::LineDead { faults: line.faults().count() });
+        }
+        match line.write(
+            &self.engine,
+            Payload { method, bytes: &payload_bytes },
+            preferred,
+            kind.slides(),
+        ) {
+            Ok(r) => {
+                self.commit(logical, data, method, payload_bytes.len(), new_meta, &r);
+                Ok((r, method.is_compressed()))
+            }
+            Err(e) => {
+                self.parked[logical as usize] = true;
+                Err(WriteError::LineDead { faults: e.faults })
+            }
+        }
+    }
+
+    fn commit(
+        &mut self,
+        logical: u64,
+        data: Line512,
+        method: Method,
+        size: usize,
+        new_meta: BlockMeta,
+        r: &LineWriteReport,
+    ) {
+        self.shadow[logical as usize] = Some(data);
+        self.parked[logical as usize] = false;
+        self.meta[logical as usize] = BlockMeta { sc: new_meta.sc, last_size: size };
+        self.stats.total_flips += r.flips as u64;
+        self.stats.new_faults += r.new_faults as u64;
+        if method.is_compressed() {
+            self.stats.compressed_writes += 1;
+        }
+    }
+
+    /// Chooses compressed vs. uncompressed storage for this write-back,
+    /// returning an optional compressed fallback when the heuristic
+    /// preferred uncompressed storage (an optimization the controller
+    /// abandons if the full line no longer fits).
+    #[allow(clippy::type_complexity)]
+    fn choose_payload(
+        &mut self,
+        logical: u64,
+        data: &Line512,
+    ) -> (Vec<u8>, Method, BlockMeta, Option<(Vec<u8>, Method)>) {
+        let meta = self.meta[logical as usize];
+        if !self.cfg.kind.compresses() {
+            return (data.to_bytes().to_vec(), Method::Uncompressed, meta, None);
+        }
+        let c = compress_best(data);
+        if c.method() == Method::Uncompressed {
+            return (data.to_bytes().to_vec(), Method::Uncompressed, meta, None);
+        }
+        if self.cfg.use_heuristic {
+            let (decision, sc) = self.cfg.heuristic.decide(c.size(), meta.last_size, meta.sc);
+            let meta = BlockMeta { sc, last_size: meta.last_size };
+            match decision {
+                Decision::Compressed => (c.bytes().to_vec(), c.method(), meta, None),
+                Decision::Uncompressed => {
+                    let fallback = Some((c.bytes().to_vec(), c.method()));
+                    (data.to_bytes().to_vec(), Method::Uncompressed, meta, fallback)
+                }
+            }
+        } else {
+            (c.bytes().to_vec(), c.method(), meta, None)
+        }
+    }
+
+    /// Performs the Start-Gap relocation write into physical slot `to`
+    /// (bank-relative), including the Comp+WF resurrection check.
+    fn relocate(&mut self, bank: usize, to: u64) {
+        self.stats.gap_moves += 1;
+        // Which logical (bank-relative) line now maps to `to`?
+        let idx = (0..self.lines_per_bank).find(|&i| self.start_gap[bank].map(i) == to);
+        let Some(idx) = idx else {
+            return; // `to` is the new gap itself (wrap move): nothing to copy.
+        };
+        let logical = idx * self.banks as u64 + bank as u64;
+        let Some(data) = self.shadow[logical as usize] else {
+            return; // never written: nothing to relocate
+        };
+        let phys = bank * (self.lines_per_bank as usize + 1) + to as usize;
+        match self.write_to_phys(phys, bank, logical, data) {
+            Ok(_) => {}
+            Err(_) => {
+                self.stats.relocation_failures += 1;
+                self.parked[logical as usize] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemKind;
+    use pcm_util::seeded_rng;
+    use rand::RngExt;
+
+    fn cfg(kind: SystemKind) -> SystemConfig {
+        SystemConfig::new(kind).with_endurance_mean(1e9)
+    }
+
+    #[test]
+    fn write_read_round_trip_all_systems() {
+        let mut rng = seeded_rng(121);
+        for kind in SystemKind::ALL {
+            let mut mem = PcmMemory::new(cfg(kind), 32, 7);
+            let lines: Vec<(u64, Line512)> =
+                (0..32).map(|l| (l, Line512::random(&mut rng))).collect();
+            for &(l, d) in &lines {
+                mem.write(l, d).unwrap();
+            }
+            for &(l, d) in &lines {
+                assert_eq!(mem.read(l).unwrap(), d, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_survives_start_gap_churn() {
+        let mut base = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(1e9);
+        base.start_gap_psi = 3; // aggressive gap movement
+        let mut mem = PcmMemory::new(base, 16, 9);
+        let mut rng = seeded_rng(122);
+        let mut expected = std::collections::HashMap::new();
+        for step in 0..2000u64 {
+            let l = rng.random_range(0..16);
+            let d = Line512::random(&mut rng);
+            mem.write(l, d).unwrap();
+            expected.insert(l, d);
+            if step % 97 == 0 {
+                for (&l, &d) in &expected {
+                    assert_eq!(mem.read(l).unwrap(), d, "step {step} line {l}");
+                }
+            }
+        }
+        assert!(mem.stats().gap_moves > 500);
+    }
+
+    #[test]
+    fn compression_statistics_flow() {
+        let mut mem = PcmMemory::new(cfg(SystemKind::Comp), 8, 3);
+        // Highly compressible data compresses.
+        for l in 0..8 {
+            mem.write(l, Line512::zero()).unwrap();
+        }
+        let s = mem.stats();
+        assert_eq!(s.demand_writes, 8);
+        assert_eq!(s.compressed_writes, 8);
+    }
+
+    #[test]
+    fn baseline_never_compresses() {
+        let mut mem = PcmMemory::new(cfg(SystemKind::Baseline), 8, 3);
+        for l in 0..8 {
+            mem.write(l, Line512::zero()).unwrap();
+        }
+        assert_eq!(mem.stats().compressed_writes, 0);
+    }
+
+    #[test]
+    fn weak_cells_kill_baseline_faster_than_compwf() {
+        // Same seed -> same endurance draw; CompWF's sliding window must
+        // survive at least as many writes as Baseline on a weak line.
+        let survive = |kind: SystemKind| -> u64 {
+            let cfg = SystemConfig::new(kind).with_endurance_mean(60.0);
+            let mut mem = PcmMemory::new(cfg, 2, 5);
+            let mut rng = seeded_rng(321);
+            let mut writes = 0u64;
+            loop {
+                let d = if kind.compresses() {
+                    // compressible content
+                    let mut b = [0u8; 64];
+                    b[0] = rng.random();
+                    Line512::from_bytes(&b)
+                } else {
+                    Line512::random(&mut rng)
+                };
+                if mem.write(0, d).is_err() {
+                    return writes;
+                }
+                writes += 1;
+                if writes > 2_000_000 {
+                    return writes;
+                }
+            }
+        };
+        let base = survive(SystemKind::Baseline);
+        let wf = survive(SystemKind::CompWF);
+        assert!(
+            wf > base * 2,
+            "CompWF ({wf} writes) should far outlast Baseline ({base} writes)"
+        );
+    }
+
+    #[test]
+    fn bad_address_rejected() {
+        let mut mem = PcmMemory::new(cfg(SystemKind::Baseline), 8, 3);
+        assert_eq!(mem.write(8, Line512::zero()), Err(WriteError::BadAddress));
+        assert_eq!(mem.read(8).unwrap_err(), WriteError::BadAddress);
+    }
+
+    #[test]
+    fn unwritten_line_reads_as_dead() {
+        let mem = PcmMemory::new(cfg(SystemKind::Comp), 8, 3);
+        assert!(matches!(mem.read(0), Err(WriteError::LineDead { .. })));
+    }
+
+    #[test]
+    fn decompression_cycles_reflect_method() {
+        let mut mem = PcmMemory::new(cfg(SystemKind::Comp), 8, 3);
+        mem.write(0, Line512::zero()).unwrap(); // BDI zeros
+        assert_eq!(mem.read_decompression_cycles(0), 1);
+        let mut rng = seeded_rng(8);
+        mem.write(1, Line512::random(&mut rng)).unwrap(); // uncompressed
+        assert_eq!(mem.read_decompression_cycles(1), 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Whole-memory lifetime campaigns over many independent lines.
+
+use super::linesim::{simulate_line, LineRecord, LineSimConfig};
+use pcm_util::child_seed;
+use serde::{Deserialize, Serialize};
+
+/// Assumed per-core IPC for the Table IV months conversion (see
+/// [`LifetimeResult::months`]).
+pub const TABLE4_IPC: f64 = 0.25;
+
+/// Configuration of a lifetime campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The per-line simulation configuration.
+    pub line: LineSimConfig,
+    /// Number of independent lines to simulate (the statistical sample of
+    /// the memory's physical lines).
+    pub lines: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads; 0 selects available parallelism.
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// A campaign with the given per-line config and a default sample of
+    /// 128 lines.
+    pub fn new(line: LineSimConfig, seed: u64) -> Self {
+        CampaignConfig { line, lines: 128, seed, threads: 0 }
+    }
+}
+
+/// The outcome of a lifetime campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeResult {
+    /// Per-line demand writes at which 50% of lines are simultaneously
+    /// dead (`None` when the memory outlives every line's horizon).
+    pub writes_to_half_capacity: Option<u64>,
+    /// 90% bootstrap confidence interval of
+    /// [`writes_to_half_capacity`](Self::writes_to_half_capacity),
+    /// resampling lines (`None` when the point estimate is `None`).
+    pub half_capacity_ci: Option<(u64, u64)>,
+    /// Mean faulty cells in a failed line, averaged over every death
+    /// event — the paper's Fig. 12 metric. `None` if no line died.
+    pub mean_faults_at_death: Option<f64>,
+    /// Mean faulty cells at a line's *final* death (end-of-life fault
+    /// population).
+    pub mean_final_death_faults: Option<f64>,
+    /// Mean programmed cells per demand write.
+    pub mean_flips_per_write: f64,
+    /// Fraction of lines that ever died.
+    pub lines_died: f64,
+    /// Fraction of lines that revived at least once (Comp+WF).
+    pub lines_revived: f64,
+    /// Lines simulated.
+    pub lines: usize,
+    /// Horizon (per-line writes).
+    pub horizon: u64,
+}
+
+impl LifetimeResult {
+    /// Writes-to-failure with the horizon as a (censored) fallback.
+    pub fn lifetime_writes(&self) -> u64 {
+        self.writes_to_half_capacity.unwrap_or(self.horizon)
+    }
+
+    /// Normalized lifetime against a baseline result (Fig. 10's y-axis).
+    pub fn normalized_against(&self, baseline: &LifetimeResult) -> f64 {
+        self.lifetime_writes() as f64 / baseline.lifetime_writes() as f64
+    }
+
+    /// Converts to months of operation (Table IV).
+    ///
+    /// `wpki` is the workload's write-backs per kilo-instruction;
+    /// `endurance_scale` compensates for running the campaign at reduced
+    /// endurance (e.g. `1e7 / 2e4`). The machine model matches the paper:
+    /// 16 cores at 2.5 GHz over a 4 GB memory (2²⁶ lines) with writes
+    /// spread by Start-Gap. The paper never states the cores' achieved
+    /// IPC; we use [`TABLE4_IPC`] = 0.25, a representative value for
+    /// memory-intensive SPEC on PCM-latency memory, calibrated once so the
+    /// baseline average lands near the paper's 22 months (DESIGN.md §3.4).
+    pub fn months(&self, wpki: f64, endurance_scale: f64) -> f64 {
+        let writes_per_second = 16.0 * 2.5e9 * TABLE4_IPC * wpki / 1000.0;
+        let total_lines = (4u64 << 30) as f64 / 64.0;
+        let total_writes = self.lifetime_writes() as f64 * endurance_scale * total_lines;
+        let seconds = total_writes / writes_per_second;
+        seconds / (30.44 * 24.0 * 3600.0)
+    }
+}
+
+/// Runs `cfg.lines` independent line simulations (in parallel) and sweeps
+/// the death/revival events for the 50%-capacity failure time.
+pub fn run_campaign(cfg: &CampaignConfig) -> LifetimeResult {
+    assert!(cfg.lines > 0, "need at least one line");
+    let threads = if cfg.threads > 0 {
+        cfg.threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+    .min(cfg.lines);
+
+    let records: Vec<LineRecord> = crossbeam::thread::scope(|s| {
+        let chunks: Vec<Vec<usize>> = (0..threads)
+            .map(|t| (t..cfg.lines).step_by(threads).collect())
+            .collect();
+        let mut handles = Vec::with_capacity(threads);
+        for chunk in chunks {
+            let line_cfg = &cfg.line;
+            let seed = cfg.seed;
+            handles.push(s.spawn(move |_| {
+                chunk
+                    .into_iter()
+                    .map(|i| (i, simulate_line(line_cfg, child_seed(seed, i as u64))))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut indexed: Vec<(usize, LineRecord)> =
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    })
+    .expect("scope");
+
+    summarize(&records, cfg.line.max_writes)
+}
+
+/// The 50%-simultaneously-dead sweep over a set of line records.
+fn half_capacity_time(records: &[&LineRecord]) -> Option<u64> {
+    let mut deltas: Vec<(u64, i64)> = Vec::new();
+    for r in records {
+        for (i, &t) in r.events.iter().enumerate() {
+            deltas.push((t, if i % 2 == 0 { 1 } else { -1 }));
+        }
+    }
+    deltas.sort_unstable();
+    let mut dead = 0i64;
+    let half = records.len() as i64 / 2 + records.len() as i64 % 2;
+    for (t, d) in deltas {
+        dead += d;
+        if dead >= half {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Aggregates per-line records into a memory-level result.
+pub fn summarize(records: &[LineRecord], horizon: u64) -> LifetimeResult {
+    let refs: Vec<&LineRecord> = records.iter().collect();
+    let writes_to_half_capacity = half_capacity_time(&refs);
+
+    // Bootstrap the failure time by resampling lines (they are iid under
+    // the engine's exchangeability assumption).
+    let half_capacity_ci = writes_to_half_capacity.map(|_| {
+        use rand::RngExt;
+        let mut rng = pcm_util::seeded_rng(0xB007_57A9);
+        let resamples = 100;
+        let mut times: Vec<u64> = (0..resamples)
+            .map(|_| {
+                let pick: Vec<&LineRecord> = (0..records.len())
+                    .map(|_| &records[rng.random_range(0..records.len())])
+                    .collect();
+                half_capacity_time(&pick).unwrap_or(horizon)
+            })
+            .collect();
+        times.sort_unstable();
+        (times[resamples / 20], times[resamples - 1 - resamples / 20])
+    });
+
+    let deaths: Vec<f64> = records
+        .iter()
+        .flat_map(|r| r.death_fault_counts.iter().map(|&f| f as f64))
+        .collect();
+    let finals: Vec<f64> = records
+        .iter()
+        .filter_map(|r| r.faults_at_death.map(|f| f as f64))
+        .collect();
+    let died = records.iter().filter(|r| r.first_death.is_some()).count();
+    let revived = records.iter().filter(|r| r.events.len() >= 2).count();
+    let flips: Vec<f64> = records.iter().map(|r| r.mean_flips_per_write).collect();
+
+    LifetimeResult {
+        writes_to_half_capacity,
+        half_capacity_ci,
+        mean_faults_at_death: if deaths.is_empty() {
+            None
+        } else {
+            Some(pcm_util::stats::mean(&deaths))
+        },
+        mean_final_death_faults: if finals.is_empty() {
+            None
+        } else {
+            Some(pcm_util::stats::mean(&finals))
+        },
+        mean_flips_per_write: pcm_util::stats::mean(&flips),
+        lines_died: died as f64 / records.len() as f64,
+        lines_revived: revived as f64 / records.len() as f64,
+        lines: records.len(),
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{SystemConfig, SystemKind};
+    use pcm_trace::SpecApp;
+
+    fn quick_campaign(kind: SystemKind, app: SpecApp, lines: usize) -> LifetimeResult {
+        let system = SystemConfig::new(kind).with_endurance_mean(1_500.0);
+        let mut line = LineSimConfig::new(system, app.profile());
+        line.sample_writes = 8;
+        let mut cfg = CampaignConfig::new(line, 99);
+        cfg.lines = lines;
+        cfg.threads = 2;
+        run_campaign(&cfg)
+    }
+
+    #[test]
+    fn baseline_memory_fails() {
+        let r = quick_campaign(SystemKind::Baseline, SpecApp::Lbm, 16);
+        assert!(r.writes_to_half_capacity.is_some());
+        assert_eq!(r.lines_died, 1.0);
+        assert!(r.mean_faults_at_death.unwrap() >= 7.0);
+    }
+
+    #[test]
+    fn compwf_beats_baseline_on_compressible_workload() {
+        let base = quick_campaign(SystemKind::Baseline, SpecApp::Zeusmp, 12);
+        let wf = quick_campaign(SystemKind::CompWF, SpecApp::Zeusmp, 12);
+        let ratio = wf.normalized_against(&base);
+        assert!(ratio > 2.0, "Comp+WF normalized lifetime {ratio} too low");
+        // Comp+WF tolerates more faults per line than ECP-6 alone.
+        if let (Some(b), Some(w)) = (base.mean_faults_at_death, wf.mean_faults_at_death) {
+            assert!(w > b, "Comp+WF faults-at-death {w} vs baseline {b}");
+        }
+    }
+
+    #[test]
+    fn summarize_sweep_handles_revivals() {
+        let rec = |events: Vec<u64>| LineRecord {
+            first_death: events.first().copied(),
+            events,
+            faults_at_death: Some(10),
+            death_fault_counts: vec![10],
+            final_faults: 10,
+            mean_flips_per_write: 1.0,
+            horizon: 1000,
+        };
+        // Two lines: one dies at 100 and revives at 150; the other dies at
+        // 200. 50% (1 of 2) is first reached at t=100.
+        let r = summarize(&[rec(vec![100, 150]), rec(vec![200])], 1000);
+        assert_eq!(r.writes_to_half_capacity, Some(100));
+        assert_eq!(r.lines_revived, 0.5);
+    }
+
+    #[test]
+    fn months_conversion_scales() {
+        let r = LifetimeResult {
+            writes_to_half_capacity: Some(1_000),
+            half_capacity_ci: Some((900, 1_100)),
+            mean_faults_at_death: Some(7.0),
+            mean_final_death_faults: Some(7.0),
+            mean_flips_per_write: 100.0,
+            lines_died: 1.0,
+            lines_revived: 0.0,
+            lines: 8,
+            horizon: 10_000,
+        };
+        let m1 = r.months(5.0, 1.0);
+        let m2 = r.months(5.0, 10.0);
+        assert!((m2 / m1 - 10.0).abs() < 1e-9);
+        let m3 = r.months(10.0, 1.0);
+        assert!((m1 / m3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick_campaign(SystemKind::Comp, SpecApp::Milc, 8);
+        let b = quick_campaign(SystemKind::Comp, SpecApp::Milc, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Direct write-by-write lifetime replay through the functional memory.
+//!
+//! Exact but slow: use small memories and small endurance. Exists to
+//! cross-validate the accelerated engine (the integration test compares
+//! both at the same endurance) and to mirror the paper's own methodology
+//! ("replay the trace until the PCM lifetime limit").
+
+use crate::controller::PcmMemory;
+use crate::system::SystemConfig;
+use pcm_trace::{TraceGenerator, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a direct replay.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// The system under evaluation.
+    pub system: SystemConfig,
+    /// The workload.
+    pub profile: WorkloadProfile,
+    /// Logical lines in the simulated memory.
+    pub lines: u64,
+    /// Stop after this many demand writes even if the memory still lives.
+    pub max_writes: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// The outcome of a direct replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayResult {
+    /// Demand writes until 50% of physical lines were dead (`None` if the
+    /// cap was reached first).
+    pub writes_to_failure: Option<u64>,
+    /// Demand writes actually issued.
+    pub writes_issued: u64,
+    /// Dead fraction at the end.
+    pub final_dead_fraction: f64,
+    /// Mean programmed cells per demand write.
+    pub mean_flips_per_write: f64,
+}
+
+impl ReplayResult {
+    /// Writes-to-failure with the cap as a (censored) fallback.
+    pub fn lifetime_writes(&self) -> u64 {
+        self.writes_to_failure.unwrap_or(self.writes_issued)
+    }
+}
+
+/// Replays generated write-backs into a [`PcmMemory`] until the paper's
+/// 50%-capacity failure criterion (or the write cap) is reached.
+///
+/// Failed writes (uncorrectable errors) are counted and skipped — the line
+/// is dead, the workload moves on — matching the lifetime simulator
+/// semantics of the paper.
+pub fn replay_to_failure(cfg: &ReplayConfig) -> ReplayResult {
+    let mut memory = PcmMemory::new(cfg.system, cfg.lines, cfg.seed);
+    let mut generator =
+        TraceGenerator::from_profile(cfg.profile.clone(), cfg.lines, cfg.seed ^ 0xABCD);
+    let mut writes = 0u64;
+    let mut writes_to_failure = None;
+    // Checking dead_fraction() scans all lines; amortize.
+    let check_every = (cfg.lines / 4).max(64);
+    while writes < cfg.max_writes {
+        let w = generator.next_write();
+        let _ = memory.write(w.line, w.data);
+        writes += 1;
+        if writes % check_every == 0 && memory.is_failed() {
+            writes_to_failure = Some(writes);
+            break;
+        }
+    }
+    let stats = memory.stats();
+    ReplayResult {
+        writes_to_failure,
+        writes_issued: writes,
+        final_dead_fraction: memory.dead_fraction(),
+        mean_flips_per_write: if stats.demand_writes > 0 {
+            stats.total_flips as f64 / stats.demand_writes as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemKind;
+    use pcm_trace::SpecApp;
+
+    fn quick(kind: SystemKind, mean: f64) -> ReplayResult {
+        let system = SystemConfig::new(kind).with_endurance_mean(mean);
+        let cfg = ReplayConfig {
+            system,
+            profile: SpecApp::Lbm.profile(),
+            lines: 16,
+            max_writes: 3_000_000,
+            seed: 11,
+        };
+        replay_to_failure(&cfg)
+    }
+
+    #[test]
+    fn baseline_memory_wears_out() {
+        let r = quick(SystemKind::Baseline, 300.0);
+        assert!(r.writes_to_failure.is_some(), "final dead fraction {}", r.final_dead_fraction);
+        assert!(r.final_dead_fraction >= 0.5);
+        assert!(r.mean_flips_per_write > 0.0);
+    }
+
+    #[test]
+    fn higher_endurance_lives_longer() {
+        let short = quick(SystemKind::Baseline, 200.0);
+        let long = quick(SystemKind::Baseline, 800.0);
+        assert!(
+            long.lifetime_writes() > short.lifetime_writes(),
+            "endurance 800 ({}) should outlive 200 ({})",
+            long.lifetime_writes(),
+            short.lifetime_writes()
+        );
+    }
+}

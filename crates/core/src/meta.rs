@@ -1,0 +1,174 @@
+//! Per-line compression metadata (paper §III-B).
+//!
+//! Each memory line carries 13 bits of metadata: a 6-bit pointer to the
+//! start of the compression window, 5 bits of encoding information (which
+//! compressor/variant produced the stored payload), and the 2-bit
+//! saturating counter of the bit-flip heuristic. The *compressed?* flag
+//! itself lives in one of the three spare bits of the ECC chip's 64-bit
+//! region (ECP-6 uses 61). The metadata is mirrored to the LLC alongside
+//! read data (one extra byte per 64-byte block) so the controller knows the
+//! old size and counter when the block is eventually written back.
+
+use pcm_compress::Method;
+use serde::{Deserialize, Serialize};
+
+/// The 13-bit per-line metadata word.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_core::LineMetadata;
+/// use pcm_compress::Method;
+///
+/// let meta = LineMetadata::new(12, Method::Fpc, 2);
+/// let packed = meta.pack();
+/// assert!(packed < 1 << 13);
+/// assert_eq!(LineMetadata::unpack(packed).unwrap(), meta);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineMetadata {
+    start: u8,
+    encoding: u8,
+    sc: u8,
+}
+
+/// Error returned when unpacking malformed metadata bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadMetadata(pub u16);
+
+impl std::fmt::Display for BadMetadata {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metadata word {:#06x} does not decode", self.0)
+    }
+}
+
+impl std::error::Error for BadMetadata {}
+
+impl LineMetadata {
+    /// Creates metadata from its fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= 64` or `sc >= 4`.
+    pub fn new(start: u8, method: Method, sc: u8) -> Self {
+        assert!(start < 64, "start pointer is 6 bits");
+        assert!(sc < 4, "saturating counter is 2 bits");
+        LineMetadata { start, encoding: method.encode_5bit(), sc }
+    }
+
+    /// Fresh-line metadata: window at byte 0, uncompressed, counter 0.
+    pub fn fresh() -> Self {
+        LineMetadata::new(0, Method::Uncompressed, 0)
+    }
+
+    /// Window start byte (6 bits).
+    pub fn start(&self) -> usize {
+        self.start as usize
+    }
+
+    /// The storage method recorded in the 5-bit encoding field.
+    pub fn method(&self) -> Method {
+        Method::decode_5bit(self.encoding).expect("constructed from a valid method")
+    }
+
+    /// The 2-bit saturating counter.
+    pub fn sc(&self) -> u8 {
+        self.sc
+    }
+
+    /// Replaces the saturating counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sc >= 4`.
+    pub fn with_sc(mut self, sc: u8) -> Self {
+        assert!(sc < 4, "saturating counter is 2 bits");
+        self.sc = sc;
+        self
+    }
+
+    /// Packs into the 13-bit wire format:
+    /// `start (6) | encoding (5) << 6 | sc (2) << 11`.
+    pub fn pack(&self) -> u16 {
+        self.start as u16 | (self.encoding as u16) << 6 | (self.sc as u16) << 11
+    }
+
+    /// Unpacks the 13-bit wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadMetadata`] if the encoding field holds an unused code
+    /// point or high bits are set.
+    pub fn unpack(word: u16) -> Result<Self, BadMetadata> {
+        if word >= 1 << 13 {
+            return Err(BadMetadata(word));
+        }
+        let start = (word & 0x3F) as u8;
+        let encoding = ((word >> 6) & 0x1F) as u8;
+        let sc = ((word >> 11) & 0x3) as u8;
+        if Method::decode_5bit(encoding).is_none() {
+            return Err(BadMetadata(word));
+        }
+        Ok(LineMetadata { start, encoding, sc })
+    }
+
+    /// Total metadata bits (paper: 13).
+    pub const BITS: u32 = 13;
+}
+
+impl Default for LineMetadata {
+    fn default() -> Self {
+        LineMetadata::fresh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_compress::BdiEncoding;
+
+    #[test]
+    fn pack_round_trips_all_fields() {
+        for start in [0u8, 1, 31, 63] {
+            for sc in 0u8..4 {
+                for method in
+                    [Method::Uncompressed, Method::Fpc, Method::Bdi(BdiEncoding::B8D2)]
+                {
+                    let m = LineMetadata::new(start, method, sc);
+                    assert_eq!(LineMetadata::unpack(m.pack()).unwrap(), m);
+                    assert_eq!(m.start(), start as usize);
+                    assert_eq!(m.method(), method);
+                    assert_eq!(m.sc(), sc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thirteen_bits_suffice() {
+        let m = LineMetadata::new(63, Method::Uncompressed, 3);
+        assert!(m.pack() < 1 << LineMetadata::BITS);
+    }
+
+    #[test]
+    fn rejects_bad_encoding_field() {
+        // Encoding 31 is unused.
+        let word = 31u16 << 6;
+        assert!(LineMetadata::unpack(word).is_err());
+        assert!(LineMetadata::unpack(1 << 13).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "6 bits")]
+    fn rejects_wide_start() {
+        LineMetadata::new(64, Method::Fpc, 0);
+    }
+
+    #[test]
+    fn with_sc_updates_only_counter() {
+        let m = LineMetadata::new(5, Method::Fpc, 0).with_sc(3);
+        assert_eq!(m.sc(), 3);
+        assert_eq!(m.start(), 5);
+        assert_eq!(m.method(), Method::Fpc);
+    }
+}

@@ -1,0 +1,261 @@
+//! The four evaluated system configurations (paper §IV).
+//!
+//! All four use chip-level differential writes, Start-Gap inter-line
+//! wear-leveling, and ECP-6; they differ in how much of the paper's
+//! proposal is enabled:
+//!
+//! | system   | compression | intra-line WL | sliding window + resurrection |
+//! |----------|-------------|---------------|-------------------------------|
+//! | Baseline | —           | —             | —                             |
+//! | Comp     | ✓           | —             | —                             |
+//! | Comp+W   | ✓           | ✓             | —                             |
+//! | Comp+WF  | ✓           | ✓             | ✓                             |
+
+use crate::heuristic::CompressionHeuristic;
+use pcm_device::{CellTech, EnduranceModel};
+use pcm_ecc::{Aegis, Ecp, HardErrorScheme, Safer, Secded};
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's four systems to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// DW + Start-Gap + ECP-6, uncompressed storage.
+    Baseline,
+    /// Adds best-of BDI/FPC compression, window pinned at the line's least
+    /// significant bytes.
+    Comp,
+    /// Adds counter-based intra-line wear-leveling (rotating window start).
+    CompW,
+    /// Adds the advanced hard-error handling: fault-dodging window slide
+    /// and dead-block resurrection at inter-line wear-leveling events.
+    CompWF,
+}
+
+impl SystemKind {
+    /// All four systems in evaluation order.
+    pub const ALL: [SystemKind; 4] =
+        [SystemKind::Baseline, SystemKind::Comp, SystemKind::CompW, SystemKind::CompWF];
+
+    /// `true` when the system compresses write-backs.
+    pub fn compresses(&self) -> bool {
+        !matches!(self, SystemKind::Baseline)
+    }
+
+    /// `true` when the system rotates the window start (intra-line WL).
+    pub fn rotates(&self) -> bool {
+        matches!(self, SystemKind::CompW | SystemKind::CompWF)
+    }
+
+    /// `true` when the system slides the window around faults and
+    /// resurrects dead blocks.
+    pub fn slides(&self) -> bool {
+        matches!(self, SystemKind::CompWF)
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemKind::Baseline => write!(f, "Baseline"),
+            SystemKind::Comp => write!(f, "Comp"),
+            SystemKind::CompW => write!(f, "Comp+W"),
+            SystemKind::CompWF => write!(f, "Comp+WF"),
+        }
+    }
+}
+
+/// Which hard-error scheme the controller uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccChoice {
+    /// ECP with 6 entries (the paper's default).
+    Ecp6,
+    /// SAFER with 32 groups.
+    Safer32,
+    /// Aegis over a 17×31 grid.
+    Aegis17x31,
+    /// DRAM-style SECDED (one correctable error per 64-bit word) — the
+    /// incumbent the paper argues against; included for the ablation.
+    Secded,
+    /// ECP with an arbitrary entry count (storage-overhead ablation:
+    /// each entry costs 10 metadata bits; only 6 fit the ECC-DIMM budget).
+    EcpN(u8),
+}
+
+impl EccChoice {
+    /// Instantiates the scheme.
+    pub fn build(&self) -> Box<dyn HardErrorScheme> {
+        match self {
+            EccChoice::Ecp6 => Box::new(Ecp::new(6)),
+            EccChoice::Safer32 => Box::new(Safer::new(32)),
+            EccChoice::Aegis17x31 => Box::new(Aegis::new(17, 31)),
+            EccChoice::Secded => Box::new(Secded::new()),
+            EccChoice::EcpN(n) => Box::new(Ecp::new(*n as u32)),
+        }
+    }
+}
+
+impl std::fmt::Display for EccChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EccChoice::Ecp6 => write!(f, "ECP-6"),
+            EccChoice::Safer32 => write!(f, "SAFER-32"),
+            EccChoice::Aegis17x31 => write!(f, "Aegis 17x31"),
+            EccChoice::Secded => write!(f, "SECDED"),
+            EccChoice::EcpN(n) => write!(f, "ECP-{n}"),
+        }
+    }
+}
+
+/// Full configuration of a simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Which of the four systems.
+    pub kind: SystemKind,
+    /// Hard-error scheme (paper default: ECP-6).
+    pub ecc: EccChoice,
+    /// Compression heuristic thresholds (Fig. 8); `use_heuristic = false`
+    /// compresses unconditionally (the naive scheme, for ablation).
+    pub heuristic: CompressionHeuristic,
+    /// Enables the Fig. 8 heuristic.
+    pub use_heuristic: bool,
+    /// Cell endurance distribution.
+    pub endurance: EnduranceModel,
+    /// Cell technology (SLC default; MLC-2 for the density ablation).
+    pub tech: CellTech,
+    /// Demand writes a line receives between two intra-line rotations
+    /// (paper: a 16-bit counter per bank ≈ 2^10 writes per hot line).
+    pub rotation_period: u64,
+    /// Demand writes a line receives between two inter-line wear-leveling
+    /// relocations of its hosted block (Start-Gap region rotation).
+    pub residency_writes: u64,
+    /// Start-Gap gap-movement period ψ (used by the functional
+    /// controller).
+    pub start_gap_psi: u32,
+    /// Period of the per-bank intra-line rotation counter in bank writes
+    /// (paper: a 16-bit counter).
+    pub bank_counter_period: u32,
+    /// Compression-window placement granularity in bytes (power of two;
+    /// the paper's 6-bit start pointer is byte-granular = 1).
+    pub window_step: usize,
+}
+
+impl SystemConfig {
+    /// Creates the paper's configuration of the given system.
+    ///
+    /// `Comp` and `Comp+W` use the paper's *naive* policy (every
+    /// compressible write stored compressed); `Comp+WF` — "all our
+    /// proposed schemes" — also enables the Fig. 8 bit-flip heuristic.
+    /// The heuristic only pays with a generous `Threshold2` (see
+    /// [`CompressionHeuristic::paper`] and the `ablation_heuristic`
+    /// bench): tighter settings bounce blocks between compressed and
+    /// uncompressed layouts, and the re-layout churn costs more flips
+    /// than the fallback saves.
+    pub fn new(kind: SystemKind) -> Self {
+        SystemConfig {
+            kind,
+            ecc: EccChoice::Ecp6,
+            heuristic: CompressionHeuristic::paper(),
+            use_heuristic: matches!(kind, SystemKind::CompWF),
+            endurance: EnduranceModel::paper(),
+            tech: CellTech::Slc,
+            rotation_period: 1024,
+            residency_writes: 4096,
+            start_gap_psi: 100,
+            bank_counter_period: 1 << 16,
+            window_step: 1,
+        }
+    }
+
+    /// Overrides the mean cell endurance, keeping the CoV (small values
+    /// make tests and examples fast).
+    pub fn with_endurance_mean(mut self, mean: f64) -> Self {
+        self.endurance = EnduranceModel::new(mean, self.endurance.cov());
+        self
+    }
+
+    /// Overrides the endurance coefficient of variation (the paper's §V.C
+    /// uses 0.25).
+    pub fn with_endurance_cov(mut self, cov: f64) -> Self {
+        self.endurance = EnduranceModel::new(self.endurance.mean(), cov);
+        self
+    }
+
+    /// Overrides the hard-error scheme.
+    pub fn with_ecc(mut self, ecc: EccChoice) -> Self {
+        self.ecc = ecc;
+        self
+    }
+
+    /// Disables the Fig. 8 heuristic (the "naive" compression mode used by
+    /// the Comp ablation).
+    pub fn without_heuristic(mut self) -> Self {
+        self.use_heuristic = false;
+        self
+    }
+
+    /// Enables the Fig. 8 heuristic (on by default only for `Comp+WF`).
+    pub fn with_heuristic(mut self) -> Self {
+        self.use_heuristic = true;
+        self
+    }
+
+    /// Overrides the window placement granularity (power of two bytes).
+    pub fn with_window_step(mut self, step: usize) -> Self {
+        self.window_step = step;
+        self
+    }
+
+    /// Switches the cell technology (MLC-2 also switches to the MLC
+    /// endurance band unless overridden afterwards).
+    pub fn with_tech(mut self, tech: CellTech) -> Self {
+        self.tech = tech;
+        if tech == CellTech::Mlc2 && self.endurance == EnduranceModel::paper() {
+            self.endurance = tech.default_endurance();
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_capabilities() {
+        assert!(!SystemKind::Baseline.compresses());
+        assert!(SystemKind::Comp.compresses());
+        assert!(!SystemKind::Comp.rotates());
+        assert!(SystemKind::CompW.rotates());
+        assert!(!SystemKind::CompW.slides());
+        assert!(SystemKind::CompWF.slides());
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(SystemKind::CompWF.to_string(), "Comp+WF");
+        assert_eq!(SystemKind::CompW.to_string(), "Comp+W");
+        assert_eq!(EccChoice::Safer32.to_string(), "SAFER-32");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SystemConfig::new(SystemKind::Comp)
+            .with_endurance_mean(1e4)
+            .with_endurance_cov(0.25)
+            .with_ecc(EccChoice::Aegis17x31)
+            .without_heuristic();
+        assert_eq!(cfg.endurance.mean(), 1e4);
+        assert_eq!(cfg.endurance.cov(), 0.25);
+        assert_eq!(cfg.ecc, EccChoice::Aegis17x31);
+        assert!(!cfg.use_heuristic);
+    }
+
+    #[test]
+    fn ecc_choices_build() {
+        for ecc in [EccChoice::Ecp6, EccChoice::Safer32, EccChoice::Aegis17x31] {
+            let scheme = ecc.build();
+            assert!(scheme.guaranteed() >= 6);
+        }
+        assert_eq!(EccChoice::Secded.build().guaranteed(), 1);
+    }
+}

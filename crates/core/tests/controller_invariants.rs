@@ -1,0 +1,137 @@
+//! Controller invariants under churn: Start-Gap relocation, rotation,
+//! metadata, and the interplay with compression heuristics.
+
+use pcm_core::{EccChoice, LineMetadata, PcmMemory, SystemConfig, SystemKind};
+use pcm_compress::Method;
+use pcm_trace::{SpecApp, TraceGenerator};
+use pcm_util::{seeded_rng, Line512};
+use rand::RngExt;
+use std::collections::HashMap;
+
+fn healthy(kind: SystemKind) -> SystemConfig {
+    SystemConfig::new(kind).with_endurance_mean(1e9)
+}
+
+#[test]
+fn aggressive_gap_movement_never_loses_data() {
+    for kind in SystemKind::ALL {
+        let mut cfg = healthy(kind);
+        cfg.start_gap_psi = 2; // a gap move every other write
+        let mut memory = PcmMemory::new(cfg, 24, 31);
+        let mut rng = seeded_rng(32);
+        let mut expected: HashMap<u64, Line512> = HashMap::new();
+        for _ in 0..4_000 {
+            let l = rng.random_range(0..24);
+            let d = Line512::random(&mut rng);
+            memory.write(l, d).unwrap();
+            expected.insert(l, d);
+        }
+        for (&l, &d) in &expected {
+            assert_eq!(memory.read(l).unwrap(), d, "{kind}: line {l}");
+        }
+        assert!(memory.stats().gap_moves > 1_500, "{kind}");
+    }
+}
+
+#[test]
+fn rotation_spreads_window_starts() {
+    // With a tiny bank counter, the same logical line's payload must land
+    // at many different offsets over time.
+    let mut cfg = healthy(SystemKind::CompW);
+    cfg.bank_counter_period = 4;
+    let mut memory = PcmMemory::new(cfg, 8, 33);
+    let mut offsets = std::collections::HashSet::new();
+    for i in 0..200u64 {
+        // Highly compressible content -> small window whose offset shows.
+        let mut b = [0u8; 64];
+        b[0] = i as u8;
+        let data = Line512::from_bytes(&b);
+        let r = memory.write(0, data).unwrap();
+        offsets.insert(r.line.offset);
+        assert_eq!(memory.read(0).unwrap(), data);
+    }
+    assert!(offsets.len() > 16, "rotation should move the window, saw {offsets:?}");
+}
+
+#[test]
+fn heuristic_mode_still_round_trips() {
+    let cfg = healthy(SystemKind::CompWF).with_heuristic();
+    let mut memory = PcmMemory::new(cfg, 16, 34);
+    let mut generator = TraceGenerator::from_profile(SpecApp::Bzip2.profile(), 16, 35);
+    let mut expected = HashMap::new();
+    for _ in 0..4_000 {
+        let w = generator.next_write();
+        memory.write(w.line, w.data).unwrap();
+        expected.insert(w.line, w.data);
+    }
+    for (&l, &d) in &expected {
+        assert_eq!(memory.read(l).unwrap(), d);
+    }
+    // bzip2 is volatile: the heuristic must have forced some writes
+    // uncompressed.
+    let stats = memory.stats();
+    assert!(
+        stats.compressed_writes < stats.demand_writes,
+        "heuristic should store some volatile blocks uncompressed: {stats:?}"
+    );
+}
+
+#[test]
+fn every_scheme_choice_serves_the_same_workload() {
+    for ecc in [
+        EccChoice::Ecp6,
+        EccChoice::EcpN(3),
+        EccChoice::Safer32,
+        EccChoice::Aegis17x31,
+        EccChoice::Secded,
+    ] {
+        let cfg = healthy(SystemKind::CompWF).with_ecc(ecc);
+        let mut memory = PcmMemory::new(cfg, 8, 36);
+        let mut generator = TraceGenerator::from_profile(SpecApp::Calculix.profile(), 8, 37);
+        for _ in 0..500 {
+            let w = generator.next_write();
+            memory.write(w.line, w.data).unwrap_or_else(|e| panic!("{ecc:?}: {e}"));
+            assert_eq!(memory.read(w.line).unwrap(), w.data, "{ecc:?}");
+        }
+    }
+}
+
+#[test]
+fn line_metadata_wire_format_is_total_over_runtime_states() {
+    // Pack/unpack every (offset, method, sc) combination the controller
+    // can produce.
+    let methods = [
+        Method::Uncompressed,
+        Method::Fpc,
+        Method::Bdi(pcm_compress::BdiEncoding::Zeros),
+        Method::Bdi(pcm_compress::BdiEncoding::B8D4),
+    ];
+    for start in 0..64u8 {
+        for &m in &methods {
+            for sc in 0..4u8 {
+                let meta = LineMetadata::new(start, m, sc);
+                let unpacked = LineMetadata::unpack(meta.pack()).unwrap();
+                assert_eq!(unpacked, meta);
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let mut memory = PcmMemory::new(healthy(SystemKind::Comp), 16, 38);
+    let mut generator = TraceGenerator::from_profile(SpecApp::Sjeng.profile(), 16, 39);
+    for _ in 0..2_000 {
+        let w = generator.next_write();
+        memory.write(w.line, w.data).unwrap();
+    }
+    let s = memory.stats();
+    assert_eq!(s.demand_writes, 2_000);
+    assert!(s.compressed_writes <= s.demand_writes + s.gap_moves);
+    // sjeng is highly compressible: nearly everything compresses.
+    assert!(
+        s.compressed_writes as f64 > 0.9 * s.demand_writes as f64,
+        "sjeng should compress >90% of writes: {s:?}"
+    );
+    assert!(s.total_flips > 0);
+}

@@ -1,0 +1,491 @@
+//! Per-cell endurance, wear accumulation, and stuck-at failure.
+//!
+//! Every PCM cell endures a finite number of programming events before its
+//! heater detaches (stuck-at-RESET) or its GST loses crystallinity
+//! (stuck-at-SET). The paper's fault model (§IV): endurance is drawn per
+//! cell from a normal distribution with mean `10^7` and CoV 0.15 (0.25 for
+//! the §V.C process-variation study); a failed cell is stuck at the value
+//! it held when it failed, and — crucially for every scheme in the paper —
+//! stuck-at faults are *detected* at write time by the verify step, so the
+//! controller always knows the fault positions and stuck values.
+
+use pcm_util::dist::Normal;
+use pcm_util::fault::{FaultMap, StuckAt};
+use pcm_util::{Line512, DATA_BITS};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The endurance distribution of PCM cells.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_device::EnduranceModel;
+///
+/// let paper = EnduranceModel::paper();
+/// assert_eq!(paper.mean(), 1e7);
+/// assert_eq!(paper.cov(), 0.15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceModel {
+    mean: f64,
+    cov: f64,
+}
+
+impl EnduranceModel {
+    /// Creates an endurance model with the given mean write count and
+    /// coefficient of variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 1` or `cov` is negative.
+    pub fn new(mean: f64, cov: f64) -> Self {
+        assert!(mean >= 1.0, "endurance mean must be at least 1, got {mean}");
+        assert!(cov >= 0.0, "CoV must be non-negative");
+        EnduranceModel { mean, cov }
+    }
+
+    /// The paper's default: mean `10^7`, CoV 0.15 (Table II).
+    pub fn paper() -> Self {
+        EnduranceModel::new(1e7, 0.15)
+    }
+
+    /// The §V.C process-variation sensitivity point: CoV 0.25.
+    pub fn paper_high_variation() -> Self {
+        EnduranceModel::new(1e7, 0.25)
+    }
+
+    /// Mean endurance.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Coefficient of variation.
+    pub fn cov(&self) -> f64 {
+        self.cov
+    }
+
+    /// Samples one cell's endurance (clamped to at least 1 write).
+    pub fn sample_cell<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let n = Normal::from_cov(self.mean, self.cov);
+        n.sample_clamped(rng, 1.0).round().min(u32::MAX as f64) as u32
+    }
+}
+
+/// PCM cell technology: bits stored per physical cell.
+///
+/// MLC doubles density by storing two bits per cell at the cost of much
+/// lower endurance (10^5–10^6 per the paper's footnote) and slower access.
+/// In the MLC model, a programming event wears the *cell*; when it sticks,
+/// both of its bits freeze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellTech {
+    /// One bit per cell (the paper's baseline).
+    Slc,
+    /// Two bits per cell.
+    Mlc2,
+}
+
+impl CellTech {
+    /// Bits stored per cell.
+    pub fn bits_per_cell(&self) -> usize {
+        match self {
+            CellTech::Slc => 1,
+            CellTech::Mlc2 => 2,
+        }
+    }
+
+    /// Physical cells backing a 512-bit line.
+    pub fn cells_per_line(&self) -> usize {
+        DATA_BITS / self.bits_per_cell()
+    }
+
+    /// A representative endurance model for this technology: the paper's
+    /// 10^7 for SLC, 10^6 (ITRS/Kang et al. band) for MLC.
+    pub fn default_endurance(&self) -> EnduranceModel {
+        match self {
+            CellTech::Slc => EnduranceModel::paper(),
+            CellTech::Mlc2 => EnduranceModel::new(1e6, 0.15),
+        }
+    }
+}
+
+impl std::fmt::Display for CellTech {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellTech::Slc => write!(f, "SLC"),
+            CellTech::Mlc2 => write!(f, "MLC-2"),
+        }
+    }
+}
+
+/// The result of one physical line write.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteOutcome {
+    /// Number of cells the RMW circuit attempted to program (bit flips
+    /// under differential writes) — the paper's wear/energy metric.
+    pub flips: u32,
+    /// Mask of the cells that were programmed.
+    pub flip_mask: Line512,
+    /// Cells that failed *during this write* and are now stuck.
+    pub new_faults: Vec<StuckAt>,
+}
+
+/// The wear state of one 512-bit line: per-cell endurance, accumulated
+/// programming counts, current stored values, and the stuck-at fault map.
+///
+/// Writes are differential: only differing cells are programmed, each
+/// programming event consumes one endurance unit, and a cell whose budget
+/// is exhausted sticks at the value it currently holds (the new value fails
+/// to program).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_device::{EnduranceModel, LineWear};
+/// use pcm_util::Line512;
+///
+/// let mut rng = pcm_util::seeded_rng(3);
+/// let mut line = LineWear::sample(&EnduranceModel::new(100.0, 0.0), &mut rng);
+/// let outcome = line.write(&Line512::ones());
+/// assert_eq!(outcome.flips, 512);
+/// assert!(outcome.new_faults.is_empty());
+/// assert_eq!(line.stored(), Line512::ones());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineWear {
+    tech: CellTech,
+    endurance: Vec<u32>,
+    wear: Vec<u32>,
+    stored: Line512,
+    faults: FaultMap,
+}
+
+impl LineWear {
+    /// Samples a fresh SLC line from an endurance model. Cells start at
+    /// zero (RESET) with no wear.
+    pub fn sample<R: Rng + ?Sized>(model: &EnduranceModel, rng: &mut R) -> Self {
+        LineWear::sample_with_tech(model, CellTech::Slc, rng)
+    }
+
+    /// Samples a fresh line with the given cell technology.
+    pub fn sample_with_tech<R: Rng + ?Sized>(
+        model: &EnduranceModel,
+        tech: CellTech,
+        rng: &mut R,
+    ) -> Self {
+        let cells = tech.cells_per_line();
+        let endurance = (0..cells).map(|_| model.sample_cell(rng)).collect();
+        LineWear {
+            tech,
+            endurance,
+            wear: vec![0; cells],
+            stored: Line512::zero(),
+            faults: FaultMap::new(),
+        }
+    }
+
+    /// Creates an SLC line with explicit per-cell endurance (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly 512 values are given.
+    pub fn with_endurance(endurance: Vec<u32>) -> Self {
+        assert_eq!(endurance.len(), DATA_BITS, "need one endurance per cell");
+        LineWear {
+            tech: CellTech::Slc,
+            endurance,
+            wear: vec![0; DATA_BITS],
+            stored: Line512::zero(),
+            faults: FaultMap::new(),
+        }
+    }
+
+    /// The cell technology of this line.
+    pub fn tech(&self) -> CellTech {
+        self.tech
+    }
+
+    /// Physical cell index backing bit `pos`.
+    fn cell_of(&self, pos: usize) -> usize {
+        pos / self.tech.bits_per_cell()
+    }
+
+    /// The values physically held by the cells right now.
+    pub fn stored(&self) -> Line512 {
+        self.stored
+    }
+
+    /// The stuck-at faults accumulated so far.
+    pub fn faults(&self) -> &FaultMap {
+        &self.faults
+    }
+
+    /// Remaining endurance of cell `pos` (0 when stuck).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 512`.
+    pub fn remaining(&self, pos: usize) -> u32 {
+        let c = self.cell_of(pos);
+        self.endurance[c].saturating_sub(self.wear[c])
+    }
+
+    /// Sampled endurance of the cell backing bit `pos`.
+    pub fn endurance_of(&self, pos: usize) -> u32 {
+        self.endurance[self.cell_of(pos)]
+    }
+
+    /// Accumulated programming events of the cell backing bit `pos`.
+    pub fn wear_of(&self, pos: usize) -> u32 {
+        self.wear[self.cell_of(pos)]
+    }
+
+    /// Performs a differential write of `target` over the stored values.
+    ///
+    /// Only differing cells are programmed. A cell that exhausts its
+    /// endurance during this write keeps its *old* value and becomes stuck
+    /// there; the failure is reported in the outcome (write-verify), so the
+    /// caller can immediately re-encode around it.
+    pub fn write(&mut self, target: &Line512) -> WriteOutcome {
+        let mut new_faults = Vec::new();
+        let mut flips = 0u32;
+        let diff = self.stored ^ *target;
+        let bpc = self.tech.bits_per_cell();
+        let mut last_worn_cell = usize::MAX;
+        for pos in diff.iter_ones() {
+            flips += 1;
+            // (every differing cell receives a programming pulse, stuck or
+            // not — `diff` doubles as the flip mask below)
+            if self.faults.is_faulty(pos) {
+                // Programming pulse hits a stuck cell: no effect.
+                continue;
+            }
+            let cell = self.cell_of(pos);
+            // One programming event per *cell* per write, even when both
+            // of an MLC cell's bits change.
+            if cell != last_worn_cell {
+                self.wear[cell] += 1;
+                last_worn_cell = cell;
+            }
+            if self.wear[cell] > self.endurance[cell] {
+                // The whole cell sticks: every bit it backs freezes at its
+                // current value.
+                for bit in cell * bpc..(cell + 1) * bpc {
+                    if !self.faults.is_faulty(bit) {
+                        let fault =
+                            StuckAt { pos: bit as u16, value: self.stored.bit(bit) };
+                        self.faults.insert(fault);
+                        new_faults.push(fault);
+                    }
+                }
+            } else {
+                self.stored.flip_bit(pos);
+            }
+        }
+        WriteOutcome { flips, flip_mask: diff, new_faults }
+    }
+
+    /// Fast-forwards wear on a cell by `events` programming events without
+    /// changing its stored value, returning the fault if it fails.
+    ///
+    /// The accelerated lifetime engine uses this to skip millions of
+    /// identical trace passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 512`.
+    pub fn add_wear(&mut self, pos: usize, events: u32) -> Option<StuckAt> {
+        if self.faults.is_faulty(pos) {
+            return None;
+        }
+        let cell = self.cell_of(pos);
+        self.wear[cell] = self.wear[cell].saturating_add(events);
+        if self.wear[cell] > self.endurance[cell] {
+            let bpc = self.tech.bits_per_cell();
+            let mut first = None;
+            for bit in cell * bpc..(cell + 1) * bpc {
+                if !self.faults.is_faulty(bit) {
+                    let fault = StuckAt { pos: bit as u16, value: self.stored.bit(bit) };
+                    self.faults.insert(fault);
+                    first.get_or_insert(fault);
+                }
+            }
+            first
+        } else {
+            None
+        }
+    }
+
+    /// Number of writes the healthiest cell of the line can still absorb
+    /// (the line is far from dead while this is large).
+    pub fn max_remaining(&self) -> u32 {
+        (0..DATA_BITS).map(|p| self.remaining(p)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_util::seeded_rng;
+
+    #[test]
+    fn endurance_sampling_matches_model() {
+        let model = EnduranceModel::new(1000.0, 0.1);
+        let mut rng = seeded_rng(61);
+        let samples: Vec<f64> = (0..20_000).map(|_| model.sample_cell(&mut rng) as f64).collect();
+        let mean = pcm_util::stats::mean(&samples);
+        let sd = pcm_util::stats::std_dev(&samples);
+        assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");
+        assert!((sd - 100.0).abs() < 5.0, "sd {sd}");
+    }
+
+    #[test]
+    fn zero_cov_is_deterministic() {
+        let model = EnduranceModel::new(50.0, 0.0);
+        let mut rng = seeded_rng(62);
+        for _ in 0..100 {
+            assert_eq!(model.sample_cell(&mut rng), 50);
+        }
+    }
+
+    #[test]
+    fn differential_write_only_programs_diff() {
+        let mut line = LineWear::with_endurance(vec![100; 512]);
+        let mut target = Line512::zero();
+        target.set_byte(0, 0xFF);
+        let o1 = line.write(&target);
+        assert_eq!(o1.flips, 8);
+        // Re-writing identical data programs nothing.
+        let o2 = line.write(&target);
+        assert_eq!(o2.flips, 0);
+        assert_eq!(line.wear_of(0), 1);
+        assert_eq!(line.wear_of(8), 0);
+    }
+
+    #[test]
+    fn cell_sticks_at_old_value_when_exhausted() {
+        // Cell 0 endures exactly 2 programming events.
+        let mut endurance = vec![1000u32; 512];
+        endurance[0] = 2;
+        let mut line = LineWear::with_endurance(endurance);
+        let mut one = Line512::zero();
+        one.set_bit(0, true);
+        let zero = Line512::zero();
+
+        assert!(line.write(&one).new_faults.is_empty()); // wear 1
+        assert!(line.write(&zero).new_faults.is_empty()); // wear 2
+        let outcome = line.write(&one); // wear 3 > 2: fails
+        assert_eq!(outcome.new_faults, vec![StuckAt { pos: 0, value: false }]);
+        assert!(!line.stored().bit(0), "stuck at old value 0");
+        assert_eq!(line.remaining(0), 0);
+
+        // Further writes to the stuck cell change nothing and report no new
+        // faults.
+        let again = line.write(&one);
+        assert_eq!(again.flips, 1);
+        assert!(again.new_faults.is_empty());
+        assert!(!line.stored().bit(0));
+    }
+
+    #[test]
+    fn add_wear_fast_forward_matches_write_loop() {
+        let mut endurance = vec![u32::MAX; 512];
+        endurance[7] = 10;
+        let mut by_writes = LineWear::with_endurance(endurance.clone());
+        let mut by_ff = LineWear::with_endurance(endurance);
+
+        // Toggle bit 7 ten times: ten programming events, no failure.
+        let mut flip = Line512::zero();
+        for i in 0..10 {
+            flip.set_bit(7, i % 2 == 0);
+            assert!(by_writes.write(&flip).new_faults.is_empty());
+        }
+        assert!(by_ff.add_wear(7, 10).is_none());
+        assert_eq!(by_writes.wear_of(7), by_ff.wear_of(7));
+
+        // The 11th event kills the cell in both models.
+        flip.set_bit(7, true);
+        assert_eq!(by_writes.write(&flip).new_faults.len(), 1);
+        assert!(by_ff.add_wear(7, 1).is_some());
+    }
+
+    #[test]
+    fn faults_respected_on_later_writes() {
+        let mut endurance = vec![u32::MAX; 512];
+        endurance[100] = 0; // dies on first programming
+        let mut line = LineWear::with_endurance(endurance);
+        let mut target = Line512::zero();
+        target.set_bit(100, true);
+        let o = line.write(&target);
+        assert_eq!(o.new_faults.len(), 1);
+        assert_eq!(line.faults().count(), 1);
+        assert_eq!(line.faults().stuck_value(100), Some(false));
+    }
+
+    #[test]
+    fn mlc_cell_failure_freezes_both_bits() {
+        let model = EnduranceModel::new(2.0, 0.0);
+        let mut rng = seeded_rng(65);
+        let mut line = LineWear::sample_with_tech(&model, CellTech::Mlc2, &mut rng);
+        assert_eq!(line.tech(), CellTech::Mlc2);
+        // Toggle bit 0 (cell 0) until the cell dies; bit 1 must freeze too.
+        let mut flip = Line512::zero();
+        flip.set_bit(0, true);
+        assert!(line.write(&flip).new_faults.is_empty()); // wear 1
+        flip.set_bit(0, false);
+        assert!(line.write(&flip).new_faults.is_empty()); // wear 2
+        flip.set_bit(0, true);
+        let out = line.write(&flip); // wear 3 > 2: cell 0 dies
+        assert_eq!(out.new_faults.len(), 2, "both bits of the cell stick");
+        assert!(line.faults().is_faulty(0));
+        assert!(line.faults().is_faulty(1));
+        assert!(!line.faults().is_faulty(2), "cell 1 unaffected");
+    }
+
+    #[test]
+    fn mlc_double_bit_change_is_one_programming_event() {
+        let model = EnduranceModel::new(100.0, 0.0);
+        let mut rng = seeded_rng(66);
+        let mut line = LineWear::sample_with_tech(&model, CellTech::Mlc2, &mut rng);
+        // Flip both bits of cell 0 in one write: one wear event.
+        let mut target = Line512::zero();
+        target.set_bit(0, true);
+        target.set_bit(1, true);
+        let out = line.write(&target);
+        assert_eq!(out.flips, 2, "two bit flips");
+        assert_eq!(line.wear_of(0), 1, "one cell programming event");
+        assert_eq!(line.wear_of(1), 1, "same cell");
+        assert_eq!(line.wear_of(2), 0);
+    }
+
+    #[test]
+    fn cell_tech_geometry() {
+        assert_eq!(CellTech::Slc.cells_per_line(), 512);
+        assert_eq!(CellTech::Mlc2.cells_per_line(), 256);
+        assert_eq!(CellTech::Mlc2.default_endurance().mean(), 1e6);
+        assert_eq!(CellTech::Mlc2.to_string(), "MLC-2");
+    }
+
+    #[test]
+    fn mlc_add_wear_maps_bits_to_cells() {
+        let model = EnduranceModel::new(10.0, 0.0);
+        let mut rng = seeded_rng(67);
+        let mut line = LineWear::sample_with_tech(&model, CellTech::Mlc2, &mut rng);
+        assert!(line.add_wear(5, 10).is_none()); // cell 2 at its limit
+        let fault = line.add_wear(4, 1); // same cell, one more event: dies
+        assert!(fault.is_some());
+        assert!(line.faults().is_faulty(4));
+        assert!(line.faults().is_faulty(5));
+    }
+
+    #[test]
+    fn max_remaining_tracks_healthiest_cell() {
+        let mut endurance = vec![5u32; 512];
+        endurance[3] = 50;
+        let mut line = LineWear::with_endurance(endurance);
+        assert_eq!(line.max_remaining(), 50);
+        line.add_wear(3, 20);
+        assert_eq!(line.max_remaining(), 30);
+    }
+}

@@ -1,0 +1,126 @@
+//! Write/read energy accounting.
+//!
+//! PCM programming is asymmetric: the short, high-current RESET pulse
+//! (amorphize → 0) costs more energy per bit than the long SET pulse
+//! (crystallize → 1), and both dwarf read sensing. The paper motivates
+//! compression partly through energy ("the increase in the number of bit
+//! flips leads to increased energy consumption", §I/§III-A.1); this module
+//! quantifies that with per-pulse energies from the paper's device
+//! baseline (Lee et al., ISCA 2009).
+
+use crate::dw::DiffWrite;
+use pcm_util::Line512;
+use serde::{Deserialize, Serialize};
+
+/// Per-pulse energy constants in picojoules.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_device::energy::EnergyModel;
+/// use pcm_device::dw::diff_write;
+/// use pcm_util::Line512;
+///
+/// let e = EnergyModel::paper();
+/// // Writing all-ones over all-zeros: 512 SET pulses.
+/// let dw = diff_write(&Line512::zero(), &Line512::ones());
+/// assert_eq!(e.write_energy_pj(&dw), 512.0 * e.set_pj);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of one SET (0→1) pulse, pJ.
+    pub set_pj: f64,
+    /// Energy of one RESET (1→0) pulse, pJ.
+    pub reset_pj: f64,
+    /// Energy to sense one bit on a read, pJ.
+    pub read_pj: f64,
+}
+
+impl EnergyModel {
+    /// The ISCA'09 PCM device baseline the paper's Table II derives from:
+    /// 13.5 pJ SET, 19.2 pJ RESET, ~0.2 pJ read sensing per bit.
+    pub fn paper() -> Self {
+        EnergyModel { set_pj: 13.5, reset_pj: 19.2, read_pj: 0.2 }
+    }
+
+    /// Energy of one differential write, pJ: each programmed cell costs a
+    /// SET or RESET pulse depending on its new value.
+    pub fn write_energy_pj(&self, dw: &DiffWrite) -> f64 {
+        dw.sets() as f64 * self.set_pj + dw.resets() as f64 * self.reset_pj
+    }
+
+    /// Energy of reading a full 512-bit line, pJ.
+    pub fn line_read_pj(&self) -> f64 {
+        512.0 * self.read_pj
+    }
+
+    /// Mean write energy over a sequence of line versions (each element
+    /// differentially written over the previous one), pJ per write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two versions are given.
+    pub fn mean_write_energy_pj(&self, versions: &[Line512]) -> f64 {
+        assert!(versions.len() >= 2, "need at least one transition");
+        let total: f64 = versions
+            .windows(2)
+            .map(|w| self.write_energy_pj(&crate::dw::diff_write(&w[0], &w[1])))
+            .sum();
+        total / (versions.len() - 1) as f64
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dw::diff_write;
+    use pcm_util::seeded_rng;
+
+    #[test]
+    fn set_and_reset_polarity() {
+        let e = EnergyModel::paper();
+        let ones = Line512::ones();
+        let zero = Line512::zero();
+        let up = diff_write(&zero, &ones);
+        let down = diff_write(&ones, &zero);
+        assert_eq!(e.write_energy_pj(&up), 512.0 * 13.5);
+        assert_eq!(e.write_energy_pj(&down), 512.0 * 19.2);
+        assert!(e.write_energy_pj(&down) > e.write_energy_pj(&up));
+    }
+
+    #[test]
+    fn identical_write_costs_nothing() {
+        let e = EnergyModel::paper();
+        let mut rng = seeded_rng(5);
+        let line = Line512::random(&mut rng);
+        assert_eq!(e.write_energy_pj(&diff_write(&line, &line)), 0.0);
+    }
+
+    #[test]
+    fn mixed_write_splits_by_direction() {
+        let e = EnergyModel::paper();
+        let mut old = Line512::zero();
+        old.set_byte(0, 0xFF); // bits 0..8 set
+        let mut new = Line512::zero();
+        new.set_byte(1, 0xFF); // bits 8..16 set
+        let dw = diff_write(&old, &new);
+        // 8 resets (byte 0 clears) + 8 sets (byte 1 fills).
+        assert_eq!(dw.sets(), 8);
+        assert_eq!(dw.resets(), 8);
+        assert_eq!(e.write_energy_pj(&dw), 8.0 * 13.5 + 8.0 * 19.2);
+    }
+
+    #[test]
+    fn mean_energy_over_sequence() {
+        let e = EnergyModel::paper();
+        let seq = [Line512::zero(), Line512::ones(), Line512::zero()];
+        let mean = e.mean_write_energy_pj(&seq);
+        assert_eq!(mean, (512.0 * 13.5 + 512.0 * 19.2) / 2.0);
+    }
+}

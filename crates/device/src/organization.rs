@@ -1,0 +1,175 @@
+//! DIMM organization: channels, ranks, 9-chip ECC ranks, banks, and the
+//! cache-line interleaving across them (paper Fig. 2b, Table II).
+//!
+//! A rank is nine ×8 chips — eight data chips plus one ECC chip — driving a
+//! 72-bit bus; a 64-byte line moves in a burst of eight transfers, each chip
+//! contributing 8 bits per edge. Banks are interleaved across all chips of
+//! the rank, and consecutive line addresses interleave first across
+//! channels, then across banks, so streaming writes spread over every bank.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical location of a memory line: which channel/DIMM/rank/bank serves
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BankAddress {
+    /// Channel index.
+    pub channel: u32,
+    /// DIMM within the channel.
+    pub dimm: u32,
+    /// Rank within the DIMM.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+}
+
+/// The memory geometry of the simulated PCM main memory.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_device::MemoryGeometry;
+///
+/// let g = MemoryGeometry::paper();
+/// assert_eq!(g.total_capacity_bytes(), 4 << 30);
+/// assert_eq!(g.total_banks(), 8); // 2 channels × 4 banks
+/// assert_eq!(g.data_chips_per_rank(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryGeometry {
+    /// Memory channels, each with its own controller.
+    pub channels: u32,
+    /// DIMMs per channel.
+    pub dimms_per_channel: u32,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Total number of 64-byte lines.
+    pub lines: u64,
+}
+
+impl MemoryGeometry {
+    /// The paper's Table II configuration: 4 GB, 2 channels, 1 DIMM per
+    /// channel, 1 rank per DIMM, 9 ×8 devices per rank, 4 banks per rank.
+    pub fn paper() -> Self {
+        MemoryGeometry {
+            channels: 2,
+            dimms_per_channel: 1,
+            ranks_per_dimm: 1,
+            banks_per_rank: 4,
+            lines: (4u64 << 30) / 64,
+        }
+    }
+
+    /// A scaled-down geometry for lifetime simulation: same interleaving,
+    /// fewer lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or not a multiple of the bank count.
+    pub fn scaled(lines: u64) -> Self {
+        let mut g = MemoryGeometry::paper();
+        assert!(lines > 0, "need at least one line");
+        assert_eq!(
+            lines % g.total_banks() as u64,
+            0,
+            "line count must divide evenly over {} banks",
+            g.total_banks()
+        );
+        g.lines = lines;
+        g
+    }
+
+    /// Data chips per rank (the ninth chip stores ECC).
+    pub fn data_chips_per_rank(&self) -> u32 {
+        8
+    }
+
+    /// Total banks across the whole memory.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.dimms_per_channel * self.ranks_per_dimm * self.banks_per_rank
+    }
+
+    /// Total capacity in data bytes (excluding the ECC chip).
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.lines * 64
+    }
+
+    /// Lines served by each bank.
+    pub fn lines_per_bank(&self) -> u64 {
+        self.lines / self.total_banks() as u64
+    }
+
+    /// Maps a line address to its bank (cache-line interleaving: channel
+    /// bits first, then bank bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn bank_of(&self, line: u64) -> BankAddress {
+        assert!(line < self.lines, "line {line} out of range");
+        let channel = (line % self.channels as u64) as u32;
+        let rest = line / self.channels as u64;
+        let bank = (rest % self.banks_per_rank as u64) as u32;
+        let rest = rest / self.banks_per_rank as u64;
+        let rank = (rest % self.ranks_per_dimm as u64) as u32;
+        let rest = rest / self.ranks_per_dimm as u64;
+        let dimm = (rest % self.dimms_per_channel as u64) as u32;
+        BankAddress { channel, dimm, rank, bank }
+    }
+
+    /// Flat bank index in `0..total_banks()` for a line address.
+    pub fn flat_bank_of(&self, line: u64) -> u32 {
+        let a = self.bank_of(line);
+        ((a.channel * self.dimms_per_channel + a.dimm) * self.ranks_per_dimm + a.rank)
+            * self.banks_per_rank
+            + a.bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_dimensions() {
+        let g = MemoryGeometry::paper();
+        assert_eq!(g.lines, 67_108_864);
+        assert_eq!(g.total_banks(), 8);
+        assert_eq!(g.lines_per_bank(), 8_388_608);
+    }
+
+    #[test]
+    fn interleaving_spreads_consecutive_lines() {
+        let g = MemoryGeometry::paper();
+        // Consecutive lines alternate channels.
+        assert_ne!(g.bank_of(0).channel, g.bank_of(1).channel);
+        // Lines 0 and 2 share a channel but differ in bank.
+        assert_eq!(g.bank_of(0).channel, g.bank_of(2).channel);
+        assert_ne!(g.bank_of(0).bank, g.bank_of(2).bank);
+    }
+
+    #[test]
+    fn flat_bank_covers_all_banks_uniformly() {
+        let g = MemoryGeometry::scaled(64);
+        let mut counts = vec![0u32; g.total_banks() as usize];
+        for line in 0..64 {
+            counts[g.flat_bank_of(line) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 8), "uniform spread, got {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bank_of_checks_range() {
+        let g = MemoryGeometry::scaled(64);
+        g.bank_of(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn scaled_rejects_ragged_line_count() {
+        MemoryGeometry::scaled(63);
+    }
+}

@@ -1,0 +1,154 @@
+//! DDR-style timing parameters of the PCM interface (paper Table II,
+//! following Lee et al., ISCA 2009).
+//!
+//! The bus runs at 400 MHz (2.5 ns cycles). Array latencies come from the
+//! device model: 48 ns reads, 40 ns RESET pulses, 150 ns SET pulses (the
+//! SET pulse dominates write occupancy).
+
+use serde::{Deserialize, Serialize};
+
+/// Interface and array timing of the simulated PCM DIMM.
+///
+/// All `t_*` fields are in bus cycles; array pulse widths are in
+/// nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_device::TimingParams;
+///
+/// let t = TimingParams::paper();
+/// assert_eq!(t.cycle_ns(), 2.5);
+/// // Read latency: activate + CAS + burst.
+/// assert_eq!(t.read_latency_cycles(), 60 + 5 + 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Bus clock in MHz.
+    pub clock_mhz: u32,
+    /// Activate-to-CAS delay (row access; dominated by the 48 ns array
+    /// read plus interface overhead), cycles.
+    pub t_rcd: u32,
+    /// CAS latency, cycles.
+    pub t_cl: u32,
+    /// Write latency (CAS write to first data), cycles.
+    pub t_wl: u32,
+    /// CAS-to-CAS delay, cycles.
+    pub t_ccd: u32,
+    /// Write-to-read turnaround, cycles.
+    pub t_wtr: u32,
+    /// Read-to-precharge, cycles.
+    pub t_rtp: u32,
+    /// Precharge (write-back of the row), cycles.
+    pub t_rp: u32,
+    /// Activate-to-activate (different bank) after an activate, cycles.
+    pub t_rrd_act: u32,
+    /// Activate-to-activate after a precharge, cycles.
+    pub t_rrd_pre: u32,
+    /// Burst length in transfers (eight transfers move one 64-byte line).
+    pub burst_len: u32,
+    /// Array read pulse, ns.
+    pub read_ns: f64,
+    /// RESET pulse, ns.
+    pub reset_ns: f64,
+    /// SET pulse, ns (dominates write occupancy).
+    pub set_ns: f64,
+}
+
+impl TimingParams {
+    /// The paper's Table II parameters.
+    pub fn paper() -> Self {
+        TimingParams {
+            clock_mhz: 400,
+            t_rcd: 60,
+            t_cl: 5,
+            t_wl: 4,
+            t_ccd: 4,
+            t_wtr: 4,
+            t_rtp: 3,
+            t_rp: 60,
+            t_rrd_act: 2,
+            t_rrd_pre: 11,
+            burst_len: 8,
+            read_ns: 48.0,
+            reset_ns: 40.0,
+            set_ns: 150.0,
+        }
+    }
+
+    /// Bus cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz as f64
+    }
+
+    /// Converts nanoseconds to whole bus cycles (rounded up).
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns / self.cycle_ns()).ceil() as u64
+    }
+
+    /// Data-bus cycles occupied by one line burst (double data rate: eight
+    /// transfers in four cycles).
+    pub fn burst_cycles(&self) -> u32 {
+        self.burst_len / 2
+    }
+
+    /// Idle-bank read latency in cycles: activate, CAS, burst.
+    pub fn read_latency_cycles(&self) -> u64 {
+        (self.t_rcd + self.t_cl + self.burst_cycles()) as u64
+    }
+
+    /// Bank occupancy of one read in cycles (through precharge).
+    pub fn read_occupancy_cycles(&self) -> u64 {
+        (self.t_rcd + self.t_cl + self.burst_cycles() + self.t_rtp + self.t_rp) as u64
+    }
+
+    /// Bank occupancy of one write in cycles: the SET pulse dominates the
+    /// array programming time.
+    pub fn write_occupancy_cycles(&self) -> u64 {
+        (self.t_wl + self.burst_cycles()) as u64 + self.ns_to_cycles(self.set_ns)
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_round_trip() {
+        let t = TimingParams::paper();
+        assert_eq!(t.cycle_ns(), 2.5);
+        assert_eq!(t.ns_to_cycles(150.0), 60);
+        assert_eq!(t.ns_to_cycles(48.0), 20);
+        assert_eq!(t.burst_cycles(), 4);
+    }
+
+    #[test]
+    fn read_latency_near_paper_array_read() {
+        let t = TimingParams::paper();
+        // 69 cycles at 2.5ns = 172.5ns end-to-end for an idle bank.
+        assert_eq!(t.read_latency_cycles(), 69);
+    }
+
+    #[test]
+    fn write_occupancy_dominated_by_set() {
+        let t = TimingParams::paper();
+        assert_eq!(t.write_occupancy_cycles(), 4 + 4 + 60);
+        // The 150 ns SET pulse is the dominant component.
+        assert!(t.ns_to_cycles(t.set_ns) * 2 > t.write_occupancy_cycles());
+        assert!(t.ns_to_cycles(t.set_ns) > t.ns_to_cycles(t.reset_ns));
+    }
+
+    #[test]
+    fn rounding_up_partial_cycles() {
+        let t = TimingParams::paper();
+        assert_eq!(t.ns_to_cycles(1.0), 1);
+        assert_eq!(t.ns_to_cycles(2.6), 2);
+        assert_eq!(t.ns_to_cycles(0.0), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Device-model behavioural tests spanning cells, DW, timing and queues.
+
+use pcm_device::access::{simulate, AccessConfig, Op, Request};
+use pcm_device::dw::{diff_write, FlipNWrite};
+use pcm_device::energy::EnergyModel;
+use pcm_device::{CellTech, EnduranceModel, LineWear, MemoryGeometry, TimingParams};
+use pcm_util::{seeded_rng, Line512};
+use rand::RngExt;
+
+#[test]
+fn wear_accumulates_exactly_with_write_history() {
+    // Replay a random write history and check per-cell wear equals the
+    // number of times each cell's value changed.
+    let mut rng = seeded_rng(81);
+    let mut line = LineWear::with_endurance(vec![u32::MAX; 512]);
+    let mut expected = vec![0u32; 512];
+    let mut current = Line512::zero();
+    for _ in 0..200 {
+        let target = if rng.random_bool(0.5) {
+            Line512::random(&mut rng)
+        } else {
+            let mut t = current;
+            t.set_byte(rng.random_range(0..64), rng.random());
+            t
+        };
+        for pos in (current ^ target).iter_ones() {
+            expected[pos] += 1;
+        }
+        line.write(&target);
+        current = target;
+    }
+    for pos in 0..512 {
+        assert_eq!(line.wear_of(pos), expected[pos], "cell {pos}");
+    }
+    assert_eq!(line.stored(), current);
+}
+
+#[test]
+fn endurance_variation_spreads_failure_times() {
+    // With CoV 0.15, cells under identical load must fail at different
+    // times.
+    let model = EnduranceModel::new(500.0, 0.15);
+    let mut rng = seeded_rng(82);
+    let mut line = LineWear::sample(&model, &mut rng);
+    let mut failure_times = Vec::new();
+    for round in 0..1500u32 {
+        let target = if round % 2 == 0 { Line512::ones() } else { Line512::zero() };
+        let out = line.write(&target);
+        for _ in out.new_faults {
+            failure_times.push(round);
+        }
+    }
+    assert!(failure_times.len() > 400, "most cells should have failed");
+    let first = failure_times.first().copied().unwrap();
+    let last = failure_times.last().copied().unwrap();
+    assert!(last - first > 100, "failures should spread over rounds: {first}..{last}");
+}
+
+#[test]
+fn mlc_line_dies_roughly_twice_as_fast_per_cell_budget() {
+    // Same endurance draw; MLC has half the cells, so alternating full-line
+    // writes exhaust it in the same number of writes, but each cell failure
+    // takes out two bits.
+    let model = EnduranceModel::new(100.0, 0.0);
+    let mut rng = seeded_rng(83);
+    let mut slc = LineWear::sample_with_tech(&model, CellTech::Slc, &mut rng);
+    let mut mlc = LineWear::sample_with_tech(&model, CellTech::Mlc2, &mut rng);
+    let mut slc_faults = 0;
+    let mut mlc_faults = 0;
+    for round in 0..300u32 {
+        let target = if round % 2 == 0 { Line512::ones() } else { Line512::zero() };
+        slc_faults += slc.write(&target).new_faults.len();
+        mlc_faults += mlc.write(&target).new_faults.len();
+    }
+    assert_eq!(slc_faults, 512);
+    assert_eq!(mlc_faults, 512, "every MLC bit also freezes (in cell pairs)");
+}
+
+#[test]
+fn access_sim_latency_monotone_in_load() {
+    let cfg = AccessConfig::paper();
+    let make = |gap: u64| -> Vec<Request> {
+        (0..2_000)
+            .map(|i| Request {
+                arrival: i * gap,
+                bank: (i % 8) as u32,
+                op: if i % 4 == 0 { Op::Write } else { Op::Read },
+                decompression_cycles: 0,
+            })
+            .collect()
+    };
+    let light = simulate(&cfg, &make(200));
+    let heavy = simulate(&cfg, &make(10));
+    assert!(
+        heavy.avg_read_latency >= light.avg_read_latency,
+        "heavier load must not reduce latency: {} vs {}",
+        heavy.avg_read_latency,
+        light.avg_read_latency
+    );
+    assert_eq!(light.reads + light.writes, 2_000);
+    assert_eq!(heavy.reads + heavy.writes, 2_000);
+}
+
+#[test]
+fn geometry_and_timing_are_self_consistent() {
+    let g = MemoryGeometry::paper();
+    let t = TimingParams::paper();
+    // Every line maps to a valid bank, and the flat index is stable.
+    let mut rng = seeded_rng(84);
+    for _ in 0..1_000 {
+        let line = rng.random_range(0..g.lines);
+        let flat = g.flat_bank_of(line);
+        assert!(flat < g.total_banks());
+        assert_eq!(g.flat_bank_of(line), flat, "mapping must be pure");
+    }
+    // A 64-byte burst at DDR 400MHz moves 72 bits/cycle-edge: 4 cycles.
+    assert_eq!(t.burst_cycles(), 4);
+}
+
+#[test]
+fn fnw_and_dw_agree_on_logical_content() {
+    let mut rng = seeded_rng(85);
+    let mut fnw = FlipNWrite::new(64);
+    let mut stored = Line512::zero();
+    for _ in 0..100 {
+        let data = Line512::random(&mut rng);
+        let (s, _) = fnw.write(&stored, &data);
+        assert_eq!(fnw.decode(&s), data);
+        stored = s;
+    }
+}
+
+#[test]
+fn energy_accounting_matches_flip_polarity() {
+    let mut rng = seeded_rng(86);
+    let e = EnergyModel::paper();
+    for _ in 0..100 {
+        let a = Line512::random(&mut rng);
+        let b = Line512::random(&mut rng);
+        let dw = diff_write(&a, &b);
+        assert_eq!(dw.sets() + dw.resets(), dw.flips());
+        let energy = e.write_energy_pj(&dw);
+        let lo = dw.flips() as f64 * e.set_pj;
+        let hi = dw.flips() as f64 * e.reset_pj;
+        assert!(energy >= lo && energy <= hi, "{energy} outside [{lo}, {hi}]");
+    }
+}

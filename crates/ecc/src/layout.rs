@@ -1,0 +1,251 @@
+//! Packed metadata codecs: proof that every scheme's per-line state fits
+//! the 64-bit ECC-chip budget of an ECC-DIMM (paper §II-A, §III-B).
+//!
+//! | scheme      | layout                                              | bits |
+//! |-------------|-----------------------------------------------------|------|
+//! | ECP-6       | 6 × (9-bit pointer + 1 replacement bit) + count     | 61   |
+//! | SAFER-32    | 7-bit subset index + 32 inversion bits              | 39   |
+//! | Aegis 17×31 | 5-bit partition id + 31 inversion bits              | 36   |
+//!
+//! ECP-6 leaves three spare bits; the paper dedicates one of them to the
+//! per-line *compressed* flag, so compression metadata costs no extra
+//! storage on the ECC chip.
+
+use crate::aegis::AegisCode;
+use crate::ecp::EcpCode;
+use crate::safer::SaferCode;
+
+/// Bits used by the packed ECP-6 code.
+pub const ECP6_BITS: u32 = 61;
+/// Bits used by the packed SAFER-32 code.
+pub const SAFER32_BITS: u32 = 39;
+/// Bits used by the packed Aegis 17×31 code.
+pub const AEGIS_17X31_BITS: u32 = 36;
+
+/// Error returned when unpacking malformed metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnpackError(pub &'static str);
+
+impl std::fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metadata unpack failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+/// Packs an ECP-6 code into its 61-bit layout:
+/// bits `[0,60)` hold six 10-bit entries (9-bit pointer, 1 replacement bit),
+/// bits `[60]`.. unused entries are marked by pointer `0x1FF` with
+/// replacement 1 (an otherwise impossible all-ones sentinel is avoided by
+/// storing the entry count in the top 3 bits instead).
+///
+/// Layout: `count (3 bits) << 60 | entries`, entry `i` at `i * 10`.
+///
+/// # Errors
+///
+/// Returns [`UnpackError`] if more than six pairs are present.
+pub fn pack_ecp6(code: &EcpCode) -> Result<u64, UnpackError> {
+    let pairs = code.pairs();
+    if pairs.len() > 6 {
+        return Err(UnpackError("ECP-6 holds at most six entries"));
+    }
+    let mut word = (pairs.len() as u64) << 60;
+    for (i, &(pos, bit)) in pairs.iter().enumerate() {
+        let entry = ((pos as u64) << 1) | bit as u64;
+        word |= entry << (i * 10);
+    }
+    Ok(word)
+}
+
+/// Unpacks a 61-bit ECP-6 code.
+///
+/// # Errors
+///
+/// Returns [`UnpackError`] if the count field exceeds six.
+pub fn unpack_ecp6(word: u64) -> Result<EcpCode, UnpackError> {
+    let count = (word >> 60) as usize;
+    if count > 6 {
+        return Err(UnpackError("ECP-6 count field exceeds six"));
+    }
+    let mut pairs = Vec::with_capacity(count);
+    for i in 0..count {
+        let entry = (word >> (i * 10)) & 0x3FF;
+        let pos = (entry >> 1) as u16;
+        let bit = entry & 1 == 1;
+        pairs.push((pos, bit));
+    }
+    Ok(EcpCode::from_pairs(pairs))
+}
+
+/// Packs a SAFER-32 code: subset index (7 bits, an index into the canonical
+/// ordering of the 126 subsets) then 32 inversion bits.
+///
+/// # Errors
+///
+/// Returns [`UnpackError`] if the subset mask is not a valid 5-of-9 mask or
+/// the inversion vector is not 32 long.
+pub fn pack_safer32(code: &SaferCode) -> Result<u64, UnpackError> {
+    if code.inversions.len() != 32 {
+        return Err(UnpackError("SAFER-32 needs exactly 32 inversion bits"));
+    }
+    let index = subset_index(code.subset_mask).ok_or(UnpackError("invalid SAFER subset mask"))?;
+    let mut word = index as u64;
+    for (i, &inv) in code.inversions.iter().enumerate() {
+        word |= (inv as u64) << (7 + i);
+    }
+    Ok(word)
+}
+
+/// Unpacks a 39-bit SAFER-32 code.
+///
+/// # Errors
+///
+/// Returns [`UnpackError`] if the subset index is out of range.
+pub fn unpack_safer32(word: u64) -> Result<SaferCode, UnpackError> {
+    let index = (word & 0x7F) as usize;
+    let mask = subset_from_index(index).ok_or(UnpackError("SAFER subset index out of range"))?;
+    let inversions = (0..32).map(|i| (word >> (7 + i)) & 1 == 1).collect();
+    Ok(SaferCode { subset_mask: mask, inversions })
+}
+
+/// Packs an Aegis 17×31 code: partition id (5 bits) then 31 inversion bits.
+///
+/// # Errors
+///
+/// Returns [`UnpackError`] if the partition id exceeds 17 or the inversion
+/// vector is longer than 31.
+pub fn pack_aegis_17x31(code: &AegisCode) -> Result<u64, UnpackError> {
+    if code.partition > 17 {
+        return Err(UnpackError("Aegis 17x31 partition id exceeds 17"));
+    }
+    if code.inversions.len() > 31 {
+        return Err(UnpackError("Aegis 17x31 holds at most 31 inversion bits"));
+    }
+    let mut word = code.partition as u64;
+    for (i, &inv) in code.inversions.iter().enumerate() {
+        word |= (inv as u64) << (5 + i);
+    }
+    Ok(word)
+}
+
+/// Unpacks a 36-bit Aegis 17×31 code.
+///
+/// # Errors
+///
+/// Returns [`UnpackError`] if the partition id exceeds 17.
+pub fn unpack_aegis_17x31(word: u64) -> Result<AegisCode, UnpackError> {
+    let partition = (word & 0x1F) as u32;
+    if partition > 17 {
+        return Err(UnpackError("Aegis 17x31 partition id exceeds 17"));
+    }
+    let inversions = (0..31).map(|i| (word >> (5 + i)) & 1 == 1).collect();
+    Ok(AegisCode { partition, inversions })
+}
+
+/// Canonical index of a 5-of-9 subset mask (ascending mask order).
+fn subset_index(mask: u16) -> Option<usize> {
+    if mask >= 1 << 9 || mask.count_ones() != 5 {
+        return None;
+    }
+    let mut idx = 0;
+    for m in 0u16..mask {
+        if m.count_ones() == 5 {
+            idx += 1;
+        }
+    }
+    Some(idx)
+}
+
+/// Inverse of [`subset_index`].
+fn subset_from_index(index: usize) -> Option<u16> {
+    (0u16..1 << 9).filter(|m| m.count_ones() == 5).nth(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecp6_round_trip() {
+        let code = EcpCode::from_pairs(vec![(0, true), (511, false), (256, true)]);
+        let word = pack_ecp6(&code).unwrap();
+        assert!(word >> ECP6_BITS <= 0b111, "fits 61+3 bits");
+        assert_eq!(unpack_ecp6(word).unwrap(), code);
+    }
+
+    #[test]
+    fn ecp6_empty_and_full() {
+        let empty = EcpCode::default();
+        assert_eq!(unpack_ecp6(pack_ecp6(&empty).unwrap()).unwrap(), empty);
+        let full = EcpCode::from_pairs((0..6).map(|i| (i * 85, i % 2 == 0)).collect());
+        assert_eq!(unpack_ecp6(pack_ecp6(&full).unwrap()).unwrap(), full);
+    }
+
+    #[test]
+    fn ecp6_rejects_seven() {
+        let code = EcpCode::from_pairs((0..7).map(|i| (i, true)).collect());
+        assert!(pack_ecp6(&code).is_err());
+    }
+
+    #[test]
+    fn safer32_round_trip() {
+        let mask = 0b0_0001_1111; // lowest five bits: a valid 5-of-9 subset
+        let code = SaferCode {
+            subset_mask: mask,
+            inversions: (0..32).map(|i| i % 3 == 0).collect(),
+        };
+        let word = pack_safer32(&code).unwrap();
+        assert!(word < 1 << SAFER32_BITS);
+        assert_eq!(unpack_safer32(word).unwrap(), code);
+    }
+
+    #[test]
+    fn safer32_all_subsets_round_trip() {
+        let mut count = 0;
+        for mask in 0u16..1 << 9 {
+            if mask.count_ones() == 5 {
+                let idx = subset_index(mask).unwrap();
+                assert_eq!(subset_from_index(idx), Some(mask));
+                count += 1;
+            }
+        }
+        assert_eq!(count, 126);
+        assert_eq!(subset_from_index(126), None);
+    }
+
+    #[test]
+    fn safer32_rejects_bad_mask() {
+        let code = SaferCode { subset_mask: 0b11, inversions: vec![false; 32] };
+        assert!(pack_safer32(&code).is_err());
+    }
+
+    #[test]
+    fn aegis_round_trip() {
+        for partition in [0u32, 5, 17] {
+            let code = AegisCode {
+                partition,
+                inversions: (0..31).map(|i| i % 2 == 1).collect(),
+            };
+            let word = pack_aegis_17x31(&code).unwrap();
+            assert!(word < 1 << AEGIS_17X31_BITS);
+            assert_eq!(unpack_aegis_17x31(word).unwrap(), code);
+        }
+    }
+
+    #[test]
+    fn aegis_rejects_bad_partition() {
+        let code = AegisCode { partition: 18, inversions: vec![false; 31] };
+        assert!(pack_aegis_17x31(&code).is_err());
+        assert!(unpack_aegis_17x31(18).is_err());
+    }
+
+    #[test]
+    fn budgets_fit_ecc_chip() {
+        assert!(ECP6_BITS <= 64);
+        assert!(SAFER32_BITS <= 64);
+        assert!(AEGIS_17X31_BITS <= 64);
+        // ECP-6 spare bits host the compressed flag (paper §III-B).
+        assert!(64 - ECP6_BITS >= 1);
+    }
+}

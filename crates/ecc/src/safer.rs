@@ -1,0 +1,355 @@
+//! SAFER: Stuck-At-Fault Error Recovery (Seong et al., MICRO 2010).
+//!
+//! SAFER exploits the fact that stuck-at faults are *readable*: if a group
+//! of cells contains at most one faulty cell, storing the group either
+//! as-is or inverted can always make the stuck cell agree with the data.
+//! SAFER-*n* partitions the 512 cell positions into `n` groups by selecting
+//! `log2(n)` of the 9 position-index bits; the partition is re-chosen
+//! dynamically as faults accumulate. SAFER-32 deterministically corrects 6
+//! faults and up to 32 probabilistically (paper §II-C).
+//!
+//! `can_store` performs the oracle feasibility check — *does any of the
+//! C(9, k) index-bit subsets isolate every fault in its own group?* — which
+//! is what the paper's Monte-Carlo experiment (Fig. 9b) measures.
+
+use crate::scheme::{EccError, HardErrorScheme};
+use pcm_util::fault::FaultMap;
+use pcm_util::{Line512, DATA_BITS};
+use serde::{Deserialize, Serialize};
+
+const INDEX_BITS: u32 = 9; // 512 positions
+
+/// The SAFER scheme, parameterized by its group count (a power of two).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::{Safer, HardErrorScheme};
+///
+/// let safer = Safer::new(32);
+/// assert_eq!(safer.name(), "SAFER-32");
+/// // Any six faults are deterministically separable.
+/// assert!(safer.can_store(&[0, 1, 2, 3, 4, 5]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Safer {
+    groups: u32,
+    /// All `C(9, k)` index-bit subsets, as 9-bit masks.
+    subsets: Vec<u16>,
+    /// Per subset, per group: the mask of line positions in that group
+    /// (precomputed so a write's inversion pass is a handful of XORs).
+    group_masks: Vec<Vec<Line512>>,
+}
+
+/// The per-line SAFER state: the chosen index-bit subset and the per-group
+/// inversion bits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaferCode {
+    /// 9-bit mask selecting the partition's index bits.
+    pub subset_mask: u16,
+    /// Inversion flag for each group (length = group count).
+    pub inversions: Vec<bool>,
+}
+
+/// Extracts the bits of `pos` selected by `mask`, packed densely
+/// (a software PEXT).
+fn extract_group(pos: u16, mask: u16) -> usize {
+    let mut out = 0usize;
+    let mut out_bit = 0;
+    for b in 0..INDEX_BITS {
+        if mask >> b & 1 == 1 {
+            out |= (((pos >> b) & 1) as usize) << out_bit;
+            out_bit += 1;
+        }
+    }
+    out
+}
+
+fn subsets_of_size(k: u32) -> Vec<u16> {
+    (0u16..1 << INDEX_BITS).filter(|m| m.count_ones() == k).collect()
+}
+
+impl Safer {
+    /// Creates a SAFER scheme with `groups` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is not a power of two in `2..=256`.
+    pub fn new(groups: u32) -> Self {
+        assert!(
+            groups.is_power_of_two() && (2..=256).contains(&groups),
+            "SAFER group count must be a power of two in 2..=256, got {groups}"
+        );
+        let k = groups.trailing_zeros();
+        let subsets = subsets_of_size(k);
+        let group_masks = subsets
+            .iter()
+            .map(|&mask| {
+                let mut per_group = vec![Line512::zero(); groups as usize];
+                for pos in 0..DATA_BITS {
+                    per_group[extract_group(pos as u16, mask)].set_bit(pos, true);
+                }
+                per_group
+            })
+            .collect();
+        Safer { groups, subsets, group_masks }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> u32 {
+        self.groups
+    }
+
+    /// Finds an index-bit subset that puts every fault in its own group.
+    ///
+    /// Returns the subset mask, or `None` if no partition isolates all
+    /// faults.
+    pub fn find_partition(&self, fault_positions: &[u16]) -> Option<u16> {
+        if fault_positions.len() as u32 > self.groups {
+            return None;
+        }
+        if fault_positions.is_empty() {
+            return self.subsets.first().copied();
+        }
+        'subset: for &mask in &self.subsets {
+            // Dense bitmap over at most 256 groups.
+            let mut seen = [0u64; 4];
+            for &pos in fault_positions {
+                let g = extract_group(pos, mask);
+                let (word, bit) = (g / 64, g % 64);
+                if seen[word] >> bit & 1 == 1 {
+                    continue 'subset;
+                }
+                seen[word] |= 1 << bit;
+            }
+            return Some(mask);
+        }
+        None
+    }
+
+    /// Stores `data` into a line with the given faults.
+    ///
+    /// Chooses a partition isolating every fault (falling back to any
+    /// partition whose same-group faults happen to *agree* on the required
+    /// inversion for this data, which lets SAFER opportunistically survive
+    /// beyond its guarantee), computes the per-group inversion bits, and
+    /// returns the physical line plus the [`SaferCode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::TooManyFaults`] when no partition works for this
+    /// data.
+    pub fn write(&self, data: &Line512, faults: &FaultMap) -> Result<(Line512, SaferCode), EccError> {
+        let positions: Vec<u16> = faults.iter().map(|f| f.pos).collect();
+        // Prefer a deterministic partition; otherwise try data-dependent
+        // agreement.
+        let chosen = self
+            .find_partition(&positions)
+            .or_else(|| self.find_agreeing_partition(data, faults));
+        let Some(mask) = chosen else {
+            return Err(EccError::TooManyFaults { scheme: self.name(), faults: faults.count() });
+        };
+        let inversions = self.inversions_for(mask, data, faults).expect("partition was validated");
+        let stored = faults.apply(self.transform(data, mask, &inversions));
+        Ok((stored, SaferCode { subset_mask: mask, inversions }))
+    }
+
+    /// Reconstructs the original data from a physical line and its code.
+    pub fn read(&self, stored: &Line512, code: &SaferCode) -> Line512 {
+        // Inversion is an involution: applying the same per-group flips
+        // recovers the data, and stuck cells were made to agree at write.
+        self.transform(stored, code.subset_mask, &code.inversions)
+    }
+
+    /// Applies per-group inversions to a line (a XOR per inverted group).
+    fn transform(&self, line: &Line512, mask: u16, inversions: &[bool]) -> Line512 {
+        let idx = self
+            .subsets
+            .iter()
+            .position(|&m| m == mask)
+            .expect("mask comes from this scheme's subset list");
+        let mut out = *line;
+        for (g, &inv) in inversions.iter().enumerate() {
+            if inv {
+                out = out ^ self.group_masks[idx][g];
+            }
+        }
+        out
+    }
+
+    /// Computes the inversion bit per group so every stuck cell matches the
+    /// data; `None` if two faults in one group disagree.
+    fn inversions_for(&self, mask: u16, data: &Line512, faults: &FaultMap) -> Option<Vec<bool>> {
+        let mut inversions = vec![false; self.groups as usize];
+        let mut fixed = vec![false; self.groups as usize];
+        for f in faults.iter() {
+            let g = extract_group(f.pos, mask);
+            let needed = data.bit(f.pos as usize) != f.value;
+            if fixed[g] && inversions[g] != needed {
+                return None;
+            }
+            inversions[g] = needed;
+            fixed[g] = true;
+        }
+        Some(inversions)
+    }
+
+    fn find_agreeing_partition(&self, data: &Line512, faults: &FaultMap) -> Option<u16> {
+        self.subsets.iter().copied().find(|&mask| self.inversions_for(mask, data, faults).is_some())
+    }
+}
+
+impl HardErrorScheme for Safer {
+    fn name(&self) -> &'static str {
+        match self.groups {
+            32 => "SAFER-32",
+            _ => "SAFER",
+        }
+    }
+
+    fn guaranteed(&self) -> u32 {
+        // SAFER-32's deterministic guarantee (MICRO'10): 6 faults.
+        // More generally k+1 for 2^k groups.
+        self.groups.trailing_zeros() + 1
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        // Group inversion bits + partition selector (log2 C(9,k) rounded up).
+        let k = self.groups.trailing_zeros();
+        let choices = self.subsets.len() as u32;
+        let selector = 32 - (choices - 1).leading_zeros();
+        let _ = k;
+        self.groups + selector
+    }
+
+    fn can_store(&self, fault_positions: &[u16]) -> bool {
+        self.find_partition(fault_positions).is_some()
+    }
+}
+
+impl std::fmt::Display for Safer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SAFER-{}", self.groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_util::fault::StuckAt;
+    use pcm_util::seeded_rng;
+    use rand::seq::SliceRandom;
+
+    #[test]
+    fn six_faults_always_separable() {
+        // MICRO'10 guarantee: any 6 faults are separable by some subset.
+        let mut rng = seeded_rng(31);
+        let safer = Safer::new(32);
+        let mut all: Vec<u16> = (0..512).collect();
+        for _ in 0..200 {
+            all.shuffle(&mut rng);
+            let faults = &all[..6];
+            assert!(safer.can_store(faults), "faults {faults:?} not separable");
+        }
+    }
+
+    #[test]
+    fn more_than_32_faults_never_fit() {
+        let safer = Safer::new(32);
+        let faults: Vec<u16> = (0..33).collect();
+        assert!(!safer.can_store(&faults));
+    }
+
+    #[test]
+    fn adversarial_faults_can_defeat_safer() {
+        // 16 faults that share the low 4 index bits pairwise collide in many
+        // partitions; two positions differing in *no* selectable way must
+        // fail. Positions that agree on every subset of 5 bits can't exist
+        // (they'd be equal), but clustered positions sharing 8 of 9 bits
+        // stress the search. Verify the checker at least degrades:
+        let safer = Safer::new(32);
+        // Positions 0..16 all share bits 4..9 = 0; separability requires the
+        // subset to include enough low bits.
+        let close: Vec<u16> = (0..16).collect();
+        // With 5 selectable bits and 16 faults in a 16-position cube, the
+        // subset must cover all 4 low bits; C(5 of 9) includes such subsets,
+        // so this *is* separable.
+        assert!(safer.can_store(&close));
+        // But 17 faults inside a 16-position cube are pigeonhole-infeasible
+        // for any 4-bit-distinguishing subset... position 16 differs in bit 4.
+        let mut seventeen = close.clone();
+        seventeen.push(16);
+        // Can't assert infeasible a priori; just exercise the search.
+        let _ = safer.can_store(&seventeen);
+    }
+
+    #[test]
+    fn write_read_round_trip_beyond_ecp_capacity() {
+        let mut rng = seeded_rng(32);
+        let safer = Safer::new(32);
+        // 20 spread-out faults: deterministically separable positions
+        // (distinct high bits).
+        let faults: FaultMap =
+            (0..20u16).map(|i| StuckAt { pos: i * 25, value: i % 2 == 0 }).collect();
+        let positions: Vec<u16> = faults.iter().map(|f| f.pos).collect();
+        if safer.can_store(&positions) {
+            for _ in 0..16 {
+                let data = Line512::random(&mut rng);
+                let (stored, code) = safer.write(&data, &faults).unwrap();
+                for f in faults.iter() {
+                    assert_eq!(stored.bit(f.pos as usize), f.value, "stuck cell respected");
+                }
+                assert_eq!(safer.read(&stored, &code), data);
+            }
+        } else {
+            panic!("20 spread faults should be separable");
+        }
+    }
+
+    #[test]
+    fn group_extraction_is_dense() {
+        // mask with bits 0 and 8 selected: pos 0b1_0000_0001 -> group 0b11.
+        assert_eq!(extract_group(0b1_0000_0001, 0b1_0000_0001), 0b11);
+        assert_eq!(extract_group(0b1_0000_0000, 0b1_0000_0001), 0b10);
+        assert_eq!(extract_group(0b0_0000_0001, 0b1_0000_0001), 0b01);
+    }
+
+    #[test]
+    fn subset_count_matches_binomial() {
+        let safer = Safer::new(32);
+        assert_eq!(safer.subsets.len(), 126); // C(9,5)
+        let safer4 = Safer::new(4);
+        assert_eq!(safer4.subsets.len(), 36); // C(9,2)
+    }
+
+    #[test]
+    fn metadata_fits_ecc_chip() {
+        let safer = Safer::new(32);
+        assert!(safer.metadata_bits() <= 64, "{} bits", safer.metadata_bits());
+    }
+
+    #[test]
+    fn opportunistic_agreement_beyond_guarantee() {
+        // Two faults forced into the same group for every partition choice
+        // can still work when their required inversions agree. Build a case:
+        // all-zero data, two stuck-at-0 cells anywhere — inversion false
+        // works for every group, so write must succeed even if inseparable.
+        let safer = Safer::new(2); // 1 index bit: easy to collide
+        let faults: FaultMap = [
+            StuckAt { pos: 0, value: false },
+            StuckAt { pos: 2, value: false }, // same bit-0 parity as pos 0
+            StuckAt { pos: 4, value: false },
+        ]
+        .into_iter()
+        .collect();
+        let data = Line512::zero();
+        let (stored, code) = safer.write(&data, &faults).unwrap();
+        assert_eq!(safer.read(&stored, &code), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Safer::new(12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-scheme behavioural matrix: every hard-error scheme, exercised on
+//! the same fault populations, must honour its documented guarantee and
+//! its relative strength ordering.
+
+use pcm_ecc::{find_window, Aegis, Ecp, HardErrorScheme, Safer, Secded};
+use pcm_util::fault::{FaultMap, StuckAt};
+use pcm_util::{seeded_rng, Line512};
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+fn schemes() -> Vec<Box<dyn HardErrorScheme>> {
+    vec![
+        Box::new(Secded::new()),
+        Box::new(Ecp::new(6)),
+        Box::new(Safer::new(32)),
+        Box::new(Aegis::new(17, 31)),
+    ]
+}
+
+#[test]
+fn guarantees_hold_on_random_fault_sets() {
+    let mut rng = seeded_rng(71);
+    let mut all: Vec<u16> = (0..512).collect();
+    for scheme in schemes() {
+        let g = scheme.guaranteed() as usize;
+        for _ in 0..300 {
+            all.shuffle(&mut rng);
+            let mut faults = all[..g].to_vec();
+            faults.sort_unstable();
+            assert!(
+                scheme.can_store(&faults),
+                "{} must guarantee {g} faults (set {faults:?})",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn empirical_strength_ordering() {
+    // At 12 uniformly-placed faults: SECDED usually fails, ECP-6 always
+    // fails, SAFER/Aegis usually succeed.
+    let mut rng = seeded_rng(72);
+    let mut all: Vec<u16> = (0..512).collect();
+    let trials = 300;
+    let mut success = [0usize; 4];
+    let schemes = schemes();
+    for _ in 0..trials {
+        all.shuffle(&mut rng);
+        let mut faults = all[..12].to_vec();
+        faults.sort_unstable();
+        for (i, s) in schemes.iter().enumerate() {
+            if s.can_store(&faults) {
+                success[i] += 1;
+            }
+        }
+    }
+    let [secded, ecp, safer, aegis] = success;
+    assert_eq!(ecp, 0, "ECP-6 can never hold 12 faults");
+    assert!(secded < trials / 2, "SECDED should usually fail at 12 faults, {secded}/{trials}");
+    assert!(safer > trials * 9 / 10, "SAFER should usually separate 12 faults, {safer}/{trials}");
+    // Aegis has only 18 partitions vs SAFER's 126 subsets, so its
+    // probabilistic success rate at 12 faults is slightly lower.
+    assert!(aegis > trials * 8 / 10, "Aegis should usually separate 12 faults, {aegis}/{trials}");
+}
+
+#[test]
+fn window_search_agrees_with_exhaustive_check() {
+    // find_window's result must be exactly the first offset whose window
+    // passes can_store.
+    let mut rng = seeded_rng(73);
+    let ecp = Ecp::new(6);
+    for _ in 0..200 {
+        let n = rng.random_range(0..40);
+        let mut all: Vec<u16> = (0..512).collect();
+        all.shuffle(&mut rng);
+        let mut faults = all[..n].to_vec();
+        faults.sort_unstable();
+        let len = rng.random_range(1..=64);
+        let got = find_window(&ecp, &faults, len);
+        let expected = (0..=(64 - len)).find(|&o| {
+            let lo = (o * 8) as u16;
+            let hi = ((o + len) * 8) as u16;
+            faults.iter().filter(|&&p| p >= lo && p < hi).count() <= 6
+        });
+        assert_eq!(got, expected, "faults {faults:?} len {len}");
+    }
+}
+
+#[test]
+fn write_paths_round_trip_at_their_guarantee() {
+    // For each scheme: place exactly `guaranteed()` faults, store 100
+    // random lines, read back exactly.
+    let mut rng = seeded_rng(74);
+    let ecp = Ecp::new(6);
+    let safer = Safer::new(32);
+    let aegis = Aegis::new(17, 31);
+    let secded = Secded::new();
+
+    let mut all: Vec<u16> = (0..512).collect();
+    all.shuffle(&mut rng);
+
+    // SECDED: one fault per word.
+    let secded_faults: FaultMap =
+        (0..8u16).map(|w| StuckAt { pos: w * 64 + 13, value: w % 2 == 0 }).collect();
+    // Others: 6 random faults.
+    let shared: FaultMap =
+        all[..6].iter().map(|&pos| StuckAt { pos, value: pos % 3 == 0 }).collect();
+
+    for _ in 0..100 {
+        let data = Line512::random(&mut rng);
+
+        let (stored, code) = ecp.write(&data, &shared).unwrap();
+        assert_eq!(ecp.read(&stored, &code), data);
+
+        let (stored, code) = safer.write(&data, &shared).unwrap();
+        assert_eq!(safer.read(&stored, &code), data);
+
+        let (stored, code) = aegis.write(&data, &shared).unwrap();
+        assert_eq!(aegis.read(&stored, &code), data);
+
+        let (stored, code) = secded.write(&data, &secded_faults).unwrap();
+        assert_eq!(secded.read(&stored, &code), data);
+    }
+}
+
+#[test]
+fn metadata_budgets_respect_the_ecc_dimm() {
+    for scheme in schemes() {
+        assert!(
+            scheme.metadata_bits() <= 64,
+            "{} uses {} bits, exceeding the 64-bit ECC chip budget",
+            scheme.name(),
+            scheme.metadata_bits()
+        );
+    }
+}

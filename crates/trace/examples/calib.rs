@@ -1,0 +1,39 @@
+//! Calibration report: realized statistics of every workload profile.
+//!
+//! Prints, per content class, the mean BEST-compressed size, then per
+//! SPEC-like profile: target vs realized compression ratio, the
+//! per-address max-size CDF point the Fig. 11 study uses, and the
+//! consecutive-write size-change probability (Fig. 6). Used when tuning
+//! the class mixtures in `profile.rs`.
+//!
+//! Run with: `cargo run -p pcm-trace --release --example calib`
+
+use pcm_compress::compress_best;
+use pcm_trace::calibrate::{calibrate, max_size_cdf, size_change_probability};
+use pcm_trace::content::ALL_CLASSES;
+use pcm_trace::profile::ALL_APPS;
+use pcm_trace::TraceGenerator;
+
+fn main() {
+    let mut rng = pcm_util::seeded_rng(1);
+    for class in ALL_CLASSES {
+        let total: usize =
+            (0..2000).map(|_| compress_best(&class.generate(&mut rng)).size()).sum();
+        println!("class {:10} mean {:.1}", class.to_string(), total as f64 / 2000.0);
+    }
+    for app in ALL_APPS {
+        let c = calibrate(&app.profile(), 512, 1000 + app as u64, 6000);
+        let mut g = TraceGenerator::from_profile(app.profile(), 256, 4);
+        let cdf = max_size_cdf(&mut g, 20000);
+        let mut g2 = TraceGenerator::from_profile(app.profile(), 64, 3);
+        let scp = size_change_probability(&mut g2, 8000);
+        println!(
+            "{:10} target {:.2} realized {:.3} | cdf<=25B {:.2} | sizechange {:.2}",
+            app.name(),
+            c.target_cr,
+            c.realized_cr,
+            cdf.fraction_le(25.0),
+            scp
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Measurement of realized workload statistics.
+//!
+//! These functions recompute, from generated traces, the statistics the
+//! paper publishes — compression ratio, BDI-vs-FPC sizes, size-change
+//! probability, size CDFs — so tests can pin the generative model to
+//! Table III and Figs. 3/6/11, and the benchmark harness can print them.
+
+use crate::generator::TraceGenerator;
+use crate::profile::WorkloadProfile;
+use pcm_compress::{bdi, compress_best, fpc, Method};
+use pcm_util::stats::Ecdf;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Realized compression statistics of a workload (Fig. 3, Table III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Mean compressed size under BDI alone (64 where inapplicable).
+    pub bdi_mean: f64,
+    /// Mean compressed size under FPC alone (capped at 64).
+    pub fpc_mean: f64,
+    /// Mean compressed size under the best-of selector.
+    pub best_mean: f64,
+    /// Realized compression ratio (`best_mean / 64`).
+    pub cr: f64,
+    /// Fraction of writes stored uncompressed.
+    pub uncompressed_fraction: f64,
+    /// Fraction of compressed writes won by FPC.
+    pub fpc_win_fraction: f64,
+}
+
+/// Measures compression statistics over `n` generated write-backs.
+pub fn compression_stats(generator: &mut TraceGenerator, n: usize) -> CompressionStats {
+    assert!(n > 0, "need at least one write");
+    let mut bdi_sum = 0usize;
+    let mut fpc_sum = 0usize;
+    let mut best_sum = 0usize;
+    let mut uncompressed = 0usize;
+    let mut fpc_wins = 0usize;
+    let mut compressed = 0usize;
+    for _ in 0..n {
+        let w = generator.next_write();
+        bdi_sum += bdi::compress(&w.data).map(|c| c.size()).unwrap_or(64);
+        fpc_sum += fpc::compress(&w.data).size().min(64);
+        let best = compress_best(&w.data);
+        best_sum += best.size();
+        match best.method() {
+            Method::Uncompressed => uncompressed += 1,
+            Method::Fpc => {
+                compressed += 1;
+                fpc_wins += 1;
+            }
+            Method::Bdi(_) => compressed += 1,
+        }
+    }
+    let nf = n as f64;
+    CompressionStats {
+        bdi_mean: bdi_sum as f64 / nf,
+        fpc_mean: fpc_sum as f64 / nf,
+        best_mean: best_sum as f64 / nf,
+        cr: best_sum as f64 / nf / 64.0,
+        uncompressed_fraction: uncompressed as f64 / nf,
+        fpc_win_fraction: if compressed > 0 { fpc_wins as f64 / compressed as f64 } else { 0.0 },
+    }
+}
+
+/// Probability that two consecutive writes to the same block have
+/// different compressed sizes (Fig. 6).
+pub fn size_change_probability(generator: &mut TraceGenerator, n: usize) -> f64 {
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut pairs = 0u64;
+    let mut changes = 0u64;
+    for _ in 0..n {
+        let w = generator.next_write();
+        let size = compress_best(&w.data).size();
+        if let Some(prev) = last.insert(w.line, size) {
+            pairs += 1;
+            if prev != size {
+                changes += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        changes as f64 / pairs as f64
+    }
+}
+
+/// Per-address **maximum** compressed size distribution (Fig. 11): for
+/// every line, the largest compressed write observed.
+pub fn max_size_cdf(generator: &mut TraceGenerator, n: usize) -> Ecdf {
+    let mut max_size: HashMap<u64, usize> = HashMap::new();
+    for _ in 0..n {
+        let w = generator.next_write();
+        let size = compress_best(&w.data).size();
+        max_size.entry(w.line).and_modify(|s| *s = (*s).max(size)).or_insert(size);
+    }
+    Ecdf::new(max_size.into_values().map(|s| s as f64).collect())
+}
+
+/// The compressed-size series of consecutive writes to one block (Fig. 7).
+pub fn block_size_series(generator: &mut TraceGenerator, line: u64, writes: usize) -> Vec<usize> {
+    (0..writes).map(|_| compress_best(&generator.next_write_to(line).data).size()).collect()
+}
+
+/// Calibration verdict for one profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The target CR from Table III.
+    pub target_cr: f64,
+    /// Realized CR.
+    pub realized_cr: f64,
+    /// Absolute error.
+    pub error: f64,
+}
+
+/// Compares a profile's realized CR against its Table III target.
+pub fn calibrate(profile: &WorkloadProfile, lines: u64, seed: u64, n: usize) -> Calibration {
+    let mut generator = TraceGenerator::from_profile(profile.clone(), lines, seed);
+    let stats = compression_stats(&mut generator, n);
+    Calibration {
+        target_cr: profile.target_cr,
+        realized_cr: stats.cr,
+        error: (stats.cr - profile.target_cr).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{SpecApp, ALL_APPS};
+
+    /// The headline calibration: every workload's realized CR must match
+    /// Table III within tolerance.
+    #[test]
+    fn realized_cr_matches_table3() {
+        for app in ALL_APPS {
+            let c = calibrate(&app.profile(), 512, 1000 + app as u64, 6_000);
+            assert!(
+                c.error < 0.08,
+                "{}: realized CR {:.3} vs target {:.3}",
+                app.name(),
+                c.realized_cr,
+                c.target_cr
+            );
+        }
+    }
+
+    #[test]
+    fn best_beats_both_components() {
+        let mut g = TraceGenerator::from_profile(SpecApp::Milc.profile(), 256, 2);
+        let s = compression_stats(&mut g, 4_000);
+        assert!(s.best_mean <= s.bdi_mean + 1e-9);
+        assert!(s.best_mean <= s.fpc_mean + 1e-9);
+        assert!(s.cr > 0.0 && s.cr < 1.0);
+    }
+
+    #[test]
+    fn size_change_probability_tracks_volatility() {
+        let vol = {
+            let mut g = TraceGenerator::from_profile(SpecApp::Gcc.profile(), 64, 3);
+            size_change_probability(&mut g, 8_000)
+        };
+        let stable = {
+            let mut g = TraceGenerator::from_profile(SpecApp::CactusADM.profile(), 64, 3);
+            size_change_probability(&mut g, 8_000)
+        };
+        assert!(vol > 0.6, "gcc size-change probability {vol}");
+        assert!(stable < 0.2, "cactusADM size-change probability {stable}");
+    }
+
+    #[test]
+    fn milc_cdf_is_bottom_heavy_gcc_is_spread() {
+        // Fig. 11: ~80% of milc addresses peak below 25 bytes; gcc spreads
+        // its mass toward larger sizes.
+        let milc = {
+            let mut g = TraceGenerator::from_profile(SpecApp::Milc.profile(), 256, 4);
+            max_size_cdf(&mut g, 20_000)
+        };
+        let gcc = {
+            let mut g = TraceGenerator::from_profile(SpecApp::Gcc.profile(), 256, 4);
+            max_size_cdf(&mut g, 20_000)
+        };
+        assert!(
+            milc.fraction_le(25.0) > 0.55,
+            "milc addresses should mostly stay small, got {}",
+            milc.fraction_le(25.0)
+        );
+        assert!(
+            gcc.fraction_le(25.0) < 0.35,
+            "gcc addresses should mostly exceed 25B at peak, got {}",
+            gcc.fraction_le(25.0)
+        );
+    }
+
+    #[test]
+    fn block_series_shapes() {
+        // Fig. 7: bzip2 blocks swing, hmmer blocks stay flat.
+        let bzip2 = {
+            let mut g = TraceGenerator::from_profile(SpecApp::Bzip2.profile(), 16, 5);
+            block_size_series(&mut g, 3, 60)
+        };
+        let hmmer = {
+            let mut g = TraceGenerator::from_profile(SpecApp::Hmmer.profile(), 16, 5);
+            block_size_series(&mut g, 3, 60)
+        };
+        let distinct = |xs: &[usize]| {
+            let mut v = xs.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert!(
+            distinct(&bzip2) >= distinct(&hmmer),
+            "bzip2 sizes {:?} vs hmmer {:?}",
+            distinct(&bzip2),
+            distinct(&hmmer)
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Block-content classes and their generation/mutation rules.
+//!
+//! Every memory block in a synthetic workload belongs to a *content class*
+//! that determines how it compresses under BDI/FPC. Classes are chosen to
+//! span the compressed-size spectrum the paper's Fig. 3/11 report, and each
+//! class has a *mutation* rule (what a rewrite of the same logical data
+//! looks like) so consecutive writes exhibit realistic differential-write
+//! flip counts (Fig. 1) without changing the compressed size.
+
+use pcm_util::Line512;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A content class: a generator of 64-byte blocks with a characteristic
+/// compressed size.
+///
+/// | class      | typical BEST size | winning codec |
+/// |------------|-------------------|---------------|
+/// | `Zero`     | 1 B               | BDI zeros     |
+/// | `Repeated` | 8 B               | BDI rep-8     |
+/// | `Narrow1`  | 16 B              | BDI B8Δ1      |
+/// | `FpcSmall` | 10–25 B           | FPC           |
+/// | `Narrow2`  | 24 B              | BDI B8Δ2      |
+/// | `Narrow4`  | 40 B              | BDI B8Δ4      |
+/// | `Mixed`    | 40–55 B           | FPC           |
+/// | `Random`   | 64 B              | uncompressed  |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentClass {
+    /// All-zero block (freshly calloc'd / sparse data).
+    Zero,
+    /// One 8-byte value repeated (memset-style fills).
+    Repeated,
+    /// 8-byte values within ±127 of a base (dense integer arrays).
+    Narrow1,
+    /// 8-byte values within ±32767 of a base (pointer-like values).
+    Narrow2,
+    /// Small independent 4-byte integers with frequent zeros.
+    FpcSmall,
+    /// 8-byte values within ±2^31 of a base (scattered pointers, doubles
+    /// with shared exponents).
+    Narrow4,
+    /// Half narrow values, half random (structs mixing ints and floats).
+    Mixed,
+    /// Incompressible data (encrypted/packed floats).
+    Random,
+}
+
+/// All classes, in ascending compressed-size order. The trace generator's
+/// *bounded wander* (a block morphs only to size-adjacent classes of its
+/// per-address affinity) indexes into this ordering.
+pub const ALL_CLASSES: [ContentClass; 8] = [
+    ContentClass::Zero,
+    ContentClass::Repeated,
+    ContentClass::Narrow1,
+    ContentClass::FpcSmall,
+    ContentClass::Narrow2,
+    ContentClass::Narrow4,
+    ContentClass::Mixed,
+    ContentClass::Random,
+];
+
+impl ContentClass {
+    /// Index of this class in the size-ordered [`ALL_CLASSES`] list.
+    pub fn size_rank(&self) -> usize {
+        ALL_CLASSES.iter().position(|c| c == self).expect("class listed")
+    }
+}
+
+impl ContentClass {
+    /// Generates a fresh block of this class.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Line512 {
+        match self {
+            ContentClass::Zero => Line512::zero(),
+            ContentClass::Repeated => Line512::from_words([rng.random(); 8]),
+            ContentClass::Narrow1 => narrow(rng, 127),
+            ContentClass::Narrow2 => narrow(rng, 32_000),
+            ContentClass::Narrow4 => narrow(rng, 2_000_000_000),
+            ContentClass::FpcSmall => fpc_small(rng),
+            ContentClass::Mixed => mixed(rng),
+            ContentClass::Random => Line512::random(rng),
+        }
+    }
+
+    /// Mutates `current` in place-style: rewrites roughly
+    /// `words_changed` of the eight 8-byte words while *staying in class*,
+    /// so the compressed size is (near-)stable — the behaviour the paper
+    /// observes for hmmer-like blocks (Fig. 7b).
+    pub fn mutate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        current: &Line512,
+        words_changed: usize,
+    ) -> Line512 {
+        let words_changed = words_changed.min(8);
+        match self {
+            ContentClass::Zero => Line512::zero(),
+            ContentClass::Repeated => {
+                // The repeated value itself changes occasionally.
+                if rng.random_bool(0.3) {
+                    Line512::from_words([rng.random(); 8])
+                } else {
+                    *current
+                }
+            }
+            ContentClass::Random => {
+                let mut words = current.words();
+                for _ in 0..words_changed {
+                    words[rng.random_range(0..8)] = rng.random();
+                }
+                Line512::from_words(words)
+            }
+            ContentClass::FpcSmall => {
+                let mut bytes = current.to_bytes();
+                let fresh = fpc_small(rng).to_bytes();
+                for _ in 0..words_changed {
+                    let w = rng.random_range(0..8);
+                    bytes[w * 8..w * 8 + 8].copy_from_slice(&fresh[w * 8..w * 8 + 8]);
+                }
+                Line512::from_bytes(&bytes)
+            }
+            ContentClass::Mixed => {
+                let mut words = current.words();
+                for _ in 0..words_changed {
+                    let w = rng.random_range(0..8);
+                    // Preserve the half-small / half-random structure.
+                    words[w] = if w < 4 { small_pair(rng) } else { rng.random() };
+                }
+                Line512::from_words(words)
+            }
+            ContentClass::Narrow1 | ContentClass::Narrow2 | ContentClass::Narrow4 => {
+                let span: i64 = match self {
+                    ContentClass::Narrow1 => 127,
+                    ContentClass::Narrow2 => 32_000,
+                    _ => 2_000_000_000,
+                };
+                let mut words = current.words();
+                let base = words[0];
+                for _ in 0..words_changed {
+                    let w = rng.random_range(1..8);
+                    words[w] = base.wrapping_add(rng.random_range(-span..=span) as u64);
+                }
+                Line512::from_words(words)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ContentClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+fn narrow<R: Rng + ?Sized>(rng: &mut R, span: i64) -> Line512 {
+    let base: u64 = rng.random();
+    let mut words = [0u64; 8];
+    words[0] = base;
+    for w in words.iter_mut().skip(1) {
+        *w = base.wrapping_add(rng.random_range(-span..=span) as u64);
+    }
+    Line512::from_words(words)
+}
+
+fn fpc_small<R: Rng + ?Sized>(rng: &mut R) -> Line512 {
+    // Fixed composition (7 zero words, 5 byte-sized, 4 halfword-sized),
+    // shuffled: keeps the FPC size tightly around 18–22 bytes so FpcSmall
+    // addresses stay in their size tier (paper Fig. 11).
+    let mut kinds = [0u8; 16];
+    for (i, k) in kinds.iter_mut().enumerate() {
+        *k = match i {
+            0..=6 => 0,
+            7..=11 => 1,
+            _ => 2,
+        };
+    }
+    for i in (1..16).rev() {
+        let j = rng.random_range(0..=i);
+        kinds.swap(i, j);
+    }
+    let mut bytes = [0u8; 64];
+    for (w, kind) in kinds.iter().enumerate() {
+        let value: i32 = match kind {
+            0 => 0,
+            1 => loop {
+                let v = rng.random_range(-128..128);
+                if v != 0 {
+                    break v;
+                }
+            },
+            _ => loop {
+                let v = rng.random_range(-32_768..32_768);
+                if !(-128..128).contains(&v) {
+                    break v;
+                }
+            },
+        };
+        bytes[w * 4..w * 4 + 4].copy_from_slice(&value.to_le_bytes());
+    }
+    Line512::from_bytes(&bytes)
+}
+
+/// One 8-byte word holding two small (FPC-friendly) 4-byte integers.
+fn small_pair<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    let mut pair = 0u64;
+    for half in 0..2 {
+        let v: i32 = if rng.random_bool(0.5) {
+            0
+        } else if rng.random_bool(0.5) {
+            rng.random_range(-128..128)
+        } else {
+            rng.random_range(-30_000..30_000)
+        };
+        pair |= ((v as u32) as u64) << (32 * half);
+    }
+    pair
+}
+
+fn mixed<R: Rng + ?Sized>(rng: &mut R) -> Line512 {
+    // Low half: FPC-friendly small integers; high half: incompressible.
+    // BDI fails (no common base), FPC lands around 45 bytes.
+    let mut words = [0u64; 8];
+    for (w, word) in words.iter_mut().enumerate() {
+        *word = if w < 4 { small_pair(rng) } else { rng.random() };
+    }
+    Line512::from_words(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_compress::compress_best;
+    use pcm_util::seeded_rng;
+
+    fn mean_size(class: ContentClass, samples: usize) -> f64 {
+        let mut rng = seeded_rng(71);
+        let total: usize =
+            (0..samples).map(|_| compress_best(&class.generate(&mut rng)).size()).sum();
+        total as f64 / samples as f64
+    }
+
+    #[test]
+    fn class_sizes_span_the_spectrum() {
+        assert_eq!(mean_size(ContentClass::Zero, 10), 1.0);
+        assert_eq!(mean_size(ContentClass::Repeated, 50), 8.0);
+        assert_eq!(mean_size(ContentClass::Narrow1, 50), 16.0);
+        assert_eq!(mean_size(ContentClass::Narrow2, 50), 24.0);
+        let fpc = mean_size(ContentClass::FpcSmall, 200);
+        assert!((8.0..=26.0).contains(&fpc), "FpcSmall mean {fpc}");
+        assert_eq!(mean_size(ContentClass::Narrow4, 50), 40.0);
+        let mixed = mean_size(ContentClass::Mixed, 200);
+        assert!((38.0..=56.0).contains(&mixed), "Mixed mean {mixed}");
+        assert_eq!(mean_size(ContentClass::Random, 50), 64.0);
+    }
+
+    #[test]
+    fn mutation_preserves_compressed_size_class() {
+        let mut rng = seeded_rng(72);
+        for class in [
+            ContentClass::Zero,
+            ContentClass::Repeated,
+            ContentClass::Narrow1,
+            ContentClass::Narrow2,
+            ContentClass::Narrow4,
+            ContentClass::Random,
+        ] {
+            let mut block = class.generate(&mut rng);
+            let size0 = compress_best(&block).size();
+            for _ in 0..20 {
+                block = class.mutate(&mut rng, &block, 3);
+                let size = compress_best(&block).size();
+                assert_eq!(size, size0, "{class}: size drifted {size0} -> {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_actually_changes_bits() {
+        let mut rng = seeded_rng(73);
+        let mut unchanged = 0;
+        for class in [ContentClass::Narrow1, ContentClass::Random, ContentClass::FpcSmall] {
+            let block = class.generate(&mut rng);
+            let next = class.mutate(&mut rng, &block, 4);
+            if next == block {
+                unchanged += 1;
+            }
+        }
+        assert!(unchanged <= 1, "mutations should usually change content");
+    }
+
+    #[test]
+    fn fpc_small_fluctuates_mildly() {
+        // FpcSmall re-rolls change the size a little — the source of the
+        // residual size-change probability for stable workloads.
+        let mut rng = seeded_rng(74);
+        let mut block = ContentClass::FpcSmall.generate(&mut rng);
+        let mut sizes = Vec::new();
+        for _ in 0..50 {
+            block = ContentClass::FpcSmall.mutate(&mut rng, &block, 2);
+            sizes.push(compress_best(&block).size());
+        }
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max <= 34, "FpcSmall stays small, max {max}");
+        assert!(max - min <= 24, "mild fluctuation, span {}", max - min);
+    }
+}

@@ -1,0 +1,293 @@
+//! Workload profiles for the 15 SPEC CPU2006 applications of Table III.
+//!
+//! Each profile captures the statistics the paper publishes for the
+//! application — WPKI, compression ratio, compressibility class — plus the
+//! generative knobs (content-class mixture, size volatility, address skew)
+//! tuned so the realized trace matches those statistics. The calibration
+//! test in `calibrate.rs` pins the realized CR to Table III within
+//! tolerance.
+
+use crate::content::ContentClass;
+use serde::{Deserialize, Serialize};
+
+/// Table III compressibility class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Compressibility {
+    /// CR below 0.3.
+    High,
+    /// CR between 0.3 and 0.7.
+    Medium,
+    /// CR above 0.7.
+    Low,
+}
+
+impl std::fmt::Display for Compressibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Compressibility::High => write!(f, "H"),
+            Compressibility::Medium => write!(f, "M"),
+            Compressibility::Low => write!(f, "L"),
+        }
+    }
+}
+
+/// The 15 memory-intensive SPEC CPU2006 applications evaluated in the
+/// paper (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SpecApp {
+    Astar,
+    Bwaves,
+    Bzip2,
+    CactusADM,
+    Calculix,
+    Gcc,
+    GemsFDTD,
+    Gobmk,
+    Hmmer,
+    Leslie3d,
+    Lbm,
+    Mcf,
+    Milc,
+    Sjeng,
+    Zeusmp,
+}
+
+/// All applications, in the paper's Table III order.
+pub const ALL_APPS: [SpecApp; 15] = [
+    SpecApp::Astar,
+    SpecApp::Bwaves,
+    SpecApp::Bzip2,
+    SpecApp::CactusADM,
+    SpecApp::Calculix,
+    SpecApp::Gcc,
+    SpecApp::GemsFDTD,
+    SpecApp::Gobmk,
+    SpecApp::Hmmer,
+    SpecApp::Leslie3d,
+    SpecApp::Lbm,
+    SpecApp::Mcf,
+    SpecApp::Milc,
+    SpecApp::Sjeng,
+    SpecApp::Zeusmp,
+];
+
+impl SpecApp {
+    /// Lower-case application name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpecApp::Astar => "astar",
+            SpecApp::Bwaves => "bwaves",
+            SpecApp::Bzip2 => "bzip2",
+            SpecApp::CactusADM => "cactusADM",
+            SpecApp::Calculix => "calculix",
+            SpecApp::Gcc => "gcc",
+            SpecApp::GemsFDTD => "GemsFDTD",
+            SpecApp::Gobmk => "gobmk",
+            SpecApp::Hmmer => "hmmer",
+            SpecApp::Leslie3d => "leslie3d",
+            SpecApp::Lbm => "lbm",
+            SpecApp::Mcf => "mcf",
+            SpecApp::Milc => "milc",
+            SpecApp::Sjeng => "sjeng",
+            SpecApp::Zeusmp => "zeusmp",
+        }
+    }
+
+    /// The workload profile for this application.
+    pub fn profile(&self) -> WorkloadProfile {
+        profile_of(*self)
+    }
+}
+
+impl std::fmt::Display for SpecApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Weights over the eight content classes (need not be normalized).
+pub type ClassMix = [(ContentClass, f64); 8];
+
+/// A generative workload model calibrated to one application's published
+/// statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// The application.
+    pub app: SpecApp,
+    /// LLC write-backs per kilo-instruction (Table III).
+    pub wpki: f64,
+    /// Target compression ratio under BEST (Table III).
+    pub target_cr: f64,
+    /// Table III compressibility class.
+    pub class: Compressibility,
+    /// Content-class mixture a fresh/morphed block samples from.
+    pub class_mix: ClassMix,
+    /// Probability that a rewrite *morphs* the block to a freshly-sampled
+    /// class (compressed size jumps) rather than mutating in place.
+    pub size_volatility: f64,
+    /// 8-byte words rewritten by an in-place mutation.
+    pub mutation_words: usize,
+    /// Zipf exponent of line popularity.
+    pub zipf_s: f64,
+    /// Demand reads per write-back (used by the §V.B performance study).
+    pub reads_per_write: f64,
+}
+
+impl WorkloadProfile {
+    /// Samples a content class from the mixture.
+    pub fn sample_class<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> ContentClass {
+        use rand::RngExt;
+        let total: f64 = self.class_mix.iter().map(|(_, w)| w).sum();
+        let mut u: f64 = rng.random::<f64>() * total;
+        for &(class, w) in &self.class_mix {
+            if u < w {
+                return class;
+            }
+            u -= w;
+        }
+        self.class_mix[self.class_mix.len() - 1].0
+    }
+}
+
+/// Convenience constructor for a class mixture (weights need not sum to 1).
+#[allow(clippy::too_many_arguments)] // one positional weight per content class
+const fn mix(
+    zero: f64,
+    repeated: f64,
+    narrow1: f64,
+    narrow2: f64,
+    fpc: f64,
+    narrow4: f64,
+    mixed: f64,
+    random: f64,
+) -> ClassMix {
+    [
+        (ContentClass::Zero, zero),
+        (ContentClass::Repeated, repeated),
+        (ContentClass::Narrow1, narrow1),
+        (ContentClass::Narrow2, narrow2),
+        (ContentClass::FpcSmall, fpc),
+        (ContentClass::Narrow4, narrow4),
+        (ContentClass::Mixed, mixed),
+        (ContentClass::Random, random),
+    ]
+}
+
+fn profile_of(app: SpecApp) -> WorkloadProfile {
+    use Compressibility::{High, Low, Medium};
+    use SpecApp::*;
+    // Mixtures are calibrated so the realized BEST compression ratio
+    // matches Table III (asserted by `calibrate::tests`); volatility is
+    // calibrated to Fig. 6's consecutive-write size-change probabilities
+    // (bzip2/gcc high, hmmer/milc/sjeng low).
+    // The final tuple element is `mutation_words`, the per-rewrite value
+    // locality: how many of a block's eight words change in place. It sets
+    // the baseline differential-write flip rate (pointer-churning integer
+    // codes rewrite most of a line; stencil codes touch less), which is
+    // what compression's flip confinement is measured against.
+    let (wpki, target_cr, class, class_mix, size_volatility, zipf_s, mutation_words) = match app {
+        Astar => (1.04, 0.53, Medium, mix(0.07, 0.03, 0.08, 0.12, 0.16, 0.22, 0.19, 0.13), 0.45, 0.8, 5),
+        Bwaves => (9.78, 0.34, Medium, mix(0.22, 0.06, 0.16, 0.12, 0.16, 0.16, 0.06, 0.06), 0.40, 0.6, 5),
+        Bzip2 => (4.6, 0.53, Medium, mix(0.05, 0.03, 0.09, 0.12, 0.13, 0.22, 0.20, 0.16), 0.85, 0.7, 4),
+        CactusADM => (8.09, 0.03, High, mix(0.93, 0.05, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0), 0.05, 0.6, 5),
+        Calculix => (1.08, 0.37, Medium, mix(0.20, 0.05, 0.15, 0.12, 0.16, 0.16, 0.08, 0.08), 0.40, 0.8, 5),
+        Gcc => (8.05, 0.50, Medium, mix(0.03, 0.02, 0.07, 0.22, 0.10, 0.26, 0.17, 0.13), 0.80, 0.7, 5),
+        GemsFDTD => (4.15, 0.70, Low, mix(0.02, 0.01, 0.03, 0.07, 0.06, 0.22, 0.27, 0.32), 0.50, 0.6, 3),
+        Gobmk => (1.14, 0.39, Medium, mix(0.18, 0.05, 0.15, 0.13, 0.16, 0.17, 0.08, 0.08), 0.50, 0.8, 5),
+        Hmmer => (1.9, 0.59, Medium, mix(0.03, 0.02, 0.06, 0.10, 0.10, 0.26, 0.22, 0.21), 0.15, 0.8, 5),
+        Leslie3d => (8.32, 0.70, Low, mix(0.02, 0.01, 0.03, 0.07, 0.06, 0.22, 0.27, 0.32), 0.10, 0.6, 3),
+        Lbm => (15.6, 0.79, Low, mix(0.01, 0.01, 0.02, 0.04, 0.04, 0.12, 0.20, 0.56), 0.35, 0.5, 3),
+        Mcf => (10.35, 0.55, Medium, mix(0.06, 0.03, 0.09, 0.12, 0.14, 0.24, 0.19, 0.13), 0.45, 0.9, 5),
+        Milc => (3.4, 0.29, High, mix(0.30, 0.04, 0.22, 0.02, 0.20, 0.10, 0.06, 0.06), 0.15, 0.6, 6),
+        Sjeng => (4.38, 0.08, High, mix(0.74, 0.10, 0.12, 0.02, 0.02, 0.0, 0.0, 0.0), 0.10, 0.8, 5),
+        Zeusmp => (5.46, 0.05, High, mix(0.88, 0.06, 0.05, 0.01, 0.0, 0.0, 0.0, 0.0), 0.10, 0.6, 5),
+    };
+    WorkloadProfile {
+        app,
+        wpki,
+        target_cr,
+        class,
+        class_mix,
+        size_volatility,
+        mutation_words,
+        zipf_s,
+        reads_per_write: 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_util::seeded_rng;
+
+    #[test]
+    fn all_apps_have_profiles() {
+        for app in ALL_APPS {
+            let p = app.profile();
+            assert_eq!(p.app, app);
+            assert!(p.wpki > 0.0);
+            assert!((0.0..=1.0).contains(&p.target_cr));
+            assert!((0.0..=1.0).contains(&p.size_volatility));
+            let total: f64 = p.class_mix.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}: mixture sums to {total}", app.name());
+        }
+    }
+
+    #[test]
+    fn classes_match_table3() {
+        use Compressibility::*;
+        assert_eq!(SpecApp::CactusADM.profile().class, High);
+        assert_eq!(SpecApp::Milc.profile().class, High);
+        assert_eq!(SpecApp::Sjeng.profile().class, High);
+        assert_eq!(SpecApp::Zeusmp.profile().class, High);
+        assert_eq!(SpecApp::GemsFDTD.profile().class, Low);
+        assert_eq!(SpecApp::Leslie3d.profile().class, Low);
+        assert_eq!(SpecApp::Lbm.profile().class, Low);
+        assert_eq!(SpecApp::Gcc.profile().class, Medium);
+    }
+
+    #[test]
+    fn class_boundaries_consistent_with_cr() {
+        for app in ALL_APPS {
+            let p = app.profile();
+            match p.class {
+                Compressibility::High => assert!(p.target_cr < 0.3, "{}", app.name()),
+                Compressibility::Low => assert!(p.target_cr >= 0.7, "{}", app.name()),
+                Compressibility::Medium => {
+                    assert!((0.3..0.7).contains(&p.target_cr), "{}", app.name())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_class_follows_mixture() {
+        let p = SpecApp::Zeusmp.profile();
+        let mut rng = seeded_rng(81);
+        let mut zero = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if p.sample_class(&mut rng) == crate::ContentClass::Zero {
+                zero += 1;
+            }
+        }
+        let frac = zero as f64 / n as f64;
+        assert!((frac - 0.88).abs() < 0.02, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn volatile_apps_flagged() {
+        assert!(SpecApp::Bzip2.profile().size_volatility > 0.7);
+        assert!(SpecApp::Gcc.profile().size_volatility > 0.7);
+        assert!(SpecApp::Hmmer.profile().size_volatility < 0.3);
+        assert!(SpecApp::Milc.profile().size_volatility < 0.3);
+    }
+
+    #[test]
+    fn wpki_matches_table3() {
+        assert_eq!(SpecApp::Lbm.profile().wpki, 15.6);
+        assert_eq!(SpecApp::Astar.profile().wpki, 1.04);
+        assert_eq!(SpecApp::Mcf.profile().wpki, 10.35);
+    }
+}

@@ -1,0 +1,216 @@
+//! Trace records and a compact binary trace format.
+//!
+//! The paper collects main-memory access traces in Gem5 and replays them in
+//! a lightweight lifetime simulator; [`Trace`] is our equivalent
+//! interchange object, with a compact binary codec so generated traces can
+//! be stored and replayed bit-identically.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pcm_util::Line512;
+use serde::{Deserialize, Serialize};
+
+/// One LLC write-back: the target line and the full 64-byte payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteRecord {
+    /// Logical line address.
+    pub line: u64,
+    /// The 64 bytes written back.
+    pub data: Line512,
+}
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Demand read.
+    Read,
+    /// LLC write-back.
+    Write,
+}
+
+/// A read or write access (reads carry no payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Logical line address.
+    pub line: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Payload for writes; `None` for reads.
+    pub data: Option<Line512>,
+}
+
+/// A replayable write-back trace.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_trace::{Trace, WriteRecord};
+/// use pcm_util::Line512;
+///
+/// let trace = Trace::new(vec![WriteRecord { line: 7, data: Line512::zero() }]);
+/// let bytes = trace.to_bytes();
+/// assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<WriteRecord>,
+}
+
+/// Error returned when decoding a malformed binary trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeTraceError {
+    /// Magic header mismatch.
+    BadMagic,
+    /// Payload shorter than the declared record count.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeTraceError::BadMagic => write!(f, "trace header magic mismatch"),
+            DecodeTraceError::Truncated => write!(f, "trace payload truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeTraceError {}
+
+const MAGIC: u32 = 0x50_43_4D_54; // "PCMT"
+
+impl Trace {
+    /// Creates a trace from records.
+    pub fn new(records: Vec<WriteRecord>) -> Self {
+        Trace { records }
+    }
+
+    /// The records, in replay order.
+    pub fn records(&self) -> &[WriteRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, WriteRecord> {
+        self.records.iter()
+    }
+
+    /// Encodes the trace into the compact binary format
+    /// (`magic, count, then (line u64 LE, 64 payload bytes) per record`).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.records.len() * 72);
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(self.records.len() as u32);
+        for r in &self.records {
+            buf.put_u64_le(r.line);
+            buf.put_slice(&r.data.to_bytes());
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a trace from the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeTraceError`] on a bad header or truncated payload.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, DecodeTraceError> {
+        if bytes.remaining() < 8 {
+            return Err(DecodeTraceError::Truncated);
+        }
+        if bytes.get_u32_le() != MAGIC {
+            return Err(DecodeTraceError::BadMagic);
+        }
+        let count = bytes.get_u32_le() as usize;
+        if bytes.remaining() < count * 72 {
+            return Err(DecodeTraceError::Truncated);
+        }
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = bytes.get_u64_le();
+            let mut payload = [0u8; 64];
+            bytes.copy_to_slice(&mut payload);
+            records.push(WriteRecord { line, data: Line512::from_bytes(&payload) });
+        }
+        Ok(Trace { records })
+    }
+}
+
+impl FromIterator<WriteRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = WriteRecord>>(iter: T) -> Self {
+        Trace { records: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<WriteRecord> for Trace {
+    fn extend<T: IntoIterator<Item = WriteRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a WriteRecord;
+    type IntoIter = std::slice::Iter<'a, WriteRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_util::seeded_rng;
+
+    #[test]
+    fn binary_round_trip() {
+        let mut rng = seeded_rng(91);
+        let records: Vec<WriteRecord> = (0..100)
+            .map(|i| WriteRecord { line: i * 3, data: Line512::random(&mut rng) })
+            .collect();
+        let trace = Trace::new(records);
+        let bytes = trace.to_bytes();
+        assert_eq!(bytes.len(), 8 + 100 * 72);
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trip() {
+        let trace = Trace::default();
+        assert!(trace.is_empty());
+        assert_eq!(Trace::from_bytes(&trace.to_bytes()).unwrap(), trace);
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut bytes = Trace::default().to_bytes().to_vec();
+        bytes[0] ^= 0xFF;
+        assert_eq!(Trace::from_bytes(&bytes), Err(DecodeTraceError::BadMagic));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let trace = Trace::new(vec![WriteRecord { line: 0, data: Line512::zero() }]);
+        let bytes = trace.to_bytes();
+        assert_eq!(
+            Trace::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(DecodeTraceError::Truncated)
+        );
+        assert_eq!(Trace::from_bytes(&[1, 2]), Err(DecodeTraceError::Truncated));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let r = WriteRecord { line: 1, data: Line512::zero() };
+        let mut t: Trace = std::iter::repeat_n(r, 3).collect();
+        t.extend([r]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.iter().count(), 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! A standalone per-block write stream.
+//!
+//! [`BlockStream`] evolves one block's content exactly like
+//! [`TraceGenerator`](crate::TraceGenerator) evolves each of its blocks
+//! (affinity, bounded-wander morphs, in-place mutations), but as an
+//! independent, separately-seeded object. The lifetime engine simulates
+//! each physical line with its own `BlockStream`, swapping in a fresh one
+//! whenever inter-line wear-leveling relocates the hosted block.
+
+use crate::content::{ContentClass, ALL_CLASSES};
+use crate::profile::WorkloadProfile;
+use pcm_util::{seeded_rng, Line512};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+/// An infinite stream of write-back payloads for one logical block.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_trace::{BlockStream, SpecApp};
+///
+/// let mut s = BlockStream::new(SpecApp::Milc.profile(), 7);
+/// let first = s.next_data();
+/// let second = s.next_data();
+/// // Same logical block, evolving content.
+/// let _ = (first, second);
+/// ```
+#[derive(Debug)]
+pub struct BlockStream {
+    profile: WorkloadProfile,
+    rng: StdRng,
+    affinity: usize,
+    class: ContentClass,
+    data: Line512,
+}
+
+impl BlockStream {
+    /// Creates a stream whose first value is a fresh block sampled from the
+    /// profile's mixture.
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed);
+        let class = profile.sample_class(&mut rng);
+        let data = class.generate(&mut rng);
+        BlockStream { profile, rng, affinity: class.size_rank(), class, data }
+    }
+
+    /// The block's current content (what the previous write stored).
+    pub fn current(&self) -> Line512 {
+        self.data
+    }
+
+    /// The block's current content class.
+    pub fn class(&self) -> ContentClass {
+        self.class
+    }
+
+    /// Produces the next write-back payload: a morph (size jump within the
+    /// affinity tier) with probability `size_volatility`, otherwise an
+    /// in-place mutation.
+    pub fn next_data(&mut self) -> Line512 {
+        if self.rng.random_bool(self.profile.size_volatility) {
+            let a = self.affinity as i64;
+            let max = ALL_CLASSES.len() as i64 - 1;
+            let candidates: Vec<usize> = [a - 1, a, a + 1]
+                .into_iter()
+                .filter(|&r| (0..=max).contains(&r))
+                .map(|r| r as usize)
+                .filter(|&r| ALL_CLASSES[r] != self.class)
+                .collect();
+            let rank = *candidates.choose(&mut self.rng).expect("at least one neighbour");
+            self.class = ALL_CLASSES[rank];
+            self.data = self.class.generate(&mut self.rng);
+        } else {
+            self.data = self.class.mutate(&mut self.rng, &self.data, self.profile.mutation_words);
+        }
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SpecApp;
+    use pcm_compress::compress_best;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = BlockStream::new(SpecApp::Gcc.profile(), 3);
+        let mut b = BlockStream::new(SpecApp::Gcc.profile(), 3);
+        for _ in 0..50 {
+            assert_eq!(a.next_data(), b.next_data());
+        }
+    }
+
+    #[test]
+    fn stable_profile_keeps_size() {
+        let mut s = BlockStream::new(SpecApp::CactusADM.profile(), 5);
+        let sizes: Vec<usize> =
+            (0..100).map(|_| compress_best(&s.next_data()).size()).collect();
+        let distinct = {
+            let mut v = sizes.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct <= 3, "cactusADM blocks should barely change size, got {distinct}");
+    }
+
+    #[test]
+    fn volatile_profile_swings_size() {
+        let mut s = BlockStream::new(SpecApp::Bzip2.profile(), 5);
+        let sizes: Vec<usize> =
+            (0..100).map(|_| compress_best(&s.next_data()).size()).collect();
+        let changes = sizes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(changes > 50, "bzip2 blocks should change size often, got {changes}/99");
+    }
+}

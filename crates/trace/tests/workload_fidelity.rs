@@ -1,0 +1,116 @@
+//! Workload-model fidelity tests: the synthetic traces must preserve the
+//! statistics the lifetime results depend on, across seeds and scales.
+
+use pcm_compress::compress_best;
+use pcm_trace::calibrate::{calibrate, compression_stats, size_change_probability};
+use pcm_trace::profile::ALL_APPS;
+use pcm_trace::{BlockStream, Compressibility, SpecApp, Trace, TraceGenerator};
+use pcm_util::child_seed;
+
+#[test]
+fn calibration_is_seed_stable() {
+    // Table III must hold for seeds the profiles were NOT tuned on.
+    for app in [SpecApp::Milc, SpecApp::Gcc, SpecApp::Lbm, SpecApp::Zeusmp, SpecApp::Hmmer] {
+        for seed in [0xDEAD, 0xBEEF, 7777] {
+            let c = calibrate(&app.profile(), 512, seed, 6_000);
+            assert!(
+                c.error < 0.10,
+                "{} @seed {seed}: realized {:.3} vs target {:.3}",
+                app.name(),
+                c.realized_cr,
+                c.target_cr
+            );
+        }
+    }
+}
+
+#[test]
+fn compressibility_classes_order_realized_cr() {
+    // Every H app must realize a lower CR than every L app, at any seed.
+    let cr = |app: SpecApp| {
+        let mut g = TraceGenerator::from_profile(app.profile(), 256, 0x5151);
+        compression_stats(&mut g, 4_000).cr
+    };
+    for h in ALL_APPS.iter().filter(|a| a.profile().class == Compressibility::High) {
+        for l in ALL_APPS.iter().filter(|a| a.profile().class == Compressibility::Low) {
+            assert!(
+                cr(*h) < cr(*l),
+                "{} (H) must compress better than {} (L)",
+                h.name(),
+                l.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn generator_and_block_stream_share_dynamics() {
+    // The standalone BlockStream must exhibit the same size-change
+    // behaviour as the full generator (the lifetime engine relies on it).
+    for app in [SpecApp::Bzip2, SpecApp::CactusADM] {
+        let gen_prob = {
+            let mut g = TraceGenerator::from_profile(app.profile(), 64, 900);
+            size_change_probability(&mut g, 8_000)
+        };
+        let stream_prob = {
+            let mut changes = 0u32;
+            let mut total = 0u32;
+            for b in 0..32 {
+                let mut s = BlockStream::new(app.profile(), child_seed(901, b));
+                let mut last = compress_best(&s.current()).size();
+                for _ in 0..100 {
+                    let size = compress_best(&s.next_data()).size();
+                    total += 1;
+                    changes += (size != last) as u32;
+                    last = size;
+                }
+            }
+            changes as f64 / total as f64
+        };
+        assert!(
+            (gen_prob - stream_prob).abs() < 0.15,
+            "{}: generator {gen_prob:.2} vs stream {stream_prob:.2}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn trace_file_round_trip_preserves_replay() {
+    let mut g = TraceGenerator::from_profile(SpecApp::Mcf.profile(), 128, 17);
+    let trace = g.generate(3_000);
+    let restored = Trace::from_bytes(&trace.to_bytes()).expect("decodes");
+    assert_eq!(restored, trace);
+    // Replaying the restored trace yields identical compression stats.
+    let total: usize = restored.iter().map(|r| compress_best(&r.data).size()).sum();
+    let original: usize = trace.iter().map(|r| compress_best(&r.data).size()).sum();
+    assert_eq!(total, original);
+}
+
+#[test]
+fn wpki_ordering_matches_table3() {
+    // Spot-check relative write intensities used for Table IV months.
+    let wpki = |a: SpecApp| a.profile().wpki;
+    assert!(wpki(SpecApp::Lbm) > wpki(SpecApp::Mcf));
+    assert!(wpki(SpecApp::Mcf) > wpki(SpecApp::Bzip2));
+    assert!(wpki(SpecApp::Bzip2) > wpki(SpecApp::Astar));
+}
+
+#[test]
+fn hot_set_is_stable_across_trace_chunks() {
+    // Zipf popularity should make the same lines hot early and late.
+    let mut g = TraceGenerator::from_profile(SpecApp::Mcf.profile(), 256, 23);
+    let count_hot = |t: &Trace| {
+        let mut counts = vec![0u32; 256];
+        for r in t {
+            counts[r.line as usize] += 1;
+        }
+        let mut idx: Vec<usize> = (0..256).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        idx[..16].to_vec()
+    };
+    let early = count_hot(&g.generate(20_000));
+    let late = count_hot(&g.generate(20_000));
+    let overlap = early.iter().filter(|i| late.contains(i)).count();
+    assert!(overlap >= 10, "hot sets should overlap strongly, got {overlap}/16");
+}

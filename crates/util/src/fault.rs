@@ -1,0 +1,212 @@
+//! Stuck-at fault bookkeeping for a 512-bit memory line.
+
+use crate::line::{Line512, DATA_BITS};
+use serde::{Deserialize, Serialize};
+
+/// A single stuck-at fault: a cell position and the value it is stuck at.
+///
+/// PCM cells fail *stuck-at*: after endurance exhaustion the cell keeps its
+/// last value forever (stuck-at-RESET from heater detachment, stuck-at-SET
+/// from crystalline degradation). Stuck-at faults are read-detectable, so
+/// the memory controller knows both the position and the stuck value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StuckAt {
+    /// Bit position within the 512-bit line.
+    pub pos: u16,
+    /// The value the cell is stuck at.
+    pub value: bool,
+}
+
+/// The set of stuck-at faults in one 512-bit line, stored as two bitmasks.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_util::fault::{FaultMap, StuckAt};
+///
+/// let mut faults = FaultMap::new();
+/// faults.insert(StuckAt { pos: 100, value: true });
+/// assert_eq!(faults.count(), 1);
+/// assert!(faults.is_faulty(100));
+/// assert_eq!(faults.stuck_value(100), Some(true));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultMap {
+    positions: Line512,
+    values: Line512,
+}
+
+impl FaultMap {
+    /// Creates an empty fault map.
+    pub fn new() -> Self {
+        FaultMap::default()
+    }
+
+    /// Adds a fault. Re-inserting an existing position updates its stuck
+    /// value (the physical cell can only be stuck at one value; this keeps
+    /// the map consistent with the latest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault.pos >= 512`.
+    pub fn insert(&mut self, fault: StuckAt) {
+        let pos = fault.pos as usize;
+        assert!(pos < DATA_BITS, "fault position {pos} out of range");
+        self.positions.set_bit(pos, true);
+        self.values.set_bit(pos, fault.value);
+    }
+
+    /// Returns `true` if the cell at `pos` is faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 512`.
+    pub fn is_faulty(&self, pos: usize) -> bool {
+        self.positions.bit(pos)
+    }
+
+    /// Returns the stuck value at `pos`, or `None` if the cell is healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 512`.
+    pub fn stuck_value(&self, pos: usize) -> Option<bool> {
+        if self.positions.bit(pos) {
+            Some(self.values.bit(pos))
+        } else {
+            None
+        }
+    }
+
+    /// Total number of faulty cells.
+    pub fn count(&self) -> u32 {
+        self.positions.count_ones()
+    }
+
+    /// Number of faulty cells within a bit range.
+    pub fn count_in(&self, range: std::ops::Range<usize>) -> u32 {
+        self.positions.count_ones_in(range)
+    }
+
+    /// Returns `true` when the line has no faults.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_zero()
+    }
+
+    /// Iterates over all faults in position order.
+    pub fn iter(&self) -> impl Iterator<Item = StuckAt> + '_ {
+        self.positions
+            .iter_ones()
+            .map(move |pos| StuckAt { pos: pos as u16, value: self.values.bit(pos) })
+    }
+
+    /// Returns the faults whose positions fall within the bit range.
+    pub fn faults_in(&self, range: std::ops::Range<usize>) -> Vec<StuckAt> {
+        self.iter().filter(|f| range.contains(&(f.pos as usize))).collect()
+    }
+
+    /// The positions mask (bit set = faulty cell).
+    pub fn positions(&self) -> Line512 {
+        self.positions
+    }
+
+    /// Forces `line` to respect the stuck cells: every faulty position is
+    /// overwritten with its stuck value. This is what physically happens
+    /// when data is written to a line with worn-out cells.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcm_util::fault::{FaultMap, StuckAt};
+    /// use pcm_util::Line512;
+    ///
+    /// let mut faults = FaultMap::new();
+    /// faults.insert(StuckAt { pos: 0, value: true });
+    /// let written = faults.apply(Line512::zero());
+    /// assert!(written.bit(0));
+    /// ```
+    pub fn apply(&self, line: Line512) -> Line512 {
+        (line & !self.positions) | (self.values & self.positions)
+    }
+}
+
+impl FromIterator<StuckAt> for FaultMap {
+    fn from_iter<T: IntoIterator<Item = StuckAt>>(iter: T) -> Self {
+        let mut map = FaultMap::new();
+        for f in iter {
+            map.insert(f);
+        }
+        map
+    }
+}
+
+impl Extend<StuckAt> for FaultMap {
+    fn extend<T: IntoIterator<Item = StuckAt>>(&mut self, iter: T) {
+        for f in iter {
+            self.insert(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut m = FaultMap::new();
+        assert!(m.is_empty());
+        m.insert(StuckAt { pos: 0, value: false });
+        m.insert(StuckAt { pos: 511, value: true });
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.stuck_value(0), Some(false));
+        assert_eq!(m.stuck_value(511), Some(true));
+        assert_eq!(m.stuck_value(5), None);
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let mut m = FaultMap::new();
+        m.insert(StuckAt { pos: 9, value: false });
+        m.insert(StuckAt { pos: 9, value: true });
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.stuck_value(9), Some(true));
+    }
+
+    #[test]
+    fn count_in_window() {
+        let mut m = FaultMap::new();
+        for pos in [10u16, 20, 100, 300] {
+            m.insert(StuckAt { pos, value: true });
+        }
+        assert_eq!(m.count_in(0..64), 2);
+        assert_eq!(m.count_in(64..512), 2);
+        assert_eq!(m.faults_in(0..64).len(), 2);
+    }
+
+    #[test]
+    fn apply_forces_stuck_values() {
+        let mut m = FaultMap::new();
+        m.insert(StuckAt { pos: 3, value: true });
+        m.insert(StuckAt { pos: 4, value: false });
+        let mut data = Line512::zero();
+        data.set_bit(4, true);
+        let written = m.apply(data);
+        assert!(written.bit(3), "stuck-at-1 forces 1");
+        assert!(!written.bit(4), "stuck-at-0 forces 0");
+        // Healthy bits unchanged.
+        assert!(!written.bit(5));
+    }
+
+    #[test]
+    fn iter_round_trip() {
+        let faults = [
+            StuckAt { pos: 1, value: true },
+            StuckAt { pos: 64, value: false },
+            StuckAt { pos: 200, value: true },
+        ];
+        let m: FaultMap = faults.iter().copied().collect();
+        let out: Vec<StuckAt> = m.iter().collect();
+        assert_eq!(out, faults);
+    }
+}

@@ -1,0 +1,137 @@
+//! Counter-based intra-line wear-leveling (paper §III-A.2).
+//!
+//! Compression pins bit flips to the low bytes of a line, wearing them out
+//! long before the rest — the paper's Comp configuration *loses* lifetime
+//! on barely-compressible workloads for exactly this reason. The fix is to
+//! rotate the compression-window start across the 64 bytes of the line over
+//! time. To avoid per-line counters, a **single 16-bit counter per bank**
+//! counts writes; each saturation advances the bank's rotation offset by a
+//! one-byte step. With ~2¹⁰ writes per line between rotations (2¹⁶ bank
+//! writes over ~2⁶ hot lines) the rotation is slow enough to amortize
+//! metadata updates yet fast enough to even out wear.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-bank intra-line wear-leveling state.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_wear::IntraLineLeveler;
+///
+/// let mut wl = IntraLineLeveler::new(4, 1); // tiny period for the example
+/// assert_eq!(wl.offset(), 0);
+/// for _ in 0..4 { wl.note_write(); }
+/// assert_eq!(wl.offset(), 1); // rotated by one byte
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntraLineLeveler {
+    period: u32,
+    step_bytes: usize,
+    counter: u32,
+    offset: usize,
+    rotations: u64,
+}
+
+impl IntraLineLeveler {
+    /// Creates a leveler that rotates by `step_bytes` every `period` bank
+    /// writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `step_bytes` is 0 or ≥ 64.
+    pub fn new(period: u32, step_bytes: usize) -> Self {
+        assert!(period > 0, "rotation period must be positive");
+        assert!((1..64).contains(&step_bytes), "step must be 1..64 bytes");
+        IntraLineLeveler { period, step_bytes, counter: 0, offset: 0, rotations: 0 }
+    }
+
+    /// The paper's configuration: 16-bit counter, one-byte step.
+    pub fn paper() -> Self {
+        IntraLineLeveler::new(1 << 16, 1)
+    }
+
+    /// Current rotation offset in bytes (`0..64`).
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Total rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Records one write to the bank; returns `true` when the counter
+    /// saturated and the offset advanced.
+    pub fn note_write(&mut self) -> bool {
+        self.counter += 1;
+        if self.counter < self.period {
+            return false;
+        }
+        self.counter = 0;
+        self.offset = (self.offset + self.step_bytes) % pcm_util::DATA_BYTES;
+        self.rotations += 1;
+        true
+    }
+
+    /// Maps a logical byte offset within the line to its physical byte
+    /// under the current rotation.
+    pub fn physical_byte(&self, logical: usize) -> usize {
+        (logical + self.offset) % pcm_util::DATA_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_cycles_through_all_offsets() {
+        let mut wl = IntraLineLeveler::new(1, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(wl.offset());
+            assert!(wl.note_write());
+        }
+        assert_eq!(seen.len(), 64);
+        assert_eq!(wl.offset(), 0, "wraps back after 64 steps");
+        assert_eq!(wl.rotations(), 64);
+    }
+
+    #[test]
+    fn counter_period_respected() {
+        let mut wl = IntraLineLeveler::new(100, 1);
+        for _ in 0..99 {
+            assert!(!wl.note_write());
+        }
+        assert!(wl.note_write());
+        assert_eq!(wl.offset(), 1);
+    }
+
+    #[test]
+    fn physical_byte_mapping() {
+        let mut wl = IntraLineLeveler::new(1, 8);
+        assert_eq!(wl.physical_byte(0), 0);
+        wl.note_write();
+        assert_eq!(wl.physical_byte(0), 8);
+        assert_eq!(wl.physical_byte(60), 4); // wraps
+    }
+
+    #[test]
+    fn paper_configuration() {
+        let wl = IntraLineLeveler::paper();
+        assert_eq!(wl.offset(), 0);
+        // 16-bit counter: 65536 writes per rotation.
+        let mut wl2 = wl;
+        for _ in 0..(1 << 16) - 1 {
+            assert!(!wl2.note_write());
+        }
+        assert!(wl2.note_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_period() {
+        IntraLineLeveler::new(0, 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Security-Refresh-style randomized inter-line wear-leveling
+//! (Seong et al., ISCA 2010) — an alternative to [`StartGap`].
+//!
+//! Start-Gap rotates the address space deterministically, which an
+//! adversary (or an unlucky stride) can track. Security Refresh instead
+//! XORs logical addresses with a random key, and periodically migrates to
+//! a fresh key: a *refresh pointer* walks the region, and each step swaps
+//! the pair of lines that exchange places under the key change (lines `l`
+//! and `l ^ (k_cur ^ k_next)` swap physical slots). During an epoch, lines
+//! already passed by the pointer map with the new key, the rest with the
+//! old one.
+//!
+//! Provided as a pluggable substrate; the paper's evaluated systems use
+//! Start-Gap, and the `ablation_interline_wl` bench compares the two on
+//! wear-spread uniformity.
+//!
+//! [`StartGap`]: crate::StartGap
+
+use pcm_util::child_seed;
+use serde::{Deserialize, Serialize};
+
+/// A pair of physical slots whose contents swap during one refresh step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Swap {
+    /// First physical slot.
+    pub a: u64,
+    /// Second physical slot (equal to `a` when the line is a fixed point
+    /// of the key change — no data actually moves).
+    pub b: u64,
+}
+
+/// The Security-Refresh remapping engine for a region of `n` lines
+/// (`n` a power of two; the XOR keys are drawn from `0..n`).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_wear::SecurityRefresh;
+///
+/// let mut sr = SecurityRefresh::new(64, 4, 7);
+/// let before = sr.map(10);
+/// for _ in 0..64 * 8 { sr.on_write(); }
+/// // After full epochs the mapping has changed key.
+/// let _after = sr.map(10);
+/// assert!(before < 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityRefresh {
+    n: u64,
+    key_cur: u64,
+    key_next: u64,
+    pointer: u64,
+    psi: u32,
+    writes_since_step: u32,
+    epoch: u64,
+    seed: u64,
+}
+
+impl SecurityRefresh {
+    /// Creates an engine over `n` lines, advancing the refresh pointer
+    /// every `psi` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two ≥ 2, or if `psi == 0`.
+    pub fn new(n: u64, psi: u32, seed: u64) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "region must be a power of two, got {n}");
+        assert!(psi > 0, "refresh period must be positive");
+        let key_cur = 0;
+        let key_next = child_seed(seed, 1) % n;
+        SecurityRefresh {
+            n,
+            key_cur,
+            key_next,
+            pointer: 0,
+            psi,
+            writes_since_step: 0,
+            epoch: 0,
+            seed,
+        }
+    }
+
+    /// Number of lines in the region.
+    pub fn lines(&self) -> u64 {
+        self.n
+    }
+
+    /// Completed key epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Maps a logical line to its current physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= n`.
+    pub fn map(&self, logical: u64) -> u64 {
+        assert!(logical < self.n, "logical line {logical} out of range");
+        // A line has been refreshed this epoch when the *smaller* member
+        // of its swap pair is below the pointer (pairs move together).
+        let partner = logical ^ self.key_cur ^ self.key_next;
+        let refreshed = logical.min(partner) < self.pointer;
+        logical ^ if refreshed { self.key_next } else { self.key_cur }
+    }
+
+    /// Records one write; every ψ-th write advances the refresh pointer
+    /// and returns the physical swap the controller performs.
+    pub fn on_write(&mut self) -> Option<Swap> {
+        self.writes_since_step += 1;
+        if self.writes_since_step < self.psi {
+            return None;
+        }
+        self.writes_since_step = 0;
+        Some(self.step())
+    }
+
+    /// Advances the refresh pointer one step immediately.
+    pub fn step(&mut self) -> Swap {
+        let delta = self.key_cur ^ self.key_next;
+        // Find the next unprocessed pair leader at or after the pointer.
+        let mut l = self.pointer;
+        while l < self.n && (l ^ delta) < l {
+            l += 1; // the pair was already swapped when its leader passed
+        }
+        let swap = if l < self.n {
+            Swap { a: l ^ self.key_cur, b: l ^ self.key_next }
+        } else {
+            Swap { a: 0, b: 0 } // epoch tail: nothing left to move
+        };
+        self.pointer = l + 1;
+        if self.pointer >= self.n {
+            // Epoch complete: adopt the new key, draw the next one.
+            self.key_cur = self.key_next;
+            self.epoch += 1;
+            self.key_next = child_seed(self.seed, self.epoch + 1) % self.n;
+            self.pointer = 0;
+        }
+        swap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_bijection(sr: &SecurityRefresh) {
+        let mut seen = HashSet::new();
+        for l in 0..sr.lines() {
+            let p = sr.map(l);
+            assert!(p < sr.lines());
+            assert!(seen.insert(p), "slot {p} mapped twice");
+        }
+    }
+
+    #[test]
+    fn mapping_is_always_a_bijection() {
+        let mut sr = SecurityRefresh::new(32, 1, 5);
+        for _ in 0..400 {
+            check_bijection(&sr);
+            sr.on_write();
+        }
+    }
+
+    #[test]
+    fn swaps_track_the_mapping() {
+        // Maintain shadow contents; after every swap the invariant
+        // phys[map(l)] == l must hold.
+        let n = 16u64;
+        let mut sr = SecurityRefresh::new(n, 1, 9);
+        let mut phys: Vec<u64> = (0..n).map(|l| sr.map(l)).collect();
+        // phys[p] = logical stored there; build inverse of initial map.
+        let mut slots = vec![0u64; n as usize];
+        for (l, &p) in phys.iter().enumerate() {
+            slots[p as usize] = l as u64;
+        }
+        for step in 0..600 {
+            if let Some(swap) = sr.on_write() {
+                slots.swap(swap.a as usize, swap.b as usize);
+            }
+            for l in 0..n {
+                assert_eq!(
+                    slots[sr.map(l) as usize], l,
+                    "step {step}: logical {l} lost (epoch {})",
+                    sr.epoch()
+                );
+            }
+        }
+        phys.clear();
+    }
+
+    #[test]
+    fn epochs_rotate_keys() {
+        let mut sr = SecurityRefresh::new(8, 1, 3);
+        let initial: Vec<u64> = (0..8).map(|l| sr.map(l)).collect();
+        // Run several epochs.
+        for _ in 0..8 * 5 {
+            sr.step();
+        }
+        assert!(sr.epoch() >= 4);
+        let later: Vec<u64> = (0..8).map(|l| sr.map(l)).collect();
+        assert_ne!(initial, later, "mapping must change across epochs");
+    }
+
+    #[test]
+    fn lines_visit_many_slots_over_time() {
+        let n = 16u64;
+        let mut sr = SecurityRefresh::new(n, 1, 11);
+        let mut visited: Vec<HashSet<u64>> = (0..n).map(|_| HashSet::new()).collect();
+        for _ in 0..(n * 40) {
+            for l in 0..n {
+                visited[l as usize].insert(sr.map(l));
+            }
+            sr.step();
+        }
+        for (l, v) in visited.iter().enumerate() {
+            assert!(v.len() >= (n as usize) / 2, "line {l} visited only {} slots", v.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        SecurityRefresh::new(12, 1, 0);
+    }
+}

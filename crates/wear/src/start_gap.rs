@@ -1,0 +1,241 @@
+//! Start-Gap inter-line wear-leveling (Qureshi et al., MICRO 2009).
+
+use serde::{Deserialize, Serialize};
+
+/// A gap movement: the controller copies the content of physical line
+/// `from` into physical line `to` (the old gap), making `from` the new gap.
+///
+/// This copy is a *real write* to `to` and must be charged to that line's
+/// wear — the lifetime simulator does so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapMove {
+    /// Physical line whose content moves.
+    pub from: u64,
+    /// Physical line that receives it (the previous gap).
+    pub to: u64,
+}
+
+/// The Start-Gap address-rotation engine for one region of `n` logical
+/// lines over `n + 1` physical lines.
+///
+/// Logical line `l` maps to physical line `(l + start) mod n`, skipping the
+/// gap: positions at or above the gap shift up by one. Every `psi` writes
+/// the gap moves down one slot; when it wraps, `start` advances, so after
+/// `n × (n + 1) × psi` writes every logical line has visited every physical
+/// slot.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_wear::StartGap;
+///
+/// let mut sg = StartGap::new(4, 1);
+/// // All four logical lines map to distinct physical lines, none to the gap.
+/// let mut seen: Vec<u64> = (0..4).map(|l| sg.map(l)).collect();
+/// seen.sort_unstable();
+/// seen.dedup();
+/// assert_eq!(seen.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StartGap {
+    n: u64,
+    start: u64,
+    gap: u64,
+    psi: u32,
+    writes_since_move: u32,
+}
+
+impl StartGap {
+    /// Creates a Start-Gap engine for `n` logical lines with gap period
+    /// `psi` (the paper's baseline uses ψ = 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `psi == 0`.
+    pub fn new(n: u64, psi: u32) -> Self {
+        assert!(n >= 2, "need at least two lines, got {n}");
+        assert!(psi > 0, "gap period must be positive");
+        StartGap { n, start: 0, gap: n, psi, writes_since_move: 0 }
+    }
+
+    /// Number of logical lines.
+    pub fn logical_lines(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of physical lines (one extra for the gap).
+    pub fn physical_lines(&self) -> u64 {
+        self.n + 1
+    }
+
+    /// Current physical position of the gap.
+    pub fn gap(&self) -> u64 {
+        self.gap
+    }
+
+    /// Current start register.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Maps a logical line to its current physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= n`.
+    pub fn map(&self, logical: u64) -> u64 {
+        assert!(logical < self.n, "logical line {logical} out of range");
+        let pa = (logical + self.start) % self.n;
+        if pa >= self.gap {
+            pa + 1
+        } else {
+            pa
+        }
+    }
+
+    /// Records one demand write. Every ψ-th write moves the gap and returns
+    /// the copy the controller performs.
+    pub fn on_write(&mut self) -> Option<GapMove> {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.psi {
+            return None;
+        }
+        self.writes_since_move = 0;
+        Some(self.move_gap())
+    }
+
+    /// Moves the gap one slot immediately (exposed for tests/campaigns).
+    pub fn move_gap(&mut self) -> GapMove {
+        if self.gap == 0 {
+            // Wrap: the line at the top physical slot moves into the
+            // vacated bottom slot, the gap returns to the top, and start
+            // advances — re-aligning the mapping with the shifted data.
+            self.start = (self.start + 1) % self.n;
+            self.gap = self.n;
+            GapMove { from: self.n, to: 0 }
+        } else {
+            let mv = GapMove { from: self.gap - 1, to: self.gap };
+            self.gap -= 1;
+            mv
+        }
+    }
+
+    /// The average number of demand writes between two visits of the gap to
+    /// the same line — i.e. how often any given line gets remapped.
+    pub fn remap_period_writes(&self) -> u64 {
+        (self.n + 1) * self.psi as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// The mapping must stay a bijection avoiding the gap at all times.
+    fn check_bijection(sg: &StartGap) {
+        let mut seen = HashSet::new();
+        for l in 0..sg.logical_lines() {
+            let p = sg.map(l);
+            assert!(p < sg.physical_lines());
+            assert_ne!(p, sg.gap(), "logical {l} mapped onto the gap");
+            assert!(seen.insert(p), "physical line {p} mapped twice");
+        }
+    }
+
+    #[test]
+    fn initial_mapping_is_identity() {
+        let sg = StartGap::new(8, 100);
+        for l in 0..8 {
+            assert_eq!(sg.map(l), l);
+        }
+        check_bijection(&sg);
+    }
+
+    #[test]
+    fn bijection_preserved_across_many_moves() {
+        let mut sg = StartGap::new(16, 1);
+        for _ in 0..500 {
+            sg.on_write();
+            check_bijection(&sg);
+        }
+    }
+
+    #[test]
+    fn gap_moves_every_psi_writes() {
+        let mut sg = StartGap::new(8, 3);
+        assert!(sg.on_write().is_none());
+        assert!(sg.on_write().is_none());
+        let mv = sg.on_write().expect("third write moves the gap");
+        assert_eq!(mv, GapMove { from: 7, to: 8 });
+        assert_eq!(sg.gap(), 7);
+    }
+
+    #[test]
+    fn every_line_visits_every_slot() {
+        // After n*(n+1) gap moves the rotation is complete; each logical
+        // line should have occupied every physical slot at some point.
+        let n = 6u64;
+        let mut sg = StartGap::new(n, 1);
+        let mut visited: Vec<HashSet<u64>> = (0..n).map(|_| HashSet::new()).collect();
+        for _ in 0..(n * (n + 1) + 1) {
+            for l in 0..n {
+                visited[l as usize].insert(sg.map(l));
+            }
+            sg.on_write();
+        }
+        for (l, v) in visited.iter().enumerate() {
+            assert_eq!(v.len() as u64, n + 1, "logical {l} visited {v:?}");
+        }
+    }
+
+    #[test]
+    fn wrap_advances_start() {
+        let n = 4u64;
+        let mut sg = StartGap::new(n, 1);
+        for _ in 0..n {
+            sg.move_gap();
+        }
+        assert_eq!(sg.gap(), 0);
+        assert_eq!(sg.start(), 0);
+        sg.move_gap(); // wrap
+        assert_eq!(sg.gap(), n);
+        assert_eq!(sg.start(), 1);
+        check_bijection(&sg);
+    }
+
+    #[test]
+    fn copies_keep_data_reachable() {
+        // Simulate the physical copies the controller performs and check
+        // the invariant phys[map(l)] == l across many moves (including
+        // wraps).
+        let n = 5u64;
+        let mut sg = StartGap::new(n, 1);
+        let mut phys: Vec<Option<u64>> = (0..n).map(Some).chain([None]).collect();
+        for step in 0..200 {
+            let mv = sg.move_gap();
+            phys[mv.to as usize] = phys[mv.from as usize].take();
+            for l in 0..n {
+                assert_eq!(
+                    phys[sg.map(l) as usize],
+                    Some(l),
+                    "step {step}: logical {l} lost (gap {}, start {})",
+                    sg.gap(),
+                    sg.start()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remap_period() {
+        let sg = StartGap::new(100, 100);
+        assert_eq!(sg.remap_period_writes(), 101 * 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn map_checks_range() {
+        StartGap::new(4, 1).map(4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Workload studio: inspect the synthetic SPEC-like trace generator.
+//!
+//! Shows, for every workload profile, the statistics the generator was
+//! calibrated to (Table III / Figs. 3, 6) plus a live sample of one block's
+//! compressed-size trajectory — the raw material every lifetime result is
+//! built from.
+//!
+//! Run with: `cargo run --release --example workload_studio`
+
+use collab_pcm::compress::compress_best;
+use collab_pcm::trace::calibrate::{compression_stats, size_change_probability};
+use collab_pcm::trace::profile::ALL_APPS;
+use collab_pcm::trace::{BlockStream, TraceGenerator};
+
+fn main() {
+    println!("app         WPKI   CR(tgt)  CR(real)  P(size chg)  uncmp%  fpc-win%");
+    for app in ALL_APPS {
+        let profile = app.profile();
+        let mut generator = TraceGenerator::from_profile(profile.clone(), 256, 11);
+        let stats = compression_stats(&mut generator, 6_000);
+        let mut g2 = TraceGenerator::from_profile(profile.clone(), 64, 12);
+        let size_change = size_change_probability(&mut g2, 6_000);
+        println!(
+            "{:<11} {:>5.2}  {:>6.2}  {:>7.2}  {:>10.2}  {:>6.1}  {:>7.1}",
+            app.name(),
+            profile.wpki,
+            profile.target_cr,
+            stats.cr,
+            size_change,
+            100.0 * stats.uncompressed_fraction,
+            100.0 * stats.fpc_win_fraction,
+        );
+    }
+
+    println!("\nOne bzip2 block's compressed sizes over 32 consecutive writes:");
+    let mut stream = BlockStream::new(collab_pcm::trace::SpecApp::Bzip2.profile(), 4);
+    let sizes: Vec<String> =
+        (0..32).map(|_| compress_best(&stream.next_data()).size().to_string()).collect();
+    println!("  {}", sizes.join(" "));
+
+    println!("\nOne hmmer block (stable sizes) over 32 consecutive writes:");
+    let mut stream = BlockStream::new(collab_pcm::trace::SpecApp::Hmmer.profile(), 4);
+    let sizes: Vec<String> =
+        (0..32).map(|_| compress_best(&stream.next_data()).size().to_string()).collect();
+    println!("  {}", sizes.join(" "));
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every table and figure into results/.
+set -u
+cd /root/repo
+BINS="fig01_dw_randomness fig03_compressed_size fig05_bitflip_delta fig06_size_change_prob \
+fig07_block_size_series fig10_lifetime fig11_size_cdf fig12_tolerated_errors \
+fig13_lifetime_cov25 table03_workloads table04_months perf_overhead \
+ablation_heuristic ablation_ecc ablation_rotation ablation_flip_n_write \
+ablation_secded ablation_mlc ablation_interline_wl ablation_window_step energy_writes \
+compressor_comparison metadata_rates mix_study fig09_montecarlo"
+cargo build -q --release -p pcm-bench 2>/dev/null
+for b in $BINS; do
+  echo "== $b =="
+  /usr/bin/timeout 3000 cargo run -q -p pcm-bench --release --bin $b -- "$@" > results/$b.txt 2>&1
+  echo "   done ($(wc -l < results/$b.txt) lines)"
+done

@@ -1,0 +1,49 @@
+//! # collab-pcm
+//!
+//! A full reproduction of *"Exploring the Potential for Collaborative Data
+//! Compression and Hard-Error Tolerance in PCM Memories"* (Jadidi et al.,
+//! DSN 2017) as a Rust workspace.
+//!
+//! The paper stores LLC write-backs compressed in PCM so bit flips confine
+//! to a small *compression window*, then collaborates that window with
+//! differential writes, intra-line wear-leveling and partition-based
+//! hard-error tolerance — tolerating ~3× more stuck-at faults per line and
+//! extending lifetime 4.3× on average over a DW + Start-Gap + ECP-6
+//! baseline.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`util`] | `pcm-util` | 512-bit lines, fault maps, stats, samplers |
+//! | [`compress`] | `pcm-compress` | BDI, FPC, best-of selector |
+//! | [`ecc`] | `pcm-ecc` | ECP, SAFER, Aegis, Monte-Carlo harness |
+//! | [`device`] | `pcm-device` | cells/endurance, differential writes, DIMM timing |
+//! | [`wear`] | `pcm-wear` | Start-Gap, intra-line rotation |
+//! | [`trace`] | `pcm-trace` | synthetic SPEC-like workload generation |
+//! | [`core`] | `pcm-core` | the compression-window controller + lifetime engine |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use collab_pcm::core::{PcmMemory, SystemConfig, SystemKind};
+//! use collab_pcm::util::Line512;
+//!
+//! let cfg = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(1e5);
+//! let mut memory = PcmMemory::new(cfg, 64, 2026);
+//! let data = Line512::from_fn(|i| i % 3 == 0);
+//! memory.write(17, data)?;
+//! assert_eq!(memory.read(17)?, data);
+//! # Ok::<(), collab_pcm::core::WriteError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use pcm_compress as compress;
+pub use pcm_core as core;
+pub use pcm_device as device;
+pub use pcm_ecc as ecc;
+pub use pcm_trace as trace;
+pub use pcm_util as util;
+pub use pcm_wear as wear;

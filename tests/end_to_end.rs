@@ -1,0 +1,112 @@
+//! End-to-end integration: data integrity through the full stack
+//! (compression → window → ECC → cells → wear-leveling) under churn and
+//! wear, for all four systems and all three hard-error schemes.
+
+use collab_pcm::core::{EccChoice, PcmMemory, SystemConfig, SystemKind, WriteError};
+use collab_pcm::trace::{SpecApp, TraceGenerator};
+use collab_pcm::util::{seeded_rng, Line512};
+use rand::RngExt;
+use std::collections::HashMap;
+
+#[test]
+fn every_system_round_trips_a_workload() {
+    for kind in SystemKind::ALL {
+        let cfg = SystemConfig::new(kind).with_endurance_mean(1e9);
+        let mut memory = PcmMemory::new(cfg, 64, 3);
+        let mut generator = TraceGenerator::from_profile(SpecApp::Gcc.profile(), 64, 4);
+        let mut expected = HashMap::new();
+        for _ in 0..3_000 {
+            let w = generator.next_write();
+            memory.write(w.line, w.data).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            expected.insert(w.line, w.data);
+        }
+        for (&line, &data) in &expected {
+            assert_eq!(memory.read(line).unwrap(), data, "{kind}: line {line}");
+        }
+        let stats = memory.stats();
+        assert_eq!(stats.demand_writes, 3_000);
+        if kind.compresses() {
+            assert!(stats.compressed_writes > 1_000, "{kind}: {stats:?}");
+        }
+    }
+}
+
+#[test]
+fn every_scheme_round_trips_under_wear() {
+    for ecc in [EccChoice::Ecp6, EccChoice::Safer32, EccChoice::Aegis17x31] {
+        // Weak cells so faults actually appear during the test.
+        let cfg = SystemConfig::new(SystemKind::CompWF)
+            .with_endurance_mean(400.0)
+            .with_ecc(ecc);
+        let mut memory = PcmMemory::new(cfg, 16, 5);
+        let mut generator = TraceGenerator::from_profile(SpecApp::Milc.profile(), 16, 6);
+        let mut expected = HashMap::new();
+        let mut failures = 0;
+        for _ in 0..50_000 {
+            let w = generator.next_write();
+            match memory.write(w.line, w.data) {
+                Ok(_) => {
+                    expected.insert(w.line, w.data);
+                }
+                Err(WriteError::LineDead { .. }) => {
+                    failures += 1;
+                    expected.remove(&w.line);
+                }
+                Err(e) => panic!("{ecc:?}: unexpected {e}"),
+            }
+        }
+        assert!(
+            memory.stats().new_faults > 0,
+            "{ecc:?}: the endurance was low enough that faults must appear"
+        );
+        for (&line, &data) in &expected {
+            assert_eq!(memory.read(line).unwrap(), data, "{ecc:?}: line {line}");
+        }
+        // Comp+WF on milc tolerates plenty of faults before failing writes.
+        let _ = failures;
+    }
+}
+
+#[test]
+fn compwf_keeps_data_correct_while_cells_die() {
+    // The strongest integrity property: every successful write must read
+    // back exactly, even while the line accumulates dozens of stuck cells.
+    let cfg = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(500.0);
+    let mut memory = PcmMemory::new(cfg, 2, 9);
+    let mut rng = seeded_rng(10);
+    let mut survived = 0u64;
+    loop {
+        let mut bytes = [0u8; 64];
+        bytes[0] = rng.random();
+        let data = Line512::from_bytes(&bytes);
+        match memory.write(0, data) {
+            Ok(_) => {
+                survived += 1;
+                assert_eq!(memory.read(0).unwrap(), data, "after {survived} writes");
+            }
+            Err(_) => break,
+        }
+        assert!(survived < 10_000_000, "test must terminate");
+    }
+    assert!(
+        memory.stats().new_faults > 20,
+        "expected deep fault tolerance, saw {} faults",
+        memory.stats().new_faults
+    );
+    assert!(survived > 2_000, "CompWF should far outlive the 500-write cell endurance");
+}
+
+#[test]
+fn dead_fraction_progresses_to_failure() {
+    let cfg = SystemConfig::new(SystemKind::Baseline).with_endurance_mean(150.0);
+    let mut memory = PcmMemory::new(cfg, 16, 11);
+    let mut generator = TraceGenerator::from_profile(SpecApp::Lbm.profile(), 16, 12);
+    let mut writes = 0u64;
+    while !memory.is_failed() && writes < 2_000_000 {
+        let w = generator.next_write();
+        let _ = memory.write(w.line, w.data);
+        writes += 1;
+    }
+    assert!(memory.is_failed(), "baseline memory at 150-write endurance must fail");
+    assert!(memory.dead_fraction() >= 0.5);
+}

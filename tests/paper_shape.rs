@@ -1,0 +1,75 @@
+//! Paper-shape assertions: the qualitative results the reproduction must
+//! preserve (DESIGN.md §2, EXPERIMENTS.md).
+
+use collab_pcm::ecc::montecarlo::{failure_probability, MonteCarlo};
+use collab_pcm::ecc::{Aegis, Ecp, Safer};
+use collab_pcm::core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
+use collab_pcm::core::{SystemConfig, SystemKind};
+use collab_pcm::trace::SpecApp;
+use collab_pcm::util::child_seed;
+
+fn lifetime(kind: SystemKind, app: SpecApp) -> f64 {
+    let system = SystemConfig::new(kind).with_endurance_mean(6_000.0);
+    let mut line = LineSimConfig::new(system, app.profile());
+    line.sample_writes = 8;
+    let mut cfg = CampaignConfig::new(line, child_seed(31, app as u64));
+    cfg.lines = 32;
+    run_campaign(&cfg).lifetime_writes() as f64
+}
+
+#[test]
+fn fig10_shape_high_compressibility_wins_big() {
+    // H apps: Comp+WF should deliver multiples; L apps barely move.
+    let zeusmp = lifetime(SystemKind::CompWF, SpecApp::Zeusmp)
+        / lifetime(SystemKind::Baseline, SpecApp::Zeusmp);
+    let lbm = lifetime(SystemKind::CompWF, SpecApp::Lbm)
+        / lifetime(SystemKind::Baseline, SpecApp::Lbm);
+    assert!(zeusmp > 4.0, "zeusmp Comp+WF {zeusmp:.1}x");
+    assert!(lbm < 2.5, "lbm Comp+WF {lbm:.1}x");
+    assert!(zeusmp > lbm * 2.0, "H app must far outgain L app");
+}
+
+#[test]
+fn fig10_shape_each_addition_helps_on_compressible_apps() {
+    let app = SpecApp::Sjeng;
+    let base = lifetime(SystemKind::Baseline, app);
+    let comp = lifetime(SystemKind::Comp, app);
+    let w = lifetime(SystemKind::CompW, app);
+    let wf = lifetime(SystemKind::CompWF, app);
+    assert!(w > comp, "intra-line WL must improve on naive compression ({w} vs {comp})");
+    assert!(wf >= w, "advanced fault handling must not hurt ({wf} vs {w})");
+    assert!(wf > base * 2.0, "sjeng Comp+WF must be a multiple of baseline");
+}
+
+#[test]
+fn fig9_shape_partition_schemes_and_small_windows_win() {
+    let mc = MonteCarlo { injections: 2_000, seed: 17, threads: 0 };
+    let ecp = Ecp::new(6);
+    let safer = Safer::new(32);
+    let aegis = Aegis::new(17, 31);
+    // Window shrinkage monotonically helps (the paper's central claim).
+    let p64 = failure_probability(&ecp, 64, 20, &mc);
+    let p32 = failure_probability(&ecp, 32, 20, &mc);
+    let p8 = failure_probability(&ecp, 8, 20, &mc);
+    assert!(p64 > p32 && p32 > p8, "ECP-6 @20 faults: {p64} > {p32} > {p8}");
+    // Partition schemes beat pointers at equal window.
+    let s32 = failure_probability(&safer, 32, 20, &mc);
+    let a32 = failure_probability(&aegis, 32, 20, &mc);
+    assert!(s32 < p32, "SAFER {s32} should beat ECP {p32}");
+    assert!(a32 < p32, "Aegis {a32} should beat ECP {p32}");
+}
+
+#[test]
+fn fig12_shape_compwf_tolerates_multiples_of_ecp6() {
+    let system = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(5_000.0);
+    let mut line = LineSimConfig::new(system, SpecApp::Milc.profile());
+    line.sample_writes = 8;
+    let mut cfg = CampaignConfig::new(line, 41);
+    cfg.lines = 24;
+    let wf = run_campaign(&cfg);
+    let faults = wf.mean_faults_at_death.expect("lines died");
+    assert!(
+        faults > 14.0,
+        "Comp+WF should tolerate >2x ECP-6's 7 faults per failed block, got {faults:.1}"
+    );
+}
