@@ -1,0 +1,253 @@
+//! Property-based round-trip suites for the compression stack: every BDI
+//! variant, FPC, and the best-of selector, on random, pattern-crafted,
+//! and adversarial (near-miss / boundary-delta) lines, plus the metadata
+//! size bounds the controller's 5-bit encoding field relies on.
+
+use pcm_compress::bdi::{self, BdiEncoding, ALL_ENCODINGS};
+use pcm_compress::{compress_best, decompress, fpc, CompressedWrite, Method};
+use pcm_util::Line512;
+use proptest::prelude::*;
+
+fn arb_line() -> impl Strategy<Value = Line512> {
+    prop::array::uniform8(any::<u64>()).prop_map(Line512::from_words)
+}
+
+/// A base whose 2- and 4-byte lanes are pairwise far apart, so smaller-
+/// element encodings can't accidentally absorb a larger-element pattern.
+fn lane_distinct_base() -> impl Strategy<Value = u64> {
+    (0u64..1 << 12).prop_map(|salt| {
+        0x4111_7222_8333_1444u64 ^ (salt * 0x0101_0101_0101_0101)
+    })
+}
+
+/// A delta strictly outside the `i8` range but comfortably inside `i16`.
+fn delta_beyond_i8() -> impl Strategy<Value = i64> {
+    prop_oneof![200i64..=30_000, -30_000i64..=-200]
+}
+
+/// A delta strictly outside the `i16` range but comfortably inside `i32`.
+fn delta_beyond_i16() -> impl Strategy<Value = i64> {
+    prop_oneof![40_000i64..=2_000_000_000, -2_000_000_000i64..=-40_000]
+}
+
+fn words_line(words: [u64; 8]) -> Line512 {
+    Line512::from_words(words)
+}
+
+/// Packs sixteen little-endian 4-byte elements into a line.
+fn words_from_u32(elems: [u32; 16]) -> Line512 {
+    let words: [u64; 8] =
+        std::array::from_fn(|i| (elems[2 * i + 1] as u64) << 32 | elems[2 * i] as u64);
+    Line512::from_words(words)
+}
+
+/// Lines crafted to land on one specific BDI encoding. Each generator
+/// defeats every *smaller* encoding (compression tries smallest first).
+fn crafted(encoding: BdiEncoding) -> BoxedStrategy<Line512> {
+    match encoding {
+        BdiEncoding::Zeros => Just(Line512::zero()).boxed(),
+        BdiEncoding::Rep8 => (1u64..=u64::MAX)
+            .prop_map(|w| words_line([w; 8]))
+            .boxed(),
+        // 8-byte base, i8 deltas; two distinct deltas so Rep8 fails.
+        BdiEncoding::B8D1 => (lane_distinct_base(), -100i64..=20, 1i64..=100)
+            .prop_map(|(base, d, gap)| {
+                let mut words = [0u64; 8];
+                for (i, w) in words.iter_mut().enumerate() {
+                    let delta = if i == 3 { d + gap } else { d };
+                    *w = base.wrapping_add(delta as u64);
+                }
+                words_line(words)
+            })
+            .boxed(),
+        // All sixteen 4-byte elements within i8 of the first; moving an
+        // odd-index element shifts its word by d << 32, defeating every
+        // 8-byte delta range.
+        BdiEncoding::B4D1 => (0u32..=u32::MAX, 1i64..=100)
+            .prop_map(|(base, d)| {
+                let mut elems = [base; 16];
+                elems[5] = base.wrapping_add(d as u32);
+                elems[2] = base.wrapping_add((d / 2 + 1) as u32);
+                words_from_u32(elems)
+            })
+            .boxed(),
+        // 8-byte base, one delta beyond i8 (kills B8D1); 4-byte views see
+        // the distinct upper/lower lanes (kills B4D1).
+        BdiEncoding::B8D2 => (lane_distinct_base(), delta_beyond_i8())
+            .prop_map(|(base, d)| {
+                let mut words = [base; 8];
+                words[4] = base.wrapping_add(d as u64);
+                words_line(words)
+            })
+            .boxed(),
+        // 2-byte elements, i8 deltas, with movement in an upper 2-byte
+        // lane of a 4-byte group (kills B4D1/B8D1/B8D2 via d << 16).
+        BdiEncoding::B2D1 => (0u16..=u16::MAX, 1i64..=100)
+            .prop_map(|(e, d)| {
+                let mut halves = [e; 32];
+                halves[7] = e.wrapping_add(d as u16); // lane 3 of word 1
+                let mut words = [0u64; 8];
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = (0..4).fold(0u64, |acc, j| {
+                        acc | (halves[i * 4 + j] as u64) << (16 * j)
+                    });
+                }
+                words_line(words)
+            })
+            .boxed(),
+        // 4-byte elements within i16 of the first, one beyond i8 (kills
+        // B4D1) and on an odd index (kills B8D* via d << 32); the base's
+        // 16-bit halves differ by more than i8, killing the 2-byte view
+        // (B2D1 is smaller than B4D2 and would otherwise win).
+        BdiEncoding::B4D2 => (0u16..=u16::MAX, delta_beyond_i8(), delta_beyond_i8())
+            .prop_map(|(lo16, half_gap, d)| {
+                let base = ((lo16.wrapping_add(half_gap as u16) as u32) << 16) | lo16 as u32;
+                let mut elems = [base; 16];
+                elems[3] = base.wrapping_add(d as u32);
+                words_from_u32(elems)
+            })
+            .boxed(),
+        // 8-byte base, one delta beyond i16 (kills B8D2; its 4-byte view
+        // also exceeds i16, killing B4D2).
+        BdiEncoding::B8D4 => (lane_distinct_base(), delta_beyond_i16())
+            .prop_map(|(base, d)| {
+                let mut words = [base; 8];
+                words[6] = base.wrapping_add(d as u64);
+                words_line(words)
+            })
+            .boxed(),
+    }
+}
+
+fn all_variants() -> impl Strategy<Value = BdiEncoding> {
+    prop::sample::select(ALL_ENCODINGS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every BDI variant round-trips exactly on a line crafted to require
+    /// precisely that variant, at exactly its advertised size.
+    #[test]
+    fn bdi_roundtrip_every_variant(enc in all_variants().prop_flat_map(|e| {
+        crafted(e).prop_map(move |line| (e, line))
+    })) {
+        let (expected, line) = enc;
+        let c = bdi::compress(&line).expect("crafted line must compress");
+        prop_assert_eq!(c.encoding(), expected,
+            "crafted for {:?}, landed on {:?}", expected, c.encoding());
+        prop_assert_eq!(c.size(), expected.compressed_size());
+        let back = bdi::decompress(c.encoding(), c.data()).unwrap();
+        prop_assert_eq!(back, line);
+    }
+
+    /// Whatever BDI picks for an arbitrary line, it round-trips at the
+    /// encoding's advertised size.
+    #[test]
+    fn bdi_roundtrip_random_lines(line in arb_line()) {
+        if let Some(c) = bdi::compress(&line) {
+            prop_assert_eq!(c.size(), c.encoding().compressed_size());
+            prop_assert_eq!(bdi::decompress(c.encoding(), c.data()).unwrap(), line);
+        }
+    }
+
+    /// Adversarial near-misses: a crafted line with one extra element
+    /// pushed out of every delta range must NOT land on the crafted
+    /// encoding — and whatever happens instead must still round-trip.
+    #[test]
+    fn bdi_near_miss_degrades_safely(
+        pair in all_variants()
+            .prop_filter("zeros/rep8 have no deltas", |e| e.geometry().is_some())
+            .prop_flat_map(|e| crafted(e).prop_map(move |line| (e, line))),
+        poison in delta_beyond_i16(),
+    ) {
+        let (enc, line) = pair;
+        let mut words = line.words();
+        // Push one untouched word far outside every delta range (the
+        // poison exceeds i16; stacked on existing deltas it stays outside
+        // the crafted encoding's range).
+        words[7] = words[7].wrapping_add((poison as u64) << 17);
+        let poisoned = Line512::from_words(words);
+        if let Some(c) = bdi::compress(&poisoned) {
+            prop_assert!(c.encoding() != enc || poisoned == line,
+                "poisoned line still fit {:?}", enc);
+            prop_assert_eq!(bdi::decompress(c.encoding(), c.data()).unwrap(), poisoned);
+        }
+    }
+
+    /// FPC round-trips any line, bit-exactly.
+    #[test]
+    fn fpc_roundtrip_random_lines(line in arb_line()) {
+        let c = fpc::compress(&line);
+        prop_assert_eq!(fpc::decompress(c.data()).unwrap(), line);
+    }
+
+    /// FPC round-trips its favourite patterns (word classes it targets).
+    #[test]
+    fn fpc_roundtrip_pattern_lines(
+        base in any::<u32>(),
+        halves in prop::array::uniform8(any::<u16>()),
+        pick in 0usize..3,
+    ) {
+        let words: [u64; 8] = std::array::from_fn(|i| match pick {
+            0 => base as u64,                          // zero-extended 32-bit
+            1 => (base as i32) as i64 as u64,          // sign-extended 32-bit
+            _ => ((halves[i] as i16) as i64) as u64,   // small signed halfword
+        });
+        let line = Line512::from_words(words);
+        let c = fpc::compress(&line);
+        prop_assert!(c.size() < 64, "pattern lines must compress, got {}", c.size());
+        prop_assert_eq!(fpc::decompress(c.data()).unwrap(), line);
+    }
+
+    /// The best-of selector round-trips everything through the stored
+    /// (method, bytes) form, never exceeds the uncompressed size, and
+    /// never loses to either component compressor.
+    #[test]
+    fn best_roundtrip_and_optimality(
+        line in prop_oneof![
+            arb_line(),
+            all_variants().prop_flat_map(crafted),
+            Just(Line512::zero()),
+            Just(Line512::ones()),
+        ],
+    ) {
+        let best = compress_best(&line);
+        prop_assert!(best.size() <= 64);
+        prop_assert!(!best.bytes().is_empty());
+        if let Some(b) = bdi::compress(&line) {
+            prop_assert!(best.size() <= b.size());
+        }
+        let f = fpc::compress(&line);
+        if f.size() < 64 {
+            prop_assert!(best.size() <= f.size());
+        }
+        let stored = CompressedWrite::from_parts(best.method(), best.bytes().to_vec()).unwrap();
+        prop_assert_eq!(decompress(&stored), line);
+    }
+}
+
+/// Metadata bounds: the 8 BDI ids are distinct, stable, invertible, and
+/// (with FPC + uncompressed) fit the controller's 5-bit encoding field;
+/// advertised sizes are orderd smallest-first as the compressor assumes.
+#[test]
+fn metadata_ids_and_size_bounds() {
+    let mut seen = std::collections::BTreeSet::new();
+    for enc in ALL_ENCODINGS {
+        assert!(enc.id() < 32, "{enc:?} id {} must fit 5 bits", enc.id());
+        assert!(seen.insert(enc.id()), "duplicate id {}", enc.id());
+        assert_eq!(BdiEncoding::from_id(enc.id()), Some(enc));
+        assert!(enc.compressed_size() >= 1 && enc.compressed_size() < 64);
+    }
+    assert!(
+        ALL_ENCODINGS.windows(2).all(|w| w[0].compressed_size() <= w[1].compressed_size()),
+        "compression relies on smallest-first ordering"
+    );
+    // Method-level storage never exceeds a line and rejects wrong sizes.
+    assert!(CompressedWrite::from_parts(Method::Uncompressed, vec![0u8; 64]).is_ok());
+    assert!(CompressedWrite::from_parts(Method::Uncompressed, vec![0u8; 65]).is_err());
+    for enc in ALL_ENCODINGS {
+        let wrong = vec![0u8; enc.compressed_size() + 1];
+        assert!(CompressedWrite::from_parts(Method::Bdi(enc), wrong).is_err());
+    }
+}

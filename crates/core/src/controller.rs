@@ -48,6 +48,11 @@ pub struct MemoryStats {
     /// Relocations that could not place their data (data parked until the
     /// next successful write).
     pub relocation_failures: u64,
+    /// Uncorrectable line failures (death events, demand or relocation).
+    pub deaths: u64,
+    /// Sum of per-line fault counts at each death event (so
+    /// `death_fault_cells / deaths` is the Fig. 12 faults-at-death mean).
+    pub death_fault_cells: u64,
 }
 
 /// Report of one successful demand write.
@@ -129,7 +134,7 @@ impl PcmMemory {
         assert!(logical_lines >= 2, "need at least two logical lines");
         // Eight banks when each bank gets at least two lines (Start-Gap
         // needs a region), otherwise a single bank.
-        let banks = if logical_lines % 8 == 0 && logical_lines >= 16 { 8 } else { 1 };
+        let banks = Self::banks_for(logical_lines);
         let lines_per_bank = logical_lines / banks as u64;
         let mut rng = seeded_rng(seed);
         let phys_per_bank = lines_per_bank + 1;
@@ -159,6 +164,21 @@ impl PcmMemory {
     /// Number of logical lines.
     pub fn logical_lines(&self) -> u64 {
         self.lines_per_bank * self.banks as u64
+    }
+
+    // Eight banks when each bank gets at least two lines (Start-Gap needs
+    // a region), otherwise a single bank.
+    fn banks_for(logical_lines: u64) -> usize {
+        if logical_lines % 8 == 0 && logical_lines >= 16 { 8 } else { 1 }
+    }
+
+    /// Physical lines backing `logical_lines` logical ones: one Start-Gap
+    /// spare per bank on top of the logical capacity. Wear (and the
+    /// 50%-capacity failure criterion) is spread over this count, so
+    /// per-line write budgets comparable with the accelerated engine's
+    /// clock divide by it, not by the logical count.
+    pub fn physical_lines(logical_lines: u64) -> u64 {
+        logical_lines + Self::banks_for(logical_lines) as u64
     }
 
     /// Cumulative statistics.
@@ -282,14 +302,19 @@ impl PcmMemory {
                 {
                     line.revive();
                     self.stats.resurrections += 1;
-                    let r = line
-                        .write(
-                            &self.engine,
-                            Payload { method, bytes: &payload_bytes },
-                            offset,
-                            true,
-                        )
-                        .map_err(|e| WriteError::LineDead { faults: e.faults })?;
+                    let r = match line.write(
+                        &self.engine,
+                        Payload { method, bytes: &payload_bytes },
+                        offset,
+                        true,
+                    ) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            self.stats.deaths += 1;
+                            self.stats.death_fault_cells += e.faults as u64;
+                            return Err(WriteError::LineDead { faults: e.faults });
+                        }
+                    };
                     self.commit(logical, data, method, payload_bytes.len(), new_meta, &r);
                     return Ok((r, method.is_compressed()));
                 }
@@ -308,6 +333,8 @@ impl PcmMemory {
             }
             Err(e) => {
                 self.parked[logical as usize] = true;
+                self.stats.deaths += 1;
+                self.stats.death_fault_cells += e.faults as u64;
                 Err(WriteError::LineDead { faults: e.faults })
             }
         }

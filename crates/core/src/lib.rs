@@ -23,7 +23,9 @@
 //!   (Figs. 10/12/13, Table IV);
 //! * [`perf`] — the decompression-latency performance study (§V.B);
 //! * [`system`] — the four evaluated configurations: `Baseline`, `Comp`,
-//!   `Comp+W`, `Comp+WF` (§IV).
+//!   `Comp+W`, `Comp+WF` (§IV);
+//! * [`verify`] — the deterministic fault-injection churn harness and the
+//!   replay-vs-engine differential oracle (DESIGN.md "Verification").
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@ pub mod line;
 pub mod meta;
 pub mod perf;
 pub mod system;
+pub mod verify;
 pub mod window;
 
 pub use controller::{PcmMemory, WriteError, WriteReport};

@@ -99,7 +99,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> LifetimeResult {
     }
     .min(cfg.lines);
 
-    let records: Vec<LineRecord> = crossbeam::thread::scope(|s| {
+    let records: Vec<LineRecord> = std::thread::scope(|s| {
         let chunks: Vec<Vec<usize>> = (0..threads)
             .map(|t| (t..cfg.lines).step_by(threads).collect())
             .collect();
@@ -107,7 +107,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> LifetimeResult {
         for chunk in chunks {
             let line_cfg = &cfg.line;
             let seed = cfg.seed;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
                 chunk
                     .into_iter()
                     .map(|i| (i, simulate_line(line_cfg, child_seed(seed, i as u64))))
@@ -118,8 +118,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> LifetimeResult {
             handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect();
         indexed.sort_by_key(|(i, _)| *i);
         indexed.into_iter().map(|(_, r)| r).collect()
-    })
-    .expect("scope");
+    });
 
     summarize(&records, cfg.line.max_writes)
 }

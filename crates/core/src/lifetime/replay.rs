@@ -37,6 +37,10 @@ pub struct ReplayResult {
     pub final_dead_fraction: f64,
     /// Mean programmed cells per demand write.
     pub mean_flips_per_write: f64,
+    /// Mean faulty cells in a line at each uncorrectable failure (the
+    /// Fig. 12 metric, for cross-validation against the accelerated
+    /// engine). `None` if no line died.
+    pub mean_faults_at_death: Option<f64>,
 }
 
 impl ReplayResult {
@@ -79,6 +83,8 @@ pub fn replay_to_failure(cfg: &ReplayConfig) -> ReplayResult {
         } else {
             0.0
         },
+        mean_faults_at_death: (stats.deaths > 0)
+            .then(|| stats.death_fault_cells as f64 / stats.deaths as f64),
     }
 }
 

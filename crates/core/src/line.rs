@@ -213,6 +213,22 @@ impl ManagedLine {
         }
     }
 
+    /// Creates a healthy-except-for-`faults` line (infinite endurance
+    /// elsewhere); see [`LineWear::with_faults`]. Used by the verification
+    /// harness to realize a seeded fault plan exactly.
+    pub fn with_faults(faults: &FaultMap) -> Self {
+        ManagedLine {
+            wear: LineWear::with_faults(faults),
+            code: EccCode::None,
+            method: Method::Uncompressed,
+            offset: 0,
+            size: 0,
+            dead: false,
+            valid: false,
+            meta_updates: MetaUpdateCounts::default(),
+        }
+    }
+
     /// The line's stuck-at faults.
     pub fn faults(&self) -> &FaultMap {
         self.wear.faults()

@@ -201,6 +201,30 @@ impl LineWear {
         }
     }
 
+    /// Creates an SLC line with infinite-endurance healthy cells and the
+    /// given pre-existing stuck-at faults (stored values start at each
+    /// fault's stuck value, zero elsewhere).
+    ///
+    /// This is the fault-injection entry point of the verification
+    /// harness: it realizes a planned fault set *exactly* — position and
+    /// stuck polarity — where wearing cells out through writes would leave
+    /// the stuck value dependent on the data stream.
+    pub fn with_faults(faults: &FaultMap) -> Self {
+        let mut endurance = vec![u32::MAX; DATA_BITS];
+        let mut wear = vec![0; DATA_BITS];
+        for f in faults.iter() {
+            endurance[f.pos as usize] = 0;
+            wear[f.pos as usize] = 0;
+        }
+        LineWear {
+            tech: CellTech::Slc,
+            endurance,
+            wear,
+            stored: faults.apply(Line512::zero()),
+            faults: *faults,
+        }
+    }
+
     /// The cell technology of this line.
     pub fn tech(&self) -> CellTech {
         self.tech
@@ -328,6 +352,28 @@ impl LineWear {
 mod tests {
     use super::*;
     use pcm_util::seeded_rng;
+
+    #[test]
+    fn with_faults_realizes_positions_and_polarity() {
+        let faults: FaultMap = [
+            StuckAt { pos: 0, value: true },
+            StuckAt { pos: 77, value: false },
+            StuckAt { pos: 511, value: true },
+        ]
+        .into_iter()
+        .collect();
+        let mut line = LineWear::with_faults(&faults);
+        assert_eq!(*line.faults(), faults);
+        assert!(line.stored().bit(0) && line.stored().bit(511));
+        assert!(!line.stored().bit(77));
+        // Writing against the stuck values programs but does not change them,
+        // and healthy cells have effectively infinite endurance.
+        let outcome = line.write(&Line512::zero());
+        assert!(outcome.new_faults.is_empty());
+        assert!(!line.stored().bit(77));
+        assert!(line.stored().bit(0), "stuck-at-1 survives a zero write");
+        assert_eq!(line.remaining(100), u32::MAX - 1);
+    }
 
     #[test]
     fn endurance_sampling_matches_model() {

@@ -98,6 +98,13 @@ impl Ecp {
     pub fn read(&self, stored: &Line512, code: &EcpCode) -> Line512 {
         let mut out = *stored;
         for &(pos, bit) in &code.pairs {
+            #[cfg(feature = "verify-mutations")]
+            let pos = if crate::mutation::active() == crate::mutation::Mutation::EcpPointerOffByOne
+            {
+                (pos + 1) % pcm_util::DATA_BITS as u16
+            } else {
+                pos
+            };
             out.set_bit(pos as usize, bit);
         }
         out

@@ -39,6 +39,8 @@ pub mod aegis;
 pub mod ecp;
 pub mod layout;
 pub mod montecarlo;
+#[cfg(feature = "verify-mutations")]
+pub mod mutation;
 pub mod safer;
 pub mod scheme;
 pub mod secded;

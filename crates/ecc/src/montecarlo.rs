@@ -82,31 +82,52 @@ pub fn failure_probability(
 ) -> f64 {
     assert!(errors <= DATA_BITS, "at most 512 faults fit a line");
     assert!(mc.injections > 0, "need at least one injection");
-    let threads = mc.effective_threads().min(mc.injections);
-    let per = mc.injections / threads;
-    let extra = mc.injections % threads;
 
-    let failures: u64 = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let n = per + usize::from(t < extra);
-            let seed = child_seed(mc.seed, t as u64);
-            handles.push(s.spawn(move |_| {
-                let mut rng = seeded_rng(seed);
-                let mut scratch = [0u16; DATA_BITS];
-                let mut fail = 0u64;
-                for _ in 0..n {
-                    let positions = sample_positions(&mut rng, errors, &mut scratch);
-                    if find_window(scheme, &positions, window_bytes).is_none() {
-                        fail += 1;
-                    }
-                }
-                fail
-            }));
+    // Work is split into fixed-size chunks seeded by chunk index, not by
+    // worker id, so the estimate is bit-identical for every thread count
+    // (each injection sees the same RNG stream no matter which worker
+    // executes its chunk, and u64 summation commutes).
+    const CHUNK: usize = 1_024;
+    let chunks = mc.injections.div_ceil(CHUNK);
+    let threads = mc.effective_threads().min(chunks);
+
+    let run_chunk = |c: usize| {
+        let lo = c * CHUNK;
+        let hi = (lo + CHUNK).min(mc.injections);
+        let mut rng = seeded_rng(child_seed(mc.seed, c as u64));
+        let mut scratch = [0u16; DATA_BITS];
+        let mut fail = 0u64;
+        for _ in lo..hi {
+            let positions = sample_positions(&mut rng, errors, &mut scratch);
+            if find_window(scheme, &positions, window_bytes).is_none() {
+                fail += 1;
+            }
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-    })
-    .expect("scope");
+        fail
+    };
+
+    let failures: u64 = if threads <= 1 {
+        (0..chunks).map(run_chunk).sum()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut fail = 0u64;
+                        loop {
+                            let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if c >= chunks {
+                                return fail;
+                            }
+                            fail += run_chunk(c);
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        })
+    };
 
     failures as f64 / mc.injections as f64
 }

@@ -1,0 +1,75 @@
+//! Deliberate ECC-decode corruptions for harness self-checks.
+//!
+//! Compiled only under the `verify-mutations` feature. The verification
+//! harness must *fail* when a decoder is wrong — these switches prove it
+//! does, by seeding two realistic decoder bugs and asserting the harness
+//! reports a mismatch for each:
+//!
+//! * [`Mutation::EcpPointerOffByOne`] — ECP patches position `pos + 1`
+//!   instead of `pos` (a classic pointer-arithmetic slip).
+//! * [`Mutation::SaferPartitionMisMap`] — SAFER applies the inversion
+//!   pass with the *next* index-bit subset in its table, mis-mapping
+//!   cells to groups.
+//!
+//! The switch is thread-local so self-check tests can run in parallel
+//! with honest tests without contaminating them.
+
+use std::cell::Cell;
+
+/// Which decoder corruption is active on this thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Honest decoding.
+    #[default]
+    None,
+    /// ECP patches `pos + 1` (mod 512) instead of `pos`.
+    EcpPointerOffByOne,
+    /// SAFER un-inverts with the wrong partition subset.
+    SaferPartitionMisMap,
+}
+
+thread_local! {
+    static ACTIVE: Cell<Mutation> = const { Cell::new(Mutation::None) };
+}
+
+/// Activates a mutation on this thread (pass [`Mutation::None`] to clear).
+pub fn set_mutation(m: Mutation) {
+    ACTIVE.with(|a| a.set(m));
+}
+
+/// The mutation active on this thread.
+pub fn active() -> Mutation {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Runs `f` with `m` active, restoring the previous state afterwards
+/// (also on panic).
+pub fn with_mutation<T>(m: Mutation, f: impl FnOnce() -> T) -> T {
+    struct Restore(Mutation);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_mutation(self.0);
+        }
+    }
+    let _restore = Restore(active());
+    set_mutation(m);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_activation_restores() {
+        assert_eq!(active(), Mutation::None);
+        with_mutation(Mutation::EcpPointerOffByOne, || {
+            assert_eq!(active(), Mutation::EcpPointerOffByOne);
+            with_mutation(Mutation::SaferPartitionMisMap, || {
+                assert_eq!(active(), Mutation::SaferPartitionMisMap);
+            });
+            assert_eq!(active(), Mutation::EcpPointerOffByOne);
+        });
+        assert_eq!(active(), Mutation::None);
+    }
+}

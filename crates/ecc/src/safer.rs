@@ -156,6 +156,18 @@ impl Safer {
 
     /// Reconstructs the original data from a physical line and its code.
     pub fn read(&self, stored: &Line512, code: &SaferCode) -> Line512 {
+        #[cfg(feature = "verify-mutations")]
+        if crate::mutation::active() == crate::mutation::Mutation::SaferPartitionMisMap {
+            // Un-invert with the *next* subset in the table: cells land in
+            // the wrong groups whenever any group is inverted.
+            let idx = self
+                .subsets
+                .iter()
+                .position(|&m| m == code.subset_mask)
+                .expect("mask comes from this scheme's subset list");
+            let wrong = self.subsets[(idx + 1) % self.subsets.len()];
+            return self.transform(stored, wrong, &code.inversions);
+        }
         // Inversion is an involution: applying the same per-group flips
         // recovers the data, and stuck cells were made to agree at write.
         self.transform(stored, code.subset_mask, &code.inversions)

@@ -1,0 +1,16 @@
+//! Vendored `serde` facade for the offline build.
+//!
+//! Re-exports no-op [`Serialize`]/[`Deserialize`] derive macros and
+//! declares the marker traits under the usual names, so the rest of the
+//! workspace keeps its `#[derive(Serialize, Deserialize)]` attributes
+//! unchanged. No in-tree code serializes anything; swapping the workspace
+//! dependency back to crates.io `serde` restores full functionality
+//! without touching any other file.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no-op in the offline build).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no-op in the offline build).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on most public types so downstream
+//! users *could* serialize them, but nothing in-tree serializes anything
+//! (there is no `serde_json`/`bincode` in the dependency closure, and the
+//! build environment is offline). These derives therefore expand to
+//! nothing: the `#[derive(Serialize, Deserialize)]` attributes stay legal
+//! and zero-cost, and the real serde can be swapped back in by pointing
+//! the workspace dependency at crates.io.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -105,7 +105,7 @@ impl ContentClass {
             ContentClass::Random => {
                 let mut words = current.words();
                 for _ in 0..words_changed {
-                    words[rng.random_range(0..8)] = rng.random();
+                    words[rng.random_range(0..8usize)] = rng.random();
                 }
                 Line512::from_words(words)
             }
@@ -113,7 +113,7 @@ impl ContentClass {
                 let mut bytes = current.to_bytes();
                 let fresh = fpc_small(rng).to_bytes();
                 for _ in 0..words_changed {
-                    let w = rng.random_range(0..8);
+                    let w = rng.random_range(0..8usize);
                     bytes[w * 8..w * 8 + 8].copy_from_slice(&fresh[w * 8..w * 8 + 8]);
                 }
                 Line512::from_bytes(&bytes)
@@ -121,7 +121,7 @@ impl ContentClass {
             ContentClass::Mixed => {
                 let mut words = current.words();
                 for _ in 0..words_changed {
-                    let w = rng.random_range(0..8);
+                    let w = rng.random_range(0..8usize);
                     // Preserve the half-small / half-random structure.
                     words[w] = if w < 4 { small_pair(rng) } else { rng.random() };
                 }
@@ -136,7 +136,7 @@ impl ContentClass {
                 let mut words = current.words();
                 let base = words[0];
                 for _ in 0..words_changed {
-                    let w = rng.random_range(1..8);
+                    let w = rng.random_range(1..8usize);
                     words[w] = base.wrapping_add(rng.random_range(-span..=span) as u64);
                 }
                 Line512::from_words(words)

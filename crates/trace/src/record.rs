@@ -5,7 +5,6 @@
 //! interchange object, with a compact binary codec so generated traces can
 //! be stored and replayed bit-identically.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pcm_util::Line512;
 use serde::{Deserialize, Serialize};
 
@@ -105,15 +104,15 @@ impl Trace {
 
     /// Encodes the trace into the compact binary format
     /// (`magic, count, then (line u64 LE, 64 payload bytes) per record`).
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + self.records.len() * 72);
-        buf.put_u32_le(MAGIC);
-        buf.put_u32_le(self.records.len() as u32);
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + self.records.len() * 72);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
         for r in &self.records {
-            buf.put_u64_le(r.line);
-            buf.put_slice(&r.data.to_bytes());
+            buf.extend_from_slice(&r.line.to_le_bytes());
+            buf.extend_from_slice(&r.data.to_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a trace from the binary format.
@@ -121,24 +120,24 @@ impl Trace {
     /// # Errors
     ///
     /// Returns [`DecodeTraceError`] on a bad header or truncated payload.
-    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, DecodeTraceError> {
-        if bytes.remaining() < 8 {
-            return Err(DecodeTraceError::Truncated);
-        }
-        if bytes.get_u32_le() != MAGIC {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeTraceError> {
+        let header: &[u8; 8] =
+            bytes.get(..8).and_then(|h| h.try_into().ok()).ok_or(DecodeTraceError::Truncated)?;
+        if u32::from_le_bytes(header[..4].try_into().unwrap()) != MAGIC {
             return Err(DecodeTraceError::BadMagic);
         }
-        let count = bytes.get_u32_le() as usize;
-        if bytes.remaining() < count * 72 {
+        let count = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+        let body = &bytes[8..];
+        if body.len() < count * 72 {
             return Err(DecodeTraceError::Truncated);
         }
-        let mut records = Vec::with_capacity(count);
-        for _ in 0..count {
-            let line = bytes.get_u64_le();
-            let mut payload = [0u8; 64];
-            bytes.copy_to_slice(&mut payload);
-            records.push(WriteRecord { line, data: Line512::from_bytes(&payload) });
-        }
+        let records = body[..count * 72]
+            .chunks_exact(72)
+            .map(|rec| {
+                let line = u64::from_le_bytes(rec[..8].try_into().unwrap());
+                WriteRecord { line, data: Line512::from_bytes(rec[8..].try_into().unwrap()) }
+            })
+            .collect();
         Ok(Trace { records })
     }
 }

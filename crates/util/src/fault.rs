@@ -130,6 +130,127 @@ impl FaultMap {
     }
 }
 
+/// How a [`FaultPlan`] chooses fault positions and polarities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum FaultSpec {
+    /// The same explicit fault set for every line.
+    Exact(Vec<StuckAt>),
+    /// Each cell is independently faulty with probability `density`.
+    Density { density: f64, sa1_fraction: f64 },
+    /// Exactly `count` faults at distinct uniform positions.
+    Count { count: u32, sa1_fraction: f64 },
+}
+
+/// A deterministic, seeded recipe for stuck-at fault injection.
+///
+/// The verification harness needs to place faults *by position* (exact
+/// regression scenarios), *by density* (endurance-scale realism), and with
+/// controlled SA-0/SA-1 *polarity* — and to regenerate the identical fault
+/// set for any line from `(seed, line_index)` alone, so a failure report
+/// is reproducible from two numbers.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_util::fault::{FaultPlan, StuckAt};
+///
+/// // Exact: the same three faults on every line.
+/// let plan = FaultPlan::exact(vec![
+///     StuckAt { pos: 3, value: true },
+///     StuckAt { pos: 100, value: false },
+///     StuckAt { pos: 511, value: true },
+/// ]);
+/// assert_eq!(plan.for_line(0).count(), 3);
+///
+/// // Seeded: 10 faults per line, 70% stuck-at-1, different per line,
+/// // identical across calls.
+/// let plan = FaultPlan::with_count(42, 10, 0.7);
+/// assert_eq!(plan.for_line(5), plan.for_line(5));
+/// assert_ne!(plan.for_line(5), plan.for_line(6));
+/// assert_eq!(plan.for_line(5).count(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+}
+
+impl FaultPlan {
+    /// A plan injecting exactly these faults into every line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is ≥ 512.
+    pub fn exact(faults: Vec<StuckAt>) -> Self {
+        assert!(
+            faults.iter().all(|f| (f.pos as usize) < DATA_BITS),
+            "fault positions must be < 512"
+        );
+        FaultPlan { seed: 0, spec: FaultSpec::Exact(faults) }
+    }
+
+    /// A plan where each cell fails independently with probability
+    /// `density`, stuck at 1 with probability `sa1_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are in `0.0..=1.0`.
+    pub fn density(seed: u64, density: f64, sa1_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be in 0..=1");
+        assert!((0.0..=1.0).contains(&sa1_fraction), "sa1_fraction must be in 0..=1");
+        FaultPlan { seed, spec: FaultSpec::Density { density, sa1_fraction } }
+    }
+
+    /// A plan with exactly `count` faults per line at distinct seeded
+    /// positions, stuck at 1 with probability `sa1_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 512` or `sa1_fraction` is outside `0.0..=1.0`.
+    pub fn with_count(seed: u64, count: u32, sa1_fraction: f64) -> Self {
+        assert!(count as usize <= DATA_BITS, "at most 512 faults fit a line");
+        assert!((0.0..=1.0).contains(&sa1_fraction), "sa1_fraction must be in 0..=1");
+        FaultPlan { seed, spec: FaultSpec::Count { count, sa1_fraction } }
+    }
+
+    /// The plan's seed (0 for exact plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Materializes the fault set of one line. Deterministic: the same
+    /// `(plan, line)` always yields the same map.
+    pub fn for_line(&self, line: u64) -> FaultMap {
+        use crate::{child_seed, seeded_rng};
+        use rand::RngExt;
+        match &self.spec {
+            FaultSpec::Exact(faults) => faults.iter().copied().collect(),
+            FaultSpec::Density { density, sa1_fraction } => {
+                let mut rng = seeded_rng(child_seed(self.seed, line));
+                let mut map = FaultMap::new();
+                for pos in 0..DATA_BITS as u16 {
+                    if rng.random_bool(*density) {
+                        map.insert(StuckAt { pos, value: rng.random_bool(*sa1_fraction) });
+                    }
+                }
+                map
+            }
+            FaultSpec::Count { count, sa1_fraction } => {
+                let mut rng = seeded_rng(child_seed(self.seed, line));
+                // Partial Fisher–Yates over the 512 positions.
+                let mut positions: Vec<u16> = (0..DATA_BITS as u16).collect();
+                (0..*count as usize)
+                    .map(|i| {
+                        let j = rng.random_range(i..DATA_BITS);
+                        positions.swap(i, j);
+                        StuckAt { pos: positions[i], value: rng.random_bool(*sa1_fraction) }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
 impl FromIterator<StuckAt> for FaultMap {
     fn from_iter<T: IntoIterator<Item = StuckAt>>(iter: T) -> Self {
         let mut map = FaultMap::new();
@@ -196,6 +317,52 @@ mod tests {
         assert!(!written.bit(4), "stuck-at-0 forces 0");
         // Healthy bits unchanged.
         assert!(!written.bit(5));
+    }
+
+    #[test]
+    fn plan_exact_is_line_independent() {
+        let plan = FaultPlan::exact(vec![
+            StuckAt { pos: 1, value: true },
+            StuckAt { pos: 2, value: false },
+        ]);
+        assert_eq!(plan.for_line(0), plan.for_line(99));
+        assert_eq!(plan.for_line(0).count(), 2);
+        assert_eq!(plan.for_line(0).stuck_value(1), Some(true));
+        assert_eq!(plan.for_line(0).stuck_value(2), Some(false));
+    }
+
+    #[test]
+    fn plan_count_exact_cardinality_and_determinism() {
+        let plan = FaultPlan::with_count(7, 33, 0.5);
+        for line in 0..8 {
+            let m = plan.for_line(line);
+            assert_eq!(m.count(), 33);
+            assert_eq!(m, plan.for_line(line), "same (plan, line) must reproduce");
+        }
+        assert_ne!(plan.for_line(0), plan.for_line(1), "lines draw distinct sets");
+        assert_ne!(
+            plan.for_line(0),
+            FaultPlan::with_count(8, 33, 0.5).for_line(0),
+            "seed changes the draw"
+        );
+    }
+
+    #[test]
+    fn plan_polarity_extremes() {
+        let all_ones = FaultPlan::with_count(3, 64, 1.0).for_line(0);
+        assert!(all_ones.iter().all(|f| f.value), "sa1_fraction=1 -> all stuck-at-1");
+        let all_zeros = FaultPlan::with_count(3, 64, 0.0).for_line(0);
+        assert!(all_zeros.iter().all(|f| !f.value), "sa1_fraction=0 -> all stuck-at-0");
+    }
+
+    #[test]
+    fn plan_density_tracks_probability() {
+        let plan = FaultPlan::density(11, 0.1, 0.5);
+        let total: u32 = (0..64).map(|l| plan.for_line(l).count()).sum();
+        // 64 lines x 512 cells at 10%: expect ~3277, allow wide slack.
+        assert!((2000..5000).contains(&total), "got {total} faults");
+        assert_eq!(FaultPlan::density(11, 0.0, 0.5).for_line(0).count(), 0);
+        assert_eq!(FaultPlan::density(11, 1.0, 0.5).for_line(0).count(), 512);
     }
 
     #[test]

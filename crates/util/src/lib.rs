@@ -29,7 +29,7 @@ pub mod fault;
 pub mod line;
 pub mod stats;
 
-pub use fault::{FaultMap, StuckAt};
+pub use fault::{FaultMap, FaultPlan, StuckAt};
 pub use line::{Line512, DATA_BITS, DATA_BYTES};
 
 use rand::rngs::StdRng;

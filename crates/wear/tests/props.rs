@@ -1,0 +1,112 @@
+//! Property tests: the inter-line remapping engines stay bijective — and
+//! keep data reachable through their physical copies — across *arbitrary*
+//! rotation sequences, not just the fixed walks in the unit tests.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use pcm_wear::{SecurityRefresh, StartGap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Start-Gap: after any sequence of write bursts (gap moves landing at
+    /// arbitrary points, wraps included), the logical→physical map is a
+    /// bijection that avoids the gap, and shadow contents moved by each
+    /// `GapMove` are still found exactly where `map` points.
+    #[test]
+    fn start_gap_bijective_under_arbitrary_writes(
+        n in 2u64..40,
+        psi in 1u32..8,
+        bursts in prop::collection::vec(0usize..25, 1..40),
+    ) {
+        let mut sg = StartGap::new(n, psi);
+        let mut phys: Vec<Option<u64>> = (0..n).map(Some).chain([None]).collect();
+        for burst in bursts {
+            for _ in 0..burst {
+                if let Some(mv) = sg.on_write() {
+                    let moved = phys[mv.from as usize].take();
+                    prop_assert!(moved.is_some(), "gap move copied from the gap itself");
+                    phys[mv.to as usize] = moved;
+                }
+            }
+            let mut seen = HashSet::new();
+            for l in 0..n {
+                let p = sg.map(l);
+                prop_assert!(p < sg.physical_lines());
+                prop_assert!(p != sg.gap(), "logical {} mapped onto the gap", l);
+                prop_assert!(seen.insert(p), "physical {} mapped twice", p);
+                prop_assert_eq!(phys[p as usize], Some(l));
+            }
+            prop_assert!(phys[sg.gap() as usize].is_none(), "gap slot holds data");
+        }
+    }
+
+    /// Start-Gap: one full rotation — n × (n + 1) gap moves — returns the
+    /// engine to the identity mapping with the gap back on top.
+    #[test]
+    fn start_gap_full_rotation_is_identity(n in 2u64..24, psi in 1u32..5) {
+        let mut sg = StartGap::new(n, psi);
+        for _ in 0..n * (n + 1) {
+            sg.move_gap();
+        }
+        prop_assert_eq!(sg.gap(), n);
+        prop_assert_eq!(sg.start(), 0);
+        for l in 0..n {
+            prop_assert_eq!(sg.map(l), l);
+        }
+    }
+
+    /// Security Refresh: across arbitrary write bursts and key epochs the
+    /// XOR mapping stays a bijection, and contents exchanged by each
+    /// returned `Swap` are still found where `map` points.
+    #[test]
+    fn security_refresh_bijective_under_arbitrary_writes(
+        npow in 1u32..6,
+        psi in 1u32..6,
+        seed in any::<u64>(),
+        bursts in prop::collection::vec(0usize..30, 1..40),
+    ) {
+        let n = 1u64 << npow;
+        let mut sr = SecurityRefresh::new(n, psi, seed);
+        // map starts as identity (key 0, pointer 0): slots[p] = logical p.
+        let mut slots: Vec<u64> = (0..n).collect();
+        for burst in bursts {
+            for _ in 0..burst {
+                if let Some(swap) = sr.on_write() {
+                    slots.swap(swap.a as usize, swap.b as usize);
+                }
+            }
+            let mut seen = HashSet::new();
+            for l in 0..n {
+                let p = sr.map(l);
+                prop_assert!(p < n);
+                prop_assert!(seen.insert(p), "slot {} mapped twice", p);
+                prop_assert_eq!(slots[p as usize], l, "logical {} lost in epoch {}", l, sr.epoch());
+            }
+        }
+    }
+
+    /// Both engines are deterministic: identical construction and write
+    /// sequences yield identical mappings at every observation point.
+    #[test]
+    fn remapping_is_deterministic(
+        npow in 1u32..6,
+        psi in 1u32..6,
+        seed in any::<u64>(),
+        writes in 0usize..600,
+    ) {
+        let n = 1u64 << npow;
+        let (mut a, mut b) = (StartGap::new(n, psi), StartGap::new(n, psi));
+        let (mut x, mut y) =
+            (SecurityRefresh::new(n, psi, seed), SecurityRefresh::new(n, psi, seed));
+        for _ in 0..writes {
+            prop_assert_eq!(a.on_write(), b.on_write());
+            prop_assert_eq!(x.on_write(), y.on_write());
+        }
+        for l in 0..n {
+            prop_assert_eq!(a.map(l), b.map(l));
+            prop_assert_eq!(x.map(l), y.map(l));
+        }
+    }
+}

@@ -9,6 +9,19 @@ ablation_heuristic ablation_ecc ablation_rotation ablation_flip_n_write \
 ablation_secded ablation_mlc ablation_interline_wl ablation_window_step energy_writes \
 compressor_comparison metadata_rates mix_study fig09_montecarlo"
 cargo build -q --release -p pcm-bench 2>/dev/null
+
+# Verification gate: the fault-injection churn matrix and the differential
+# replay-vs-engine oracle (see DESIGN.md "Verification") must pass before
+# any figures are regenerated. A mismatch aborts the whole run non-zero.
+echo "== verify =="
+mkdir -p results
+if ! /usr/bin/timeout 3000 cargo run -q --release --bin pcm-verify -- "$@" > results/verify.txt 2>&1; then
+  echo "   VERIFY FAILED (see results/verify.txt)" >&2
+  tail -n 20 results/verify.txt >&2
+  exit 1
+fi
+echo "   ok ($(wc -l < results/verify.txt) lines)"
+
 for b in $BINS; do
   echo "== $b =="
   /usr/bin/timeout 3000 cargo run -q -p pcm-bench --release --bin $b -- "$@" > results/$b.txt 2>&1

@@ -1,0 +1,83 @@
+//! `pcm-verify` — the deterministic verification sweep.
+//!
+//! Runs the fault-injection churn harness and the replay-vs-engine
+//! differential oracle over every `SystemKind` × hard-error-scheme
+//! combination at two endurance settings (see DESIGN.md "Verification"),
+//! printing one block per combination and exiting non-zero on any
+//! mismatch — the `verify` stage of `scripts_run_all.sh`.
+//!
+//! ```text
+//! pcm-verify [--seed N] [--churn-only] [--quiet]
+//! ```
+
+use collab_pcm::core::verify::{run_all, VerifyConfig};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = VerifyConfig::default();
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--churn-only" => cfg.churn_only = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: pcm-verify [--seed N] [--churn-only] [--quiet]");
+                return;
+            }
+            other => die(&format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+
+    let start = std::time::Instant::now();
+    let report = run_all(&cfg);
+    for entry in &report.entries {
+        let verdict = if entry.passed() { "ok" } else { "FAIL" };
+        match &entry.churn {
+            Ok(s) => {
+                if !quiet {
+                    println!(
+                        "{:8} / {:11} churn: {} writes, {} slides, {} deaths, {} revived [{verdict}]",
+                        entry.kind.to_string(),
+                        entry.ecc.to_string(),
+                        s.writes_checked,
+                        s.slides,
+                        s.deaths,
+                        s.resurrections,
+                    );
+                }
+            }
+            Err(e) => println!("{:8} / {:11} churn FAIL: {e}", entry.kind.to_string(), entry.ecc.to_string()),
+        }
+        for o in &entry.oracles {
+            if !quiet || !o.passed() {
+                println!("{}", o.describe());
+            }
+        }
+    }
+    let failures = report.failures();
+    println!(
+        "verify: {} combinations, {} failures, {:.1}s (seed {})",
+        report.entries.len(),
+        failures.len(),
+        start.elapsed().as_secs_f64(),
+        cfg.seed
+    );
+    if !failures.is_empty() {
+        exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("pcm-verify: {msg}");
+    exit(2)
+}

@@ -1,0 +1,70 @@
+//! Thread-count invariance: every parallel estimator must produce
+//! bit-identical results for any worker count at a fixed seed, because
+//! work is seeded by item/chunk index, never by worker id (DESIGN.md
+//! "Verification"). A drift here silently destroys reproducibility of
+//! every published number.
+
+use collab_pcm::core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
+use collab_pcm::core::{SystemConfig, SystemKind};
+use collab_pcm::ecc::{failure_probability, Aegis, Ecp, MonteCarlo, Safer};
+use collab_pcm::trace::SpecApp;
+
+#[test]
+fn campaign_is_bit_identical_across_thread_counts() {
+    for kind in [SystemKind::Baseline, SystemKind::CompWF] {
+        let system = SystemConfig::new(kind).with_endurance_mean(300.0);
+        let mut line = LineSimConfig::new(system, SpecApp::Milc.profile());
+        line.sample_writes = 16;
+        let results: Vec<_> = [1usize, 2, 0]
+            .into_iter()
+            .map(|threads| {
+                let mut cfg = CampaignConfig::new(line.clone(), 4242);
+                cfg.lines = 24;
+                cfg.threads = threads;
+                run_campaign(&cfg)
+            })
+            .collect();
+        assert_eq!(results[0], results[1], "{kind}: 1 thread vs 2 threads");
+        assert_eq!(results[0], results[2], "{kind}: 1 thread vs available parallelism");
+    }
+}
+
+#[test]
+fn monte_carlo_is_bit_identical_across_thread_counts() {
+    // Spans multiple chunks (CHUNK = 1024) so the work-stealing path with
+    // interleaved chunk claims is actually exercised.
+    let schemes: [(&str, &dyn collab_pcm::ecc::HardErrorScheme); 3] =
+        [("ecp6", &Ecp::new(6)), ("safer32", &Safer::new(32)), ("aegis", &Aegis::new(17, 31))];
+    for (name, scheme) in schemes {
+        let p: Vec<f64> = [1usize, 2, 0]
+            .into_iter()
+            .map(|threads| {
+                let mc = MonteCarlo { injections: 5_000, seed: 0xC0FFEE, threads };
+                failure_probability(scheme, 48, 9, &mc)
+            })
+            .collect();
+        assert!(
+            p[0].to_bits() == p[1].to_bits() && p[0].to_bits() == p[2].to_bits(),
+            "{name}: thread counts disagree: {p:?}"
+        );
+    }
+}
+
+#[test]
+fn campaign_thread_invariance_holds_when_lines_exceed_threads_unevenly() {
+    // 7 lines over 2 threads: uneven striding, a classic seed-by-worker
+    // regression trigger.
+    let system = SystemConfig::new(SystemKind::Comp).with_endurance_mean(250.0);
+    let mut line = LineSimConfig::new(system, SpecApp::Gcc.profile());
+    line.sample_writes = 16;
+    let run = |threads: usize| {
+        let mut cfg = CampaignConfig::new(line.clone(), 77);
+        cfg.lines = 7;
+        cfg.threads = threads;
+        run_campaign(&cfg)
+    };
+    let base = run(1);
+    for threads in [2, 3, 0] {
+        assert_eq!(base, run(threads), "threads={threads}");
+    }
+}
