@@ -54,5 +54,10 @@ fn bench_workload_stream(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_compressors, bench_decompression, bench_workload_stream);
+criterion_group!(
+    benches,
+    bench_compressors,
+    bench_decompression,
+    bench_workload_stream
+);
 criterion_main!(benches);

@@ -12,7 +12,9 @@ fn bench_diff_write(c: &mut Criterion) {
     let mut rng = pcm_util::seeded_rng(3);
     let a = Line512::random(&mut rng);
     let b2 = Line512::random(&mut rng);
-    c.bench_function("dw/diff_write", |b| b.iter(|| diff_write(black_box(&a), black_box(&b2))));
+    c.bench_function("dw/diff_write", |b| {
+        b.iter(|| diff_write(black_box(&a), black_box(&b2)))
+    });
 }
 
 fn bench_flip_n_write(c: &mut Criterion) {
@@ -34,7 +36,9 @@ fn bench_cell_write(c: &mut Criterion) {
     let model = EnduranceModel::new(1e9, 0.15);
     let mut line = LineWear::sample(&model, &mut rng);
     let target = Line512::random(&mut rng);
-    c.bench_function("cell/line_write", |b| b.iter(|| line.write(black_box(&target))));
+    c.bench_function("cell/line_write", |b| {
+        b.iter(|| line.write(black_box(&target)))
+    });
 }
 
 fn bench_access_sim(c: &mut Criterion) {
@@ -47,8 +51,16 @@ fn bench_access_sim(c: &mut Criterion) {
             decompression_cycles: (i % 2) * 5,
         })
         .collect();
-    c.bench_function("access/simulate_10k", |b| b.iter(|| simulate(&cfg, black_box(&requests))));
+    c.bench_function("access/simulate_10k", |b| {
+        b.iter(|| simulate(&cfg, black_box(&requests)))
+    });
 }
 
-criterion_group!(benches, bench_diff_write, bench_flip_n_write, bench_cell_write, bench_access_sim);
+criterion_group!(
+    benches,
+    bench_diff_write,
+    bench_flip_n_write,
+    bench_cell_write,
+    bench_access_sim
+);
 criterion_main!(benches);

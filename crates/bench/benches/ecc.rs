@@ -30,11 +30,9 @@ fn bench_can_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("can_store");
     for (name, scheme) in &schemes {
         for (n, faults) in fault_sets() {
-            group.bench_with_input(
-                BenchmarkId::new(*name, n),
-                &faults,
-                |b, f| b.iter(|| scheme.can_store(black_box(f))),
-            );
+            group.bench_with_input(BenchmarkId::new(*name, n), &faults, |b, f| {
+                b.iter(|| scheme.can_store(black_box(f)))
+            });
         }
     }
     group.finish();
@@ -50,11 +48,20 @@ fn bench_window_search(c: &mut Criterion) {
 
 fn bench_montecarlo_kernel(c: &mut Criterion) {
     let ecp = Ecp::new(6);
-    let mc = MonteCarlo { injections: 200, seed: 9, threads: 1 };
+    let mc = MonteCarlo {
+        injections: 200,
+        seed: 9,
+        threads: 1,
+    };
     c.bench_function("montecarlo/ecp6_200inj_32B_24err", |b| {
         b.iter(|| failure_probability(&ecp, 32, 24, black_box(&mc)))
     });
 }
 
-criterion_group!(benches, bench_can_store, bench_window_search, bench_montecarlo_kernel);
+criterion_group!(
+    benches,
+    bench_can_store,
+    bench_window_search,
+    bench_montecarlo_kernel
+);
 criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! accelerated line simulation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pcm_compress::compress_best;
 use pcm_core::lifetime::{simulate_line, LineSimConfig};
 use pcm_core::line::{EccEngine, ManagedLine, Payload};
 use pcm_core::{EccChoice, SystemConfig, SystemKind};
-use pcm_compress::compress_best;
 use pcm_trace::{BlockStream, SpecApp};
 use std::hint::black_box;
 
@@ -19,7 +19,10 @@ fn bench_managed_line_write(c: &mut Criterion) {
             let cw = compress_best(&data);
             line.write(
                 &engine,
-                Payload { method: cw.method(), bytes: cw.bytes() },
+                Payload {
+                    method: cw.method(),
+                    bytes: cw.bytes(),
+                },
                 black_box(0),
                 true,
             )

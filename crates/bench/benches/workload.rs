@@ -28,8 +28,12 @@ fn bench_trace_generation(c: &mut Criterion) {
 }
 
 fn bench_window_ops(c: &mut Criterion) {
-    let faults: FaultMap =
-        (0..24u16).map(|i| StuckAt { pos: i * 21, value: i % 2 == 0 }).collect();
+    let faults: FaultMap = (0..24u16)
+        .map(|i| StuckAt {
+            pos: i * 21,
+            value: i % 2 == 0,
+        })
+        .collect();
     let ecp = Ecp::new(6);
     c.bench_function("window/find_offset_24faults", |b| {
         b.iter(|| window::find_offset(&ecp, black_box(&faults), 24, 17))
@@ -55,5 +59,10 @@ fn bench_heuristic(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_trace_generation, bench_window_ops, bench_heuristic);
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_window_ops,
+    bench_heuristic
+);
 criterion_main!(benches);

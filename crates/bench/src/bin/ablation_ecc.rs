@@ -1,7 +1,7 @@
 //! Ablation: Comp+WF under ECP-6, SAFER-32, and Aegis 17×31.
 
-use pcm_bench::experiments::lifetime::Scale;
 use pcm_bench::experiments::ablation::ecc_ablation;
+use pcm_bench::experiments::lifetime::Scale;
 use pcm_bench::Options;
 
 fn main() {

@@ -1,8 +1,8 @@
 //! Ablation: the Fig. 8 compression heuristic on/off and its Threshold2
 //! sweep, under Comp+WF.
 
-use pcm_bench::experiments::lifetime::Scale;
 use pcm_bench::experiments::ablation::heuristic_ablation;
+use pcm_bench::experiments::lifetime::Scale;
 use pcm_bench::Options;
 
 fn main() {

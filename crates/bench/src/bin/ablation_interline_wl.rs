@@ -19,7 +19,9 @@ fn main() {
     let opts = Options::from_args();
     let lines = 64u64;
     let writes = if opts.quick { 200_000 } else { 1_000_000 };
-    println!("# Per-physical-line write-count CoV under a Zipf stream ({writes} writes, {lines} lines)");
+    println!(
+        "# Per-physical-line write-count CoV under a Zipf stream ({writes} writes, {lines} lines)"
+    );
     println!("app\tnone\tstart_gap\tsecurity_refresh");
     for app in &opts.apps {
         let seed = child_seed(opts.seed, *app as u64);

@@ -26,7 +26,10 @@ fn normalized(app: pcm_trace::SpecApp, tech: CellTech, scale: Scale, seed: u64) 
     };
     let base = run(SystemKind::Baseline);
     let wf = run(SystemKind::CompWF);
-    (wf.normalized_against(&base), wf.mean_faults_at_death.unwrap_or(0.0))
+    (
+        wf.normalized_against(&base),
+        wf.mean_faults_at_death.unwrap_or(0.0),
+    )
 }
 
 fn main() {

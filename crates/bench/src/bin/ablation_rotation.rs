@@ -1,7 +1,7 @@
 //! Ablation: intra-line rotation period under Comp+W.
 
-use pcm_bench::experiments::lifetime::Scale;
 use pcm_bench::experiments::ablation::rotation_ablation;
+use pcm_bench::experiments::lifetime::Scale;
 use pcm_bench::Options;
 
 fn main() {

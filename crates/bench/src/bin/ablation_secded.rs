@@ -13,7 +13,13 @@ use pcm_core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
 use pcm_core::{EccChoice, SystemConfig, SystemKind};
 use pcm_util::child_seed;
 
-fn lifetime(kind: SystemKind, ecc: EccChoice, app: pcm_trace::SpecApp, scale: Scale, seed: u64) -> (u64, f64) {
+fn lifetime(
+    kind: SystemKind,
+    ecc: EccChoice,
+    app: pcm_trace::SpecApp,
+    scale: Scale,
+    seed: u64,
+) -> (u64, f64) {
     let system = SystemConfig::new(kind)
         .with_endurance_mean(scale.endurance_mean)
         .with_ecc(ecc);
@@ -35,18 +41,35 @@ fn main() {
         let seed = child_seed(opts.seed, *app as u64);
         let (secded, _) = lifetime(SystemKind::Baseline, EccChoice::Secded, *app, scale, seed);
         let (ecp, _) = lifetime(SystemKind::Baseline, EccChoice::Ecp6, *app, scale, seed);
-        println!("{}\t{}\t{}\t{:.2}", app.name(), secded, ecp, ecp as f64 / secded as f64);
+        println!(
+            "{}\t{}\t{}\t{:.2}",
+            app.name(),
+            secded,
+            ecp,
+            ecp as f64 / secded as f64
+        );
     }
 
     println!("\n# Part 2: ECP strength needed to match Comp+WF (milc)");
     println!("config\tmetadata_bits\tlifetime\tfaults@death");
     let app = pcm_trace::SpecApp::Milc;
     for n in [2u8, 4, 6, 8, 12, 16, 20] {
-        let (l, f) =
-            lifetime(SystemKind::Baseline, EccChoice::EcpN(n), app, scale, child_seed(opts.seed, 50 + n as u64));
+        let (l, f) = lifetime(
+            SystemKind::Baseline,
+            EccChoice::EcpN(n),
+            app,
+            scale,
+            child_seed(opts.seed, 50 + n as u64),
+        );
         println!("Baseline ECP-{n}\t{}\t{}\t{:.1}", n as u32 * 10 + 1, l, f);
     }
-    let (l, f) = lifetime(SystemKind::CompWF, EccChoice::Ecp6, app, scale, child_seed(opts.seed, 99));
+    let (l, f) = lifetime(
+        SystemKind::CompWF,
+        EccChoice::Ecp6,
+        app,
+        scale,
+        child_seed(opts.seed, 99),
+    );
     println!("Comp+WF ECP-6\t61\t{l}\t{f:.1}");
     println!("# paper: sustaining Comp+WF's error depth with plain ECP needs ~40% more storage");
 }

@@ -34,6 +34,12 @@ fn main() {
             }
         }
         let (p, c) = (plain_total / n as f64, comp_total / n as f64);
-        println!("{}\t{:.0}\t{:.0}\t{:.1}", app.name(), p, c, 100.0 * (1.0 - c / p));
+        println!(
+            "{}\t{:.0}\t{:.0}\t{:.1}",
+            app.name(),
+            p,
+            c,
+            100.0 * (1.0 - c / p)
+        );
     }
 }

@@ -19,5 +19,8 @@ fn main() {
     let min = series.iter().min().unwrap();
     println!("# mean {mean:.1}, min {min}, max {max} of 512 cells");
     let as_f64: Vec<f64> = series.iter().map(|&f| f as f64).collect();
-    println!("# shape: {}", pcm_bench::plot::sparkline(&pcm_bench::plot::downsample(&as_f64, 64)));
+    println!(
+        "# shape: {}",
+        pcm_bench::plot::sparkline(&pcm_bench::plot::downsample(&as_f64, 64))
+    );
 }

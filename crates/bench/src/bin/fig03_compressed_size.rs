@@ -21,5 +21,8 @@ fn main() {
         );
         crs.push(s.cr);
     }
-    println!("# average CR {:.2} (paper: 0.43)", pcm_util::stats::mean(&crs));
+    println!(
+        "# average CR {:.2} (paper: 0.43)",
+        pcm_util::stats::mean(&crs)
+    );
 }

@@ -10,6 +10,10 @@ fn main() {
     println!("# Fig 6: P(consecutive writes change compressed size)");
     println!("app\tprobability");
     for app in &opts.apps {
-        println!("{}\t{:.2}", app.name(), fig06_size_change(*app, writes, opts.seed));
+        println!(
+            "{}\t{:.2}",
+            app.name(),
+            fig06_size_change(*app, writes, opts.seed)
+        );
     }
 }

@@ -9,17 +9,22 @@ fn main() {
     let opts = Options::from_args();
     let writes = if opts.quick { 30 } else { 80 };
     for app in [SpecApp::Bzip2, SpecApp::Hmmer] {
-        println!("# Fig 7: compressed sizes over consecutive writes ({})", app.name());
+        println!(
+            "# Fig 7: compressed sizes over consecutive writes ({})",
+            app.name()
+        );
         println!("write\tblock1\tblock2\tblock3");
         let series = fig07_series(app, 3, writes, opts.seed);
-        for (i, ((a, b), c)) in
-            series[0].iter().zip(&series[1]).zip(&series[2]).enumerate()
-        {
+        for (i, ((a, b), c)) in series[0].iter().zip(&series[1]).zip(&series[2]).enumerate() {
             println!("{i}\t{a}\t{b}\t{c}");
         }
         for (blk, s) in series.iter().enumerate() {
             let as_f64: Vec<f64> = s.iter().map(|&v| v as f64).collect();
-            println!("# block{} shape: {}", blk + 1, pcm_bench::plot::sparkline(&as_f64));
+            println!(
+                "# block{} shape: {}",
+                blk + 1,
+                pcm_bench::plot::sparkline(&as_f64)
+            );
         }
     }
 }

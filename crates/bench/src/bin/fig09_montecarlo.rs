@@ -11,7 +11,10 @@ fn main() {
     let injections = if opts.quick { 3_000 } else { 30_000 };
     let surfaces = fig09(injections, opts.seed, opts.quick);
     for surface in &surfaces {
-        println!("# Fig 9: failure probability — {} ({injections} injections)", surface.scheme);
+        println!(
+            "# Fig 9: failure probability — {} ({injections} injections)",
+            surface.scheme
+        );
         print!("errors");
         for w in &surface.windows {
             print!("\t{w}B");

@@ -18,7 +18,13 @@ fn main() {
             l.normalized(SystemKind::CompW),
             l.normalized(SystemKind::CompWF),
         ];
-        println!("{}\t{:.2}\t{:.2}\t{:.2}", app.name(), row[0], row[1], row[2]);
+        println!(
+            "{}\t{:.2}\t{:.2}\t{:.2}",
+            app.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
         for (s, r) in sums.iter_mut().zip(row) {
             *s += r;
         }

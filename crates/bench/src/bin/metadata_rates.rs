@@ -27,7 +27,10 @@ fn main() {
             let c = compress_best(&data);
             line.write(
                 &engine,
-                Payload { method: c.method(), bytes: c.bytes() },
+                Payload {
+                    method: c.method(),
+                    bytes: c.bytes(),
+                },
                 leveler.offset(),
                 true,
             )

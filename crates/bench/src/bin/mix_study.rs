@@ -18,7 +18,13 @@ fn main() {
     let scale = Scale::from_quick(opts.quick);
     println!("# Mix study: Comp+WF lifetime (per-line writes) for milc/lbm blends");
     println!("milc:lbm\tBaseline\tComp+WF\tnormalized");
-    for (a, b) in [(1.0f64, 0.0f64), (3.0, 1.0), (1.0, 1.0), (1.0, 3.0), (0.0, 1.0)] {
+    for (a, b) in [
+        (1.0f64, 0.0f64),
+        (3.0, 1.0),
+        (1.0, 1.0),
+        (1.0, 3.0),
+        (0.0, 1.0),
+    ] {
         let mut entries = Vec::new();
         if a > 0.0 {
             entries.push((SpecApp::Milc.profile(), a));

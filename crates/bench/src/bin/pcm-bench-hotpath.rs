@@ -1,0 +1,18 @@
+//! Hot-path benchmark harness: measures `compress_best`, the `Line512`
+//! kernels, `simulate_line`, and end-to-end campaigns, then writes
+//! `BENCH_hotpath.json` (DESIGN.md §9).
+
+use pcm_bench::hotpath::{run, HotpathOptions};
+
+fn main() {
+    let opts = HotpathOptions::from_args();
+    let report = run(&opts);
+    let json = report.to_json(true);
+    std::fs::write(&opts.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
+    println!(
+        "wrote {} ({} benches, {} campaigns)",
+        opts.out,
+        report.benches.len(),
+        report.campaigns.len()
+    );
+}

@@ -25,6 +25,11 @@ fn main() {
         wf_sum += row.compwf;
     }
     let n = opts.apps.len() as f64;
-    println!("Avg\t{:.1}\t{:.1}\t{:.2}", base_sum / n, wf_sum / n, wf_sum / base_sum);
+    println!(
+        "Avg\t{:.1}\t{:.1}\t{:.2}",
+        base_sum / n,
+        wf_sum / n,
+        wf_sum / base_sum
+    );
     println!("# paper: baseline avg 22 months, Comp+WF avg 79 months");
 }

@@ -15,7 +15,11 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { quick: false, seed: 2017, apps: ALL_APPS.to_vec() }
+        Options {
+            quick: false,
+            seed: 2017,
+            apps: ALL_APPS.to_vec(),
+        }
     }
 }
 
@@ -39,7 +43,9 @@ impl Options {
                 "--quick" => opts.quick = true,
                 "--seed" => {
                     let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
-                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                    opts.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed needs an integer"));
                 }
                 "--apps" => {
                     let v = it.next().unwrap_or_else(|| usage("--apps needs a list"));
@@ -89,9 +95,7 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let o = Options::parse(
-            ["--quick", "--seed", "7", "--apps", "milc,gcc"].map(String::from),
-        );
+        let o = Options::parse(["--quick", "--seed", "7", "--apps", "milc,gcc"].map(String::from));
         assert!(o.quick);
         assert_eq!(o.seed, 7);
         assert_eq!(o.apps, vec![SpecApp::Milc, SpecApp::Gcc]);

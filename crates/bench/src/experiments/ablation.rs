@@ -36,11 +36,21 @@ pub fn heuristic_ablation(app: SpecApp, scale: Scale, seed: u64) -> HeuristicAbl
         .into_iter()
         .map(|t2| {
             let mut cfg = base.with_heuristic();
-            cfg.heuristic = CompressionHeuristic { threshold1: 16, threshold2: t2 };
-            (t2, campaign_with(cfg, app, scale, child_seed(seed, t2 as u64)))
+            cfg.heuristic = CompressionHeuristic {
+                threshold1: 16,
+                threshold2: t2,
+            };
+            (
+                t2,
+                campaign_with(cfg, app, scale, child_seed(seed, t2 as u64)),
+            )
         })
         .collect();
-    HeuristicAblation { app, naive, with_heuristic }
+    HeuristicAblation {
+        app,
+        naive,
+        with_heuristic,
+    }
 }
 
 /// ECC ablation: Comp+WF lifetime under ECP-6, SAFER-32, and Aegis 17×31
@@ -53,24 +63,26 @@ pub fn ecc_ablation(app: SpecApp, scale: Scale, seed: u64) -> Vec<(EccChoice, Li
             let cfg = SystemConfig::new(SystemKind::CompWF)
                 .with_endurance_mean(scale.endurance_mean)
                 .with_ecc(ecc);
-            (ecc, campaign_with(cfg, app, scale, child_seed(seed, i as u64)))
+            (
+                ecc,
+                campaign_with(cfg, app, scale, child_seed(seed, i as u64)),
+            )
         })
         .collect()
 }
 
 /// Rotation-period ablation for Comp+W: how fast must the window rotate?
-pub fn rotation_ablation(
-    app: SpecApp,
-    scale: Scale,
-    seed: u64,
-) -> Vec<(u64, LifetimeResult)> {
+pub fn rotation_ablation(app: SpecApp, scale: Scale, seed: u64) -> Vec<(u64, LifetimeResult)> {
     [256u64, 1024, 4096, 16_384]
         .into_iter()
         .map(|period| {
             let mut cfg =
                 SystemConfig::new(SystemKind::CompW).with_endurance_mean(scale.endurance_mean);
             cfg.rotation_period = period;
-            (period, campaign_with(cfg, app, scale, child_seed(seed, period)))
+            (
+                period,
+                campaign_with(cfg, app, scale, child_seed(seed, period)),
+            )
         })
         .collect()
 }
@@ -117,7 +129,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { lines: 12, endurance_mean: 3e3, sample_writes: 8 }
+        Scale {
+            lines: 12,
+            endurance_mean: 3e3,
+            sample_writes: 8,
+        }
     }
 
     #[test]
@@ -133,7 +149,12 @@ mod tests {
     #[test]
     fn fnw_never_flips_more_than_dw_plus_flags() {
         let c = flip_n_write_ablation(SpecApp::Gcc, 400, 9);
-        assert!(c.fnw_flips <= c.dw_flips + 8.0, "FNW {} vs DW {}", c.fnw_flips, c.dw_flips);
+        assert!(
+            c.fnw_flips <= c.dw_flips + 8.0,
+            "FNW {} vs DW {}",
+            c.fnw_flips,
+            c.dw_flips
+        );
     }
 
     #[test]

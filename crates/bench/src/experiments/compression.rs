@@ -3,8 +3,7 @@
 
 use pcm_compress::compress_best;
 use pcm_trace::calibrate::{
-    block_size_series, compression_stats, max_size_cdf, size_change_probability,
-    CompressionStats,
+    block_size_series, compression_stats, max_size_cdf, size_change_probability, CompressionStats,
 };
 use pcm_trace::{BlockStream, SpecApp, TraceGenerator};
 use pcm_util::stats::Ecdf;
@@ -46,7 +45,12 @@ pub struct FlipDelta {
 /// Computes Fig. 5 for one workload: each block is stored twice — verbatim
 /// and compressed (window at the line's low bytes) — and per write-back the
 /// differential-write flip counts of the two layouts are compared.
-pub fn fig05_flip_delta(app: SpecApp, blocks: usize, writes_per_block: usize, seed: u64) -> FlipDelta {
+pub fn fig05_flip_delta(
+    app: SpecApp,
+    blocks: usize,
+    writes_per_block: usize,
+    seed: u64,
+) -> FlipDelta {
     let mut increased = 0u64;
     let mut untouched = 0u64;
     let mut decreased = 0u64;
@@ -94,7 +98,9 @@ pub fn fig06_size_change(app: SpecApp, writes: usize, seed: u64) -> f64 {
 /// Fig. 7: compressed-size series of consecutive writes to several blocks.
 pub fn fig07_series(app: SpecApp, blocks: usize, writes: usize, seed: u64) -> Vec<Vec<usize>> {
     let mut generator = TraceGenerator::from_profile(app.profile(), blocks as u64, seed);
-    (0..blocks as u64).map(|line| block_size_series(&mut generator, line, writes)).collect()
+    (0..blocks as u64)
+        .map(|line| block_size_series(&mut generator, line, writes))
+        .collect()
 }
 
 /// Fig. 11: per-address maximum compressed-size CDF.

@@ -20,12 +20,20 @@ pub struct Scale {
 impl Scale {
     /// Default campaign scale: 96 lines at 2×10⁴ endurance.
     pub fn standard() -> Self {
-        Scale { lines: 96, endurance_mean: 2e4, sample_writes: 16 }
+        Scale {
+            lines: 96,
+            endurance_mean: 2e4,
+            sample_writes: 16,
+        }
     }
 
     /// Smoke-run scale.
     pub fn quick() -> Self {
-        Scale { lines: 32, endurance_mean: 8e3, sample_writes: 8 }
+        Scale {
+            lines: 32,
+            endurance_mean: 8e3,
+            sample_writes: 8,
+        }
     }
 
     /// Pick by the `--quick` flag.
@@ -55,13 +63,19 @@ pub struct AppLifetimes {
 impl AppLifetimes {
     /// Normalized lifetime of system `kind` against the baseline (Fig. 10).
     pub fn normalized(&self, kind: SystemKind) -> f64 {
-        let idx = SystemKind::ALL.iter().position(|&k| k == kind).expect("known kind");
+        let idx = SystemKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("known kind");
         self.results[idx].normalized_against(&self.results[0])
     }
 
     /// The result for one system.
     pub fn result(&self, kind: SystemKind) -> &LifetimeResult {
-        let idx = SystemKind::ALL.iter().position(|&k| k == kind).expect("known kind");
+        let idx = SystemKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("known kind");
         &self.results[idx]
     }
 }
@@ -118,8 +132,12 @@ pub fn table4_row(app: SpecApp, lifetimes: &AppLifetimes, scale: Scale) -> Month
     let wpki = app.profile().wpki;
     MonthsRow {
         app,
-        baseline: lifetimes.result(SystemKind::Baseline).months(wpki, scale.endurance_scale()),
-        compwf: lifetimes.result(SystemKind::CompWF).months(wpki, scale.endurance_scale()),
+        baseline: lifetimes
+            .result(SystemKind::Baseline)
+            .months(wpki, scale.endurance_scale()),
+        compwf: lifetimes
+            .result(SystemKind::CompWF)
+            .months(wpki, scale.endurance_scale()),
     }
 }
 
@@ -129,19 +147,30 @@ mod tests {
 
     #[test]
     fn fig10_ordering_holds_for_compressible_app() {
-        let scale = Scale { lines: 24, endurance_mean: 4e3, sample_writes: 8 };
+        let scale = Scale {
+            lines: 24,
+            endurance_mean: 4e3,
+            sample_writes: 8,
+        };
         let l = fig10_app(SpecApp::Zeusmp, scale, 5);
         let comp = l.normalized(SystemKind::Comp);
         let w = l.normalized(SystemKind::CompW);
         let wf = l.normalized(SystemKind::CompWF);
         assert!(w > comp, "Comp+W ({w}) should beat Comp ({comp}) on zeusmp");
-        assert!(wf >= w * 0.9, "Comp+WF ({wf}) should not trail Comp+W ({w})");
+        assert!(
+            wf >= w * 0.9,
+            "Comp+WF ({wf}) should not trail Comp+W ({w})"
+        );
         assert!(wf > 3.0, "zeusmp Comp+WF gain {wf} too small");
     }
 
     #[test]
     fn table4_months_scale_with_wpki() {
-        let scale = Scale { lines: 16, endurance_mean: 3e3, sample_writes: 8 };
+        let scale = Scale {
+            lines: 16,
+            endurance_mean: 3e3,
+            sample_writes: 8,
+        };
         let astar = fig10_app(SpecApp::Astar, scale, 6);
         let lbm = fig10_app(SpecApp::Lbm, scale, 6);
         let astar_row = table4_row(SpecApp::Astar, &astar, scale);

@@ -14,9 +14,16 @@ pub fn error_grid(quick: bool) -> Vec<usize> {
 
 /// Runs the Fig. 9 sweep for all three schemes.
 pub fn fig09(injections: usize, seed: u64, quick: bool) -> Vec<FailureSurface> {
-    let schemes: Vec<Box<dyn HardErrorScheme>> =
-        vec![Box::new(Ecp::new(6)), Box::new(Safer::new(32)), Box::new(Aegis::new(17, 31))];
-    let mc = MonteCarlo { injections, seed, threads: 0 };
+    let schemes: Vec<Box<dyn HardErrorScheme>> = vec![
+        Box::new(Ecp::new(6)),
+        Box::new(Safer::new(32)),
+        Box::new(Aegis::new(17, 31)),
+    ];
+    let mc = MonteCarlo {
+        injections,
+        seed,
+        threads: 0,
+    };
     let errors = error_grid(quick);
     schemes
         .iter()
@@ -55,7 +62,10 @@ mod tests {
         let a = faults_at_half(aegis, 32).expect("Aegis curve crosses 0.5");
         assert!((8..=32).contains(&e), "ECP-6 @32B: {e}");
         assert!(s > e, "SAFER ({s}) must beat ECP-6 ({e})");
-        assert!(a >= s.saturating_sub(8), "Aegis ({a}) roughly matches SAFER ({s})");
+        assert!(
+            a >= s.saturating_sub(8),
+            "Aegis ({a}) roughly matches SAFER ({s})"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod hotpath;
 pub mod plot;
 
 pub use cli::Options;

@@ -133,6 +133,11 @@ impl BdiCompressed {
     pub fn size(&self) -> usize {
         self.data.len()
     }
+
+    /// Consumes the result, returning the payload without copying.
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
 }
 
 /// Error returned when decompression is handed malformed input.
@@ -144,7 +149,11 @@ pub struct DecodeBdiError {
 
 impl std::fmt::Display for DecodeBdiError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bdi payload length {} does not match encoding (expected {})", self.got, self.expected)
+        write!(
+            f,
+            "bdi payload length {} does not match encoding (expected {})",
+            self.got, self.expected
+        )
     }
 }
 
@@ -166,14 +175,17 @@ fn sign_extend(v: u64, bits: usize) -> i64 {
     ((v << shift) as i64) >> shift
 }
 
-/// Attempts to compress with a specific base-delta geometry.
+/// Attempts to compress with a specific base-delta geometry, emitting the
+/// payload as it validates so a failing element aborts without having
+/// buffered the deltas separately.
 fn try_base_delta(bytes: &[u8; DATA_BYTES], k: usize, d: usize) -> Option<Vec<u8>> {
     let n = DATA_BYTES / k;
     let base = element(bytes, k, 0);
     let dbits = d * 8;
     let lo = -(1i64 << (dbits - 1));
     let hi = (1i64 << (dbits - 1)) - 1;
-    let mut deltas = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(k + n * d);
+    out.extend_from_slice(&base.to_le_bytes()[..k]);
     for i in 0..n {
         let e = element(bytes, k, i);
         // Wrapping difference within the k-byte element width.
@@ -182,11 +194,6 @@ fn try_base_delta(bytes: &[u8; DATA_BYTES], k: usize, d: usize) -> Option<Vec<u8
         if delta < lo || delta > hi {
             return None;
         }
-        deltas.push(delta);
-    }
-    let mut out = Vec::with_capacity(k + n * d);
-    out.extend_from_slice(&base.to_le_bytes()[..k]);
-    for delta in deltas {
         out.extend_from_slice(&(delta as u64).to_le_bytes()[..d]);
     }
     Some(out)
@@ -212,7 +219,10 @@ pub fn compress(line: &Line512) -> Option<BdiCompressed> {
     let bytes = line.to_bytes();
 
     if line.is_zero() {
-        return Some(BdiCompressed { encoding: BdiEncoding::Zeros, data: vec![0u8] });
+        return Some(BdiCompressed {
+            encoding: BdiEncoding::Zeros,
+            data: vec![0u8],
+        });
     }
 
     let words = line.words();
@@ -227,7 +237,10 @@ pub fn compress(line: &Line512) -> Option<BdiCompressed> {
         if let Some((k, d)) = enc.geometry() {
             if let Some(data) = try_base_delta(&bytes, k, d) {
                 debug_assert_eq!(data.len(), enc.compressed_size());
-                return Some(BdiCompressed { encoding: enc, data });
+                return Some(BdiCompressed {
+                    encoding: enc,
+                    data,
+                });
             }
         }
     }
@@ -255,7 +268,10 @@ pub fn compress(line: &Line512) -> Option<BdiCompressed> {
 pub fn decompress(encoding: BdiEncoding, data: &[u8]) -> Result<Line512, DecodeBdiError> {
     let expected = encoding.compressed_size();
     if data.len() != expected {
-        return Err(DecodeBdiError { expected, got: data.len() });
+        return Err(DecodeBdiError {
+            expected,
+            got: data.len(),
+        });
     }
     match encoding {
         BdiEncoding::Zeros => Ok(Line512::zero()),
@@ -271,7 +287,11 @@ pub fn decompress(encoding: BdiEncoding, data: &[u8]) -> Result<Line512, DecodeB
                 base |= (byte as u64) << (8 * b);
             }
             let mut out = [0u8; DATA_BYTES];
-            let mask = if k == 8 { u64::MAX } else { (1u64 << (k * 8)) - 1 };
+            let mask = if k == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (k * 8)) - 1
+            };
             for i in 0..n {
                 let mut raw = 0u64;
                 for b in 0..d {
@@ -314,7 +334,16 @@ mod tests {
     #[test]
     fn b8d1_small_deltas() {
         let base = 0x1000_0000_0000u64;
-        let line = line_of_words([base, base + 1, base + 127, base.wrapping_sub(128), base, base + 2, base + 3, base + 4]);
+        let line = line_of_words([
+            base,
+            base + 1,
+            base + 127,
+            base.wrapping_sub(128),
+            base,
+            base + 2,
+            base + 3,
+            base + 4,
+        ]);
         let c = compress(&line).unwrap();
         assert_eq!(c.encoding(), BdiEncoding::B8D1);
         assert_eq!(c.size(), 16);
@@ -324,7 +353,16 @@ mod tests {
     #[test]
     fn b8d2_when_deltas_exceed_byte() {
         let base = 0x55u64 << 32;
-        let line = line_of_words([base, base + 200, base + 30000, base - 30000, base, base, base, base + 129]);
+        let line = line_of_words([
+            base,
+            base + 200,
+            base + 30000,
+            base - 30000,
+            base,
+            base,
+            base,
+            base + 129,
+        ]);
         let c = compress(&line).unwrap();
         assert_eq!(c.encoding(), BdiEncoding::B8D2);
         assert_eq!(decompress(c.encoding(), c.data()).unwrap(), line);
@@ -393,14 +431,26 @@ mod tests {
                 none_count += 1;
             }
         }
-        assert!(none_count >= 60, "random data should rarely compress, got {none_count}/64 none");
+        assert!(
+            none_count >= 60,
+            "random data should rarely compress, got {none_count}/64 none"
+        );
     }
 
     #[test]
     fn wrapping_deltas_round_trip() {
         // Deltas that wrap around the element width must still round-trip.
         let base = u64::MAX - 3;
-        let line = line_of_words([base, base.wrapping_add(5), base, base, base, base, base, base]);
+        let line = line_of_words([
+            base,
+            base.wrapping_add(5),
+            base,
+            base,
+            base,
+            base,
+            base,
+            base,
+        ]);
         let c = compress(&line).unwrap();
         assert_eq!(decompress(c.encoding(), c.data()).unwrap(), line);
     }
@@ -408,7 +458,10 @@ mod tests {
     #[test]
     fn decode_rejects_wrong_length() {
         let err = decompress(BdiEncoding::B8D1, &[0u8; 5]).unwrap_err();
-        assert_eq!(err.to_string(), "bdi payload length 5 does not match encoding (expected 16)");
+        assert_eq!(
+            err.to_string(),
+            "bdi payload length 5 does not match encoding (expected 16)"
+        );
     }
 
     #[test]

@@ -150,6 +150,11 @@ impl CompressedWrite {
     pub fn ratio(&self) -> f64 {
         self.size() as f64 / DATA_BYTES as f64
     }
+
+    /// Consumes the write, returning the method and payload without copying.
+    pub fn into_parts(self) -> (Method, Vec<u8>) {
+        (self.method, self.bytes)
+    }
 }
 
 /// Compresses a line with both BDI and FPC and keeps the smaller result
@@ -166,19 +171,37 @@ impl CompressedWrite {
 /// assert_eq!(c.size(), 1); // BDI zeros encoding wins
 /// ```
 pub fn compress_best(line: &Line512) -> CompressedWrite {
+    // BDI first: its cascade tries encodings smallest-first and each
+    // geometry aborts on the first out-of-range delta, so a miss is cheap.
     let bdi_out = bdi::compress(line);
-    let fpc_out = fpc::compress(line);
-
     let bdi_size = bdi_out.as_ref().map(|c| c.size()).unwrap_or(usize::MAX);
-    let fpc_size = fpc_out.size();
 
-    if bdi_size <= fpc_size && bdi_size < DATA_BYTES {
-        let c = bdi_out.expect("bdi_size finite implies Some");
-        CompressedWrite { method: Method::Bdi(c.encoding()), bytes: c.data().to_vec() }
-    } else if fpc_size < DATA_BYTES {
-        CompressedWrite { method: Method::Fpc, bytes: fpc_out.data().to_vec() }
+    // FPC wins only when strictly smaller than both the BDI result and the
+    // raw line (ties prefer BDI's 1-cycle decompression), so cap its
+    // emission at one byte below that bound — anything larger would lose
+    // anyway, and the encoder stops as soon as it crosses the cap.
+    let budget_bytes = bdi_size.min(DATA_BYTES) - 1;
+    let fpc_out = if budget_bytes < 2 {
+        None // FPC's smallest possible output (an all-zero line) is 2 bytes.
     } else {
-        CompressedWrite { method: Method::Uncompressed, bytes: line.to_bytes().to_vec() }
+        fpc::compress_bounded(line, budget_bytes * 8)
+    };
+
+    if let Some(f) = fpc_out {
+        CompressedWrite {
+            method: Method::Fpc,
+            bytes: f.into_data(),
+        }
+    } else if let Some(c) = bdi_out {
+        CompressedWrite {
+            method: Method::Bdi(c.encoding()),
+            bytes: c.into_data(),
+        }
+    } else {
+        CompressedWrite {
+            method: Method::Uncompressed,
+            bytes: line.to_bytes().to_vec(),
+        }
     }
 }
 
@@ -203,8 +226,11 @@ pub fn decompress(write: &CompressedWrite) -> Line512 {
             fpc::decompress(&write.bytes).expect("CompressedWrite payload is self-consistent")
         }
         Method::Uncompressed => {
-            let arr: [u8; DATA_BYTES] =
-                write.bytes.as_slice().try_into().expect("uncompressed payload is 64 bytes");
+            let arr: [u8; DATA_BYTES] = write
+                .bytes
+                .as_slice()
+                .try_into()
+                .expect("uncompressed payload is 64 bytes");
             Line512::from_bytes(&arr)
         }
     }
@@ -227,8 +253,7 @@ mod tests {
         // Independent small 4-byte values with no common 8-byte base
         // structure: BDI's pairs differ too much, FPC nibbles win.
         let mut bytes = [0u8; 64];
-        let words: [i32; 16] =
-            [5, -3, 7, 1, -8, 2, 6, -1, 4, 0, 3, -6, 7, 2, -4, 1];
+        let words: [i32; 16] = [5, -3, 7, 1, -8, 2, 6, -1, 4, 0, 3, -6, 7, 2, -4, 1];
         for (i, w) in words.iter().enumerate() {
             bytes[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
         }

@@ -38,7 +38,10 @@ impl BitWriter {
     /// Panics if `width` is 0 or greater than 64, or if `value` has bits set
     /// above `width`.
     pub fn push(&mut self, value: u64, width: u32) {
-        assert!((1..=64).contains(&width), "width must be 1..=64, got {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "width must be 1..=64, got {width}"
+        );
         assert!(
             width == 64 || value >> width == 0,
             "value {value:#x} wider than {width} bits"
@@ -112,7 +115,10 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn pull(&mut self, width: u32) -> Result<u64, OutOfBits> {
-        assert!((1..=64).contains(&width), "width must be 1..=64, got {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "width must be 1..=64, got {width}"
+        );
         if self.pos + width as usize > self.bytes.len() * 8 {
             return Err(OutOfBits);
         }

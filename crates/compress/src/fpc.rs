@@ -58,6 +58,11 @@ impl FpcCompressed {
     pub fn bit_len(&self) -> usize {
         self.bit_len
     }
+
+    /// Consumes the result, returning the payload without copying.
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
 }
 
 /// Error returned when an FPC payload cannot be decoded.
@@ -121,15 +126,37 @@ fn fits_signed(v: u32, bits: u32) -> bool {
 /// assert_eq!(c.size(), 2);
 /// ```
 pub fn compress(line: &Line512) -> FpcCompressed {
+    compress_bounded(line, usize::MAX).expect("unbounded compression always succeeds")
+}
+
+/// [`compress`], aborting as soon as the output exceeds `max_bits`.
+///
+/// The best-of selector uses this to cap FPC at one byte below the size it
+/// would have to beat: lines where FPC cannot win stop emitting after a few
+/// words instead of packing the full (up to 70-byte) stream.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_compress::fpc;
+/// use pcm_util::Line512;
+///
+/// assert!(fpc::compress_bounded(&Line512::zero(), 12).is_some());
+/// assert!(fpc::compress_bounded(&Line512::zero(), 11).is_none());
+/// ```
+pub fn compress_bounded(line: &Line512, max_bits: usize) -> Option<FpcCompressed> {
     let bytes = line.to_bytes();
-    let words: Vec<u32> = bytes
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect();
+    let mut words = [0u32; WORDS];
+    for (w, c) in words.iter_mut().zip(bytes.chunks_exact(4)) {
+        *w = u32::from_le_bytes(c.try_into().expect("4 bytes"));
+    }
 
     let mut w = BitWriter::new();
     let mut i = 0;
     while i < WORDS {
+        if w.bit_len() > max_bits {
+            return None;
+        }
         let word = words[i];
         if word == 0 {
             let mut run = 1;
@@ -167,7 +194,13 @@ pub fn compress(line: &Line512) -> FpcCompressed {
         i += 1;
     }
     let bit_len = w.bit_len();
-    FpcCompressed { data: w.into_bytes(), bit_len }
+    if bit_len > max_bits {
+        return None;
+    }
+    Some(FpcCompressed {
+        data: w.into_bytes(),
+        bit_len,
+    })
 }
 
 /// Decompresses an FPC payload back into the original line.
@@ -321,7 +354,11 @@ mod tests {
             *b = (i * 37 + 101) as u8;
         }
         let (c, _) = round_trip(bytes);
-        assert!(c.size() > 64, "incompressible block must exceed 64 bytes, got {}", c.size());
+        assert!(
+            c.size() > 64,
+            "incompressible block must exceed 64 bytes, got {}",
+            c.size()
+        );
     }
 
     #[test]
@@ -354,13 +391,15 @@ mod tests {
         let words: [u32; 16] = [
             0,           // zero run
             3,           // sign4
-            200,         // raw? 200 fits i8? 200 > 127, as i32=200 doesn't fit i8... fits i16 -> sign16
-            0x7FFF,      // sign16
+            200, // raw? 200 fits i8? 200 > 127, as i32=200 doesn't fit i8... fits i16 -> sign16
+            0x7FFF, // sign16
             0xFFFF_0000, // low-zero? as i32 = -65536, fits sign16? -65536 < -32768 no; low half zero -> P_LOW_ZERO
             0x0042_0099, // hmm low=0x0099=153 as i16=153 fits i8? 153>127 no -> not two-bytes; raw
             0x7777_7777, // repeated byte
             0xDEAD_BEEF, // raw
-            0, 0, 0,     // zero run
+            0,
+            0,
+            0,           // zero run
             0x00FF_00FE, // low=0x00FE=254>127 -> raw
             1,           // sign4
             0xFFFF_FFFF, // -1 sign4

@@ -135,7 +135,10 @@ impl FvcDictionary {
             }
         }
         let bit_len = w.bit_len();
-        FvcCompressed { data: w.into_bytes(), bit_len }
+        FvcCompressed {
+            data: w.into_bytes(),
+            bit_len,
+        }
     }
 
     /// Decompresses an FVC payload.
@@ -180,8 +183,10 @@ mod tests {
 
     #[test]
     fn train_ranks_by_frequency() {
-        let lines =
-            vec![zero_heavy_line(&[(0, 7), (1, 7), (2, 9)]), zero_heavy_line(&[(0, 7)])];
+        let lines = vec![
+            zero_heavy_line(&[(0, 7), (1, 7), (2, 9)]),
+            zero_heavy_line(&[(0, 7)]),
+        ];
         let dict = FvcDictionary::train(lines.iter(), 4);
         assert_eq!(dict.values()[0], 0, "zero dominates");
         assert_eq!(dict.values()[1], 7);
@@ -218,7 +223,10 @@ mod tests {
         let dict = FvcDictionary::train(std::iter::once(&Line512::zero()), 4);
         let mut rng = seeded_rng(4);
         let c = dict.compress(&Line512::random(&mut rng));
-        assert_eq!(dict.decompress(&c.data()[..c.size_bytes() - 2]), Err(DecodeFvcError));
+        assert_eq!(
+            dict.decompress(&c.data()[..c.size_bytes() - 2]),
+            Err(DecodeFvcError)
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn fpc_every_prefix_round_trips_exhaustively() {
         0,
         1,
         7,
-        8, // first value beyond i4
+        8,           // first value beyond i4
         0xFFFF_FFF8, // -8, the most negative i4
         0xFFFF_FFF7, // -9, beyond i4
         127,
@@ -81,7 +81,11 @@ fn fpc_every_prefix_round_trips_exhaustively() {
         bytes[32..36].copy_from_slice(&w.to_le_bytes());
         let line = Line512::from_bytes(&bytes);
         let c = fpc::compress(&line);
-        assert_eq!(fpc::decompress(c.data()).unwrap(), line, "word #{i} = {w:#010x}");
+        assert_eq!(
+            fpc::decompress(c.data()).unwrap(),
+            line,
+            "word #{i} = {w:#010x}"
+        );
     }
 }
 
@@ -95,7 +99,11 @@ fn fpc_all_single_byte_lines() {
         assert_eq!(fpc::decompress(c.data()).unwrap(), line, "byte {b:#04x}");
         assert!(c.size() < 64, "byte {b:#04x} must compress");
         let best = compress_best(&line);
-        assert!(best.size() <= 8, "repeated bytes are BDI Rep8 at worst, got {}", best.size());
+        assert!(
+            best.size() <= 8,
+            "repeated bytes are BDI Rep8 at worst, got {}",
+            best.size()
+        );
     }
 }
 
@@ -151,5 +159,8 @@ fn metadata_codes_cover_all_methods_seen_in_practice() {
         seen.insert(m.encode_5bit());
         assert_eq!(Method::decode_5bit(m.encode_5bit()), Some(m));
     }
-    assert!(seen.len() >= 3, "expected several distinct methods, saw {seen:?}");
+    assert!(
+        seen.len() >= 3,
+        "expected several distinct methods, saw {seen:?}"
+    );
 }

@@ -15,9 +15,8 @@ fn arb_line() -> impl Strategy<Value = Line512> {
 /// A base whose 2- and 4-byte lanes are pairwise far apart, so smaller-
 /// element encodings can't accidentally absorb a larger-element pattern.
 fn lane_distinct_base() -> impl Strategy<Value = u64> {
-    (0u64..1 << 12).prop_map(|salt| {
-        0x4111_7222_8333_1444u64 ^ (salt * 0x0101_0101_0101_0101)
-    })
+    (0u64..1 << 12)
+        .prop_map(|salt| 0x4111_7222_8333_1444u64 ^ salt.wrapping_mul(0x0101_0101_0101_0101))
 }
 
 /// A delta strictly outside the `i8` range but comfortably inside `i16`.
@@ -46,9 +45,7 @@ fn words_from_u32(elems: [u32; 16]) -> Line512 {
 fn crafted(encoding: BdiEncoding) -> BoxedStrategy<Line512> {
     match encoding {
         BdiEncoding::Zeros => Just(Line512::zero()).boxed(),
-        BdiEncoding::Rep8 => (1u64..=u64::MAX)
-            .prop_map(|w| words_line([w; 8]))
-            .boxed(),
+        BdiEncoding::Rep8 => (1u64..=u64::MAX).prop_map(|w| words_line([w; 8])).boxed(),
         // 8-byte base, i8 deltas; two distinct deltas so Rep8 fails.
         BdiEncoding::B8D1 => (lane_distinct_base(), -100i64..=20, 1i64..=100)
             .prop_map(|(base, d, gap)| {
@@ -88,9 +85,7 @@ fn crafted(encoding: BdiEncoding) -> BoxedStrategy<Line512> {
                 halves[7] = e.wrapping_add(d as u16); // lane 3 of word 1
                 let mut words = [0u64; 8];
                 for (i, w) in words.iter_mut().enumerate() {
-                    *w = (0..4).fold(0u64, |acc, j| {
-                        acc | (halves[i * 4 + j] as u64) << (16 * j)
-                    });
+                    *w = (0..4).fold(0u64, |acc, j| acc | (halves[i * 4 + j] as u64) << (16 * j));
                 }
                 words_line(words)
             })
@@ -240,7 +235,9 @@ fn metadata_ids_and_size_bounds() {
         assert!(enc.compressed_size() >= 1 && enc.compressed_size() < 64);
     }
     assert!(
-        ALL_ENCODINGS.windows(2).all(|w| w[0].compressed_size() <= w[1].compressed_size()),
+        ALL_ENCODINGS
+            .windows(2)
+            .all(|w| w[0].compressed_size() <= w[1].compressed_size()),
         "compression relies on smallest-first ordering"
     );
     // Method-level storage never exceeds a line and rejects wrong sizes.

@@ -26,7 +26,10 @@ struct BlockMeta {
 
 impl Default for BlockMeta {
     fn default() -> Self {
-        BlockMeta { sc: 0, last_size: DATA_BYTES }
+        BlockMeta {
+            sc: 0,
+            last_size: DATA_BYTES,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ impl std::fmt::Display for WriteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WriteError::LineDead { faults } => {
-                write!(f, "uncorrectable error: line dead with {faults} faulty cells")
+                write!(
+                    f,
+                    "uncorrectable error: line dead with {faults} faulty cells"
+                )
             }
             WriteError::BadAddress => write!(f, "logical address out of range"),
         }
@@ -141,8 +147,9 @@ impl PcmMemory {
         let phys = (0..banks as u64 * phys_per_bank)
             .map(|_| ManagedLine::sample_with_tech(&cfg.endurance, cfg.tech, &mut rng))
             .collect();
-        let start_gap =
-            (0..banks).map(|_| StartGap::new(lines_per_bank, cfg.start_gap_psi)).collect();
+        let start_gap = (0..banks)
+            .map(|_| StartGap::new(lines_per_bank, cfg.start_gap_psi))
+            .collect();
         let levelers = (0..banks)
             .map(|_| IntraLineLeveler::new(cfg.bank_counter_period, 1))
             .collect();
@@ -169,7 +176,11 @@ impl PcmMemory {
     // Eight banks when each bank gets at least two lines (Start-Gap needs
     // a region), otherwise a single bank.
     fn banks_for(logical_lines: u64) -> usize {
-        if logical_lines % 8 == 0 && logical_lines >= 16 { 8 } else { 1 }
+        if logical_lines % 8 == 0 && logical_lines >= 16 {
+            8
+        } else {
+            1
+        }
     }
 
     /// Physical lines backing `logical_lines` logical ones: one Start-Gap
@@ -237,7 +248,11 @@ impl PcmMemory {
         } else {
             false
         };
-        Ok(WriteReport { line: report.0, compressed: report.1, gap_moved })
+        Ok(WriteReport {
+            line: report.0,
+            compressed: report.1,
+            gap_moved,
+        })
     }
 
     /// Reads one line back, decompressing as needed.
@@ -255,11 +270,13 @@ impl PcmMemory {
         let phys = self.phys_index(bank, idx);
         let line = &self.phys[phys];
         if self.parked[logical as usize] || !line.is_valid() {
-            return Err(WriteError::LineDead { faults: line.faults().count() });
+            return Err(WriteError::LineDead {
+                faults: line.faults().count(),
+            });
         }
         let (method, bytes) = line.read(&self.engine).expect("valid line reads");
-        let c = CompressedWrite::from_parts(method, bytes)
-            .expect("stored payload is self-consistent");
+        let c =
+            CompressedWrite::from_parts(method, bytes).expect("stored payload is self-consistent");
         Ok(decompress(&c))
     }
 
@@ -280,12 +297,18 @@ impl PcmMemory {
         let kind = self.cfg.kind;
         let (mut payload_bytes, mut method, new_meta, fallback) =
             self.choose_payload(logical, &data);
-        let preferred = if kind.rotates() { self.levelers[bank].offset() } else { 0 };
+        let preferred = if kind.rotates() {
+            self.levelers[bank].offset()
+        } else {
+            0
+        };
         let line = &mut self.phys[phys];
         // Revert a heuristic "store uncompressed" decision when only the
         // compressed form still fits this line.
         if let Some((fb_bytes, fb_method)) = fallback {
-            if line.can_host(&self.engine, payload_bytes.len(), preferred, kind.slides()).is_none()
+            if line
+                .can_host(&self.engine, payload_bytes.len(), preferred, kind.slides())
+                .is_none()
                 && line
                     .can_host(&self.engine, fb_bytes.len(), preferred, kind.slides())
                     .is_some()
@@ -304,7 +327,10 @@ impl PcmMemory {
                     self.stats.resurrections += 1;
                     let r = match line.write(
                         &self.engine,
-                        Payload { method, bytes: &payload_bytes },
+                        Payload {
+                            method,
+                            bytes: &payload_bytes,
+                        },
                         offset,
                         true,
                     ) {
@@ -319,11 +345,16 @@ impl PcmMemory {
                     return Ok((r, method.is_compressed()));
                 }
             }
-            return Err(WriteError::LineDead { faults: line.faults().count() });
+            return Err(WriteError::LineDead {
+                faults: line.faults().count(),
+            });
         }
         match line.write(
             &self.engine,
-            Payload { method, bytes: &payload_bytes },
+            Payload {
+                method,
+                bytes: &payload_bytes,
+            },
             preferred,
             kind.slides(),
         ) {
@@ -351,7 +382,10 @@ impl PcmMemory {
     ) {
         self.shadow[logical as usize] = Some(data);
         self.parked[logical as usize] = false;
-        self.meta[logical as usize] = BlockMeta { sc: new_meta.sc, last_size: size };
+        self.meta[logical as usize] = BlockMeta {
+            sc: new_meta.sc,
+            last_size: size,
+        };
         self.stats.total_flips += r.flips as u64;
         self.stats.new_faults += r.new_faults as u64;
         if method.is_compressed() {
@@ -379,12 +413,20 @@ impl PcmMemory {
         }
         if self.cfg.use_heuristic {
             let (decision, sc) = self.cfg.heuristic.decide(c.size(), meta.last_size, meta.sc);
-            let meta = BlockMeta { sc, last_size: meta.last_size };
+            let meta = BlockMeta {
+                sc,
+                last_size: meta.last_size,
+            };
             match decision {
                 Decision::Compressed => (c.bytes().to_vec(), c.method(), meta, None),
                 Decision::Uncompressed => {
                     let fallback = Some((c.bytes().to_vec(), c.method()));
-                    (data.to_bytes().to_vec(), Method::Uncompressed, meta, fallback)
+                    (
+                        data.to_bytes().to_vec(),
+                        Method::Uncompressed,
+                        meta,
+                        fallback,
+                    )
                 }
             }
         } else {

@@ -59,7 +59,10 @@ impl CompressionHeuristic {
     /// tighter settings re-lay the window out so often that the heuristic
     /// *costs* flips instead of saving them.
     pub fn paper() -> Self {
-        CompressionHeuristic { threshold1: 16, threshold2: 24 }
+        CompressionHeuristic {
+            threshold1: 16,
+            threshold2: 24,
+        }
     }
 
     /// Applies Fig. 8: given the new compressed size, the stored (old)
@@ -85,7 +88,11 @@ impl CompressionHeuristic {
         }
         // Step 3: compress, and track size stability.
         let delta = new_size.abs_diff(old_size);
-        let sc = if delta < self.threshold2 { sc.saturating_sub(1) } else { (sc + 1).min(3) };
+        let sc = if delta < self.threshold2 {
+            sc.saturating_sub(1)
+        } else {
+            (sc + 1).min(3)
+        };
         (Decision::Compressed, sc)
     }
 }
@@ -100,7 +107,10 @@ impl Default for CompressionHeuristic {
 mod tests {
     use super::*;
 
-    const H: CompressionHeuristic = CompressionHeuristic { threshold1: 16, threshold2: 8 };
+    const H: CompressionHeuristic = CompressionHeuristic {
+        threshold1: 16,
+        threshold2: 8,
+    };
     // (tests pin their own thresholds rather than the default)
 
     #[test]

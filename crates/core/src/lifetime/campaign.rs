@@ -26,7 +26,12 @@ impl CampaignConfig {
     /// A campaign with the given per-line config and a default sample of
     /// 128 lines.
     pub fn new(line: LineSimConfig, seed: u64) -> Self {
-        CampaignConfig { line, lines: 128, seed, threads: 0 }
+        CampaignConfig {
+            line,
+            lines: 128,
+            seed,
+            threads: 0,
+        }
     }
 }
 
@@ -95,7 +100,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> LifetimeResult {
     let threads = if cfg.threads > 0 {
         cfg.threads
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
     .min(cfg.lines);
 
@@ -114,8 +121,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> LifetimeResult {
                     .collect::<Vec<_>>()
             }));
         }
-        let mut indexed: Vec<(usize, LineRecord)> =
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect();
+        let mut indexed: Vec<(usize, LineRecord)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
         indexed.sort_by_key(|(i, _)| *i);
         indexed.into_iter().map(|(_, r)| r).collect()
     });
@@ -244,6 +253,7 @@ mod tests {
             death_fault_counts: vec![10],
             final_faults: 10,
             mean_flips_per_write: 1.0,
+            demand_writes: 1000,
             horizon: 1000,
         };
         // Two lines: one dies at 100 and revives at 150; the other dies at

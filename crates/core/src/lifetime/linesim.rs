@@ -27,7 +27,12 @@ impl LineSimConfig {
     /// per segment and a horizon of `120 ×` the mean endurance.
     pub fn new(system: SystemConfig, profile: WorkloadProfile) -> Self {
         let horizon = (system.endurance.mean() * 120.0) as u64;
-        LineSimConfig { system, profile, sample_writes: 16, max_writes: horizon }
+        LineSimConfig {
+            system,
+            profile,
+            sample_writes: 16,
+            max_writes: horizon,
+        }
     }
 }
 
@@ -49,6 +54,9 @@ pub struct LineRecord {
     pub final_faults: u32,
     /// Mean programmed cells per demand write (sampled writes only).
     pub mean_flips_per_write: f64,
+    /// Total demand writes simulated (sampled + fast-forwarded); the
+    /// work metric behind the `pcm-bench-hotpath` writes/sec throughput.
+    pub demand_writes: u64,
     /// Horizon used.
     pub horizon: u64,
 }
@@ -71,7 +79,10 @@ struct HostMeta {
 
 impl Default for HostMeta {
     fn default() -> Self {
-        HostMeta { sc: 0, last_size: DATA_BYTES }
+        HostMeta {
+            sc: 0,
+            last_size: DATA_BYTES,
+        }
     }
 }
 
@@ -102,7 +113,11 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
     let mut flip_sum: u64 = 0;
     let mut sampled: u64 = 0;
 
-    let rotation_period = if sys.kind.rotates() { sys.rotation_period } else { u64::MAX };
+    let rotation_period = if sys.kind.rotates() {
+        sys.rotation_period
+    } else {
+        u64::MAX
+    };
 
     while writes < cfg.max_writes {
         if line.is_dead() {
@@ -124,8 +139,15 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
             // (compressed fallback counts: any storable form revives).
             let (bytes, _, _, fallback) = choose_payload(sys, &mut meta, block.current());
             let preferred = if sys.kind.rotates() { rotation } else { 0 };
-            let len = fallback.as_ref().map(|(b, _)| b.len()).unwrap_or(bytes.len()).min(bytes.len());
-            if line.can_host_with_step(&engine, len, preferred, true, sys.window_step).is_some() {
+            let len = fallback
+                .as_ref()
+                .map(|(b, _)| b.len())
+                .unwrap_or(bytes.len())
+                .min(bytes.len());
+            if line
+                .can_host_with_step(&engine, len, preferred, true, sys.window_step)
+                .is_some()
+            {
                 line.revive();
                 events.push(writes);
             }
@@ -139,7 +161,10 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
         } else {
             rotation_period - (writes % rotation_period)
         };
-        let seg = residency_left.min(to_rotation).min(cfg.max_writes - writes).max(1);
+        let seg = residency_left
+            .min(to_rotation)
+            .min(cfg.max_writes - writes)
+            .max(1);
         let k = (cfg.sample_writes as u64).min(seg);
 
         // Real writes: establish the flip pattern of this segment.
@@ -148,8 +173,7 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
         let mut died = false;
         for _ in 0..k {
             let data = block.next_data();
-            let (mut bytes, mut method, new_meta, fallback) =
-                choose_payload(sys, &mut meta, data);
+            let (mut bytes, mut method, new_meta, fallback) = choose_payload(sys, &mut meta, data);
             meta = new_meta;
             let preferred = if sys.kind.rotates() { rotation } else { 0 };
             // If the heuristic preferred uncompressed but the full line no
@@ -180,7 +204,10 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
             }
             match line.write_with_step(
                 &engine,
-                Payload { method, bytes: &bytes },
+                Payload {
+                    method,
+                    bytes: &bytes,
+                },
                 preferred,
                 sys.kind.slides(),
                 sys.window_step,
@@ -264,7 +291,12 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
         faults_at_death,
         death_fault_counts,
         final_faults: line.faults().count(),
-        mean_flips_per_write: if sampled > 0 { flip_sum as f64 / sampled as f64 } else { 0.0 },
+        mean_flips_per_write: if sampled > 0 {
+            flip_sum as f64 / sampled as f64
+        } else {
+            0.0
+        },
+        demand_writes: writes,
         horizon: cfg.max_writes,
     }
 }
@@ -286,20 +318,29 @@ fn choose_payload(
     }
     let c = compress_best(&data);
     if c.method() == Method::Uncompressed {
-        return (data.to_bytes().to_vec(), Method::Uncompressed, *meta, None);
+        // The selector already materialized the 64 raw bytes — reuse them.
+        let (_, bytes) = c.into_parts();
+        return (bytes, Method::Uncompressed, *meta, None);
     }
     if sys.use_heuristic {
         let (decision, sc) = sys.heuristic.decide(c.size(), meta.last_size, meta.sc);
-        let new_meta = HostMeta { sc, last_size: meta.last_size };
+        let new_meta = HostMeta {
+            sc,
+            last_size: meta.last_size,
+        };
+        let (method, bytes) = c.into_parts();
         match decision {
-            Decision::Compressed => (c.bytes().to_vec(), c.method(), new_meta, None),
-            Decision::Uncompressed => {
-                let fallback = Some((c.bytes().to_vec(), c.method()));
-                (data.to_bytes().to_vec(), Method::Uncompressed, new_meta, fallback)
-            }
+            Decision::Compressed => (bytes, method, new_meta, None),
+            Decision::Uncompressed => (
+                data.to_bytes().to_vec(),
+                Method::Uncompressed,
+                new_meta,
+                Some((bytes, method)),
+            ),
         }
     } else {
-        (c.bytes().to_vec(), c.method(), *meta, None)
+        let (method, bytes) = c.into_parts();
+        (bytes, method, *meta, None)
     }
 }
 
@@ -351,6 +392,7 @@ mod tests {
             death_fault_counts: vec![9, 9],
             final_faults: 9,
             mean_flips_per_write: 10.0,
+            demand_writes: 1000,
             horizon: 1000,
         };
         assert!(!rec.dead_at(50));

@@ -43,7 +43,10 @@ impl WorkloadMix {
     /// Panics if the mix is empty or any weight is non-positive.
     pub fn new(entries: Vec<(WorkloadProfile, f64)>) -> Self {
         assert!(!entries.is_empty(), "mix needs at least one workload");
-        assert!(entries.iter().all(|(_, w)| *w > 0.0), "weights must be positive");
+        assert!(
+            entries.iter().all(|(_, w)| *w > 0.0),
+            "weights must be positive"
+        );
         WorkloadMix { entries }
     }
 

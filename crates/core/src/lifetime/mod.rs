@@ -30,6 +30,6 @@ pub mod mix;
 pub mod replay;
 
 pub use campaign::{run_campaign, CampaignConfig, LifetimeResult};
-pub use mix::{run_mixed_campaign, WorkloadMix};
 pub use linesim::{simulate_line, LineRecord, LineSimConfig};
+pub use mix::{run_mixed_campaign, WorkloadMix};
 pub use replay::{replay_to_failure, ReplayConfig, ReplayResult};

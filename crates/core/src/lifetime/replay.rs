@@ -109,7 +109,11 @@ mod tests {
     #[test]
     fn baseline_memory_wears_out() {
         let r = quick(SystemKind::Baseline, 300.0);
-        assert!(r.writes_to_failure.is_some(), "final dead fraction {}", r.final_dead_fraction);
+        assert!(
+            r.writes_to_failure.is_some(),
+            "final dead fraction {}",
+            r.final_dead_fraction
+        );
         assert!(r.final_dead_fraction >= 0.5);
         assert!(r.mean_flips_per_write > 0.0);
     }

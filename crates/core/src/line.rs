@@ -74,20 +74,28 @@ impl EccEngine {
     }
 
     /// Encodes `target` around the given (window-restricted) faults.
-    fn encode(&self, target: &Line512, faults: &FaultMap) -> Result<(Line512, EccCode), pcm_ecc::EccError> {
+    fn encode(
+        &self,
+        target: &Line512,
+        faults: &FaultMap,
+    ) -> Result<(Line512, EccCode), pcm_ecc::EccError> {
         match self.choice {
-            EccChoice::Ecp6 | EccChoice::EcpN(_) => {
-                self.ecp.write(target, faults).map(|(s, c)| (s, EccCode::Ecp(c)))
-            }
-            EccChoice::Safer32 => {
-                self.safer.write(target, faults).map(|(s, c)| (s, EccCode::Safer(c)))
-            }
-            EccChoice::Aegis17x31 => {
-                self.aegis.write(target, faults).map(|(s, c)| (s, EccCode::Aegis(c)))
-            }
-            EccChoice::Secded => {
-                self.secded.write(target, faults).map(|(s, c)| (s, EccCode::Secded(c)))
-            }
+            EccChoice::Ecp6 | EccChoice::EcpN(_) => self
+                .ecp
+                .write(target, faults)
+                .map(|(s, c)| (s, EccCode::Ecp(c))),
+            EccChoice::Safer32 => self
+                .safer
+                .write(target, faults)
+                .map(|(s, c)| (s, EccCode::Safer(c))),
+            EccChoice::Aegis17x31 => self
+                .aegis
+                .write(target, faults)
+                .map(|(s, c)| (s, EccCode::Aegis(c))),
+            EccChoice::Secded => self
+                .secded
+                .write(target, faults)
+                .map(|(s, c)| (s, EccCode::Secded(c))),
         }
     }
 
@@ -358,7 +366,10 @@ impl ManagedLine {
         step: usize,
     ) -> Result<LineWriteReport, LineDead> {
         let len = payload.bytes.len();
-        assert!((1..=DATA_BYTES).contains(&len), "payload must be 1..=64 bytes");
+        assert!(
+            (1..=DATA_BYTES).contains(&len),
+            "payload must be 1..=64 bytes"
+        );
         assert!(preferred < DATA_BYTES, "preferred offset must be < 64");
 
         let mut report = LineWriteReport {
@@ -378,7 +389,9 @@ impl ManagedLine {
                 None => {
                     self.dead = true;
                     self.valid = false;
-                    return Err(LineDead { faults: self.faults().count() });
+                    return Err(LineDead {
+                        faults: self.faults().count(),
+                    });
                 }
             };
             report.slid |= offset != preferred;
@@ -393,7 +406,9 @@ impl ManagedLine {
                 Err(_) => {
                     self.dead = true;
                     self.valid = false;
-                    return Err(LineDead { faults: self.faults().count() });
+                    return Err(LineDead {
+                        faults: self.faults().count(),
+                    });
                 }
             };
             // Program only the window cells; everything outside keeps its
@@ -405,8 +420,7 @@ impl ManagedLine {
             report.flip_mask = report.flip_mask | outcome.flip_mask;
             report.new_faults += outcome.new_faults.len() as u32;
 
-            let fresh_in_window =
-                outcome.new_faults.iter().any(|f| mask.bit(f.pos as usize));
+            let fresh_in_window = outcome.new_faults.iter().any(|f| mask.bit(f.pos as usize));
             if !fresh_in_window {
                 self.meta_updates.writes += 1;
                 if self.valid {
@@ -434,7 +448,10 @@ impl ManagedLine {
             return None;
         }
         let corrected = engine.decode(&self.wear.stored(), &self.code);
-        Some((self.method, window::extract(&corrected, self.offset, self.size)))
+        Some((
+            self.method,
+            window::extract(&corrected, self.offset, self.size),
+        ))
     }
 
     fn locate(
@@ -460,7 +477,10 @@ mod tests {
     }
 
     fn payload_of(c: &CompressedWrite) -> Payload<'_> {
-        Payload { method: c.method(), bytes: c.bytes() }
+        Payload {
+            method: c.method(),
+            bytes: c.bytes(),
+        }
     }
 
     #[test]
@@ -486,8 +506,8 @@ mod tests {
         let mut line = ManagedLine::with_endurance(vec![u32::MAX; 512]);
         // First fill the line with ones (uncompressed write).
         let ones = Line512::ones();
-        let c0 = CompressedWrite::from_parts(Method::Uncompressed, ones.to_bytes().to_vec())
-            .unwrap();
+        let c0 =
+            CompressedWrite::from_parts(Method::Uncompressed, ones.to_bytes().to_vec()).unwrap();
         line.write(&e, payload_of(&c0), 0, false).unwrap();
         // Now write a 1-byte zero payload at offset 5.
         let zeros = compress_best(&Line512::zero());
@@ -529,8 +549,8 @@ mod tests {
         }
         let mut line = ManagedLine::with_endurance(endurance);
         let data = Line512::ones();
-        let c = CompressedWrite::from_parts(Method::Uncompressed, data.to_bytes().to_vec())
-            .unwrap();
+        let c =
+            CompressedWrite::from_parts(Method::Uncompressed, data.to_bytes().to_vec()).unwrap();
         let err = line.write(&e, payload_of(&c), 0, false).unwrap_err();
         assert_eq!(err.faults, 7);
         assert!(line.is_dead());
@@ -571,19 +591,15 @@ mod tests {
         endurance[8] = 1;
         let mut line = ManagedLine::with_endurance(endurance);
         // Write all-ones (uncompressed): programs cell 8 once (0 -> 1).
-        let ones = CompressedWrite::from_parts(
-            Method::Uncompressed,
-            Line512::ones().to_bytes().to_vec(),
-        )
-        .unwrap();
+        let ones =
+            CompressedWrite::from_parts(Method::Uncompressed, Line512::ones().to_bytes().to_vec())
+                .unwrap();
         line.write(&e, payload_of(&ones), 0, false).unwrap();
         // Write all-zeros: cell 8's second programming fails; the write
         // must verify-retry and cover it with ECP.
-        let zeros = CompressedWrite::from_parts(
-            Method::Uncompressed,
-            Line512::zero().to_bytes().to_vec(),
-        )
-        .unwrap();
+        let zeros =
+            CompressedWrite::from_parts(Method::Uncompressed, Line512::zero().to_bytes().to_vec())
+                .unwrap();
         let r = line.write(&e, payload_of(&zeros), 0, false).unwrap();
         assert!(r.attempts >= 2, "mid-write failure forces a retry");
         assert_eq!(r.new_faults, 1);
@@ -600,11 +616,9 @@ mod tests {
             endurance[pos] = 0; // bytes 0..7 mostly dead
         }
         let mut line = ManagedLine::with_endurance(endurance);
-        let big = CompressedWrite::from_parts(
-            Method::Uncompressed,
-            Line512::ones().to_bytes().to_vec(),
-        )
-        .unwrap();
+        let big =
+            CompressedWrite::from_parts(Method::Uncompressed, Line512::ones().to_bytes().to_vec())
+                .unwrap();
         assert!(line.write(&e, payload_of(&big), 0, true).is_err());
         assert!(line.is_dead());
         // A 1-byte payload fits in the healthy tail: resurrection check.
@@ -630,8 +644,7 @@ mod tests {
                 let c = compress_best(&data);
                 line.write(&e, payload_of(&c), 0, true).unwrap();
                 let (method, bytes) = line.read(&e).unwrap();
-                let back =
-                    decompress(&CompressedWrite::from_parts(method, bytes).unwrap());
+                let back = decompress(&CompressedWrite::from_parts(method, bytes).unwrap());
                 assert_eq!(back, data, "{choice:?}");
             }
         }

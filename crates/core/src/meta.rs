@@ -53,7 +53,11 @@ impl LineMetadata {
     pub fn new(start: u8, method: Method, sc: u8) -> Self {
         assert!(start < 64, "start pointer is 6 bits");
         assert!(sc < 4, "saturating counter is 2 bits");
-        LineMetadata { start, encoding: method.encode_5bit(), sc }
+        LineMetadata {
+            start,
+            encoding: method.encode_5bit(),
+            sc,
+        }
     }
 
     /// Fresh-line metadata: window at byte 0, uncompressed, counter 0.
@@ -109,7 +113,11 @@ impl LineMetadata {
         if Method::decode_5bit(encoding).is_none() {
             return Err(BadMetadata(word));
         }
-        Ok(LineMetadata { start, encoding, sc })
+        Ok(LineMetadata {
+            start,
+            encoding,
+            sc,
+        })
     }
 
     /// Total metadata bits (paper: 13).
@@ -131,9 +139,11 @@ mod tests {
     fn pack_round_trips_all_fields() {
         for start in [0u8, 1, 31, 63] {
             for sc in 0u8..4 {
-                for method in
-                    [Method::Uncompressed, Method::Fpc, Method::Bdi(BdiEncoding::B8D2)]
-                {
+                for method in [
+                    Method::Uncompressed,
+                    Method::Fpc,
+                    Method::Bdi(BdiEncoding::B8D2),
+                ] {
                     let m = LineMetadata::new(start, method, sc);
                     assert_eq!(LineMetadata::unpack(m.pack()).unwrap(), m);
                     assert_eq!(m.start(), start as usize);

@@ -8,10 +8,10 @@
 //! end-to-end slowdown impact. The paper observes reads delayed by up to
 //! ~2% on average and an overall slowdown below 0.3%.
 
+use pcm_compress::{compress_best, Method};
 use pcm_device::access::{simulate, AccessConfig, Op, Request};
 use pcm_device::MemoryGeometry;
 use pcm_trace::{AccessKind, TraceGenerator, WorkloadProfile};
-use pcm_compress::{compress_best, Method};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -77,8 +77,7 @@ pub struct PerfReport {
 /// Panics if `accesses == 0`.
 pub fn perf_overhead(cfg: &PerfConfig) -> PerfReport {
     assert!(cfg.accesses > 0, "need at least one access");
-    let mut generator =
-        TraceGenerator::from_profile(cfg.profile.clone(), cfg.lines, cfg.seed);
+    let mut generator = TraceGenerator::from_profile(cfg.profile.clone(), cfg.lines, cfg.seed);
     let geometry = MemoryGeometry::scaled(cfg.lines.next_multiple_of(8));
     let access_cfg = AccessConfig::paper();
     let timing = access_cfg.timing;
@@ -124,7 +123,10 @@ pub fn perf_overhead(cfg: &PerfConfig) -> PerfReport {
             }
             AccessKind::Read => {
                 reads += 1;
-                let method = stored.get(&access.line).copied().unwrap_or(Method::Uncompressed);
+                let method = stored
+                    .get(&access.line)
+                    .copied()
+                    .unwrap_or(Method::Uncompressed);
                 if method.is_compressed() {
                     compressed_reads += 1;
                 }
@@ -151,8 +153,8 @@ pub fn perf_overhead(cfg: &PerfConfig) -> PerfReport {
     // End-to-end: extra stall per kilo-instruction over the total time per
     // kilo-instruction (compute + exposed memory stalls).
     let rpki = cfg.profile.wpki * cfg.profile.reads_per_write;
-    let time_per_ki_ns = 1000.0 * cfg.base_cpi * cpu_cycle_ns
-        + rpki * base_latency_ns * cfg.stall_fraction;
+    let time_per_ki_ns =
+        1000.0 * cfg.base_cpi * cpu_cycle_ns + rpki * base_latency_ns * cfg.stall_fraction;
     let extra_per_ki_ns = rpki * avg_decompression_ns * cfg.stall_fraction;
     let slowdown_pct = 100.0 * extra_per_ki_ns / time_per_ki_ns;
 
@@ -192,7 +194,12 @@ mod tests {
                 app.name(),
                 r.read_latency_increase_pct
             );
-            assert!(r.slowdown_pct < 1.0, "{}: slowdown {:.2}%", app.name(), r.slowdown_pct);
+            assert!(
+                r.slowdown_pct < 1.0,
+                "{}: slowdown {:.2}%",
+                app.name(),
+                r.slowdown_pct
+            );
         }
     }
 

@@ -33,8 +33,12 @@ pub enum SystemKind {
 
 impl SystemKind {
     /// All four systems in evaluation order.
-    pub const ALL: [SystemKind; 4] =
-        [SystemKind::Baseline, SystemKind::Comp, SystemKind::CompW, SystemKind::CompWF];
+    pub const ALL: [SystemKind; 4] = [
+        SystemKind::Baseline,
+        SystemKind::Comp,
+        SystemKind::CompW,
+        SystemKind::CompWF,
+    ];
 
     /// `true` when the system compresses write-backs.
     pub fn compresses(&self) -> bool {

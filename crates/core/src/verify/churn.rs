@@ -131,7 +131,10 @@ pub fn churn_lines(
             };
             let report = match line.write_with_step(
                 &engine,
-                Payload { method, bytes: &bytes },
+                Payload {
+                    method,
+                    bytes: &bytes,
+                },
                 preferred,
                 sys.kind.slides(),
                 sys.window_step,
@@ -200,7 +203,14 @@ pub fn churn_lines(
                 // fault set (faults only grow, so checking now is sound).
                 let grid_preferred = preferred / sys.window_step * sys.window_step;
                 churn_check!(
-                    line.can_host_with_step(&engine, bytes.len(), grid_preferred, false, sys.window_step).is_none(),
+                    line.can_host_with_step(
+                        &engine,
+                        bytes.len(),
+                        grid_preferred,
+                        false,
+                        sys.window_step
+                    )
+                    .is_none(),
                     "line {line_idx} write {w} ({}, {}): slid from hostable offset \
                      {grid_preferred} to {} (seed {seed})",
                     sys.kind,
@@ -239,7 +249,11 @@ pub fn churn_memory(
 
     for step in 0..writes {
         let l = rng.random_range(0..logical_lines);
-        let data = if step % 4 == 0 { Line512::random(&mut rng) } else { block.next_data() };
+        let data = if step % 4 == 0 {
+            Line512::random(&mut rng)
+        } else {
+            block.next_data()
+        };
         let before = mem.stats();
         match mem.write(l, data) {
             Ok(report) => {
@@ -363,11 +377,18 @@ mod tests {
         // A cluster filling bytes 0..2 defeats ECP-6 at offset 0; Comp+WF
         // must slide and still round-trip.
         let sys = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(1e9);
-        let faults: Vec<StuckAt> =
-            (0..16).map(|i| StuckAt { pos: i, value: i % 2 == 0 }).collect();
+        let faults: Vec<StuckAt> = (0..16)
+            .map(|i| StuckAt {
+                pos: i,
+                value: i % 2 == 0,
+            })
+            .collect();
         let plan = FaultPlan::exact(faults);
         let stats = churn_lines(&sys, &plan, ChurnData::Compressible, 1, 128, 2).unwrap();
-        assert!(stats.slides > 0, "cluster must force window slides: {stats:?}");
+        assert!(
+            stats.slides > 0,
+            "cluster must force window slides: {stats:?}"
+        );
         assert_eq!(stats.deaths, 0);
     }
 
@@ -376,7 +397,10 @@ mod tests {
         let sys = SystemConfig::new(SystemKind::Comp).with_endurance_mean(1e9);
         let plan = FaultPlan::with_count(3, 40, 0.5);
         let stats = churn_lines(&sys, &plan, ChurnData::Mixed, 4, 64, 3).unwrap();
-        assert!(stats.deaths > 0, "40 faults should defeat ECP-6 without sliding");
+        assert!(
+            stats.deaths > 0,
+            "40 faults should defeat ECP-6 without sliding"
+        );
     }
 
     #[test]

@@ -178,15 +178,18 @@ pub fn run_all(cfg: &VerifyConfig) -> VerifyReport {
                 // Low enough endurance that lines die (and, under
                 // Comp+WF, revive) within the churn budget — the whole
                 // point is to exercise the death/resurrection accounting.
-                let msys = SystemConfig::new(kind).with_endurance_mean(60.0).with_ecc(ecc);
-                churn_memory(&msys, 16, cfg.memory_writes, combo_seed ^ 0x4D45_4D00)
-                    .map(|mem_stats| ChurnStats {
+                let msys = SystemConfig::new(kind)
+                    .with_endurance_mean(60.0)
+                    .with_ecc(ecc);
+                churn_memory(&msys, 16, cfg.memory_writes, combo_seed ^ 0x4D45_4D00).map(
+                    |mem_stats| ChurnStats {
                         writes_checked: line_stats.writes_checked + mem_stats.writes_checked,
                         slides: line_stats.slides + mem_stats.slides,
                         retries: line_stats.retries + mem_stats.retries,
                         deaths: line_stats.deaths + mem_stats.deaths,
                         resurrections: line_stats.resurrections + mem_stats.resurrections,
-                    })
+                    },
+                )
             });
             let oracles = if cfg.churn_only {
                 Vec::new()
@@ -201,7 +204,12 @@ pub fn run_all(cfg: &VerifyConfig) -> VerifyReport {
                     })
                     .collect()
             };
-            entries.push(VerifyEntry { kind, ecc, churn, oracles });
+            entries.push(VerifyEntry {
+                kind,
+                ecc,
+                churn,
+                oracles,
+            });
         }
     }
     VerifyReport { entries }
@@ -224,19 +232,36 @@ mod tests {
 
     #[test]
     fn churn_sweep_all_combinations() {
-        let cfg = VerifyConfig { churn_only: true, memory_writes: 1_500, ..Default::default() };
+        let cfg = VerifyConfig {
+            churn_only: true,
+            memory_writes: 1_500,
+            ..Default::default()
+        };
         let report = run_all(&cfg);
         assert_eq!(report.entries.len(), 16);
-        assert!(report.passed(), "failures:\n{}", report.failures().join("\n"));
+        assert!(
+            report.passed(),
+            "failures:\n{}",
+            report.failures().join("\n")
+        );
         for e in &report.entries {
             let stats = e.churn.as_ref().unwrap();
-            assert!(stats.writes_checked > 0, "{} / {} exercised nothing", e.kind, e.ecc);
+            assert!(
+                stats.writes_checked > 0,
+                "{} / {} exercised nothing",
+                e.kind,
+                e.ecc
+            );
         }
     }
 
     #[test]
     fn sweep_is_deterministic() {
-        let cfg = VerifyConfig { churn_only: true, memory_writes: 500, ..Default::default() };
+        let cfg = VerifyConfig {
+            churn_only: true,
+            memory_writes: 500,
+            ..Default::default()
+        };
         let a = run_all(&cfg);
         let b = run_all(&cfg);
         for (x, y) in a.entries.iter().zip(&b.entries) {

@@ -129,7 +129,10 @@ impl OracleReport {
     pub fn describe(&self) -> String {
         let mut out = format!(
             "{} / {} / mean {:.0} ({:?}):",
-            self.system.kind, self.system.ecc, self.system.endurance.mean(), self.app
+            self.system.kind,
+            self.system.ecc,
+            self.system.endurance.mean(),
+            self.app
         );
         if let Some(m) = &self.censoring_mismatch {
             out.push_str(&format!("\n  CENSORING MISMATCH: {m}"));
@@ -151,8 +154,19 @@ impl OracleReport {
 }
 
 fn diff(stat: &'static str, replay: f64, engine: f64, bounds: (f64, f64)) -> OracleDiff {
-    let ratio = if replay > 0.0 { engine / replay } else { f64::INFINITY };
-    OracleDiff { stat, replay, engine, ratio, bounds, ok: (bounds.0..=bounds.1).contains(&ratio) }
+    let ratio = if replay > 0.0 {
+        engine / replay
+    } else {
+        f64::INFINITY
+    };
+    OracleDiff {
+        stat,
+        replay,
+        engine,
+        ratio,
+        bounds,
+        ok: (bounds.0..=bounds.1).contains(&ratio),
+    }
 }
 
 /// Replays the seeded trace through the functional [`PcmMemory`]
@@ -220,7 +234,12 @@ pub fn run_oracle(cfg: &OracleConfig) -> OracleReport {
         cfg.tolerances.flips,
     ));
     if let (Some(r), Some(e)) = (replay.mean_faults_at_death, engine.mean_faults_at_death) {
-        report.diffs.push(diff("faults_at_death", r, e, cfg.tolerances.faults_at_death));
+        report.diffs.push(diff(
+            "faults_at_death",
+            r,
+            e,
+            cfg.tolerances.faults_at_death,
+        ));
     }
     report
 }

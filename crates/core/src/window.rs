@@ -9,7 +9,7 @@
 
 use pcm_ecc::HardErrorScheme;
 use pcm_util::fault::FaultMap;
-use pcm_util::{Line512, DATA_BYTES};
+use pcm_util::{Line512, DATA_BITS, DATA_BYTES};
 
 /// Byte indices covered by a wrapped window.
 pub fn window_bytes(offset: usize, len: usize) -> impl Iterator<Item = usize> {
@@ -37,11 +37,13 @@ pub fn window_bytes(offset: usize, len: usize) -> impl Iterator<Item = usize> {
 pub fn window_mask(offset: usize, len: usize) -> Line512 {
     assert!(offset < DATA_BYTES, "offset must be < 64");
     assert!(len <= DATA_BYTES, "window at most 64 bytes");
-    let mut m = Line512::zero();
-    for byte in window_bytes(offset, len) {
-        m.set_byte(byte, 0xFF);
+    let end = offset + len;
+    if end <= DATA_BYTES {
+        Line512::bit_range_mask(offset * 8..end * 8)
+    } else {
+        Line512::bit_range_mask(offset * 8..DATA_BITS)
+            | Line512::bit_range_mask(0..(end - DATA_BYTES) * 8)
     }
-    m
 }
 
 /// Places `payload` into `current` at a wrapped window, leaving all other
@@ -53,11 +55,11 @@ pub fn window_mask(offset: usize, len: usize) -> Line512 {
 pub fn place(current: &Line512, offset: usize, payload: &[u8]) -> Line512 {
     assert!(offset < DATA_BYTES, "offset must be < 64");
     assert!(payload.len() <= DATA_BYTES, "payload at most 64 bytes");
-    let mut out = *current;
-    for (i, byte) in window_bytes(offset, payload.len()).enumerate() {
-        out.set_byte(byte, payload[i]);
-    }
-    out
+    let mut bytes = current.to_bytes();
+    let first = payload.len().min(DATA_BYTES - offset);
+    bytes[offset..offset + first].copy_from_slice(&payload[..first]);
+    bytes[..payload.len() - first].copy_from_slice(&payload[first..]);
+    Line512::from_bytes(&bytes)
 }
 
 /// Extracts `len` bytes from a wrapped window.
@@ -68,23 +70,33 @@ pub fn place(current: &Line512, offset: usize, payload: &[u8]) -> Line512 {
 pub fn extract(line: &Line512, offset: usize, len: usize) -> Vec<u8> {
     assert!(offset < DATA_BYTES, "offset must be < 64");
     assert!(len <= DATA_BYTES, "window at most 64 bytes");
-    window_bytes(offset, len).map(|b| line.byte(b)).collect()
+    let bytes = line.to_bytes();
+    let first = len.min(DATA_BYTES - offset);
+    let mut out = Vec::with_capacity(len);
+    out.extend_from_slice(&bytes[offset..offset + first]);
+    out.extend_from_slice(&bytes[..len - first]);
+    out
 }
 
 /// The faulty cell positions that fall inside a wrapped window.
 pub fn faults_in(faults: &FaultMap, offset: usize, len: usize) -> Vec<u16> {
-    let mask = window_mask(offset, len);
-    faults
-        .iter()
-        .filter(|f| mask.bit(f.pos as usize))
-        .map(|f| f.pos)
-        .collect()
+    let mut out = Vec::new();
+    faults_in_scratch(faults, offset, len, &mut out);
+    out
+}
+
+/// [`faults_in`] into a caller-owned buffer (cleared first) — the window
+/// slide search probes up to 64 windows per write, and reusing one
+/// allocation across probes keeps it off the heap.
+pub fn faults_in_scratch(faults: &FaultMap, offset: usize, len: usize, out: &mut Vec<u16>) {
+    out.clear();
+    let masked = faults.positions() & window_mask(offset, len);
+    out.extend(masked.iter_ones().map(|p| p as u16));
 }
 
 /// The sub-map of faults inside a wrapped window.
 pub fn fault_map_in(faults: &FaultMap, offset: usize, len: usize) -> FaultMap {
-    let mask = window_mask(offset, len);
-    faults.iter().filter(|f| mask.bit(f.pos as usize)).collect()
+    faults.masked(window_mask(offset, len))
 }
 
 /// The Comp+WF window search (§III-A): finds a start offset at which a
@@ -135,7 +147,10 @@ pub fn find_offset_with_step(
     step: usize,
 ) -> Option<usize> {
     assert!(preferred < DATA_BYTES, "preferred offset must be < 64");
-    assert!((1..=DATA_BYTES).contains(&len), "window must be 1..=64 bytes");
+    assert!(
+        (1..=DATA_BYTES).contains(&len),
+        "window must be 1..=64 bytes"
+    );
     assert!(
         step.is_power_of_two() && DATA_BYTES % step == 0,
         "step must be a power of two dividing 64, got {step}"
@@ -145,9 +160,11 @@ pub fn find_offset_with_step(
         return Some(preferred);
     }
     let slots = DATA_BYTES / step;
+    let mut scratch = Vec::with_capacity(faults.count() as usize);
     for slide in 0..slots {
         let offset = (preferred + slide * step) % DATA_BYTES;
-        if scheme.can_store(&faults_in(faults, offset, len)) {
+        faults_in_scratch(faults, offset, len, &mut scratch);
+        if scheme.can_store(&scratch) {
             return Some(offset);
         }
     }
@@ -184,9 +201,18 @@ mod tests {
     #[test]
     fn faults_filtered_by_window() {
         let faults: FaultMap = [
-            StuckAt { pos: 5, value: true },     // byte 0
-            StuckAt { pos: 500, value: false },  // byte 62
-            StuckAt { pos: 200, value: true },   // byte 25
+            StuckAt {
+                pos: 5,
+                value: true,
+            }, // byte 0
+            StuckAt {
+                pos: 500,
+                value: false,
+            }, // byte 62
+            StuckAt {
+                pos: 200,
+                value: true,
+            }, // byte 25
         ]
         .into_iter()
         .collect();
@@ -206,8 +232,7 @@ mod tests {
     fn find_offset_slides_past_fault_cluster() {
         let ecp = Ecp::new(6);
         // 8 faults in byte 0: infeasible for any window containing byte 0.
-        let faults: FaultMap =
-            (0..8u16).map(|pos| StuckAt { pos, value: true }).collect();
+        let faults: FaultMap = (0..8u16).map(|pos| StuckAt { pos, value: true }).collect();
         let offset = find_offset(&ecp, &faults, 16, 0).unwrap();
         // The window [offset, offset+16) must not contain byte 0.
         assert!(offset >= 1 && offset <= 48, "offset {offset}");
@@ -217,11 +242,13 @@ mod tests {
     fn coarse_step_restricts_offsets() {
         let ecp = Ecp::new(6);
         // 8 faults in byte 0..1 kill any window containing them.
-        let faults: FaultMap =
-            (0..8u16).map(|pos| StuckAt { pos, value: true }).collect();
+        let faults: FaultMap = (0..8u16).map(|pos| StuckAt { pos, value: true }).collect();
         let fine = find_offset_with_step(&ecp, &faults, 16, 0, 1).unwrap();
         let coarse = find_offset_with_step(&ecp, &faults, 16, 0, 8).unwrap();
-        assert_eq!(fine, 1, "byte-granular search lands right after the cluster");
+        assert_eq!(
+            fine, 1,
+            "byte-granular search lands right after the cluster"
+        );
         assert_eq!(coarse, 8, "8-byte grid must skip to the next slot");
         assert_eq!(coarse % 8, 0);
     }
@@ -254,9 +281,19 @@ mod tests {
     #[test]
     fn full_line_window_only_depends_on_total() {
         let ecp = Ecp::new(6);
-        let few: FaultMap = (0..6u16).map(|i| StuckAt { pos: i * 80, value: true }).collect();
+        let few: FaultMap = (0..6u16)
+            .map(|i| StuckAt {
+                pos: i * 80,
+                value: true,
+            })
+            .collect();
         assert!(find_offset(&ecp, &few, 64, 0).is_some());
-        let many: FaultMap = (0..7u16).map(|i| StuckAt { pos: i * 70, value: true }).collect();
+        let many: FaultMap = (0..7u16)
+            .map(|i| StuckAt {
+                pos: i * 70,
+                value: true,
+            })
+            .collect();
         assert_eq!(find_offset(&ecp, &many, 64, 0), None);
     }
 }

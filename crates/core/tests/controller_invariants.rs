@@ -1,8 +1,8 @@
 //! Controller invariants under churn: Start-Gap relocation, rotation,
 //! metadata, and the interplay with compression heuristics.
 
-use pcm_core::{EccChoice, LineMetadata, PcmMemory, SystemConfig, SystemKind};
 use pcm_compress::Method;
+use pcm_core::{EccChoice, LineMetadata, PcmMemory, SystemConfig, SystemKind};
 use pcm_trace::{SpecApp, TraceGenerator};
 use pcm_util::{seeded_rng, Line512};
 use rand::RngExt;
@@ -50,7 +50,10 @@ fn rotation_spreads_window_starts() {
         offsets.insert(r.line.offset);
         assert_eq!(memory.read(0).unwrap(), data);
     }
-    assert!(offsets.len() > 16, "rotation should move the window, saw {offsets:?}");
+    assert!(
+        offsets.len() > 16,
+        "rotation should move the window, saw {offsets:?}"
+    );
 }
 
 #[test]
@@ -90,7 +93,9 @@ fn every_scheme_choice_serves_the_same_workload() {
         let mut generator = TraceGenerator::from_profile(SpecApp::Calculix.profile(), 8, 37);
         for _ in 0..500 {
             let w = generator.next_write();
-            memory.write(w.line, w.data).unwrap_or_else(|e| panic!("{ecc:?}: {e}"));
+            memory
+                .write(w.line, w.data)
+                .unwrap_or_else(|e| panic!("{ecc:?}: {e}"));
             assert_eq!(memory.read(w.line).unwrap(), w.data, "{ecc:?}");
         }
     }

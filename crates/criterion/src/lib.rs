@@ -1,10 +1,16 @@
 //! Minimal stand-in for the `criterion` benchmark harness.
 //!
 //! The offline build cannot fetch the real criterion, so this crate keeps
-//! the workspace's `benches/` compiling and runnable: each benchmark runs
-//! a short calibrated loop and prints a single median-time line. There is
-//! no statistical analysis, HTML report, or baseline comparison — for real
-//! measurements, point the workspace dependency back at crates.io.
+//! the workspace's `benches/` compiling and runnable: each benchmark runs a
+//! calibrated batch several times and reports the median and MAD (median
+//! absolute deviation) of the per-iteration time. There is no HTML report
+//! or baseline comparison — for full statistics, point the workspace
+//! dependency back at crates.io.
+//!
+//! Beyond the drop-in `criterion` API, the shim exposes the measurements
+//! programmatically: [`Criterion::results`] returns one [`BenchResult`] per
+//! completed benchmark, which `pcm-bench-hotpath` uses to emit
+//! `BENCH_hotpath.json`.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -20,12 +26,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A `function/parameter` id.
     pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{function}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
     }
 
     /// An id that is just the parameter.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -35,23 +45,97 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
-/// Per-element throughput annotation (accepted, not reported).
+/// Per-iteration work annotation, used to derive throughput.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
     Bytes(u64),
     Elements(u64),
 }
 
+/// The measurements of one completed benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id, `group/function/parameter`.
+    pub id: String,
+    /// Iterations per measured batch.
+    pub iters: u64,
+    /// Median per-iteration time over the measured batches.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-iteration time.
+    pub mad_ns: f64,
+    /// Work per iteration, when annotated via [`Throughput`].
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Throughput units per second (bytes or elements, per the
+    /// annotation); `None` without an annotation or measurement.
+    pub fn per_second(&self) -> Option<f64> {
+        let units = match self.throughput? {
+            Throughput::Bytes(b) => b,
+            Throughput::Elements(e) => e,
+        };
+        if self.median_ns > 0.0 {
+            Some(units as f64 * 1e9 / self.median_ns)
+        } else {
+            None
+        }
+    }
+}
+
+/// Measurement knobs shared by the harness and groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Minimum wall time of one calibrated batch.
+    batch_target: Duration,
+    /// Measured batches per benchmark (median/MAD sample count).
+    batches: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            batch_target: Duration::from_millis(5),
+            batches: 5,
+        }
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
 /// Runs closures under timing; handed to benchmark bodies.
 pub struct Bencher {
+    settings: Settings,
     iters: u64,
     median_ns: f64,
+    mad_ns: f64,
 }
 
 impl Bencher {
-    /// Times `routine`, first calibrating an iteration count so the
-    /// measured batch lasts at least ~5 ms.
+    fn new(settings: Settings) -> Self {
+        Bencher {
+            settings,
+            iters: 0,
+            median_ns: 0.0,
+            mad_ns: 0.0,
+        }
+    }
+
+    /// Times `routine`: calibrates an iteration count so one batch lasts at
+    /// least the configured target, then measures the batch repeatedly and
+    /// records the median and MAD of the per-iteration time.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.settings.batches);
         let mut iters = 1u64;
         loop {
             let start = Instant::now();
@@ -59,50 +143,85 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
-                self.iters = iters;
-                self.median_ns = elapsed.as_nanos() as f64 / iters as f64;
-                return;
+            if elapsed >= self.settings.batch_target || iters >= 1 << 20 {
+                samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                break;
             }
             iters = iters.saturating_mul(4);
         }
+        for _ in 1..self.settings.batches.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let med = median(&samples);
+        let mut devs: Vec<f64> = samples.iter().map(|s| (s - med).abs()).collect();
+        devs.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        self.iters = iters;
+        self.median_ns = med;
+        self.mad_ns = median(&devs);
     }
 }
 
 fn report(id: &str, bencher: &Bencher) {
-    println!("bench: {id:<48} {:>12.1} ns/iter ({} iters)", bencher.median_ns, bencher.iters);
+    println!(
+        "bench: {id:<48} {:>12.1} ns/iter (±{:.1} MAD, {} iters × {} batches)",
+        bencher.median_ns,
+        bencher.mad_ns,
+        bencher.iters,
+        bencher.settings.batches.max(1)
+    );
 }
 
 /// A named set of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
-    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    settings: Settings,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Accepted for API compatibility; not reported.
-    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+    /// Annotates subsequent benchmarks with per-iteration work.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
-    /// Accepted for API compatibility; this harness self-calibrates.
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Sets the number of measured batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.batches = n.max(1);
         self
     }
 
-    /// Accepted for API compatibility; this harness self-calibrates.
-    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+    /// Sets the minimum wall time of one calibrated batch for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.batch_target = d;
         self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher::new(self.settings);
+        f(&mut b);
+        report(&id, &b);
+        self.criterion.results.push(BenchResult {
+            id,
+            iters: b.iters,
+            median_ns: b.median_ns,
+            mad_ns: b.mad_ns,
+            throughput: self.throughput,
+        });
     }
 
     /// Benchmarks `f` under `group/id`.
-    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: 0, median_ns: 0.0 };
-        f(&mut b);
-        report(&format!("{}/{}", self.name, id), &b);
+        self.run(format!("{}/{}", self.name, id), f);
         self
     }
 
@@ -116,9 +235,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { iters: 0, median_ns: 0.0 };
-        f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), &b);
+        self.run(format!("{}/{}", self.name, id), |b| f(b, input));
         self
     }
 
@@ -128,7 +245,10 @@ impl BenchmarkGroup<'_> {
 
 /// The harness entry point, mirroring `criterion::Criterion`.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    settings: Settings,
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Accepted for API compatibility; CLI flags are ignored.
@@ -136,24 +256,42 @@ impl Criterion {
         self
     }
 
-    /// Accepted for API compatibility; this harness self-calibrates.
-    pub fn sample_size(self, _n: usize) -> Self {
+    /// Sets the number of measured batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.batches = n.max(1);
         self
     }
 
-    /// Accepted for API compatibility; this harness self-calibrates.
-    pub fn measurement_time(self, _d: Duration) -> Self {
+    /// Sets the minimum wall time of one calibrated batch.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.batch_target = d;
         self
+    }
+
+    /// The measurements of every benchmark run so far, in order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher::new(self.settings);
+        f(&mut b);
+        report(&id, &b);
+        self.results.push(BenchResult {
+            id,
+            iters: b.iters,
+            median_ns: b.median_ns,
+            mad_ns: b.mad_ns,
+            throughput: None,
+        });
     }
 
     /// Benchmarks a standalone function.
-    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: 0, median_ns: 0.0 };
-        f(&mut b);
-        report(&id.to_string(), &b);
+        self.run(id.to_string(), f);
         self
     }
 
@@ -167,15 +305,19 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { iters: 0, median_ns: 0.0 };
-        f(&mut b, input);
-        report(&id.to_string(), &b);
+        self.run(id.to_string(), |b| f(b, input));
         self
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), _criterion: self }
+        let settings = self.settings;
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            settings,
+            criterion: self,
+        }
     }
 }
 
@@ -207,6 +349,7 @@ mod tests {
     fn quick(c: &mut Criterion) {
         c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(7));
         group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
         group.finish();
     }
@@ -216,5 +359,34 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn results_are_collected_with_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_micros(200));
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("ten", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        g.finish();
+        let rs = c.results();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].id, "noop");
+        assert!(rs[0].throughput.is_none() && rs[0].per_second().is_none());
+        assert_eq!(rs[1].id, "g/ten");
+        assert!(rs[1].median_ns > 0.0);
+        assert!(rs[1].mad_ns >= 0.0);
+        assert!(rs[1].per_second().unwrap() > 0.0);
+        assert!(rs[1].iters >= 1);
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 9.0]), 2.0);
     }
 }

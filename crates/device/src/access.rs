@@ -127,7 +127,10 @@ pub fn simulate(cfg: &AccessConfig, requests: &[Request]) -> AccessStats {
     let read_lat = cfg.timing.read_latency_cycles();
 
     for req in requests {
-        assert!(req.arrival >= last_arrival, "requests must be sorted by arrival");
+        assert!(
+            req.arrival >= last_arrival,
+            "requests must be sorted by arrival"
+        );
         last_arrival = req.arrival;
         let bank = &mut banks[req.bank as usize];
 
@@ -186,11 +189,21 @@ mod tests {
     use super::*;
 
     fn read(arrival: u64, bank: u32) -> Request {
-        Request { arrival, bank, op: Op::Read, decompression_cycles: 0 }
+        Request {
+            arrival,
+            bank,
+            op: Op::Read,
+            decompression_cycles: 0,
+        }
     }
 
     fn write(arrival: u64, bank: u32) -> Request {
-        Request { arrival, bank, op: Op::Write, decompression_cycles: 0 }
+        Request {
+            arrival,
+            bank,
+            op: Op::Write,
+            decompression_cycles: 0,
+        }
     }
 
     #[test]
@@ -258,7 +271,11 @@ mod tests {
         let stats = simulate(&cfg, &reqs);
         // Drain to low-water mark (16) took 16 × 68 cycles, so the read
         // queues substantially.
-        assert!(stats.avg_read_queueing > 500.0, "queueing {}", stats.avg_read_queueing);
+        assert!(
+            stats.avg_read_queueing > 500.0,
+            "queueing {}",
+            stats.avg_read_queueing
+        );
     }
 
     #[test]

@@ -297,8 +297,10 @@ impl LineWear {
                 // current value.
                 for bit in cell * bpc..(cell + 1) * bpc {
                     if !self.faults.is_faulty(bit) {
-                        let fault =
-                            StuckAt { pos: bit as u16, value: self.stored.bit(bit) };
+                        let fault = StuckAt {
+                            pos: bit as u16,
+                            value: self.stored.bit(bit),
+                        };
                         self.faults.insert(fault);
                         new_faults.push(fault);
                     }
@@ -307,7 +309,11 @@ impl LineWear {
                 self.stored.flip_bit(pos);
             }
         }
-        WriteOutcome { flips, flip_mask: diff, new_faults }
+        WriteOutcome {
+            flips,
+            flip_mask: diff,
+            new_faults,
+        }
     }
 
     /// Fast-forwards wear on a cell by `events` programming events without
@@ -330,7 +336,10 @@ impl LineWear {
             let mut first = None;
             for bit in cell * bpc..(cell + 1) * bpc {
                 if !self.faults.is_faulty(bit) {
-                    let fault = StuckAt { pos: bit as u16, value: self.stored.bit(bit) };
+                    let fault = StuckAt {
+                        pos: bit as u16,
+                        value: self.stored.bit(bit),
+                    };
                     self.faults.insert(fault);
                     first.get_or_insert(fault);
                 }
@@ -356,9 +365,18 @@ mod tests {
     #[test]
     fn with_faults_realizes_positions_and_polarity() {
         let faults: FaultMap = [
-            StuckAt { pos: 0, value: true },
-            StuckAt { pos: 77, value: false },
-            StuckAt { pos: 511, value: true },
+            StuckAt {
+                pos: 0,
+                value: true,
+            },
+            StuckAt {
+                pos: 77,
+                value: false,
+            },
+            StuckAt {
+                pos: 511,
+                value: true,
+            },
         ]
         .into_iter()
         .collect();
@@ -372,14 +390,19 @@ mod tests {
         assert!(outcome.new_faults.is_empty());
         assert!(!line.stored().bit(77));
         assert!(line.stored().bit(0), "stuck-at-1 survives a zero write");
-        assert_eq!(line.remaining(100), u32::MAX - 1);
+        // Healthy cells were not programmed (the diff only covered the two
+        // stuck-at-1 positions), so their endurance budget is untouched.
+        assert_eq!(line.remaining(100), u32::MAX);
+        assert_eq!(line.remaining(0), 0, "stuck cell has no budget left");
     }
 
     #[test]
     fn endurance_sampling_matches_model() {
         let model = EnduranceModel::new(1000.0, 0.1);
         let mut rng = seeded_rng(61);
-        let samples: Vec<f64> = (0..20_000).map(|_| model.sample_cell(&mut rng) as f64).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| model.sample_cell(&mut rng) as f64)
+            .collect();
         let mean = pcm_util::stats::mean(&samples);
         let sd = pcm_util::stats::std_dev(&samples);
         assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");
@@ -422,7 +445,13 @@ mod tests {
         assert!(line.write(&one).new_faults.is_empty()); // wear 1
         assert!(line.write(&zero).new_faults.is_empty()); // wear 2
         let outcome = line.write(&one); // wear 3 > 2: fails
-        assert_eq!(outcome.new_faults, vec![StuckAt { pos: 0, value: false }]);
+        assert_eq!(
+            outcome.new_faults,
+            vec![StuckAt {
+                pos: 0,
+                value: false
+            }]
+        );
         assert!(!line.stored().bit(0), "stuck at old value 0");
         assert_eq!(line.remaining(0), 0);
 

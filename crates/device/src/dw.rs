@@ -69,7 +69,10 @@ impl DiffWrite {
 /// ```
 pub fn diff_write(old: &Line512, new: &Line512) -> DiffWrite {
     let flip_mask = *old ^ *new;
-    DiffWrite { flip_mask, set_mask: flip_mask & *new }
+    DiffWrite {
+        flip_mask,
+        set_mask: flip_mask & *new,
+    }
 }
 
 /// Flip-N-Write state for one line: per-chunk flip flags.
@@ -106,7 +109,10 @@ impl FlipNWrite {
             chunk_bits >= 2 && 512 % chunk_bits == 0,
             "chunk width must divide 512, got {chunk_bits}"
         );
-        FlipNWrite { chunk_bits, flags: vec![false; 512 / chunk_bits] }
+        FlipNWrite {
+            chunk_bits,
+            flags: vec![false; 512 / chunk_bits],
+        }
     }
 
     /// Number of flag bits (one per chunk).
@@ -118,40 +124,55 @@ impl FlipNWrite {
     /// between the data and its complement. Returns the new stored line and
     /// the number of cell flips (including flag-cell flips).
     pub fn write(&mut self, stored: &Line512, data: &Line512) -> (Line512, u32) {
-        let mut out = *stored;
+        let diff = *stored ^ *data;
         let mut total_flips = 0u32;
         for (chunk, flag) in self.flags.iter_mut().enumerate() {
             let lo = chunk * self.chunk_bits;
-            let hi = lo + self.chunk_bits;
-            let direct = (*stored ^ *data).count_ones_in(lo..hi);
+            let direct = diff.count_ones_in(lo..lo + self.chunk_bits);
             let complement = self.chunk_bits as u32 - direct;
             let (use_complement, flips) = if complement < direct {
                 (true, complement)
             } else {
                 (false, direct)
             };
-            let flag_flip = (*flag != use_complement) as u32;
+            total_flips += flips + (*flag != use_complement) as u32;
             *flag = use_complement;
-            total_flips += flips + flag_flip;
-            for pos in lo..hi {
-                let bit = data.bit(pos) != use_complement;
-                out.set_bit(pos, bit);
-            }
         }
-        (out, total_flips)
+        // Every chunk is rewritten in full, so the stored image is just the
+        // data XOR the mask of complemented chunks.
+        (*data ^ self.complement_mask(), total_flips)
     }
 
     /// Decodes the logical data from stored cells using the current flags.
     pub fn decode(&self, stored: &Line512) -> Line512 {
-        let mut out = *stored;
-        for (chunk, &flag) in self.flags.iter().enumerate() {
-            if flag {
-                for pos in chunk * self.chunk_bits..(chunk + 1) * self.chunk_bits {
-                    out.flip_bit(pos);
+        *stored ^ self.complement_mask()
+    }
+
+    /// The mask of cells belonging to chunks whose flag says "complemented".
+    fn complement_mask(&self) -> Line512 {
+        let mut words = [0u64; 8];
+        if self.chunk_bits >= 64 {
+            let words_per_chunk = self.chunk_bits / 64;
+            for (chunk, &flag) in self.flags.iter().enumerate() {
+                if flag {
+                    let lo = chunk * words_per_chunk;
+                    for w in &mut words[lo..lo + words_per_chunk] {
+                        *w = u64::MAX;
+                    }
+                }
+            }
+        } else {
+            let chunks_per_word = 64 / self.chunk_bits;
+            let seg = u64::MAX >> (64 - self.chunk_bits);
+            for (w, word) in words.iter_mut().enumerate() {
+                for c in 0..chunks_per_word {
+                    if self.flags[w * chunks_per_word + c] {
+                        *word |= seg << (c * self.chunk_bits);
+                    }
                 }
             }
         }
-        out
+        Line512::from_words(words)
     }
 }
 
@@ -227,7 +248,11 @@ mod tests {
     fn fnw_decode_round_trip_with_alternating_patterns() {
         let mut fnw = FlipNWrite::new(128);
         let mut stored = Line512::zero();
-        for pattern in [Line512::ones(), Line512::zero(), Line512::from_fn(|i| i % 2 == 0)] {
+        for pattern in [
+            Line512::ones(),
+            Line512::zero(),
+            Line512::from_fn(|i| i % 2 == 0),
+        ] {
             let (s, _) = fnw.write(&stored, &pattern);
             assert_eq!(fnw.decode(&s), pattern);
             stored = s;

@@ -40,7 +40,11 @@ impl EnergyModel {
     /// The ISCA'09 PCM device baseline the paper's Table II derives from:
     /// 13.5 pJ SET, 19.2 pJ RESET, ~0.2 pJ read sensing per bit.
     pub fn paper() -> Self {
-        EnergyModel { set_pj: 13.5, reset_pj: 19.2, read_pj: 0.2 }
+        EnergyModel {
+            set_pj: 13.5,
+            reset_pj: 19.2,
+            read_pj: 0.2,
+        }
     }
 
     /// Energy of one differential write, pJ: each programmed cell costs a

@@ -116,7 +116,12 @@ impl MemoryGeometry {
         let rank = (rest % self.ranks_per_dimm as u64) as u32;
         let rest = rest / self.ranks_per_dimm as u64;
         let dimm = (rest % self.dimms_per_channel as u64) as u32;
-        BankAddress { channel, dimm, rank, bank }
+        BankAddress {
+            channel,
+            dimm,
+            rank,
+            bank,
+        }
     }
 
     /// Flat bank index in `0..total_banks()` for a line address.
@@ -157,7 +162,10 @@ mod tests {
         for line in 0..64 {
             counts[g.flat_bank_of(line) as usize] += 1;
         }
-        assert!(counts.iter().all(|&c| c == 8), "uniform spread, got {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c == 8),
+            "uniform spread, got {counts:?}"
+        );
     }
 
     #[test]

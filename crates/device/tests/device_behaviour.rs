@@ -44,7 +44,11 @@ fn endurance_variation_spreads_failure_times() {
     let mut line = LineWear::sample(&model, &mut rng);
     let mut failure_times = Vec::new();
     for round in 0..1500u32 {
-        let target = if round % 2 == 0 { Line512::ones() } else { Line512::zero() };
+        let target = if round % 2 == 0 {
+            Line512::ones()
+        } else {
+            Line512::zero()
+        };
         let out = line.write(&target);
         for _ in out.new_faults {
             failure_times.push(round);
@@ -53,7 +57,10 @@ fn endurance_variation_spreads_failure_times() {
     assert!(failure_times.len() > 400, "most cells should have failed");
     let first = failure_times.first().copied().unwrap();
     let last = failure_times.last().copied().unwrap();
-    assert!(last - first > 100, "failures should spread over rounds: {first}..{last}");
+    assert!(
+        last - first > 100,
+        "failures should spread over rounds: {first}..{last}"
+    );
 }
 
 #[test]
@@ -68,12 +75,19 @@ fn mlc_line_dies_roughly_twice_as_fast_per_cell_budget() {
     let mut slc_faults = 0;
     let mut mlc_faults = 0;
     for round in 0..300u32 {
-        let target = if round % 2 == 0 { Line512::ones() } else { Line512::zero() };
+        let target = if round % 2 == 0 {
+            Line512::ones()
+        } else {
+            Line512::zero()
+        };
         slc_faults += slc.write(&target).new_faults.len();
         mlc_faults += mlc.write(&target).new_faults.len();
     }
     assert_eq!(slc_faults, 512);
-    assert_eq!(mlc_faults, 512, "every MLC bit also freezes (in cell pairs)");
+    assert_eq!(
+        mlc_faults, 512,
+        "every MLC bit also freezes (in cell pairs)"
+    );
 }
 
 #[test]
@@ -142,6 +156,9 @@ fn energy_accounting_matches_flip_polarity() {
         let energy = e.write_energy_pj(&dw);
         let lo = dw.flips() as f64 * e.set_pj;
         let hi = dw.flips() as f64 * e.reset_pj;
-        assert!(energy >= lo && energy <= hi, "{energy} outside [{lo}, {hi}]");
+        assert!(
+            energy >= lo && energy <= hi,
+            "{energy} outside [{lo}, {hi}]"
+        );
     }
 }

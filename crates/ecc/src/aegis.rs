@@ -71,8 +71,15 @@ impl Aegis {
     pub fn new(t: u32, u: u32) -> Self {
         assert!(is_prime(u), "u must be prime, got {u}");
         assert!(t >= 2 && t <= u, "need 2 <= t <= u, got t={t} u={u}");
-        assert!(t * u >= DATA_BITS as u32, "grid {t}x{u} too small for 512 cells");
-        let mut aegis = Aegis { t, u, group_masks: Vec::new() };
+        assert!(
+            t * u >= DATA_BITS as u32,
+            "grid {t}x{u} too small for 512 cells"
+        );
+        let mut aegis = Aegis {
+            t,
+            u,
+            group_masks: Vec::new(),
+        };
         aegis.group_masks = (0..=t)
             .map(|k| {
                 let mut per_group = vec![Line512::zero(); u as usize];
@@ -139,17 +146,32 @@ impl Aegis {
     ///
     /// Returns [`EccError::TooManyFaults`] when no partition works for this
     /// data.
-    pub fn write(&self, data: &Line512, faults: &FaultMap) -> Result<(Line512, AegisCode), EccError> {
+    pub fn write(
+        &self,
+        data: &Line512,
+        faults: &FaultMap,
+    ) -> Result<(Line512, AegisCode), EccError> {
         let positions: Vec<u16> = faults.iter().map(|f| f.pos).collect();
-        let chosen = self.find_partition(&positions).or_else(|| {
-            (0..=self.t).find(|&k| self.inversions_for(k, data, faults).is_some())
-        });
+        let chosen = self
+            .find_partition(&positions)
+            .or_else(|| (0..=self.t).find(|&k| self.inversions_for(k, data, faults).is_some()));
         let Some(k) = chosen else {
-            return Err(EccError::TooManyFaults { scheme: self.name(), faults: faults.count() });
+            return Err(EccError::TooManyFaults {
+                scheme: self.name(),
+                faults: faults.count(),
+            });
         };
-        let inversions = self.inversions_for(k, data, faults).expect("partition was validated");
+        let inversions = self
+            .inversions_for(k, data, faults)
+            .expect("partition was validated");
         let stored = faults.apply(self.transform(data, k, &inversions));
-        Ok((stored, AegisCode { partition: k, inversions }))
+        Ok((
+            stored,
+            AegisCode {
+                partition: k,
+                inversions,
+            },
+        ))
     }
 
     /// Reconstructs the original data from a physical line and its code.
@@ -240,7 +262,10 @@ mod tests {
             let collisions = (0..aegis.t)
                 .filter(|&k| aegis.group(p, k) == aegis.group(q, k))
                 .count();
-            assert!(collisions <= 1, "positions {p},{q} collide in {collisions} slopes");
+            assert!(
+                collisions <= 1,
+                "positions {p},{q} collide in {collisions} slopes"
+            );
         }
     }
 
@@ -276,7 +301,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes >= 50, "only {successes}/100 of 12-fault sets separable");
+        assert!(
+            successes >= 50,
+            "only {successes}/100 of 12-fault sets separable"
+        );
     }
 
     #[test]
@@ -284,11 +312,26 @@ mod tests {
         let aegis = Aegis::aegis_17x31();
         let mut rng = seeded_rng(44);
         let faults: FaultMap = [
-            StuckAt { pos: 3, value: true },
-            StuckAt { pos: 77, value: false },
-            StuckAt { pos: 200, value: true },
-            StuckAt { pos: 317, value: false },
-            StuckAt { pos: 450, value: true },
+            StuckAt {
+                pos: 3,
+                value: true,
+            },
+            StuckAt {
+                pos: 77,
+                value: false,
+            },
+            StuckAt {
+                pos: 200,
+                value: true,
+            },
+            StuckAt {
+                pos: 317,
+                value: false,
+            },
+            StuckAt {
+                pos: 450,
+                value: true,
+            },
         ]
         .into_iter()
         .collect();
@@ -315,8 +358,8 @@ mod tests {
         // Same column (x equal), distinct rows: slope partitions may
         // separate them; pile up many to force horizontal relevance.
         let faults: Vec<u16> = (0..10).map(|y| (y * 31) as u16).collect(); // x = 0, y = 0..10
-        // Same x, distinct y: slope k groups are (0 + k*y) mod 31 — distinct
-        // for k >= 1; slope 0 groups all into x=0. Must be separable.
+                                                                           // Same x, distinct y: slope k groups are (0 + k*y) mod 31 — distinct
+                                                                           // for k >= 1; slope 0 groups all into x=0. Must be separable.
         assert!(aegis.can_store(&faults));
     }
 

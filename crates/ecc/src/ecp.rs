@@ -49,7 +49,9 @@ impl EcpCode {
     ///
     /// Panics if any position is out of range.
     pub fn from_pairs(pairs: Vec<(u16, bool)>) -> Self {
-        assert!(pairs.iter().all(|&(p, _)| (p as usize) < pcm_util::DATA_BITS));
+        assert!(pairs
+            .iter()
+            .all(|&(p, _)| (p as usize) < pcm_util::DATA_BITS));
         EcpCode { pairs }
     }
 }
@@ -62,7 +64,10 @@ impl Ecp {
     /// Panics if `entries` is 0 or more than 51 (the most that fit a 512-bit
     /// metadata budget at 10 bits per entry).
     pub fn new(entries: u32) -> Self {
-        assert!((1..=51).contains(&entries), "ECP entries must be 1..=51, got {entries}");
+        assert!(
+            (1..=51).contains(&entries),
+            "ECP entries must be 1..=51, got {entries}"
+        );
         Ecp { entries }
     }
 
@@ -87,10 +92,16 @@ impl Ecp {
     /// entry budget.
     pub fn write(&self, data: &Line512, faults: &FaultMap) -> Result<(Line512, EcpCode), EccError> {
         if faults.count() > self.entries {
-            return Err(EccError::TooManyFaults { scheme: self.name(), faults: faults.count() });
+            return Err(EccError::TooManyFaults {
+                scheme: self.name(),
+                faults: faults.count(),
+            });
         }
         let stored = faults.apply(*data);
-        let pairs = faults.iter().map(|f| (f.pos, data.bit(f.pos as usize))).collect();
+        let pairs = faults
+            .iter()
+            .map(|f| (f.pos, data.bit(f.pos as usize)))
+            .collect();
         Ok((stored, EcpCode { pairs }))
     }
 
@@ -151,9 +162,18 @@ mod tests {
         for _ in 0..64 {
             let data = Line512::random(&mut rng);
             let faults: FaultMap = [
-                StuckAt { pos: 0, value: true },
-                StuckAt { pos: 100, value: false },
-                StuckAt { pos: 511, value: true },
+                StuckAt {
+                    pos: 0,
+                    value: true,
+                },
+                StuckAt {
+                    pos: 100,
+                    value: false,
+                },
+                StuckAt {
+                    pos: 511,
+                    value: true,
+                },
             ]
             .into_iter()
             .collect();
@@ -169,10 +189,20 @@ mod tests {
     #[test]
     fn rejects_seven_faults() {
         let ecp = Ecp::ecp6();
-        let faults: FaultMap =
-            (0..7u16).map(|i| StuckAt { pos: i * 10, value: true }).collect();
+        let faults: FaultMap = (0..7u16)
+            .map(|i| StuckAt {
+                pos: i * 10,
+                value: true,
+            })
+            .collect();
         let err = ecp.write(&Line512::zero(), &faults).unwrap_err();
-        assert_eq!(err, EccError::TooManyFaults { scheme: "ECP-6", faults: 7 });
+        assert_eq!(
+            err,
+            EccError::TooManyFaults {
+                scheme: "ECP-6",
+                faults: 7
+            }
+        );
         assert!(!ecp.can_store(&[0, 10, 20, 30, 40, 50, 60]));
     }
 

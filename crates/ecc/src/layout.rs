@@ -106,7 +106,10 @@ pub fn unpack_safer32(word: u64) -> Result<SaferCode, UnpackError> {
     let index = (word & 0x7F) as usize;
     let mask = subset_from_index(index).ok_or(UnpackError("SAFER subset index out of range"))?;
     let inversions = (0..32).map(|i| (word >> (7 + i)) & 1 == 1).collect();
-    Ok(SaferCode { subset_mask: mask, inversions })
+    Ok(SaferCode {
+        subset_mask: mask,
+        inversions,
+    })
 }
 
 /// Packs an Aegis 17×31 code: partition id (5 bits) then 31 inversion bits.
@@ -140,7 +143,10 @@ pub fn unpack_aegis_17x31(word: u64) -> Result<AegisCode, UnpackError> {
         return Err(UnpackError("Aegis 17x31 partition id exceeds 17"));
     }
     let inversions = (0..31).map(|i| (word >> (5 + i)) & 1 == 1).collect();
-    Ok(AegisCode { partition, inversions })
+    Ok(AegisCode {
+        partition,
+        inversions,
+    })
 }
 
 /// Canonical index of a 5-of-9 subset mask (ascending mask order).
@@ -216,7 +222,10 @@ mod tests {
 
     #[test]
     fn safer32_rejects_bad_mask() {
-        let code = SaferCode { subset_mask: 0b11, inversions: vec![false; 32] };
+        let code = SaferCode {
+            subset_mask: 0b11,
+            inversions: vec![false; 32],
+        };
         assert!(pack_safer32(&code).is_err());
     }
 
@@ -235,7 +244,10 @@ mod tests {
 
     #[test]
     fn aegis_rejects_bad_partition() {
-        let code = AegisCode { partition: 18, inversions: vec![false; 31] };
+        let code = AegisCode {
+            partition: 18,
+            inversions: vec![false; 31],
+        };
         assert!(pack_aegis_17x31(&code).is_err());
         assert!(unpack_aegis_17x31(18).is_err());
     }

@@ -49,8 +49,8 @@ pub use aegis::Aegis;
 pub use ecp::Ecp;
 pub use montecarlo::{failure_probability, MonteCarlo};
 pub use safer::Safer;
-pub use secded::Secded;
 pub use scheme::{find_window, EccError, HardErrorScheme};
+pub use secded::Secded;
 
 #[cfg(test)]
 mod proptests {

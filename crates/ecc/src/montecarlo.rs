@@ -36,7 +36,11 @@ pub struct MonteCarlo {
 
 impl Default for MonteCarlo {
     fn default() -> Self {
-        MonteCarlo { injections: 100_000, seed: 0x5EED_CA51, threads: 0 }
+        MonteCarlo {
+            injections: 100_000,
+            seed: 0x5EED_CA51,
+            threads: 0,
+        }
     }
 }
 
@@ -45,13 +49,19 @@ impl MonteCarlo {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
 
 /// Samples `k` distinct fault positions in `0..512` (partial Fisher–Yates).
-fn sample_positions<R: rand::Rng>(rng: &mut R, k: usize, scratch: &mut [u16; DATA_BITS]) -> Vec<u16> {
+fn sample_positions<R: rand::Rng>(
+    rng: &mut R,
+    k: usize,
+    scratch: &mut [u16; DATA_BITS],
+) -> Vec<u16> {
     debug_assert!(k <= DATA_BITS);
     for (i, s) in scratch.iter_mut().enumerate() {
         *s = i as u16;
@@ -125,7 +135,10 @@ pub fn failure_probability(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
         })
     };
 
@@ -155,7 +168,12 @@ pub fn failure_surface(
 ) -> FailureSurface {
     let probabilities = windows
         .iter()
-        .map(|&w| errors.iter().map(|&e| failure_probability(scheme, w, e, mc)).collect())
+        .map(|&w| {
+            errors
+                .iter()
+                .map(|&e| failure_probability(scheme, w, e, mc))
+                .collect()
+        })
         .collect();
     FailureSurface {
         scheme: scheme.name().to_string(),
@@ -171,7 +189,11 @@ mod tests {
     use crate::{Aegis, Ecp, Safer};
 
     fn quick_mc() -> MonteCarlo {
-        MonteCarlo { injections: 3_000, seed: 99, threads: 2 }
+        MonteCarlo {
+            injections: 3_000,
+            seed: 99,
+            threads: 2,
+        }
     }
 
     #[test]
@@ -195,7 +217,10 @@ mod tests {
         let p16 = failure_probability(&ecp, 16, 100, &mc);
         let p1 = failure_probability(&ecp, 1, 100, &mc);
         assert!(p16 > 0.9, "16B window at 100 faults should fail, got {p16}");
-        assert!(p1 < 0.05, "1B window at 100 faults should survive, got {p1}");
+        assert!(
+            p1 < 0.05,
+            "1B window at 100 faults should survive, got {p1}"
+        );
     }
 
     #[test]
@@ -205,18 +230,31 @@ mod tests {
         let (ecp, safer, aegis) = (Ecp::new(6), Safer::new(32), Aegis::new(17, 31));
         // At 10 errors ECP-6 always fails, partition schemes usually don't.
         assert_eq!(at(&ecp, 10), 1.0);
-        assert!(at(&safer, 10) < 0.8, "SAFER should often separate 10 faults");
-        assert!(at(&aegis, 10) < 0.6, "Aegis should usually separate 10 faults");
+        assert!(
+            at(&safer, 10) < 0.8,
+            "SAFER should often separate 10 faults"
+        );
+        assert!(
+            at(&aegis, 10) < 0.6,
+            "Aegis should usually separate 10 faults"
+        );
     }
 
     #[test]
     fn monotone_in_errors() {
         let safer = Safer::new(32);
-        let mc = MonteCarlo { injections: 1_500, seed: 5, threads: 2 };
+        let mc = MonteCarlo {
+            injections: 1_500,
+            seed: 5,
+            threads: 2,
+        };
         let mut last = 0.0;
         for errors in [4usize, 12, 20, 28, 36] {
             let p = failure_probability(&safer, 32, errors, &mc);
-            assert!(p + 0.05 >= last, "failure probability should not drop: {p} after {last}");
+            assert!(
+                p + 0.05 >= last,
+                "failure probability should not drop: {p} after {last}"
+            );
             last = p;
         }
     }
@@ -224,7 +262,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ecp = Ecp::new(6);
-        let mc = MonteCarlo { injections: 2_000, seed: 123, threads: 2 };
+        let mc = MonteCarlo {
+            injections: 2_000,
+            seed: 123,
+            threads: 2,
+        };
         let a = failure_probability(&ecp, 24, 10, &mc);
         let b = failure_probability(&ecp, 24, 10, &mc);
         assert_eq!(a, b);
@@ -233,7 +275,11 @@ mod tests {
     #[test]
     fn surface_shape() {
         let ecp = Ecp::new(6);
-        let mc = MonteCarlo { injections: 500, seed: 1, threads: 1 };
+        let mc = MonteCarlo {
+            injections: 500,
+            seed: 1,
+            threads: 1,
+        };
         let surf = failure_surface(&ecp, &[16, 64], &[2, 8, 16], &mc);
         assert_eq!(surf.probabilities.len(), 2);
         assert_eq!(surf.probabilities[0].len(), 3);

@@ -16,6 +16,7 @@ use crate::scheme::{EccError, HardErrorScheme};
 use pcm_util::fault::FaultMap;
 use pcm_util::{Line512, DATA_BITS};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 const INDEX_BITS: u32 = 9; // 512 positions
 
@@ -66,7 +67,48 @@ fn extract_group(pos: u16, mask: u16) -> usize {
 }
 
 fn subsets_of_size(k: u32) -> Vec<u16> {
-    (0u16..1 << INDEX_BITS).filter(|m| m.count_ones() == k).collect()
+    (0u16..1 << INDEX_BITS)
+        .filter(|m| m.count_ones() == k)
+        .collect()
+}
+
+/// Partition-search acceleration tables for one subset size `k`, shared by
+/// every `Safer` instance with the same group count (the tables depend only
+/// on `subsets_of_size(k)`, which is deterministic).
+struct SubsetTables {
+    /// For every 9-bit XOR value `v`: the bitset (over the subset list, in
+    /// order) of subsets with `mask & v != 0` — i.e. the subsets that put a
+    /// pair of positions differing by `v` into *different* groups. At most
+    /// `C(9, 4) = 126` subsets exist, so two words suffice.
+    separators: Vec<[u64; 2]>,
+    /// Maps a subset mask back to its index in the subset list.
+    index_of: [u8; 1 << INDEX_BITS],
+}
+
+fn subset_tables(k: u32) -> &'static SubsetTables {
+    static TABLES: [OnceLock<SubsetTables>; 9] = [const { OnceLock::new() }; 9];
+    TABLES[k as usize].get_or_init(|| {
+        let subsets = subsets_of_size(k);
+        let mut index_of = [0u8; 1 << INDEX_BITS];
+        for (i, &mask) in subsets.iter().enumerate() {
+            index_of[mask as usize] = i as u8;
+        }
+        let separators = (0..1u16 << INDEX_BITS)
+            .map(|v| {
+                let mut bits = [0u64; 2];
+                for (i, &mask) in subsets.iter().enumerate() {
+                    if mask & v != 0 {
+                        bits[i / 64] |= 1 << (i % 64);
+                    }
+                }
+                bits
+            })
+            .collect();
+        SubsetTables {
+            separators,
+            index_of,
+        }
+    })
 }
 
 impl Safer {
@@ -92,7 +134,11 @@ impl Safer {
                 per_group
             })
             .collect();
-        Safer { groups, subsets, group_masks }
+        Safer {
+            groups,
+            subsets,
+            group_masks,
+        }
     }
 
     /// Number of groups.
@@ -108,23 +154,33 @@ impl Safer {
         if fault_positions.len() as u32 > self.groups {
             return None;
         }
-        if fault_positions.is_empty() {
-            return self.subsets.first().copied();
-        }
-        'subset: for &mask in &self.subsets {
-            // Dense bitmap over at most 256 groups.
-            let mut seen = [0u64; 4];
-            for &pos in fault_positions {
-                let g = extract_group(pos, mask);
-                let (word, bit) = (g / 64, g % 64);
-                if seen[word] >> bit & 1 == 1 {
-                    continue 'subset;
+        // Two positions land in the same group exactly when the subset
+        // selects none of the bits where they differ: `(a ^ b) & mask == 0`.
+        // So a subset isolates every fault iff it separates every *pair*;
+        // intersect the precomputed per-pair separator sets and return the
+        // first survivor, which is the same subset the direct first-match
+        // scan over `self.subsets` would have found.
+        let tables = subset_tables(self.groups.trailing_zeros());
+        let mut alive = [u64::MAX; 2];
+        for (i, &a) in fault_positions.iter().enumerate() {
+            for &b in &fault_positions[i + 1..] {
+                let sep = &tables.separators[(a ^ b) as usize];
+                alive[0] &= sep[0];
+                alive[1] &= sep[1];
+                if alive == [0, 0] {
+                    return None;
                 }
-                seen[word] |= 1 << bit;
             }
-            return Some(mask);
         }
-        None
+        let idx = if alive[0] != 0 {
+            alive[0].trailing_zeros() as usize
+        } else {
+            64 + alive[1].trailing_zeros() as usize
+        };
+        // In range by construction: with at least one pair, `alive` is a
+        // subset of a separator entry (no bits past the subset count); with
+        // none, it is all-ones and `idx` is 0.
+        self.subsets.get(idx).copied()
     }
 
     /// Stores `data` into a line with the given faults.
@@ -139,7 +195,11 @@ impl Safer {
     ///
     /// Returns [`EccError::TooManyFaults`] when no partition works for this
     /// data.
-    pub fn write(&self, data: &Line512, faults: &FaultMap) -> Result<(Line512, SaferCode), EccError> {
+    pub fn write(
+        &self,
+        data: &Line512,
+        faults: &FaultMap,
+    ) -> Result<(Line512, SaferCode), EccError> {
         let positions: Vec<u16> = faults.iter().map(|f| f.pos).collect();
         // Prefer a deterministic partition; otherwise try data-dependent
         // agreement.
@@ -147,11 +207,22 @@ impl Safer {
             .find_partition(&positions)
             .or_else(|| self.find_agreeing_partition(data, faults));
         let Some(mask) = chosen else {
-            return Err(EccError::TooManyFaults { scheme: self.name(), faults: faults.count() });
+            return Err(EccError::TooManyFaults {
+                scheme: self.name(),
+                faults: faults.count(),
+            });
         };
-        let inversions = self.inversions_for(mask, data, faults).expect("partition was validated");
+        let inversions = self
+            .inversions_for(mask, data, faults)
+            .expect("partition was validated");
         let stored = faults.apply(self.transform(data, mask, &inversions));
-        Ok((stored, SaferCode { subset_mask: mask, inversions }))
+        Ok((
+            stored,
+            SaferCode {
+                subset_mask: mask,
+                inversions,
+            },
+        ))
     }
 
     /// Reconstructs the original data from a physical line and its code.
@@ -175,11 +246,11 @@ impl Safer {
 
     /// Applies per-group inversions to a line (a XOR per inverted group).
     fn transform(&self, line: &Line512, mask: u16, inversions: &[bool]) -> Line512 {
-        let idx = self
-            .subsets
-            .iter()
-            .position(|&m| m == mask)
-            .expect("mask comes from this scheme's subset list");
+        debug_assert!(
+            self.subsets.contains(&mask),
+            "mask comes from this scheme's subset list"
+        );
+        let idx = subset_tables(self.groups.trailing_zeros()).index_of[mask as usize] as usize;
         let mut out = *line;
         for (g, &inv) in inversions.iter().enumerate() {
             if inv {
@@ -193,21 +264,25 @@ impl Safer {
     /// data; `None` if two faults in one group disagree.
     fn inversions_for(&self, mask: u16, data: &Line512, faults: &FaultMap) -> Option<Vec<bool>> {
         let mut inversions = vec![false; self.groups as usize];
-        let mut fixed = vec![false; self.groups as usize];
+        // Dense "group already constrained" bitmap over at most 256 groups.
+        let mut fixed = [0u64; 4];
         for f in faults.iter() {
             let g = extract_group(f.pos, mask);
             let needed = data.bit(f.pos as usize) != f.value;
-            if fixed[g] && inversions[g] != needed {
+            if fixed[g / 64] >> (g % 64) & 1 == 1 && inversions[g] != needed {
                 return None;
             }
             inversions[g] = needed;
-            fixed[g] = true;
+            fixed[g / 64] |= 1 << (g % 64);
         }
         Some(inversions)
     }
 
     fn find_agreeing_partition(&self, data: &Line512, faults: &FaultMap) -> Option<u16> {
-        self.subsets.iter().copied().find(|&mask| self.inversions_for(mask, data, faults).is_some())
+        self.subsets
+            .iter()
+            .copied()
+            .find(|&mask| self.inversions_for(mask, data, faults).is_some())
     }
 }
 
@@ -301,8 +376,12 @@ mod tests {
         let safer = Safer::new(32);
         // 20 spread-out faults: deterministically separable positions
         // (distinct high bits).
-        let faults: FaultMap =
-            (0..20u16).map(|i| StuckAt { pos: i * 25, value: i % 2 == 0 }).collect();
+        let faults: FaultMap = (0..20u16)
+            .map(|i| StuckAt {
+                pos: i * 25,
+                value: i % 2 == 0,
+            })
+            .collect();
         let positions: Vec<u16> = faults.iter().map(|f| f.pos).collect();
         if safer.can_store(&positions) {
             for _ in 0..16 {
@@ -337,7 +416,11 @@ mod tests {
     #[test]
     fn metadata_fits_ecc_chip() {
         let safer = Safer::new(32);
-        assert!(safer.metadata_bits() <= 64, "{} bits", safer.metadata_bits());
+        assert!(
+            safer.metadata_bits() <= 64,
+            "{} bits",
+            safer.metadata_bits()
+        );
     }
 
     #[test]
@@ -348,9 +431,18 @@ mod tests {
         // works for every group, so write must succeed even if inseparable.
         let safer = Safer::new(2); // 1 index bit: easy to collide
         let faults: FaultMap = [
-            StuckAt { pos: 0, value: false },
-            StuckAt { pos: 2, value: false }, // same bit-0 parity as pos 0
-            StuckAt { pos: 4, value: false },
+            StuckAt {
+                pos: 0,
+                value: false,
+            },
+            StuckAt {
+                pos: 2,
+                value: false,
+            }, // same bit-0 parity as pos 0
+            StuckAt {
+                pos: 4,
+                value: false,
+            },
         ]
         .into_iter()
         .collect();

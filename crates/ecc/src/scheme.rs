@@ -95,7 +95,10 @@ pub fn find_window(
         (1..=pcm_util::DATA_BYTES).contains(&window_bytes),
         "window must be 1..=64 bytes, got {window_bytes}"
     );
-    debug_assert!(fault_positions.windows(2).all(|w| w[0] <= w[1]), "positions must be sorted");
+    debug_assert!(
+        fault_positions.windows(2).all(|w| w[0] <= w[1]),
+        "positions must be sorted"
+    );
     for offset in 0..=(pcm_util::DATA_BYTES - window_bytes) {
         let lo = (offset * 8) as u16;
         let hi = ((offset + window_bytes) * 8) as u16;
@@ -114,7 +117,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = EccError::TooManyFaults { scheme: "ECP-6", faults: 9 };
+        let e = EccError::TooManyFaults {
+            scheme: "ECP-6",
+            faults: 9,
+        };
         assert_eq!(e.to_string(), "ECP-6 cannot mask 9 faulty cells");
     }
 }

@@ -92,8 +92,7 @@ impl Secded {
         let syndrome_bits = (recomputed ^ check) & 0x7F;
         // Overall parity of the received codeword (data + check bits +
         // parity bit); even when error-free, odd after any single flip.
-        let total =
-            stored.count_ones() + (check & 0x7F).count_ones() + ((check >> 7) & 1) as u32;
+        let total = stored.count_ones() + (check & 0x7F).count_ones() + ((check >> 7) & 1) as u32;
         let parity_mismatch = total & 1 == 1;
         // Reconstruct the 7-bit syndrome as a codeword position.
         let mut syndrome = 0usize;
@@ -126,30 +125,23 @@ impl Secded {
     /// Returns [`EccError::TooManyFaults`] if any 64-bit word holds more
     /// than one fault whose stuck value disagrees with the data... in the
     /// worst case; the data-independent guarantee is one fault per word.
-    pub fn write(&self, data: &Line512, faults: &FaultMap) -> Result<(Line512, SecdedCode), EccError> {
-        // Guarantee check: at most one fault per word.
-        let positions: Vec<u16> = faults.iter().map(|f| f.pos).collect();
-        if !self.can_store(&positions) {
-            // Data-dependent rescue: multiple faults in a word are fine if
-            // they all agree with the data.
-            for (w, &word) in data.words().iter().enumerate() {
-                let disagreeing = faults
-                    .faults_in(w * 64..(w + 1) * 64)
-                    .into_iter()
-                    .filter(|f| {
-                        let bit = (word >> (f.pos as usize % 64)) & 1 == 1;
-                        bit != f.value
-                    })
-                    .count();
-                if disagreeing > 1 {
-                    return Err(EccError::TooManyFaults {
-                        scheme: self.name(),
-                        faults: faults.count(),
-                    });
-                }
-            }
-        }
+    pub fn write(
+        &self,
+        data: &Line512,
+        faults: &FaultMap,
+    ) -> Result<(Line512, SecdedCode), EccError> {
         let stored = faults.apply(*data);
+        // A word is unreadable only when more than one of its faults
+        // *disagrees* with the data (agreeing stuck cells cost nothing);
+        // the disagreeing cells are exactly where applying the faults
+        // changed the data.
+        let mismatch = *data ^ stored;
+        if mismatch.words().iter().any(|w| w.count_ones() > 1) {
+            return Err(EccError::TooManyFaults {
+                scheme: self.name(),
+                faults: faults.count(),
+            });
+        }
         let check = std::array::from_fn(|w| Secded::encode_word(data.words()[w]));
         Ok((stored, SecdedCode { check }))
     }
@@ -315,7 +307,10 @@ mod tests {
         let mut rng = seeded_rng(64);
         let secded = Secded::new();
         let faults: FaultMap = (0..8u16)
-            .map(|w| StuckAt { pos: w * 64 + (w * 7) % 64, value: w % 2 == 0 })
+            .map(|w| StuckAt {
+                pos: w * 64 + (w * 7) % 64,
+                value: w % 2 == 0,
+            })
             .collect();
         for _ in 0..32 {
             let data = Line512::random(&mut rng);
@@ -333,8 +328,14 @@ mod tests {
         assert!(!secded.can_store(&[3, 60]));
         // ...unless the data happens to agree with the stuck values.
         let faults: FaultMap = [
-            StuckAt { pos: 3, value: false },
-            StuckAt { pos: 60, value: false },
+            StuckAt {
+                pos: 3,
+                value: false,
+            },
+            StuckAt {
+                pos: 60,
+                value: false,
+            },
         ]
         .into_iter()
         .collect();

@@ -1,0 +1,118 @@
+//! Equivalence suite for SAFER's accelerated partition search.
+//!
+//! `Safer::find_partition` intersects precomputed pairwise-separator
+//! bitsets; the reference here is the definitional algorithm: scan the
+//! `C(9, k)` index-bit subsets in ascending mask order and return the
+//! first one that places every fault in its own group (software-PEXT
+//! group extraction, dense seen-group bitmap). The two must agree on the
+//! exact chosen mask, not merely on feasibility.
+
+use pcm_ecc::{HardErrorScheme, Safer};
+use proptest::prelude::*;
+
+const INDEX_BITS: u32 = 9;
+
+fn extract_group(pos: u16, mask: u16) -> usize {
+    let mut out = 0usize;
+    let mut out_bit = 0;
+    for b in 0..INDEX_BITS {
+        if mask >> b & 1 == 1 {
+            out |= (((pos >> b) & 1) as usize) << out_bit;
+            out_bit += 1;
+        }
+    }
+    out
+}
+
+/// The original first-match subset scan.
+fn ref_find_partition(groups: u32, fault_positions: &[u16]) -> Option<u16> {
+    if fault_positions.len() as u32 > groups {
+        return None;
+    }
+    let k = groups.trailing_zeros();
+    let subsets: Vec<u16> = (0u16..1 << INDEX_BITS)
+        .filter(|m| m.count_ones() == k)
+        .collect();
+    if fault_positions.is_empty() {
+        return subsets.first().copied();
+    }
+    'subset: for &mask in &subsets {
+        let mut seen = [0u64; 4];
+        for &pos in fault_positions {
+            let g = extract_group(pos, mask);
+            let (word, bit) = (g / 64, g % 64);
+            if seen[word] >> bit & 1 == 1 {
+                continue 'subset;
+            }
+            seen[word] |= 1 << bit;
+        }
+        return Some(mask);
+    }
+    None
+}
+
+/// Distinct fault positions, biased toward clustered (hard-to-separate)
+/// layouts as well as uniform spreads.
+fn arb_positions() -> impl Strategy<Value = Vec<u16>> {
+    let uniform = prop::collection::btree_set(0u16..512, 0..40)
+        .prop_map(|s| s.into_iter().collect::<Vec<u16>>());
+    let clustered =
+        (0u16..64, prop::collection::btree_set(0u16..64, 0..33)).prop_map(|(base, offsets)| {
+            offsets
+                .into_iter()
+                .map(|o| (base * 8 + o) % 512)
+                .collect::<std::collections::BTreeSet<u16>>()
+                .into_iter()
+                .collect::<Vec<u16>>()
+        });
+    prop_oneof![uniform, clustered]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SAFER-32: the accelerated search picks exactly the subset the
+    /// definitional scan picks (or agrees nothing separates the faults).
+    #[test]
+    fn safer32_partition_matches_reference(positions in arb_positions()) {
+        let safer = Safer::new(32);
+        prop_assert_eq!(safer.find_partition(&positions), ref_find_partition(32, &positions));
+    }
+
+    /// Same equivalence across the other group counts.
+    #[test]
+    fn all_group_counts_match_reference(
+        groups in prop::sample::select(vec![2u32, 4, 8, 16, 64, 128, 256]),
+        positions in arb_positions(),
+    ) {
+        let safer = Safer::new(groups);
+        prop_assert_eq!(
+            safer.find_partition(&positions),
+            ref_find_partition(groups, &positions)
+        );
+    }
+
+    /// `can_store` is exactly partition feasibility.
+    #[test]
+    fn can_store_is_partition_feasibility(positions in arb_positions()) {
+        let safer = Safer::new(32);
+        prop_assert_eq!(
+            safer.can_store(&positions),
+            ref_find_partition(32, &positions).is_some()
+        );
+    }
+}
+
+#[test]
+fn guarantee_still_holds_after_acceleration() {
+    // Any k+1 = 6 faults must be separable by SAFER-32 (MICRO'10 theorem);
+    // spot-check structured worst cases the random suite may miss.
+    let safer = Safer::new(32);
+    assert!(safer.can_store(&[]));
+    assert!(safer.can_store(&[7]));
+    assert!(safer.can_store(&[0, 1, 2, 3, 4, 5]));
+    assert!(safer.can_store(&[0, 64, 128, 192, 256, 320]));
+    assert!(safer.can_store(&[511, 510, 509, 508, 507, 506]));
+    // Duplicate positions can never be separated.
+    assert!(!safer.can_store(&[9, 9]));
+}

@@ -57,11 +57,20 @@ fn empirical_strength_ordering() {
     }
     let [secded, ecp, safer, aegis] = success;
     assert_eq!(ecp, 0, "ECP-6 can never hold 12 faults");
-    assert!(secded < trials / 2, "SECDED should usually fail at 12 faults, {secded}/{trials}");
-    assert!(safer > trials * 9 / 10, "SAFER should usually separate 12 faults, {safer}/{trials}");
+    assert!(
+        secded < trials / 2,
+        "SECDED should usually fail at 12 faults, {secded}/{trials}"
+    );
+    assert!(
+        safer > trials * 9 / 10,
+        "SAFER should usually separate 12 faults, {safer}/{trials}"
+    );
     // Aegis has only 18 partitions vs SAFER's 126 subsets, so its
     // probabilistic success rate at 12 faults is slightly lower.
-    assert!(aegis > trials * 8 / 10, "Aegis should usually separate 12 faults, {aegis}/{trials}");
+    assert!(
+        aegis > trials * 8 / 10,
+        "Aegis should usually separate 12 faults, {aegis}/{trials}"
+    );
 }
 
 #[test]
@@ -101,11 +110,20 @@ fn write_paths_round_trip_at_their_guarantee() {
     all.shuffle(&mut rng);
 
     // SECDED: one fault per word.
-    let secded_faults: FaultMap =
-        (0..8u16).map(|w| StuckAt { pos: w * 64 + 13, value: w % 2 == 0 }).collect();
+    let secded_faults: FaultMap = (0..8u16)
+        .map(|w| StuckAt {
+            pos: w * 64 + 13,
+            value: w % 2 == 0,
+        })
+        .collect();
     // Others: 6 random faults.
-    let shared: FaultMap =
-        all[..6].iter().map(|&pos| StuckAt { pos, value: pos % 3 == 0 }).collect();
+    let shared: FaultMap = all[..6]
+        .iter()
+        .map(|&pos| StuckAt {
+            pos,
+            value: pos % 3 == 0,
+        })
+        .collect();
 
     for _ in 0..100 {
         let data = Line512::random(&mut rng);

@@ -27,8 +27,11 @@
 //!         prop_assert_eq!(a + b, b + a);
 //!     }
 //! }
-//! # addition_commutes();
 //! ```
+//!
+//! (The generated function carries `#[test]`, so the doctest only checks
+//! that the macro expansion compiles; the real runs happen under
+//! `cargo test`.)
 
 pub mod strategy {
     //! The [`Strategy`] trait and its combinators.
@@ -182,7 +185,10 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> T {
             use rand::seq::IndexedRandom;
-            self.0.choose(rng).expect("union over no alternatives").generate(rng)
+            self.0
+                .choose(rng)
+                .expect("union over no alternatives")
+                .generate(rng)
         }
     }
 
@@ -294,14 +300,20 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -323,7 +335,10 @@ pub mod collection {
 
     /// A `Vec` whose length falls in `size`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     /// See [`btree_set`].
@@ -361,7 +376,10 @@ pub mod collection {
     where
         S::Value: Ord + Debug,
     {
-        BTreeSetStrategy { elem, size: size.into() }
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 }
 
@@ -477,7 +495,9 @@ pub mod test_runner {
     where
         F: FnMut(&mut TestRng) -> Result<(), String>,
     {
-        let env_seed = std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse::<u64>().ok());
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
         let cases = std::env::var("PROPTEST_CASES")
             .ok()
             .and_then(|s| s.parse::<u32>().ok())
@@ -486,8 +506,11 @@ pub mod test_runner {
         for case in 0..cases {
             // With an explicit PROPTEST_SEED the seed is used *directly*
             // (case 0), so a printed seed reproduces its exact input.
-            let seed =
-                if env_seed.is_some() && case == 0 { base } else { case_seed(base, case) };
+            let seed = if env_seed.is_some() && case == 0 {
+                base
+            } else {
+                case_seed(base, case)
+            };
             let mut rng = TestRng::seed_from_u64(seed);
             if let Err(msg) = body(&mut rng) {
                 panic!(
@@ -659,10 +682,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "reproduce with")]
     fn failures_report_seed() {
-        crate::test_runner::run(
-            &ProptestConfig::with_cases(3),
-            "always_fails",
-            |_| Err("boom".to_string()),
-        );
+        crate::test_runner::run(&ProptestConfig::with_cases(3), "always_fails", |_| {
+            Err("boom".to_string())
+        });
     }
 }

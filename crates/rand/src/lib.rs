@@ -342,7 +342,10 @@ mod tests {
         for _ in 0..1_000 {
             seen[rng.random_range(0..8usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 8 values should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 8 values should appear: {seen:?}"
+        );
     }
 
     #[test]
@@ -361,8 +364,15 @@ mod tests {
         v.shuffle(&mut rng);
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..64).collect::<Vec<_>>(), "shuffle is a permutation");
-        assert!(v.windows(2).any(|w| w[0] > w[1]), "shuffle changed the order");
+        assert_eq!(
+            sorted,
+            (0..64).collect::<Vec<_>>(),
+            "shuffle is a permutation"
+        );
+        assert!(
+            v.windows(2).any(|w| w[0] > w[1]),
+            "shuffle changed the order"
+        );
         assert!(v.choose(&mut rng).is_some());
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());

@@ -17,9 +17,14 @@ use pcm_trace::TraceGenerator;
 fn main() {
     let mut rng = pcm_util::seeded_rng(1);
     for class in ALL_CLASSES {
-        let total: usize =
-            (0..2000).map(|_| compress_best(&class.generate(&mut rng)).size()).sum();
-        println!("class {:10} mean {:.1}", class.to_string(), total as f64 / 2000.0);
+        let total: usize = (0..2000)
+            .map(|_| compress_best(&class.generate(&mut rng)).size())
+            .sum();
+        println!(
+            "class {:10} mean {:.1}",
+            class.to_string(),
+            total as f64 / 2000.0
+        );
     }
     for app in ALL_APPS {
         let c = calibrate(&app.profile(), 512, 1000 + app as u64, 6000);

@@ -60,7 +60,11 @@ pub fn compression_stats(generator: &mut TraceGenerator, n: usize) -> Compressio
         best_mean: best_sum as f64 / nf,
         cr: best_sum as f64 / nf / 64.0,
         uncompressed_fraction: uncompressed as f64 / nf,
-        fpc_win_fraction: if compressed > 0 { fpc_wins as f64 / compressed as f64 } else { 0.0 },
+        fpc_win_fraction: if compressed > 0 {
+            fpc_wins as f64 / compressed as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -94,14 +98,19 @@ pub fn max_size_cdf(generator: &mut TraceGenerator, n: usize) -> Ecdf {
     for _ in 0..n {
         let w = generator.next_write();
         let size = compress_best(&w.data).size();
-        max_size.entry(w.line).and_modify(|s| *s = (*s).max(size)).or_insert(size);
+        max_size
+            .entry(w.line)
+            .and_modify(|s| *s = (*s).max(size))
+            .or_insert(size);
     }
     Ecdf::new(max_size.into_values().map(|s| s as f64).collect())
 }
 
 /// The compressed-size series of consecutive writes to one block (Fig. 7).
 pub fn block_size_series(generator: &mut TraceGenerator, line: u64, writes: usize) -> Vec<usize> {
-    (0..writes).map(|_| compress_best(&generator.next_write_to(line).data).size()).collect()
+    (0..writes)
+        .map(|_| compress_best(&generator.next_write_to(line).data).size())
+        .collect()
 }
 
 /// Calibration verdict for one profile.

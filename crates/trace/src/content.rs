@@ -62,7 +62,10 @@ pub const ALL_CLASSES: [ContentClass; 8] = [
 impl ContentClass {
     /// Index of this class in the size-ordered [`ALL_CLASSES`] list.
     pub fn size_rank(&self) -> usize {
-        ALL_CLASSES.iter().position(|c| c == self).expect("class listed")
+        ALL_CLASSES
+            .iter()
+            .position(|c| c == self)
+            .expect("class listed")
     }
 }
 
@@ -233,8 +236,9 @@ mod tests {
 
     fn mean_size(class: ContentClass, samples: usize) -> f64 {
         let mut rng = seeded_rng(71);
-        let total: usize =
-            (0..samples).map(|_| compress_best(&class.generate(&mut rng)).size()).sum();
+        let total: usize = (0..samples)
+            .map(|_| compress_best(&class.generate(&mut rng)).size())
+            .sum();
         total as f64 / samples as f64
     }
 
@@ -277,7 +281,11 @@ mod tests {
     fn mutation_actually_changes_bits() {
         let mut rng = seeded_rng(73);
         let mut unchanged = 0;
-        for class in [ContentClass::Narrow1, ContentClass::Random, ContentClass::FpcSmall] {
+        for class in [
+            ContentClass::Narrow1,
+            ContentClass::Random,
+            ContentClass::FpcSmall,
+        ] {
             let block = class.generate(&mut rng);
             let next = class.mutate(&mut rng, &block, 4);
             if next == block {

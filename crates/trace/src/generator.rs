@@ -60,7 +60,10 @@ impl TraceGenerator {
     /// Panics if `lines == 0` or `lines > u32::MAX`.
     pub fn from_profile(profile: WorkloadProfile, lines: u64, seed: u64) -> Self {
         assert!(lines > 0, "need at least one line");
-        assert!(lines <= u32::MAX as u64, "generator supports up to 2^32 lines");
+        assert!(
+            lines <= u32::MAX as u64,
+            "generator supports up to 2^32 lines"
+        );
         let mut rng = seeded_rng(seed);
         let zipf = Zipf::new(lines as usize, profile.zipf_s);
         let mut rank_to_line: Vec<u32> = (0..lines as u32).collect();
@@ -108,10 +111,18 @@ impl TraceGenerator {
         if self.rng.random_bool(p_read) {
             let rank = self.zipf.sample(&mut self.rng);
             let line = self.rank_to_line[rank] as u64;
-            Access { line, kind: AccessKind::Read, data: None }
+            Access {
+                line,
+                kind: AccessKind::Read,
+                data: None,
+            }
         } else {
             let w = self.next_write();
-            Access { line: w.line, kind: AccessKind::Write, data: Some(w.data) }
+            Access {
+                line: w.line,
+                kind: AccessKind::Write,
+                data: Some(w.data),
+            }
         }
     }
 
@@ -128,7 +139,11 @@ impl TraceGenerator {
             state @ None => {
                 let class = self.profile.sample_class(&mut self.rng);
                 let data = class.generate(&mut self.rng);
-                *state = Some(BlockState { affinity: class.size_rank(), class, data });
+                *state = Some(BlockState {
+                    affinity: class.size_rank(),
+                    class,
+                    data,
+                });
             }
             Some(block) if morph => {
                 // Bounded wander: jump to a size-adjacent class of the
@@ -144,14 +159,18 @@ impl TraceGenerator {
                     .filter(|&r| ALL_CLASSES[r] != block.class)
                     .collect();
                 candidates.dedup();
-                let rank = *candidates.choose(&mut self.rng).expect("at least one neighbour");
+                let rank = *candidates
+                    .choose(&mut self.rng)
+                    .expect("at least one neighbour");
                 let class = ALL_CLASSES[rank];
                 block.class = class;
                 block.data = class.generate(&mut self.rng);
             }
             Some(block) => {
                 block.data =
-                    block.class.mutate(&mut self.rng, &block.data, self.profile.mutation_words);
+                    block
+                        .class
+                        .mutate(&mut self.rng, &block.data, self.profile.mutation_words);
             }
         }
         self.blocks[idx].as_ref().expect("state just set").data

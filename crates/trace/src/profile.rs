@@ -187,21 +187,141 @@ fn profile_of(app: SpecApp) -> WorkloadProfile {
     // codes rewrite most of a line; stencil codes touch less), which is
     // what compression's flip confinement is measured against.
     let (wpki, target_cr, class, class_mix, size_volatility, zipf_s, mutation_words) = match app {
-        Astar => (1.04, 0.53, Medium, mix(0.07, 0.03, 0.08, 0.12, 0.16, 0.22, 0.19, 0.13), 0.45, 0.8, 5),
-        Bwaves => (9.78, 0.34, Medium, mix(0.22, 0.06, 0.16, 0.12, 0.16, 0.16, 0.06, 0.06), 0.40, 0.6, 5),
-        Bzip2 => (4.6, 0.53, Medium, mix(0.05, 0.03, 0.09, 0.12, 0.13, 0.22, 0.20, 0.16), 0.85, 0.7, 4),
-        CactusADM => (8.09, 0.03, High, mix(0.93, 0.05, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0), 0.05, 0.6, 5),
-        Calculix => (1.08, 0.37, Medium, mix(0.20, 0.05, 0.15, 0.12, 0.16, 0.16, 0.08, 0.08), 0.40, 0.8, 5),
-        Gcc => (8.05, 0.50, Medium, mix(0.03, 0.02, 0.07, 0.22, 0.10, 0.26, 0.17, 0.13), 0.80, 0.7, 5),
-        GemsFDTD => (4.15, 0.70, Low, mix(0.02, 0.01, 0.03, 0.07, 0.06, 0.22, 0.27, 0.32), 0.50, 0.6, 3),
-        Gobmk => (1.14, 0.39, Medium, mix(0.18, 0.05, 0.15, 0.13, 0.16, 0.17, 0.08, 0.08), 0.50, 0.8, 5),
-        Hmmer => (1.9, 0.59, Medium, mix(0.03, 0.02, 0.06, 0.10, 0.10, 0.26, 0.22, 0.21), 0.15, 0.8, 5),
-        Leslie3d => (8.32, 0.70, Low, mix(0.02, 0.01, 0.03, 0.07, 0.06, 0.22, 0.27, 0.32), 0.10, 0.6, 3),
-        Lbm => (15.6, 0.79, Low, mix(0.01, 0.01, 0.02, 0.04, 0.04, 0.12, 0.20, 0.56), 0.35, 0.5, 3),
-        Mcf => (10.35, 0.55, Medium, mix(0.06, 0.03, 0.09, 0.12, 0.14, 0.24, 0.19, 0.13), 0.45, 0.9, 5),
-        Milc => (3.4, 0.29, High, mix(0.30, 0.04, 0.22, 0.02, 0.20, 0.10, 0.06, 0.06), 0.15, 0.6, 6),
-        Sjeng => (4.38, 0.08, High, mix(0.74, 0.10, 0.12, 0.02, 0.02, 0.0, 0.0, 0.0), 0.10, 0.8, 5),
-        Zeusmp => (5.46, 0.05, High, mix(0.88, 0.06, 0.05, 0.01, 0.0, 0.0, 0.0, 0.0), 0.10, 0.6, 5),
+        Astar => (
+            1.04,
+            0.53,
+            Medium,
+            mix(0.07, 0.03, 0.08, 0.12, 0.16, 0.22, 0.19, 0.13),
+            0.45,
+            0.8,
+            5,
+        ),
+        Bwaves => (
+            9.78,
+            0.34,
+            Medium,
+            mix(0.22, 0.06, 0.16, 0.12, 0.16, 0.16, 0.06, 0.06),
+            0.40,
+            0.6,
+            5,
+        ),
+        Bzip2 => (
+            4.6,
+            0.53,
+            Medium,
+            mix(0.05, 0.03, 0.09, 0.12, 0.13, 0.22, 0.20, 0.16),
+            0.85,
+            0.7,
+            4,
+        ),
+        CactusADM => (
+            8.09,
+            0.03,
+            High,
+            mix(0.93, 0.05, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0),
+            0.05,
+            0.6,
+            5,
+        ),
+        Calculix => (
+            1.08,
+            0.37,
+            Medium,
+            mix(0.20, 0.05, 0.15, 0.12, 0.16, 0.16, 0.08, 0.08),
+            0.40,
+            0.8,
+            5,
+        ),
+        Gcc => (
+            8.05,
+            0.50,
+            Medium,
+            mix(0.03, 0.02, 0.07, 0.22, 0.10, 0.26, 0.17, 0.13),
+            0.80,
+            0.7,
+            5,
+        ),
+        GemsFDTD => (
+            4.15,
+            0.70,
+            Low,
+            mix(0.02, 0.01, 0.03, 0.07, 0.06, 0.22, 0.27, 0.32),
+            0.50,
+            0.6,
+            3,
+        ),
+        Gobmk => (
+            1.14,
+            0.39,
+            Medium,
+            mix(0.18, 0.05, 0.15, 0.13, 0.16, 0.17, 0.08, 0.08),
+            0.50,
+            0.8,
+            5,
+        ),
+        Hmmer => (
+            1.9,
+            0.59,
+            Medium,
+            mix(0.03, 0.02, 0.06, 0.10, 0.10, 0.26, 0.22, 0.21),
+            0.15,
+            0.8,
+            5,
+        ),
+        Leslie3d => (
+            8.32,
+            0.70,
+            Low,
+            mix(0.02, 0.01, 0.03, 0.07, 0.06, 0.22, 0.27, 0.32),
+            0.10,
+            0.6,
+            3,
+        ),
+        Lbm => (
+            15.6,
+            0.79,
+            Low,
+            mix(0.01, 0.01, 0.02, 0.04, 0.04, 0.12, 0.20, 0.56),
+            0.35,
+            0.5,
+            3,
+        ),
+        Mcf => (
+            10.35,
+            0.55,
+            Medium,
+            mix(0.06, 0.03, 0.09, 0.12, 0.14, 0.24, 0.19, 0.13),
+            0.45,
+            0.9,
+            5,
+        ),
+        Milc => (
+            3.4,
+            0.29,
+            High,
+            mix(0.30, 0.04, 0.22, 0.02, 0.20, 0.10, 0.06, 0.06),
+            0.15,
+            0.6,
+            6,
+        ),
+        Sjeng => (
+            4.38,
+            0.08,
+            High,
+            mix(0.74, 0.10, 0.12, 0.02, 0.02, 0.0, 0.0, 0.0),
+            0.10,
+            0.8,
+            5,
+        ),
+        Zeusmp => (
+            5.46,
+            0.05,
+            High,
+            mix(0.88, 0.06, 0.05, 0.01, 0.0, 0.0, 0.0, 0.0),
+            0.10,
+            0.6,
+            5,
+        ),
     };
     WorkloadProfile {
         app,
@@ -230,7 +350,11 @@ mod tests {
             assert!((0.0..=1.0).contains(&p.target_cr));
             assert!((0.0..=1.0).contains(&p.size_volatility));
             let total: f64 = p.class_mix.iter().map(|(_, w)| w).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{}: mixture sums to {total}", app.name());
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{}: mixture sums to {total}",
+                app.name()
+            );
         }
     }
 

@@ -121,8 +121,10 @@ impl Trace {
     ///
     /// Returns [`DecodeTraceError`] on a bad header or truncated payload.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeTraceError> {
-        let header: &[u8; 8] =
-            bytes.get(..8).and_then(|h| h.try_into().ok()).ok_or(DecodeTraceError::Truncated)?;
+        let header: &[u8; 8] = bytes
+            .get(..8)
+            .and_then(|h| h.try_into().ok())
+            .ok_or(DecodeTraceError::Truncated)?;
         if u32::from_le_bytes(header[..4].try_into().unwrap()) != MAGIC {
             return Err(DecodeTraceError::BadMagic);
         }
@@ -135,7 +137,10 @@ impl Trace {
             .chunks_exact(72)
             .map(|rec| {
                 let line = u64::from_le_bytes(rec[..8].try_into().unwrap());
-                WriteRecord { line, data: Line512::from_bytes(rec[8..].try_into().unwrap()) }
+                WriteRecord {
+                    line,
+                    data: Line512::from_bytes(rec[8..].try_into().unwrap()),
+                }
             })
             .collect();
         Ok(Trace { records })
@@ -144,7 +149,9 @@ impl Trace {
 
 impl FromIterator<WriteRecord> for Trace {
     fn from_iter<T: IntoIterator<Item = WriteRecord>>(iter: T) -> Self {
-        Trace { records: iter.into_iter().collect() }
+        Trace {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -171,7 +178,10 @@ mod tests {
     fn binary_round_trip() {
         let mut rng = seeded_rng(91);
         let records: Vec<WriteRecord> = (0..100)
-            .map(|i| WriteRecord { line: i * 3, data: Line512::random(&mut rng) })
+            .map(|i| WriteRecord {
+                line: i * 3,
+                data: Line512::random(&mut rng),
+            })
             .collect();
         let trace = Trace::new(records);
         let bytes = trace.to_bytes();
@@ -195,7 +205,10 @@ mod tests {
 
     #[test]
     fn detects_truncation() {
-        let trace = Trace::new(vec![WriteRecord { line: 0, data: Line512::zero() }]);
+        let trace = Trace::new(vec![WriteRecord {
+            line: 0,
+            data: Line512::zero(),
+        }]);
         let bytes = trace.to_bytes();
         assert_eq!(
             Trace::from_bytes(&bytes[..bytes.len() - 1]),
@@ -206,7 +219,10 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let r = WriteRecord { line: 1, data: Line512::zero() };
+        let r = WriteRecord {
+            line: 1,
+            data: Line512::zero(),
+        };
         let mut t: Trace = std::iter::repeat_n(r, 3).collect();
         t.extend([r]);
         assert_eq!(t.len(), 4);

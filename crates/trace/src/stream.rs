@@ -43,7 +43,13 @@ impl BlockStream {
         let mut rng = seeded_rng(seed);
         let class = profile.sample_class(&mut rng);
         let data = class.generate(&mut rng);
-        BlockStream { profile, rng, affinity: class.size_rank(), class, data }
+        BlockStream {
+            profile,
+            rng,
+            affinity: class.size_rank(),
+            class,
+            data,
+        }
     }
 
     /// The block's current content (what the previous write stored).
@@ -69,11 +75,15 @@ impl BlockStream {
                 .map(|r| r as usize)
                 .filter(|&r| ALL_CLASSES[r] != self.class)
                 .collect();
-            let rank = *candidates.choose(&mut self.rng).expect("at least one neighbour");
+            let rank = *candidates
+                .choose(&mut self.rng)
+                .expect("at least one neighbour");
             self.class = ALL_CLASSES[rank];
             self.data = self.class.generate(&mut self.rng);
         } else {
-            self.data = self.class.mutate(&mut self.rng, &self.data, self.profile.mutation_words);
+            self.data = self
+                .class
+                .mutate(&mut self.rng, &self.data, self.profile.mutation_words);
         }
         self.data
     }
@@ -97,23 +107,31 @@ mod tests {
     #[test]
     fn stable_profile_keeps_size() {
         let mut s = BlockStream::new(SpecApp::CactusADM.profile(), 5);
-        let sizes: Vec<usize> =
-            (0..100).map(|_| compress_best(&s.next_data()).size()).collect();
+        let sizes: Vec<usize> = (0..100)
+            .map(|_| compress_best(&s.next_data()).size())
+            .collect();
         let distinct = {
             let mut v = sizes.clone();
             v.sort_unstable();
             v.dedup();
             v.len()
         };
-        assert!(distinct <= 3, "cactusADM blocks should barely change size, got {distinct}");
+        assert!(
+            distinct <= 3,
+            "cactusADM blocks should barely change size, got {distinct}"
+        );
     }
 
     #[test]
     fn volatile_profile_swings_size() {
         let mut s = BlockStream::new(SpecApp::Bzip2.profile(), 5);
-        let sizes: Vec<usize> =
-            (0..100).map(|_| compress_best(&s.next_data()).size()).collect();
+        let sizes: Vec<usize> = (0..100)
+            .map(|_| compress_best(&s.next_data()).size())
+            .collect();
         let changes = sizes.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(changes > 50, "bzip2 blocks should change size often, got {changes}/99");
+        assert!(
+            changes > 50,
+            "bzip2 blocks should change size often, got {changes}/99"
+        );
     }
 }

@@ -10,7 +10,13 @@ use pcm_util::child_seed;
 #[test]
 fn calibration_is_seed_stable() {
     // Table III must hold for seeds the profiles were NOT tuned on.
-    for app in [SpecApp::Milc, SpecApp::Gcc, SpecApp::Lbm, SpecApp::Zeusmp, SpecApp::Hmmer] {
+    for app in [
+        SpecApp::Milc,
+        SpecApp::Gcc,
+        SpecApp::Lbm,
+        SpecApp::Zeusmp,
+        SpecApp::Hmmer,
+    ] {
         for seed in [0xDEAD, 0xBEEF, 7777] {
             let c = calibrate(&app.profile(), 512, seed, 6_000);
             assert!(
@@ -31,8 +37,14 @@ fn compressibility_classes_order_realized_cr() {
         let mut g = TraceGenerator::from_profile(app.profile(), 256, 0x5151);
         compression_stats(&mut g, 4_000).cr
     };
-    for h in ALL_APPS.iter().filter(|a| a.profile().class == Compressibility::High) {
-        for l in ALL_APPS.iter().filter(|a| a.profile().class == Compressibility::Low) {
+    for h in ALL_APPS
+        .iter()
+        .filter(|a| a.profile().class == Compressibility::High)
+    {
+        for l in ALL_APPS
+            .iter()
+            .filter(|a| a.profile().class == Compressibility::Low)
+        {
             assert!(
                 cr(*h) < cr(*l),
                 "{} (H) must compress better than {} (L)",
@@ -112,5 +124,8 @@ fn hot_set_is_stable_across_trace_chunks() {
     let early = count_hot(&g.generate(20_000));
     let late = count_hot(&g.generate(20_000));
     let overlap = early.iter().filter(|i| late.contains(i)).count();
-    assert!(overlap >= 10, "hot sets should overlap strongly, got {overlap}/16");
+    assert!(
+        overlap >= 10,
+        "hot sets should overlap strongly, got {overlap}/16"
+    );
 }

@@ -37,7 +37,10 @@ impl Normal {
     ///
     /// Panics if `sd` is negative or either parameter is non-finite.
     pub fn new(mean: f64, sd: f64) -> Self {
-        assert!(mean.is_finite() && sd.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && sd.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sd >= 0.0, "standard deviation must be non-negative");
         Normal { mean, sd }
     }
@@ -116,7 +119,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative or non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {

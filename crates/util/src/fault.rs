@@ -95,19 +95,45 @@ impl FaultMap {
 
     /// Iterates over all faults in position order.
     pub fn iter(&self) -> impl Iterator<Item = StuckAt> + '_ {
-        self.positions
-            .iter_ones()
-            .map(move |pos| StuckAt { pos: pos as u16, value: self.values.bit(pos) })
+        self.positions.iter_ones().map(move |pos| StuckAt {
+            pos: pos as u16,
+            value: self.values.bit(pos),
+        })
     }
 
     /// Returns the faults whose positions fall within the bit range.
     pub fn faults_in(&self, range: std::ops::Range<usize>) -> Vec<StuckAt> {
-        self.iter().filter(|f| range.contains(&(f.pos as usize))).collect()
+        self.iter()
+            .filter(|f| range.contains(&(f.pos as usize)))
+            .collect()
     }
 
     /// The positions mask (bit set = faulty cell).
     pub fn positions(&self) -> Line512 {
         self.positions
+    }
+
+    /// Restricts the map to the positions selected by `mask`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcm_util::fault::{FaultMap, StuckAt};
+    /// use pcm_util::Line512;
+    ///
+    /// let map: FaultMap = [
+    ///     StuckAt { pos: 3, value: true },
+    ///     StuckAt { pos: 100, value: false },
+    /// ].into_iter().collect();
+    /// let sub = map.masked(Line512::bit_range_mask(0..64));
+    /// assert_eq!(sub.count(), 1);
+    /// assert!(sub.is_faulty(3));
+    /// ```
+    pub fn masked(&self, mask: Line512) -> FaultMap {
+        FaultMap {
+            positions: self.positions & mask,
+            values: self.values & mask,
+        }
     }
 
     /// Forces `line` to respect the stuck cells: every faulty position is
@@ -186,7 +212,10 @@ impl FaultPlan {
             faults.iter().all(|f| (f.pos as usize) < DATA_BITS),
             "fault positions must be < 512"
         );
-        FaultPlan { seed: 0, spec: FaultSpec::Exact(faults) }
+        FaultPlan {
+            seed: 0,
+            spec: FaultSpec::Exact(faults),
+        }
     }
 
     /// A plan where each cell fails independently with probability
@@ -197,8 +226,17 @@ impl FaultPlan {
     /// Panics unless both arguments are in `0.0..=1.0`.
     pub fn density(seed: u64, density: f64, sa1_fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&density), "density must be in 0..=1");
-        assert!((0.0..=1.0).contains(&sa1_fraction), "sa1_fraction must be in 0..=1");
-        FaultPlan { seed, spec: FaultSpec::Density { density, sa1_fraction } }
+        assert!(
+            (0.0..=1.0).contains(&sa1_fraction),
+            "sa1_fraction must be in 0..=1"
+        );
+        FaultPlan {
+            seed,
+            spec: FaultSpec::Density {
+                density,
+                sa1_fraction,
+            },
+        }
     }
 
     /// A plan with exactly `count` faults per line at distinct seeded
@@ -209,8 +247,17 @@ impl FaultPlan {
     /// Panics if `count > 512` or `sa1_fraction` is outside `0.0..=1.0`.
     pub fn with_count(seed: u64, count: u32, sa1_fraction: f64) -> Self {
         assert!(count as usize <= DATA_BITS, "at most 512 faults fit a line");
-        assert!((0.0..=1.0).contains(&sa1_fraction), "sa1_fraction must be in 0..=1");
-        FaultPlan { seed, spec: FaultSpec::Count { count, sa1_fraction } }
+        assert!(
+            (0.0..=1.0).contains(&sa1_fraction),
+            "sa1_fraction must be in 0..=1"
+        );
+        FaultPlan {
+            seed,
+            spec: FaultSpec::Count {
+                count,
+                sa1_fraction,
+            },
+        }
     }
 
     /// The plan's seed (0 for exact plans).
@@ -225,17 +272,26 @@ impl FaultPlan {
         use rand::RngExt;
         match &self.spec {
             FaultSpec::Exact(faults) => faults.iter().copied().collect(),
-            FaultSpec::Density { density, sa1_fraction } => {
+            FaultSpec::Density {
+                density,
+                sa1_fraction,
+            } => {
                 let mut rng = seeded_rng(child_seed(self.seed, line));
                 let mut map = FaultMap::new();
                 for pos in 0..DATA_BITS as u16 {
                     if rng.random_bool(*density) {
-                        map.insert(StuckAt { pos, value: rng.random_bool(*sa1_fraction) });
+                        map.insert(StuckAt {
+                            pos,
+                            value: rng.random_bool(*sa1_fraction),
+                        });
                     }
                 }
                 map
             }
-            FaultSpec::Count { count, sa1_fraction } => {
+            FaultSpec::Count {
+                count,
+                sa1_fraction,
+            } => {
                 let mut rng = seeded_rng(child_seed(self.seed, line));
                 // Partial Fisher–Yates over the 512 positions.
                 let mut positions: Vec<u16> = (0..DATA_BITS as u16).collect();
@@ -243,7 +299,10 @@ impl FaultPlan {
                     .map(|i| {
                         let j = rng.random_range(i..DATA_BITS);
                         positions.swap(i, j);
-                        StuckAt { pos: positions[i], value: rng.random_bool(*sa1_fraction) }
+                        StuckAt {
+                            pos: positions[i],
+                            value: rng.random_bool(*sa1_fraction),
+                        }
                     })
                     .collect()
             }
@@ -277,8 +336,14 @@ mod tests {
     fn insert_and_query() {
         let mut m = FaultMap::new();
         assert!(m.is_empty());
-        m.insert(StuckAt { pos: 0, value: false });
-        m.insert(StuckAt { pos: 511, value: true });
+        m.insert(StuckAt {
+            pos: 0,
+            value: false,
+        });
+        m.insert(StuckAt {
+            pos: 511,
+            value: true,
+        });
         assert_eq!(m.count(), 2);
         assert_eq!(m.stuck_value(0), Some(false));
         assert_eq!(m.stuck_value(511), Some(true));
@@ -288,8 +353,14 @@ mod tests {
     #[test]
     fn reinsert_updates_value() {
         let mut m = FaultMap::new();
-        m.insert(StuckAt { pos: 9, value: false });
-        m.insert(StuckAt { pos: 9, value: true });
+        m.insert(StuckAt {
+            pos: 9,
+            value: false,
+        });
+        m.insert(StuckAt {
+            pos: 9,
+            value: true,
+        });
         assert_eq!(m.count(), 1);
         assert_eq!(m.stuck_value(9), Some(true));
     }
@@ -308,8 +379,14 @@ mod tests {
     #[test]
     fn apply_forces_stuck_values() {
         let mut m = FaultMap::new();
-        m.insert(StuckAt { pos: 3, value: true });
-        m.insert(StuckAt { pos: 4, value: false });
+        m.insert(StuckAt {
+            pos: 3,
+            value: true,
+        });
+        m.insert(StuckAt {
+            pos: 4,
+            value: false,
+        });
         let mut data = Line512::zero();
         data.set_bit(4, true);
         let written = m.apply(data);
@@ -322,8 +399,14 @@ mod tests {
     #[test]
     fn plan_exact_is_line_independent() {
         let plan = FaultPlan::exact(vec![
-            StuckAt { pos: 1, value: true },
-            StuckAt { pos: 2, value: false },
+            StuckAt {
+                pos: 1,
+                value: true,
+            },
+            StuckAt {
+                pos: 2,
+                value: false,
+            },
         ]);
         assert_eq!(plan.for_line(0), plan.for_line(99));
         assert_eq!(plan.for_line(0).count(), 2);
@@ -339,7 +422,11 @@ mod tests {
             assert_eq!(m.count(), 33);
             assert_eq!(m, plan.for_line(line), "same (plan, line) must reproduce");
         }
-        assert_ne!(plan.for_line(0), plan.for_line(1), "lines draw distinct sets");
+        assert_ne!(
+            plan.for_line(0),
+            plan.for_line(1),
+            "lines draw distinct sets"
+        );
         assert_ne!(
             plan.for_line(0),
             FaultPlan::with_count(8, 33, 0.5).for_line(0),
@@ -350,9 +437,15 @@ mod tests {
     #[test]
     fn plan_polarity_extremes() {
         let all_ones = FaultPlan::with_count(3, 64, 1.0).for_line(0);
-        assert!(all_ones.iter().all(|f| f.value), "sa1_fraction=1 -> all stuck-at-1");
+        assert!(
+            all_ones.iter().all(|f| f.value),
+            "sa1_fraction=1 -> all stuck-at-1"
+        );
         let all_zeros = FaultPlan::with_count(3, 64, 0.0).for_line(0);
-        assert!(all_zeros.iter().all(|f| !f.value), "sa1_fraction=0 -> all stuck-at-0");
+        assert!(
+            all_zeros.iter().all(|f| !f.value),
+            "sa1_fraction=0 -> all stuck-at-0"
+        );
     }
 
     #[test]
@@ -368,9 +461,18 @@ mod tests {
     #[test]
     fn iter_round_trip() {
         let faults = [
-            StuckAt { pos: 1, value: true },
-            StuckAt { pos: 64, value: false },
-            StuckAt { pos: 200, value: true },
+            StuckAt {
+                pos: 1,
+                value: true,
+            },
+            StuckAt {
+                pos: 64,
+                value: false,
+            },
+            StuckAt {
+                pos: 200,
+                value: true,
+            },
         ];
         let m: FaultMap = faults.iter().copied().collect();
         let out: Vec<StuckAt> = m.iter().collect();

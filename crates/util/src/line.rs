@@ -48,7 +48,9 @@ impl Line512 {
 
     /// Returns an all-ones line.
     pub const fn ones() -> Self {
-        Line512 { words: [u64::MAX; 8] }
+        Line512 {
+            words: [u64::MAX; 8],
+        }
     }
 
     /// Creates a line from its eight little-endian `u64` words.
@@ -201,7 +203,11 @@ impl Line512 {
     /// assert_eq!(l.iter_ones().collect::<Vec<_>>(), vec![5, 300]);
     /// ```
     pub fn iter_ones(&self) -> IterOnes {
-        IterOnes { line: *self, word: 0, bits: self.words[0] }
+        IterOnes {
+            line: *self,
+            word: 0,
+            bits: self.words[0],
+        }
     }
 
     /// Counts set bits whose position lies in `range` (a bit range).
@@ -211,22 +217,21 @@ impl Line512 {
     /// Panics if `range.end > 512`.
     pub fn count_ones_in(&self, range: std::ops::Range<usize>) -> u32 {
         assert!(range.end <= DATA_BITS, "range end out of bounds");
-        let mut count = 0;
-        let mut i = range.start;
-        // Align to word boundary, then count whole words.
-        while i < range.end && i % 64 != 0 {
-            count += self.bit(i) as u32;
-            i += 1;
+        if range.start >= range.end {
+            return 0;
         }
-        while i + 64 <= range.end {
-            count += self.words[i / 64].count_ones();
-            i += 64;
+        let last = range.end - 1;
+        let (ws, we) = (range.start / 64, last / 64);
+        let head = u64::MAX << (range.start % 64);
+        let tail = u64::MAX >> (63 - last % 64);
+        if ws == we {
+            return (self.words[ws] & head & tail).count_ones();
         }
-        while i < range.end {
-            count += self.bit(i) as u32;
-            i += 1;
+        let mut count = (self.words[ws] & head).count_ones();
+        for w in &self.words[ws + 1..we] {
+            count += w.count_ones();
         }
-        count
+        count + (self.words[we] & tail).count_ones()
     }
 
     /// Rotates the line left by `n` bytes (byte 0 moves to byte `n`).
@@ -245,16 +250,24 @@ impl Line512 {
     /// assert_eq!(r.byte(0), 0);
     /// ```
     pub fn rotate_left_bytes(&self, n: usize) -> Line512 {
-        let n = n % DATA_BYTES;
-        if n == 0 {
+        // A byte rotation is a 512-bit rotation by a multiple of 8, so it
+        // decomposes into a word rotation plus a sub-word shift with carry.
+        let bits = (n % DATA_BYTES) * 8;
+        if bits == 0 {
             return *self;
         }
-        let src = self.to_bytes();
-        let mut dst = [0u8; DATA_BYTES];
-        for (i, b) in src.iter().enumerate() {
-            dst[(i + n) % DATA_BYTES] = *b;
+        let (ws, bs) = (bits / 64, bits % 64);
+        let mut words = [0u64; 8];
+        for (i, w) in words.iter_mut().enumerate() {
+            let lo = self.words[(i + 8 - ws) % 8];
+            *w = if bs == 0 {
+                lo
+            } else {
+                let carry = self.words[(i + 15 - ws) % 8];
+                (lo << bs) | (carry >> (64 - bs))
+            };
         }
-        Line512::from_bytes(&dst)
+        Line512 { words }
     }
 
     /// Rotates the line right by `n` bytes (inverse of
@@ -278,11 +291,9 @@ impl Line512 {
             "window [{offset}, {}) exceeds line",
             offset + data.len()
         );
-        let mut out = *self;
-        for (i, b) in data.iter().enumerate() {
-            out.set_byte(offset + i, *b);
-        }
-        out
+        let mut bytes = self.to_bytes();
+        bytes[offset..offset + data.len()].copy_from_slice(data);
+        Line512::from_bytes(&bytes)
     }
 
     /// Extracts `len` bytes starting at byte offset `offset`.
@@ -292,7 +303,44 @@ impl Line512 {
     /// Panics if `offset + len > 64`.
     pub fn bytes_at(&self, offset: usize, len: usize) -> Vec<u8> {
         assert!(offset + len <= DATA_BYTES, "window out of bounds");
-        (offset..offset + len).map(|i| self.byte(i)).collect()
+        self.to_bytes()[offset..offset + len].to_vec()
+    }
+
+    /// Returns a mask with bits set exactly in the bit range `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > 512`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcm_util::Line512;
+    /// let m = Line512::bit_range_mask(60..70);
+    /// assert_eq!(m.count_ones(), 10);
+    /// assert!(m.bit(60) && m.bit(69));
+    /// assert!(!m.bit(59) && !m.bit(70));
+    /// ```
+    pub fn bit_range_mask(range: std::ops::Range<usize>) -> Line512 {
+        assert!(range.end <= DATA_BITS, "range end out of bounds");
+        if range.start >= range.end {
+            return Line512::zero();
+        }
+        let last = range.end - 1;
+        let (ws, we) = (range.start / 64, last / 64);
+        let head = u64::MAX << (range.start % 64);
+        let tail = u64::MAX >> (63 - last % 64);
+        let mut words = [0u64; 8];
+        if ws == we {
+            words[ws] = head & tail;
+        } else {
+            words[ws] = head;
+            for w in &mut words[ws + 1..we] {
+                *w = u64::MAX;
+            }
+            words[we] = tail;
+        }
+        Line512 { words }
     }
 
     /// Returns a mask with bits set exactly in the byte range
@@ -303,11 +351,7 @@ impl Line512 {
     /// Panics if `offset + len > 64`.
     pub fn byte_window_mask(offset: usize, len: usize) -> Line512 {
         assert!(offset + len <= DATA_BYTES, "window out of bounds");
-        let mut m = Line512::zero();
-        for byte in offset..offset + len {
-            m.set_byte(byte, 0xFF);
-        }
-        m
+        Line512::bit_range_mask(offset * 8..(offset + len) * 8)
     }
 }
 

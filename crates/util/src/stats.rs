@@ -68,7 +68,10 @@ impl Ecdf {
     ///
     /// Panics if any sample is NaN.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|x| !x.is_nan()), "ECDF samples must not be NaN");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "ECDF samples must not be NaN"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         Ecdf { sorted: samples }
     }
@@ -141,7 +144,11 @@ impl Histogram {
     pub fn new(min: f64, max: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(max > min, "histogram range must be non-empty");
-        Histogram { min, max, counts: vec![0; bins] }
+        Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+        }
     }
 
     /// Records one sample.
@@ -201,7 +208,10 @@ pub fn bootstrap_ci<F: Fn(&[f64]) -> f64>(
 ) -> (f64, f64) {
     assert!(!samples.is_empty(), "bootstrap needs samples");
     assert!(resamples > 0, "need at least one resample");
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
     use rand::RngExt;
     let mut rng = crate::seeded_rng(seed);
     let mut stats: Vec<f64> = (0..resamples)
@@ -242,7 +252,13 @@ pub struct Running {
 impl Running {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Running { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one sample.

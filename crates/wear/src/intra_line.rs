@@ -43,7 +43,13 @@ impl IntraLineLeveler {
     pub fn new(period: u32, step_bytes: usize) -> Self {
         assert!(period > 0, "rotation period must be positive");
         assert!((1..64).contains(&step_bytes), "step must be 1..64 bytes");
-        IntraLineLeveler { period, step_bytes, counter: 0, offset: 0, rotations: 0 }
+        IntraLineLeveler {
+            period,
+            step_bytes,
+            counter: 0,
+            offset: 0,
+            rotations: 0,
+        }
     }
 
     /// The paper's configuration: 16-bit counter, one-byte step.

@@ -64,7 +64,10 @@ impl SecurityRefresh {
     ///
     /// Panics unless `n` is a power of two ≥ 2, or if `psi == 0`.
     pub fn new(n: u64, psi: u32, seed: u64) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "region must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "region must be a power of two, got {n}"
+        );
         assert!(psi > 0, "refresh period must be positive");
         let key_cur = 0;
         let key_next = child_seed(seed, 1) % n;
@@ -101,7 +104,12 @@ impl SecurityRefresh {
         // of its swap pair is below the pointer (pairs move together).
         let partner = logical ^ self.key_cur ^ self.key_next;
         let refreshed = logical.min(partner) < self.pointer;
-        logical ^ if refreshed { self.key_next } else { self.key_cur }
+        logical
+            ^ if refreshed {
+                self.key_next
+            } else {
+                self.key_cur
+            }
     }
 
     /// Records one write; every ψ-th write advances the refresh pointer
@@ -124,7 +132,10 @@ impl SecurityRefresh {
             l += 1; // the pair was already swapped when its leader passed
         }
         let swap = if l < self.n {
-            Swap { a: l ^ self.key_cur, b: l ^ self.key_next }
+            Swap {
+                a: l ^ self.key_cur,
+                b: l ^ self.key_next,
+            }
         } else {
             Swap { a: 0, b: 0 } // epoch tail: nothing left to move
         };
@@ -181,7 +192,8 @@ mod tests {
             }
             for l in 0..n {
                 assert_eq!(
-                    slots[sr.map(l) as usize], l,
+                    slots[sr.map(l) as usize],
+                    l,
                     "step {step}: logical {l} lost (epoch {})",
                     sr.epoch()
                 );
@@ -215,7 +227,11 @@ mod tests {
             sr.step();
         }
         for (l, v) in visited.iter().enumerate() {
-            assert!(v.len() >= (n as usize) / 2, "line {l} visited only {} slots", v.len());
+            assert!(
+                v.len() >= (n as usize) / 2,
+                "line {l} visited only {} slots",
+                v.len()
+            );
         }
     }
 

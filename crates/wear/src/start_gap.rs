@@ -55,7 +55,13 @@ impl StartGap {
     pub fn new(n: u64, psi: u32) -> Self {
         assert!(n >= 2, "need at least two lines, got {n}");
         assert!(psi > 0, "gap period must be positive");
-        StartGap { n, start: 0, gap: n, psi, writes_since_move: 0 }
+        StartGap {
+            n,
+            start: 0,
+            gap: n,
+            psi,
+            writes_since_move: 0,
+        }
     }
 
     /// Number of logical lines.
@@ -112,9 +118,15 @@ impl StartGap {
             // advances — re-aligning the mapping with the shifted data.
             self.start = (self.start + 1) % self.n;
             self.gap = self.n;
-            GapMove { from: self.n, to: 0 }
+            GapMove {
+                from: self.n,
+                to: 0,
+            }
         } else {
-            let mv = GapMove { from: self.gap - 1, to: self.gap };
+            let mv = GapMove {
+                from: self.gap - 1,
+                to: self.gap,
+            };
             self.gap -= 1;
             mv
         }

@@ -21,7 +21,10 @@ fn main() {
     positions.shuffle(&mut rng);
     let faults: FaultMap = positions[..20]
         .iter()
-        .map(|&pos| StuckAt { pos, value: pos % 2 == 0 })
+        .map(|&pos| StuckAt {
+            pos,
+            value: pos % 2 == 0,
+        })
         .collect();
     let data = Line512::random(&mut rng);
 
@@ -30,9 +33,21 @@ fn main() {
     let ecp = Ecp::new(6);
     let safer = Safer::new(32);
     let aegis = Aegis::new(17, 31);
-    println!("  ECP-6      guarantee {}: can_store(20 faults) = {}", ecp.guaranteed(), ecp.can_store(&fault_positions));
-    println!("  SAFER-32   guarantee {}: can_store(20 faults) = {}", safer.guaranteed(), safer.can_store(&fault_positions));
-    println!("  Aegis17x31 guarantee {}: can_store(20 faults) = {}", aegis.guaranteed(), aegis.can_store(&fault_positions));
+    println!(
+        "  ECP-6      guarantee {}: can_store(20 faults) = {}",
+        ecp.guaranteed(),
+        ecp.can_store(&fault_positions)
+    );
+    println!(
+        "  SAFER-32   guarantee {}: can_store(20 faults) = {}",
+        safer.guaranteed(),
+        safer.can_store(&fault_positions)
+    );
+    println!(
+        "  Aegis17x31 guarantee {}: can_store(20 faults) = {}",
+        aegis.guaranteed(),
+        aegis.can_store(&fault_positions)
+    );
 
     if safer.can_store(&fault_positions) {
         let (stored, code) = safer.write(&data, &faults).expect("partition exists");
@@ -43,7 +58,11 @@ fn main() {
     // Part 2: the Fig. 9 sweep at a few spot sizes.
     println!("\nFailure probability vs fault count (2000 injections each):");
     println!("window  scheme      16 faults  32 faults  48 faults");
-    let mc = MonteCarlo { injections: 2_000, seed: 5, threads: 0 };
+    let mc = MonteCarlo {
+        injections: 2_000,
+        seed: 5,
+        threads: 0,
+    };
     let schemes: [(&str, &dyn HardErrorScheme); 3] =
         [("ECP-6", &ecp), ("SAFER-32", &safer), ("Aegis", &aegis)];
     for window in [64usize, 32, 16] {

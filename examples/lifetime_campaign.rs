@@ -6,6 +6,8 @@
 //! a single row of Fig. 10 / Fig. 12 / Table IV.
 //!
 //! Run with: `cargo run --release --example lifetime_campaign [app]`
+//!
+//! Pass `--quick` for a seconds-long smoke run (used by the CI gate).
 
 use collab_pcm::core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
 use collab_pcm::core::{SystemConfig, SystemKind};
@@ -13,8 +15,10 @@ use collab_pcm::trace::profile::ALL_APPS;
 use collab_pcm::trace::SpecApp;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let app = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| a.as_str() != "--quick")
         .map(|name| {
             ALL_APPS
                 .iter()
@@ -30,16 +34,21 @@ fn main() {
         })
         .unwrap_or(SpecApp::Milc);
 
-    println!("workload: {} (WPKI {}, target CR {})", app.name(), app.profile().wpki, app.profile().target_cr);
+    println!(
+        "workload: {} (WPKI {}, target CR {})",
+        app.name(),
+        app.profile().wpki,
+        app.profile().target_cr
+    );
     println!("system     lifetime(writes/line)  normalized  flips/write  faults@death  revived");
 
-    let endurance_mean = 2e4;
+    let endurance_mean = if quick { 1e3 } else { 2e4 };
     let mut baseline_writes = None;
     for kind in SystemKind::ALL {
         let system = SystemConfig::new(kind).with_endurance_mean(endurance_mean);
         let line = LineSimConfig::new(system, app.profile());
         let mut cfg = CampaignConfig::new(line, 2017);
-        cfg.lines = 96;
+        cfg.lines = if quick { 16 } else { 96 };
         let r = run_campaign(&cfg);
         let writes = r.lifetime_writes();
         let norm = match baseline_writes {
@@ -59,6 +68,8 @@ fn main() {
             100.0 * r.lines_revived
         );
     }
-    println!("\n(paper Fig. 10: Comp 1.35x / Comp+W 3.2x / Comp+WF 4.3x on average; \
-              highly compressible apps reach ~10x)");
+    println!(
+        "\n(paper Fig. 10: Comp 1.35x / Comp+W 3.2x / Comp+WF 4.3x on average; \
+              highly compressible apps reach ~10x)"
+    );
 }

@@ -27,7 +27,15 @@ fn compressible(tag: u8) -> Line512 {
 fn write(line: &mut ManagedLine, engine: &EccEngine, data: Line512) -> (usize, usize) {
     let c = compress_best(&data);
     let r = line
-        .write(engine, Payload { method: c.method(), bytes: c.bytes() }, 0, true)
+        .write(
+            engine,
+            Payload {
+                method: c.method(),
+                bytes: c.bytes(),
+            },
+            0,
+            true,
+        )
         .expect("line still serviceable");
     // Verify the read path end-to-end.
     let (method, bytes) = line.read(engine).expect("valid");
@@ -51,14 +59,20 @@ fn main() {
 
     println!("(1) initial write: compressed payload at the least significant bytes");
     let (offset, size) = write(&mut line, &engine, compressible(1));
-    println!("    window = [{offset}, {}) bytes, {size}B compressed payload", offset + size);
+    println!(
+        "    window = [{offset}, {}) bytes, {size}B compressed payload",
+        offset + size
+    );
     assert_eq!(offset, 0);
 
     println!("(2) steady state: rewrites wear the window cells; ECP-6 covers early faults");
     for tag in 2..6 {
         write(&mut line, &engine, compressible(tag));
     }
-    println!("    faults so far: {} (ECP-6 tolerates 6 anywhere)", line.faults().count());
+    println!(
+        "    faults so far: {} (ECP-6 tolerates 6 anywhere)",
+        line.faults().count()
+    );
 
     println!("(3) sliding: the weak LSB cells exceed ECP-6's budget inside the window");
     let mut slid_to = 0;
@@ -74,7 +88,10 @@ fn main() {
         line.faults().count()
     );
     assert!(slid_to > 0, "the window must move off the dead cells");
-    assert!(line.faults().count() > 6, "more faults than plain ECP-6 tolerates");
+    assert!(
+        line.faults().count() > 6,
+        "more faults than plain ECP-6 tolerates"
+    );
 
     println!("(4) resizing: an incompressible write needs the whole line");
     let mut rng = collab_pcm::util::seeded_rng(4);
@@ -91,5 +108,8 @@ fn main() {
         "    resurrection check: a 16B payload {} fit this line",
         if can_host_small { "would" } else { "would not" }
     );
-    assert!(can_host_small, "plenty of healthy cells remain for small payloads");
+    assert!(
+        can_host_small,
+        "plenty of healthy cells remain for small payloads"
+    );
 }

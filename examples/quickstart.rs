@@ -6,16 +6,20 @@
 //! ordinary operation and cell wear-out.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Pass `--quick` for a seconds-long smoke run (used by the CI gate).
 
 use collab_pcm::core::{PcmMemory, SystemConfig, SystemKind};
 use collab_pcm::util::Line512;
 use rand::RngExt;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     // A deliberately fragile memory: cells endure only ~2000 writes, so
-    // wear-out happens before your coffee cools.
-    let cfg = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(2_000.0);
-    let mut memory = PcmMemory::new(cfg, 64, 42);
+    // wear-out happens before your coffee cools (quick mode: ~500).
+    let endurance = if quick { 500.0 } else { 2_000.0 };
+    let cfg = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(endurance);
+    let mut memory = PcmMemory::new(cfg, if quick { 16 } else { 64 }, 42);
     let mut rng = collab_pcm::util::seeded_rng(7);
 
     // Write a mix of compressible and incompressible lines.
@@ -25,9 +29,11 @@ fn main() {
     memory.write(1, dense).expect("write dense");
     assert_eq!(memory.read(0).unwrap(), sparse);
     assert_eq!(memory.read(1).unwrap(), dense);
-    println!("round-trip OK: sparse line decompresses ({} cy), dense line is verbatim ({} cy)",
+    println!(
+        "round-trip OK: sparse line decompresses ({} cy), dense line is verbatim ({} cy)",
         memory.read_decompression_cycles(0),
-        memory.read_decompression_cycles(1));
+        memory.read_decompression_cycles(1)
+    );
 
     // Hammer one line until cells start dying; the sliding window and
     // ECP-6 keep the data correct long past the first stuck cells.

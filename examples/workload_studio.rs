@@ -34,13 +34,15 @@ fn main() {
 
     println!("\nOne bzip2 block's compressed sizes over 32 consecutive writes:");
     let mut stream = BlockStream::new(collab_pcm::trace::SpecApp::Bzip2.profile(), 4);
-    let sizes: Vec<String> =
-        (0..32).map(|_| compress_best(&stream.next_data()).size().to_string()).collect();
+    let sizes: Vec<String> = (0..32)
+        .map(|_| compress_best(&stream.next_data()).size().to_string())
+        .collect();
     println!("  {}", sizes.join(" "));
 
     println!("\nOne hmmer block (stable sizes) over 32 consecutive writes:");
     let mut stream = BlockStream::new(collab_pcm::trace::SpecApp::Hmmer.profile(), 4);
-    let sizes: Vec<String> =
-        (0..32).map(|_| compress_best(&stream.next_data()).size().to_string()).collect();
+    let sizes: Vec<String> = (0..32)
+        .map(|_| compress_best(&stream.next_data()).size().to_string())
+        .collect();
     println!("  {}", sizes.join(" "));
 }

@@ -1,26 +1,84 @@
 #!/bin/bash
 # Regenerates every table and figure into results/.
+#
+# Flags consumed by this script (everything else is passed through to the
+# figure/table binaries):
+#   --bench-smoke   run the hot-path bench harness in smoke mode (seconds,
+#                   for the CI gate) instead of the full calibrated run
 set -u
 cd /root/repo
+
+# Warnings are errors for everything the gate builds below.
+export RUSTFLAGS="-D warnings"
+
+# Split our own flags from the passthrough args: the figure/table binaries
+# abort on flags they don't know.
+BENCH_SMOKE=0
+PASSTHROUGH=()
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) PASSTHROUGH+=("$arg") ;;
+  esac
+done
+set -- ${PASSTHROUGH[@]+"${PASSTHROUGH[@]}"}
+
 BINS="fig01_dw_randomness fig03_compressed_size fig05_bitflip_delta fig06_size_change_prob \
 fig07_block_size_series fig10_lifetime fig11_size_cdf fig12_tolerated_errors \
 fig13_lifetime_cov25 table03_workloads table04_months perf_overhead \
 ablation_heuristic ablation_ecc ablation_rotation ablation_flip_n_write \
 ablation_secded ablation_mlc ablation_interline_wl ablation_window_step energy_writes \
 compressor_comparison metadata_rates mix_study fig09_montecarlo"
+
+mkdir -p results
+
+# Style gate: formatting drift fails the run before anything expensive.
+echo "== fmt check =="
+if ! cargo fmt --all --check > results/fmt.txt 2>&1; then
+  echo "   FMT CHECK FAILED (run 'cargo fmt'; see results/fmt.txt)" >&2
+  tail -n 20 results/fmt.txt >&2
+  exit 1
+fi
+echo "   ok"
+
 cargo build -q --release -p pcm-bench 2>/dev/null
 
 # Verification gate: the fault-injection churn matrix and the differential
 # replay-vs-engine oracle (see DESIGN.md "Verification") must pass before
 # any figures are regenerated. A mismatch aborts the whole run non-zero.
 echo "== verify =="
-mkdir -p results
 if ! /usr/bin/timeout 3000 cargo run -q --release --bin pcm-verify -- "$@" > results/verify.txt 2>&1; then
   echo "   VERIFY FAILED (see results/verify.txt)" >&2
   tail -n 20 results/verify.txt >&2
   exit 1
 fi
 echo "   ok ($(wc -l < results/verify.txt) lines)"
+
+# Example smoke: the documented entry points must build and run.
+echo "== examples =="
+for ex in quickstart lifetime_campaign; do
+  if ! /usr/bin/timeout 600 cargo run -q --release --example $ex -- --quick > results/example_$ex.txt 2>&1; then
+    echo "   EXAMPLE $ex FAILED (see results/example_$ex.txt)" >&2
+    tail -n 20 results/example_$ex.txt >&2
+    exit 1
+  fi
+done
+echo "   ok"
+
+# Hot-path benchmark: full calibrated run refreshes BENCH_hotpath.json;
+# --bench-smoke instead does a seconds-long sanity pass for the gate.
+echo "== bench hotpath =="
+if [ "$BENCH_SMOKE" = 1 ]; then
+  BENCH_ARGS=(--smoke --out results/BENCH_hotpath_smoke.json)
+else
+  BENCH_ARGS=(--out BENCH_hotpath.json)
+fi
+if ! /usr/bin/timeout 3000 cargo run -q --release -p pcm-bench --bin pcm-bench-hotpath -- "${BENCH_ARGS[@]}" > results/bench_hotpath.txt 2>&1; then
+  echo "   BENCH FAILED (see results/bench_hotpath.txt)" >&2
+  tail -n 20 results/bench_hotpath.txt >&2
+  exit 1
+fi
+echo "   ok ($(wc -l < results/bench_hotpath.txt) lines)"
 
 for b in $BINS; do
   echo "== $b =="

@@ -67,7 +67,9 @@ impl Opts {
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         match self.get(name) {
             None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| usage(&format!("bad value for --{name}"))),
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad value for --{name}"))),
         }
     }
 
@@ -76,7 +78,9 @@ impl Opts {
     }
 
     fn app(&self) -> SpecApp {
-        let name = self.get("app").unwrap_or_else(|| usage("--app is required"));
+        let name = self
+            .get("app")
+            .unwrap_or_else(|| usage("--app is required"));
         ALL_APPS
             .iter()
             .copied()
@@ -85,7 +89,12 @@ impl Opts {
     }
 
     fn system(&self) -> SystemKind {
-        match self.get("system").unwrap_or("compwf").to_ascii_lowercase().as_str() {
+        match self
+            .get("system")
+            .unwrap_or("compwf")
+            .to_ascii_lowercase()
+            .as_str()
+        {
             "baseline" => SystemKind::Baseline,
             "comp" => SystemKind::Comp,
             "compw" | "comp+w" => SystemKind::CompW,
@@ -95,15 +104,21 @@ impl Opts {
     }
 
     fn ecc(&self) -> EccChoice {
-        match self.get("ecc").unwrap_or("ecp6").to_ascii_lowercase().as_str() {
+        match self
+            .get("ecc")
+            .unwrap_or("ecp6")
+            .to_ascii_lowercase()
+            .as_str()
+        {
             "ecp6" => EccChoice::Ecp6,
             "safer32" => EccChoice::Safer32,
             "aegis" | "aegis17x31" => EccChoice::Aegis17x31,
             "secded" => EccChoice::Secded,
             other => {
                 if let Some(n) = other.strip_prefix("ecp") {
-                    let n: u8 =
-                        n.parse().unwrap_or_else(|_| usage(&format!("bad ECP count '{n}'")));
+                    let n: u8 = n
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("bad ECP count '{n}'")));
                     EccChoice::EcpN(n)
                 } else {
                     usage(&format!("unknown ecc '{other}'"))
@@ -134,7 +149,10 @@ fn lifetime(opts: &Opts) {
         println!("lifetime_ci90\t[{lo}, {hi}]");
     }
     println!("mean_flips_per_write\t{:.1}", r.mean_flips_per_write);
-    println!("faults_at_death_mean\t{:.1}", r.mean_faults_at_death.unwrap_or(0.0));
+    println!(
+        "faults_at_death_mean\t{:.1}",
+        r.mean_faults_at_death.unwrap_or(0.0)
+    );
     println!("lines_revived\t{:.0}%", 100.0 * r.lines_revived);
     println!(
         "months_at_1e7\t{:.1}",
@@ -174,8 +192,12 @@ fn stress(opts: &Opts) {
     let app = opts.app();
     let lines: u64 = opts.num("lines", 64);
     let writes: u64 = opts.num("writes", 50_000);
-    let mut memory =
-        PcmMemory::new(opts.system_config().with_endurance_mean(opts.num("endurance", 1e4)), lines, opts.seed());
+    let mut memory = PcmMemory::new(
+        opts.system_config()
+            .with_endurance_mean(opts.num("endurance", 1e4)),
+        lines,
+        opts.seed(),
+    );
     let mut generator = TraceGenerator::from_profile(app.profile(), lines, opts.seed() ^ 1);
     let mut failed_writes = 0u64;
     for _ in 0..writes {
@@ -200,7 +222,9 @@ fn stress(opts: &Opts) {
 
 fn trace(opts: &Opts) {
     let app = opts.app();
-    let out = opts.get("out").unwrap_or_else(|| usage("--out is required"));
+    let out = opts
+        .get("out")
+        .unwrap_or_else(|| usage("--out is required"));
     let lines: u64 = opts.num("lines", 256);
     let writes: usize = opts.num("writes", 10_000);
     let mut generator = TraceGenerator::from_profile(app.profile(), lines, opts.seed());
@@ -224,9 +248,16 @@ fn replay(opts: &Opts) {
         eprintln!("error: malformed trace: {e}");
         exit(1);
     });
-    let lines = trace.iter().map(|r| r.line).max().map(|m| m + 1).unwrap_or(2).max(2);
+    let lines = trace
+        .iter()
+        .map(|r| r.line)
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(2)
+        .max(2);
     let mut memory = PcmMemory::new(
-        opts.system_config().with_endurance_mean(opts.num("endurance", 1e4)),
+        opts.system_config()
+            .with_endurance_mean(opts.num("endurance", 1e4)),
         lines,
         opts.seed(),
     );
@@ -242,7 +273,10 @@ fn replay(opts: &Opts) {
     println!("records\t{}", trace.len());
     println!("failed_writes\t{failed}");
     println!("total_flips\t{}", s.total_flips);
-    println!("mean_cr\t{:.2}", compressed_bytes as f64 / (trace.len() as f64 * 64.0));
+    println!(
+        "mean_cr\t{:.2}",
+        compressed_bytes as f64 / (trace.len() as f64 * 64.0)
+    );
     println!("dead_fraction\t{:.3}", memory.dead_fraction());
 }
 

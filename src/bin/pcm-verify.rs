@@ -56,7 +56,11 @@ fn main() {
                     );
                 }
             }
-            Err(e) => println!("{:8} / {:11} churn FAIL: {e}", entry.kind.to_string(), entry.ecc.to_string()),
+            Err(e) => println!(
+                "{:8} / {:11} churn FAIL: {e}",
+                entry.kind.to_string(),
+                entry.ecc.to_string()
+            ),
         }
         for o in &entry.oracles {
             if !quiet || !o.passed() {

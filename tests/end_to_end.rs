@@ -17,7 +17,9 @@ fn every_system_round_trips_a_workload() {
         let mut expected = HashMap::new();
         for _ in 0..3_000 {
             let w = generator.next_write();
-            memory.write(w.line, w.data).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            memory
+                .write(w.line, w.data)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
             expected.insert(w.line, w.data);
         }
         for (&line, &data) in &expected {
@@ -93,7 +95,10 @@ fn compwf_keeps_data_correct_while_cells_die() {
         "expected deep fault tolerance, saw {} faults",
         memory.stats().new_faults
     );
-    assert!(survived > 2_000, "CompWF should far outlive the 500-write cell endurance");
+    assert!(
+        survived > 2_000,
+        "CompWF should far outlive the 500-write cell endurance"
+    );
 }
 
 #[test]
@@ -107,6 +112,9 @@ fn dead_fraction_progresses_to_failure() {
         let _ = memory.write(w.line, w.data);
         writes += 1;
     }
-    assert!(memory.is_failed(), "baseline memory at 150-write endurance must fail");
+    assert!(
+        memory.is_failed(),
+        "baseline memory at 150-write endurance must fail"
+    );
     assert!(memory.dead_fraction() >= 0.5);
 }

@@ -50,7 +50,10 @@ fn engine_and_replay_agree_on_system_ordering() {
             seed: 21,
         };
         let r = replay_to_failure(&cfg);
-        assert!(r.writes_to_failure.is_some(), "{kind} replay must reach 50% capacity");
+        assert!(
+            r.writes_to_failure.is_some(),
+            "{kind} replay must reach 50% capacity"
+        );
         r.lifetime_writes() as f64 / 16.0
     };
     let engine_lifetime = |kind: SystemKind| {
@@ -66,6 +69,12 @@ fn engine_and_replay_agree_on_system_ordering() {
     let r_wf = replay_lifetime(SystemKind::CompWF);
     let e_base = engine_lifetime(SystemKind::Baseline);
     let e_wf = engine_lifetime(SystemKind::CompWF);
-    assert!(r_wf > r_base * 1.5, "replay: WF {r_wf:.0} vs base {r_base:.0}");
-    assert!(e_wf > e_base * 1.5, "engine: WF {e_wf:.0} vs base {e_base:.0}");
+    assert!(
+        r_wf > r_base * 1.5,
+        "replay: WF {r_wf:.0} vs base {r_base:.0}"
+    );
+    assert!(
+        e_wf > e_base * 1.5,
+        "engine: WF {e_wf:.0} vs base {e_base:.0}"
+    );
 }

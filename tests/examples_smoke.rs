@@ -1,0 +1,47 @@
+//! Smoke tests that build and run the runnable examples in `--quick` mode,
+//! so the documented entry points can't rot as the APIs evolve.
+//!
+//! Each test shells out to `cargo run --example … -- --quick`; the outer
+//! `cargo test` has already released the build lock by the time tests run,
+//! so the nested invocation only pays an incremental build.
+
+use std::process::Command;
+
+fn run_example(name: &str) -> String {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-q", "--example", name, "--", "--quick"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("cargo runs");
+    assert!(
+        out.status.success(),
+        "example {name} failed with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_example_runs_quick() {
+    let stdout = run_example("quickstart");
+    assert!(
+        stdout.contains("round-trip OK"),
+        "unexpected output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("memory health"),
+        "unexpected output:\n{stdout}"
+    );
+}
+
+#[test]
+fn lifetime_campaign_example_runs_quick() {
+    let stdout = run_example("lifetime_campaign");
+    // One row per system, with the Comp+WF row present and normalized.
+    assert!(
+        stdout.contains("workload: milc"),
+        "unexpected output:\n{stdout}"
+    );
+    assert!(stdout.contains("Comp+WF"), "unexpected output:\n{stdout}");
+}

@@ -1,10 +1,10 @@
 //! Paper-shape assertions: the qualitative results the reproduction must
 //! preserve (DESIGN.md §2, EXPERIMENTS.md).
 
-use collab_pcm::ecc::montecarlo::{failure_probability, MonteCarlo};
-use collab_pcm::ecc::{Aegis, Ecp, Safer};
 use collab_pcm::core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
 use collab_pcm::core::{SystemConfig, SystemKind};
+use collab_pcm::ecc::montecarlo::{failure_probability, MonteCarlo};
+use collab_pcm::ecc::{Aegis, Ecp, Safer};
 use collab_pcm::trace::SpecApp;
 use collab_pcm::util::child_seed;
 
@@ -22,8 +22,8 @@ fn fig10_shape_high_compressibility_wins_big() {
     // H apps: Comp+WF should deliver multiples; L apps barely move.
     let zeusmp = lifetime(SystemKind::CompWF, SpecApp::Zeusmp)
         / lifetime(SystemKind::Baseline, SpecApp::Zeusmp);
-    let lbm = lifetime(SystemKind::CompWF, SpecApp::Lbm)
-        / lifetime(SystemKind::Baseline, SpecApp::Lbm);
+    let lbm =
+        lifetime(SystemKind::CompWF, SpecApp::Lbm) / lifetime(SystemKind::Baseline, SpecApp::Lbm);
     assert!(zeusmp > 4.0, "zeusmp Comp+WF {zeusmp:.1}x");
     assert!(lbm < 2.5, "lbm Comp+WF {lbm:.1}x");
     assert!(zeusmp > lbm * 2.0, "H app must far outgain L app");
@@ -36,14 +36,27 @@ fn fig10_shape_each_addition_helps_on_compressible_apps() {
     let comp = lifetime(SystemKind::Comp, app);
     let w = lifetime(SystemKind::CompW, app);
     let wf = lifetime(SystemKind::CompWF, app);
-    assert!(w > comp, "intra-line WL must improve on naive compression ({w} vs {comp})");
-    assert!(wf >= w, "advanced fault handling must not hurt ({wf} vs {w})");
-    assert!(wf > base * 2.0, "sjeng Comp+WF must be a multiple of baseline");
+    assert!(
+        w > comp,
+        "intra-line WL must improve on naive compression ({w} vs {comp})"
+    );
+    assert!(
+        wf >= w,
+        "advanced fault handling must not hurt ({wf} vs {w})"
+    );
+    assert!(
+        wf > base * 2.0,
+        "sjeng Comp+WF must be a multiple of baseline"
+    );
 }
 
 #[test]
 fn fig9_shape_partition_schemes_and_small_windows_win() {
-    let mc = MonteCarlo { injections: 2_000, seed: 17, threads: 0 };
+    let mc = MonteCarlo {
+        injections: 2_000,
+        seed: 17,
+        threads: 0,
+    };
     let ecp = Ecp::new(6);
     let safer = Safer::new(32);
     let aegis = Aegis::new(17, 31);
@@ -51,7 +64,10 @@ fn fig9_shape_partition_schemes_and_small_windows_win() {
     let p64 = failure_probability(&ecp, 64, 20, &mc);
     let p32 = failure_probability(&ecp, 32, 20, &mc);
     let p8 = failure_probability(&ecp, 8, 20, &mc);
-    assert!(p64 > p32 && p32 > p8, "ECP-6 @20 faults: {p64} > {p32} > {p8}");
+    assert!(
+        p64 > p32 && p32 > p8,
+        "ECP-6 @20 faults: {p64} > {p32} > {p8}"
+    );
     // Partition schemes beat pointers at equal window.
     let s32 = failure_probability(&safer, 32, 20, &mc);
     let a32 = failure_probability(&aegis, 32, 20, &mc);

@@ -25,7 +25,10 @@ fn campaign_is_bit_identical_across_thread_counts() {
             })
             .collect();
         assert_eq!(results[0], results[1], "{kind}: 1 thread vs 2 threads");
-        assert_eq!(results[0], results[2], "{kind}: 1 thread vs available parallelism");
+        assert_eq!(
+            results[0], results[2],
+            "{kind}: 1 thread vs available parallelism"
+        );
     }
 }
 
@@ -33,13 +36,20 @@ fn campaign_is_bit_identical_across_thread_counts() {
 fn monte_carlo_is_bit_identical_across_thread_counts() {
     // Spans multiple chunks (CHUNK = 1024) so the work-stealing path with
     // interleaved chunk claims is actually exercised.
-    let schemes: [(&str, &dyn collab_pcm::ecc::HardErrorScheme); 3] =
-        [("ecp6", &Ecp::new(6)), ("safer32", &Safer::new(32)), ("aegis", &Aegis::new(17, 31))];
+    let schemes: [(&str, &dyn collab_pcm::ecc::HardErrorScheme); 3] = [
+        ("ecp6", &Ecp::new(6)),
+        ("safer32", &Safer::new(32)),
+        ("aegis", &Aegis::new(17, 31)),
+    ];
     for (name, scheme) in schemes {
         let p: Vec<f64> = [1usize, 2, 0]
             .into_iter()
             .map(|threads| {
-                let mc = MonteCarlo { injections: 5_000, seed: 0xC0FFEE, threads };
+                let mc = MonteCarlo {
+                    injections: 5_000,
+                    seed: 0xC0FFEE,
+                    threads,
+                };
                 failure_probability(scheme, 48, 9, &mc)
             })
             .collect();

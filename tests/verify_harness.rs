@@ -19,10 +19,18 @@ use collab_pcm::util::FaultPlan;
 /// accounting assertions on.
 #[test]
 fn churn_matrix_is_green() {
-    let cfg = VerifyConfig { churn_only: true, memory_writes: 2_000, ..Default::default() };
+    let cfg = VerifyConfig {
+        churn_only: true,
+        memory_writes: 2_000,
+        ..Default::default()
+    };
     let report = run_all(&cfg);
     assert_eq!(report.entries.len(), 16, "4 systems x 4 ECC schemes");
-    assert!(report.passed(), "failures:\n{}", report.failures().join("\n"));
+    assert!(
+        report.passed(),
+        "failures:\n{}",
+        report.failures().join("\n")
+    );
 }
 
 /// A seeded fault plan is realized exactly: position, count, and stuck-at
@@ -35,7 +43,10 @@ fn fault_plans_realize_position_density_and_polarity() {
         let plan = FaultPlan::with_count(99, 5, sa1);
         let sys = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(1e9);
         let stats = churn_lines(&sys, &plan, ChurnData::Mixed, 3, 48, 4).unwrap();
-        assert_eq!(stats.deaths, 0, "5 faults are within ECP-6 capacity (sa1={sa1})");
+        assert_eq!(
+            stats.deaths, 0,
+            "5 faults are within ECP-6 capacity (sa1={sa1})"
+        );
         assert!(stats.writes_checked >= 3 * 48);
     }
     // Determinism: the same plan yields the same per-line maps.
@@ -51,8 +62,14 @@ fn fault_plans_realize_position_density_and_polarity() {
 fn resurrection_accounting_by_system() {
     let wf = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(60.0);
     let stats = churn_memory(&wf, 16, 12_000, 31).unwrap();
-    assert!(stats.deaths > 0, "churn endurance must kill lines: {stats:?}");
-    assert!(stats.resurrections > 0, "Comp+WF must revive some: {stats:?}");
+    assert!(
+        stats.deaths > 0,
+        "churn endurance must kill lines: {stats:?}"
+    );
+    assert!(
+        stats.resurrections > 0,
+        "Comp+WF must revive some: {stats:?}"
+    );
 
     for kind in [SystemKind::Baseline, SystemKind::Comp, SystemKind::CompW] {
         let sys = SystemConfig::new(kind).with_endurance_mean(60.0);
@@ -66,10 +83,13 @@ fn resurrection_accounting_by_system() {
 #[test]
 fn oracle_sample_two_endurance_settings() {
     for mean in [250.0, 400.0] {
-        for (kind, ecc) in
-            [(SystemKind::CompWF, EccChoice::Ecp6), (SystemKind::Baseline, EccChoice::Safer32)]
-        {
-            let sys = SystemConfig::new(kind).with_endurance_mean(mean).with_ecc(ecc);
+        for (kind, ecc) in [
+            (SystemKind::CompWF, EccChoice::Ecp6),
+            (SystemKind::Baseline, EccChoice::Safer32),
+        ] {
+            let sys = SystemConfig::new(kind)
+                .with_endurance_mean(mean)
+                .with_ecc(ecc);
             let report = run_oracle(&OracleConfig::new(sys, SpecApp::Milc, 77));
             assert!(report.passed(), "oracle mismatch:\n{}", report.describe());
         }
