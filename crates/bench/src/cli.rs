@@ -1,9 +1,12 @@
-//! Minimal command-line options shared by every experiment binary.
+//! Command-line options shared by every registry experiment.
 
 use pcm_trace::{profile::ALL_APPS, SpecApp};
 
-/// Options accepted by every harness binary.
-#[derive(Debug, Clone)]
+/// Usage string shared by [`Options::from_args`] and `pcm-lab`.
+pub const USAGE: &str = "[--quick] [--seed N] [--apps astar,milc,...]";
+
+/// Options accepted by every experiment.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Reduced sample sizes for smoke runs.
     pub quick: bool,
@@ -23,79 +26,118 @@ impl Default for Options {
     }
 }
 
+/// A rejected command line (or an explicit `--help` request).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// `--help`/`-h` was passed; print usage and exit 0.
+    Help,
+    /// Anything else wrong with the arguments; print the message and the
+    /// usage and exit 2.
+    Invalid(String),
+}
+
+impl CliError {
+    /// The process exit code the error conventionally maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Help => 0,
+            CliError::Invalid(_) => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Help => write!(f, "help requested"),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Resolves a workload name case-insensitively.
+pub fn lookup_app(name: &str) -> Result<SpecApp, CliError> {
+    ALL_APPS
+        .iter()
+        .copied()
+        .find(|a| a.name().eq_ignore_ascii_case(name.trim()))
+        .ok_or_else(|| CliError::Invalid(format!("unknown app '{name}'")))
+}
+
 impl Options {
     /// Parses `--quick`, `--seed N`, and `--apps a,b,c` from the process
-    /// arguments. Unknown flags abort with a usage message.
+    /// arguments, printing usage and exiting on error or `--help`.
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1))
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            if let CliError::Invalid(msg) = &e {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: <binary> {USAGE}");
+            std::process::exit(e.exit_code());
+        })
     }
 
-    /// Parses options from an explicit iterator (testable).
+    /// Parses options from an explicit iterator.
     ///
-    /// # Panics
-    ///
-    /// Panics on unknown flags, missing values, or unknown app names.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// Unknown flags, missing or malformed values, and unknown app names
+    /// are rejected with [`CliError::Invalid`]; `--help`/`-h` maps to
+    /// [`CliError::Help`].
+    pub fn parse<I>(args: I) -> Result<Self, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut opts = Options::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
                 "--seed" => {
-                    let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Invalid("--seed needs a value".into()))?;
                     opts.seed = v
                         .parse()
-                        .unwrap_or_else(|_| usage("--seed needs an integer"));
+                        .map_err(|_| CliError::Invalid("--seed needs an integer".into()))?;
                 }
                 "--apps" => {
-                    let v = it.next().unwrap_or_else(|| usage("--apps needs a list"));
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Invalid("--apps needs a list".into()))?;
                     opts.apps = v
                         .split(',')
-                        .map(|name| {
-                            ALL_APPS
-                                .iter()
-                                .copied()
-                                .find(|a| a.name().eq_ignore_ascii_case(name.trim()))
-                                .unwrap_or_else(|| usage(&format!("unknown app '{name}'")))
-                        })
-                        .collect();
+                        .map(lookup_app)
+                        .collect::<Result<Vec<_>, _>>()?;
                 }
-                "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown flag '{other}'")),
+                "--help" | "-h" => return Err(CliError::Help),
+                other => return Err(CliError::Invalid(format!("unknown flag '{other}'"))),
             }
         }
-        opts
+        Ok(opts)
     }
-}
-
-fn usage(msg: &str) -> ! {
-    if !msg.is_empty() {
-        eprintln!("error: {msg}");
-    }
-    eprintln!("usage: <binary> [--quick] [--seed N] [--apps astar,milc,...]");
-    std::process::exit(if msg.is_empty() { 0 } else { 2 });
-}
-
-/// Prints a header line for an experiment table.
-pub fn header(title: &str, columns: &[&str]) {
-    println!("# {title}");
-    println!("{}", columns.join("\t"));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> impl Iterator<Item = String> + use<> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
     #[test]
     fn defaults() {
-        let o = Options::parse(Vec::<String>::new());
+        let o = Options::parse(Vec::<String>::new()).unwrap();
         assert!(!o.quick);
         assert_eq!(o.apps.len(), 15);
+        assert_eq!(o.seed, 2017);
     }
 
     #[test]
     fn parses_flags() {
-        let o = Options::parse(["--quick", "--seed", "7", "--apps", "milc,gcc"].map(String::from));
+        let o = Options::parse(args(&["--quick", "--seed", "7", "--apps", "milc,gcc"])).unwrap();
         assert!(o.quick);
         assert_eq!(o.seed, 7);
         assert_eq!(o.apps, vec![SpecApp::Milc, SpecApp::Gcc]);
@@ -103,7 +145,50 @@ mod tests {
 
     #[test]
     fn app_names_case_insensitive() {
-        let o = Options::parse(["--apps", "CACTUSadm"].map(String::from));
+        let o = Options::parse(args(&["--apps", "CACTUSadm"])).unwrap();
         assert_eq!(o.apps, vec![SpecApp::CactusADM]);
+    }
+
+    #[test]
+    fn unknown_flag_is_invalid() {
+        let e = Options::parse(args(&["--frobnicate"])).unwrap_err();
+        assert_eq!(e, CliError::Invalid("unknown flag '--frobnicate'".into()));
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn missing_values_are_invalid() {
+        assert!(matches!(
+            Options::parse(args(&["--seed"])),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            Options::parse(args(&["--apps"])),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            Options::parse(args(&["--seed", "twelve"])),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_app_is_invalid() {
+        let e = Options::parse(args(&["--apps", "milc,nosuchapp"])).unwrap_err();
+        assert_eq!(e, CliError::Invalid("unknown app 'nosuchapp'".into()));
+    }
+
+    #[test]
+    fn help_is_not_an_error_exit() {
+        let e = Options::parse(args(&["--help"])).unwrap_err();
+        assert_eq!(e, CliError::Help);
+        assert_eq!(e.exit_code(), 0);
+        assert_eq!(Options::parse(args(&["-h"])).unwrap_err(), CliError::Help);
+    }
+
+    #[test]
+    fn later_flags_override_earlier() {
+        let o = Options::parse(args(&["--seed", "1", "--seed", "2"])).unwrap();
+        assert_eq!(o.seed, 2);
     }
 }

@@ -1,11 +1,17 @@
 //! Ablation studies of the design choices DESIGN.md calls out.
 
 use super::lifetime::Scale;
+use crate::cli::Options;
+use crate::registry::Experiment;
+use crate::report::{Column, Report, Table, Value};
 use pcm_core::lifetime::{run_campaign, CampaignConfig, LifetimeResult, LineSimConfig};
 use pcm_core::{CompressionHeuristic, EccChoice, SystemConfig, SystemKind};
 use pcm_device::dw::{diff_write, FlipNWrite};
-use pcm_trace::{BlockStream, SpecApp};
+use pcm_device::CellTech;
+use pcm_trace::{BlockStream, SpecApp, TraceGenerator};
 use pcm_util::child_seed;
+use pcm_util::stats::{mean, std_dev};
+use pcm_wear::{SecurityRefresh, StartGap};
 use serde::{Deserialize, Serialize};
 
 fn campaign_with(system: SystemConfig, app: SpecApp, scale: Scale, seed: u64) -> LifetimeResult {
@@ -121,6 +127,537 @@ pub fn flip_n_write_ablation(app: SpecApp, writes: usize, seed: u64) -> FnwCompa
         app,
         dw_flips: dw_total as f64 / writes as f64,
         fnw_flips: fnw_total as f64 / writes as f64,
+    }
+}
+
+// --------------------------------------------------------- registry entries
+
+fn scale_text(quick: bool) -> String {
+    let s = Scale::from_quick(quick);
+    format!(
+        "lines={} endurance={:.0} sample_writes={}",
+        s.lines, s.endurance_mean, s.sample_writes
+    )
+}
+
+/// Fig. 8 heuristic ablation registry entry.
+pub struct AblationHeuristic;
+
+impl Experiment for AblationHeuristic {
+    fn name(&self) -> &'static str {
+        "ablation_heuristic"
+    }
+
+    fn description(&self) -> &'static str {
+        "the Fig. 8 compression heuristic on/off and its Threshold2 sweep (Comp+WF)"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Ablation: Fig. 8 heuristic under Comp+WF (lifetime in per-line writes)",
+            "app",
+            vec![
+                Column::ratio("naive", 0.9, 1.1),
+                Column::ratio("T2=8", 0.9, 1.1),
+                Column::ratio("T2=16", 0.9, 1.1),
+                Column::ratio("T2=24", 0.9, 1.1),
+                Column::ratio("naive_flips", 0.9, 1.1),
+                Column::ratio("T2=16_flips", 0.9, 1.1),
+            ],
+        );
+        for app in &opts.apps {
+            let h = heuristic_ablation(*app, scale, opts.seed);
+            let t2 = |i: usize| h.with_heuristic[i].1.lifetime_writes() as i64;
+            t.push(
+                app.name(),
+                vec![
+                    Value::Int(h.naive.lifetime_writes() as i64),
+                    Value::Int(t2(0)),
+                    Value::Int(t2(1)),
+                    Value::Int(t2(2)),
+                    Value::Num(h.naive.mean_flips_per_write, 1),
+                    Value::Num(h.with_heuristic[1].1.mean_flips_per_write, 1),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r.note(
+            "finding: with byte-exact DW, alternating layouts costs more flips than the heuristic saves",
+        );
+        r
+    }
+}
+
+/// Hard-error-scheme ablation registry entry.
+pub struct AblationEcc;
+
+impl Experiment for AblationEcc {
+    fn name(&self) -> &'static str {
+        "ablation_ecc"
+    }
+
+    fn description(&self) -> &'static str {
+        "Comp+WF under ECP-6, SAFER-32, and Aegis 17x31"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Ablation: hard-error scheme under Comp+WF (lifetime in per-line writes)",
+            "app",
+            vec![
+                Column::ratio("ECP-6", 0.9, 1.1),
+                Column::ratio("SAFER-32", 0.9, 1.1),
+                Column::ratio("Aegis", 0.9, 1.1),
+                Column::ratio("ECP_faults", 0.85, 1.18),
+                Column::ratio("SAFER_faults", 0.85, 1.18),
+                Column::ratio("Aegis_faults", 0.85, 1.18),
+            ],
+        );
+        for app in &opts.apps {
+            let rows = ecc_ablation(*app, scale, opts.seed);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Int(rows[0].1.lifetime_writes() as i64),
+                    Value::Int(rows[1].1.lifetime_writes() as i64),
+                    Value::Int(rows[2].1.lifetime_writes() as i64),
+                    Value::Num(rows[0].1.mean_faults_at_death.unwrap_or(0.0), 1),
+                    Value::Num(rows[1].1.mean_faults_at_death.unwrap_or(0.0), 1),
+                    Value::Num(rows[2].1.mean_faults_at_death.unwrap_or(0.0), 1),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r
+    }
+}
+
+fn secded_lifetime(
+    kind: SystemKind,
+    ecc: EccChoice,
+    app: SpecApp,
+    scale: Scale,
+    seed: u64,
+) -> (u64, f64) {
+    let system = SystemConfig::new(kind)
+        .with_endurance_mean(scale.endurance_mean)
+        .with_ecc(ecc);
+    let r = campaign_with(system, app, scale, seed);
+    (r.lifetime_writes(), r.mean_faults_at_death.unwrap_or(0.0))
+}
+
+/// SECDED-vs-ECP ablation registry entry (§II-C, §V.A.5).
+pub struct AblationSecded;
+
+impl Experiment for AblationSecded {
+    fn name(&self) -> &'static str {
+        "ablation_secded"
+    }
+
+    fn description(&self) -> &'static str {
+        "SECDED vs ECP-6 baselines, and the ECP strength needed to match Comp+WF"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Part 1: SECDED vs ECP-6 baseline (lifetime in per-line writes)",
+            "app",
+            vec![
+                Column::ratio("SECDED", 0.9, 1.1),
+                Column::ratio("ECP-6", 0.9, 1.1),
+                Column::ratio("ECP6/SECDED", 0.85, 1.18),
+            ],
+        );
+        for app in &opts.apps {
+            let seed = child_seed(opts.seed, *app as u64);
+            let (secded, _) =
+                secded_lifetime(SystemKind::Baseline, EccChoice::Secded, *app, scale, seed);
+            let (ecp, _) =
+                secded_lifetime(SystemKind::Baseline, EccChoice::Ecp6, *app, scale, seed);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Int(secded as i64),
+                    Value::Int(ecp as i64),
+                    Value::Num(ecp as f64 / secded as f64, 2),
+                ],
+            );
+        }
+        r.tables.push(t);
+
+        let mut t = Table::new(
+            "Part 2: ECP strength needed to match Comp+WF (milc)",
+            "config",
+            vec![
+                Column::exact("metadata_bits"),
+                Column::ratio("lifetime", 0.9, 1.1),
+                Column::ratio("faults@death", 0.85, 1.18),
+            ],
+        );
+        let app = SpecApp::Milc;
+        for n in [2u8, 4, 6, 8, 12, 16, 20] {
+            let (l, f) = secded_lifetime(
+                SystemKind::Baseline,
+                EccChoice::EcpN(n),
+                app,
+                scale,
+                child_seed(opts.seed, 50 + n as u64),
+            );
+            t.push(
+                format!("Baseline ECP-{n}"),
+                vec![
+                    Value::Int((n as u32 * 10 + 1) as i64),
+                    Value::Int(l as i64),
+                    Value::Num(f, 1),
+                ],
+            );
+        }
+        let (l, f) = secded_lifetime(
+            SystemKind::CompWF,
+            EccChoice::Ecp6,
+            app,
+            scale,
+            child_seed(opts.seed, 99),
+        );
+        t.push(
+            "Comp+WF ECP-6",
+            vec![Value::Int(61), Value::Int(l as i64), Value::Num(f, 1)],
+        );
+        r.tables.push(t);
+        r.note("paper: sustaining Comp+WF's error depth with plain ECP needs ~40% more storage");
+        r
+    }
+}
+
+/// Rotation-period ablation registry entry.
+pub struct AblationRotation;
+
+impl Experiment for AblationRotation {
+    fn name(&self) -> &'static str {
+        "ablation_rotation"
+    }
+
+    fn description(&self) -> &'static str {
+        "intra-line rotation period sweep under Comp+W"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Ablation: rotation period (writes per line between 1-byte rotations), Comp+W",
+            "app",
+            vec![
+                Column::ratio("256", 0.9, 1.1),
+                Column::ratio("1024", 0.9, 1.1),
+                Column::ratio("4096", 0.9, 1.1),
+                Column::ratio("16384", 0.9, 1.1),
+            ],
+        );
+        for app in &opts.apps {
+            let rows = rotation_ablation(*app, scale, opts.seed);
+            t.push(
+                app.name(),
+                rows.iter()
+                    .map(|(_, res)| Value::Int(res.lifetime_writes() as i64))
+                    .collect(),
+            );
+        }
+        r.tables.push(t);
+        r
+    }
+}
+
+/// Window-placement-granularity ablation registry entry.
+pub struct AblationWindowStep;
+
+impl Experiment for AblationWindowStep {
+    fn name(&self) -> &'static str {
+        "ablation_window_step"
+    }
+
+    fn description(&self) -> &'static str {
+        "lifetime cost of coarser window-placement grids (6-bit pointer design point)"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Ablation: Comp+WF lifetime (per-line writes) vs window placement step",
+            "app",
+            vec![
+                Column::ratio("step1(6b ptr)", 0.9, 1.1),
+                Column::ratio("step2(5b)", 0.9, 1.1),
+                Column::ratio("step4(4b)", 0.9, 1.1),
+                Column::ratio("step8(3b)", 0.9, 1.1),
+            ],
+        );
+        for app in &opts.apps {
+            let values = [1usize, 2, 4, 8]
+                .into_iter()
+                .map(|step| {
+                    let system = SystemConfig::new(SystemKind::CompWF)
+                        .with_endurance_mean(scale.endurance_mean)
+                        .with_window_step(step);
+                    let res =
+                        campaign_with(system, *app, scale, child_seed(opts.seed, *app as u64));
+                    Value::Int(res.lifetime_writes() as i64)
+                })
+                .collect();
+            t.push(app.name(), values);
+        }
+        r.tables.push(t);
+        r
+    }
+}
+
+/// Flip-N-Write ablation registry entry.
+pub struct AblationFlipNWrite;
+
+impl Experiment for AblationFlipNWrite {
+    fn name(&self) -> &'static str {
+        "ablation_flip_n_write"
+    }
+
+    fn description(&self) -> &'static str {
+        "mean flips per 64B write: plain DW vs Flip-N-Write (64-bit chunks)"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!("writes={}", if quick { 500 } else { 4_000 })
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let writes = if opts.quick { 500 } else { 4_000 };
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Ablation: mean flips per 64B write, DW vs Flip-N-Write (64-bit chunks)",
+            "app",
+            vec![
+                Column::ratio("DW", 0.98, 1.02),
+                Column::ratio("FNW", 0.98, 1.02),
+                Column::abs("saving%", 2.0),
+            ],
+        );
+        for app in &opts.apps {
+            let c = flip_n_write_ablation(*app, writes, opts.seed);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(c.dw_flips, 1),
+                    Value::Num(c.fnw_flips, 1),
+                    Value::Num(100.0 * (1.0 - c.fnw_flips / c.dw_flips.max(1e-9)), 1),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r
+    }
+}
+
+fn cov_spread(counts: &[f64]) -> f64 {
+    std_dev(counts) / mean(counts).max(1e-9)
+}
+
+/// Inter-line wear-leveling ablation registry entry.
+pub struct AblationInterlineWl;
+
+impl Experiment for AblationInterlineWl {
+    fn name(&self) -> &'static str {
+        "ablation_interline_wl"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-line write-count CoV under a Zipf stream: none vs Start-Gap vs Security-Refresh"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!(
+            "lines=64 writes={}",
+            if quick { 200_000 } else { 1_000_000 }
+        )
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let lines = 64u64;
+        let writes = if opts.quick { 200_000 } else { 1_000_000 };
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            &format!(
+                "Per-physical-line write-count CoV under a Zipf stream ({writes} writes, {lines} lines)"
+            ),
+            "app",
+            vec![
+                Column::abs("none", 0.05),
+                Column::abs("start_gap", 0.05),
+                Column::abs("security_refresh", 0.05),
+            ],
+        );
+        for app in &opts.apps {
+            let seed = child_seed(opts.seed, *app as u64);
+            let mut generator = TraceGenerator::from_profile(app.profile(), lines, seed);
+            let stream: Vec<u64> = (0..writes).map(|_| generator.next_write().line).collect();
+
+            let mut none = vec![0f64; lines as usize];
+            for &l in &stream {
+                none[l as usize] += 1.0;
+            }
+
+            let mut sg = StartGap::new(lines, 100);
+            let mut sg_counts = vec![0f64; lines as usize + 1];
+            for &l in &stream {
+                sg_counts[sg.map(l) as usize] += 1.0;
+                if let Some(mv) = sg.on_write() {
+                    sg_counts[mv.to as usize] += 1.0; // the gap copy is a write
+                }
+            }
+
+            let mut sr = SecurityRefresh::new(lines, 100, seed);
+            let mut sr_counts = vec![0f64; lines as usize];
+            for &l in &stream {
+                sr_counts[sr.map(l) as usize] += 1.0;
+                if let Some(swap) = sr.on_write() {
+                    if swap.a != swap.b {
+                        sr_counts[swap.a as usize] += 1.0;
+                        sr_counts[swap.b as usize] += 1.0;
+                    }
+                }
+            }
+
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(cov_spread(&none), 2),
+                    Value::Num(cov_spread(&sg_counts), 2),
+                    Value::Num(cov_spread(&sr_counts), 2),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r.note("both levelers should push CoV far below the unleveled stream");
+        r
+    }
+}
+
+fn mlc_normalized(app: SpecApp, tech: CellTech, scale: Scale, seed: u64) -> (f64, f64) {
+    let run = |kind| {
+        let system = SystemConfig::new(kind)
+            .with_tech(tech)
+            .with_endurance_mean(scale.endurance_mean);
+        campaign_with(system, app, scale, seed)
+    };
+    let base = run(SystemKind::Baseline);
+    let wf = run(SystemKind::CompWF);
+    (
+        wf.normalized_against(&base),
+        wf.mean_faults_at_death.unwrap_or(0.0),
+    )
+}
+
+/// SLC-vs-MLC ablation registry entry (paper footnote 1).
+pub struct AblationMlc;
+
+impl Experiment for AblationMlc {
+    fn name(&self) -> &'static str {
+        "ablation_mlc"
+    }
+
+    fn description(&self) -> &'static str {
+        "Comp+WF normalized lifetime on SLC vs MLC-2 cells (paired-bit faults)"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Ablation: Comp+WF normalized lifetime, SLC vs MLC-2 cells",
+            "app",
+            vec![
+                Column::ratio("SLC", 0.85, 1.18),
+                Column::ratio("MLC-2", 0.85, 1.18),
+                Column::ratio("SLC_faults", 0.85, 1.18),
+                Column::ratio("MLC_faults", 0.85, 1.18),
+            ],
+        );
+        for app in &opts.apps {
+            let seed = child_seed(opts.seed, *app as u64);
+            let (slc, slc_f) = mlc_normalized(*app, CellTech::Slc, scale, seed);
+            let (mlc, mlc_f) = mlc_normalized(*app, CellTech::Mlc2, scale, seed);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(slc, 2),
+                    Value::Num(mlc, 2),
+                    Value::Num(slc_f, 1),
+                    Value::Num(mlc_f, 1),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r
     }
 }
 

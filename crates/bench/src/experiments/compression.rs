@@ -1,9 +1,15 @@
 //! Compression-behaviour experiments: Figs. 1, 3, 5, 6, 7, 11 and the CR
 //! column of Table III.
 
-use pcm_compress::compress_best;
+use crate::cli::Options;
+use crate::registry::Experiment;
+use crate::report::{Column, Report, Series, Table, Tolerance, Value};
+use pcm_compress::{bdi, compress_best, fpc, FvcDictionary};
+use pcm_device::dw::diff_write;
+use pcm_device::EnergyModel;
 use pcm_trace::calibrate::{
-    block_size_series, compression_stats, max_size_cdf, size_change_probability, CompressionStats,
+    block_size_series, calibrate, compression_stats, max_size_cdf, size_change_probability,
+    CompressionStats,
 };
 use pcm_trace::{BlockStream, SpecApp, TraceGenerator};
 use pcm_util::stats::Ecdf;
@@ -107,6 +113,488 @@ pub fn fig07_series(app: SpecApp, blocks: usize, writes: usize, seed: u64) -> Ve
 pub fn fig11_cdf(app: SpecApp, writes: usize, seed: u64) -> Ecdf {
     let mut generator = TraceGenerator::from_profile(app.profile(), 256, seed);
     max_size_cdf(&mut generator, writes)
+}
+
+// --------------------------------------------------------- registry entries
+
+/// Fig. 1 registry entry.
+pub struct Fig01DwRandomness;
+
+impl Experiment for Fig01DwRandomness {
+    fn name(&self) -> &'static str {
+        "fig01_dw_randomness"
+    }
+
+    fn description(&self) -> &'static str {
+        "DW bit flips per consecutive write are random (gobmk, one block)"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 1"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!("writes={}", if quick { 60 } else { 200 })
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let writes = if opts.quick { 60 } else { 200 };
+        let series = fig01_flip_series(SpecApp::Gobmk, writes, opts.seed);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Fig 1: DW bit flips per consecutive write (gobmk, one block)",
+            "write",
+            vec![Column::exact("flips")],
+        );
+        for (i, &f) in series.iter().enumerate() {
+            t.push(i.to_string(), vec![Value::Int(f as i64)]);
+        }
+        r.tables.push(t);
+        let as_f64: Vec<f64> = series.iter().map(|&f| f as f64).collect();
+        let mean = as_f64.iter().sum::<f64>() / as_f64.len() as f64;
+        let max = series.iter().max().unwrap();
+        let min = series.iter().min().unwrap();
+        r.series
+            .push(Series::spark("shape", as_f64, 1, Tolerance::Exact));
+        r.note(format!("mean {mean:.1}, min {min}, max {max} of 512 cells"));
+        r
+    }
+}
+
+/// Fig. 3 registry entry.
+pub struct Fig03CompressedSize;
+
+impl Experiment for Fig03CompressedSize {
+    fn name(&self) -> &'static str {
+        "fig03_compressed_size"
+    }
+
+    fn description(&self) -> &'static str {
+        "average compressed size per workload: BDI vs FPC vs best-of-two"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 3"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!("writes={}", if quick { 2_000 } else { 20_000 })
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let writes = if opts.quick { 2_000 } else { 20_000 };
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Fig 3: average compressed size (bytes) per workload",
+            "app",
+            vec![
+                Column::ratio("BDI", 0.98, 1.02),
+                Column::ratio("FPC", 0.98, 1.02),
+                Column::ratio("BEST", 0.98, 1.02),
+                Column::abs("CR", 0.02),
+            ],
+        );
+        let mut crs = Vec::new();
+        for app in &opts.apps {
+            let s = fig03_sizes(*app, writes, opts.seed);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(s.bdi_mean, 1),
+                    Value::Num(s.fpc_mean, 1),
+                    Value::Num(s.best_mean, 1),
+                    Value::Num(s.cr, 2),
+                ],
+            );
+            crs.push(s.cr);
+        }
+        r.tables.push(t);
+        r.note(format!(
+            "average CR {:.2} (paper: 0.43)",
+            pcm_util::stats::mean(&crs)
+        ));
+        r
+    }
+}
+
+/// Fig. 5 registry entry.
+pub struct Fig05BitflipDelta;
+
+impl Experiment for Fig05BitflipDelta {
+    fn name(&self) -> &'static str {
+        "fig05_bitflip_delta"
+    }
+
+    fn description(&self) -> &'static str {
+        "share of write-backs with increased/untouched/decreased flips after compression"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 5"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        let (blocks, writes) = if quick { (24, 60) } else { (96, 150) };
+        format!("blocks={blocks} writes/block={writes}")
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let (blocks, writes) = if opts.quick { (24, 60) } else { (96, 150) };
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Fig 5: flip-count change of compressed vs uncompressed storage",
+            "app",
+            vec![
+                Column::abs("increased%", 3.0),
+                Column::abs("untouched%", 3.0),
+                Column::abs("decreased%", 3.0),
+            ],
+        );
+        for app in &opts.apps {
+            let d = fig05_flip_delta(*app, blocks, writes, opts.seed);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(100.0 * d.increased, 0),
+                    Value::Num(100.0 * d.untouched, 0),
+                    Value::Num(100.0 * d.decreased, 0),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r
+    }
+}
+
+/// Fig. 6 registry entry.
+pub struct Fig06SizeChangeProb;
+
+impl Experiment for Fig06SizeChangeProb {
+    fn name(&self) -> &'static str {
+        "fig06_size_change_prob"
+    }
+
+    fn description(&self) -> &'static str {
+        "probability that consecutive writes change a block's compressed size"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 6"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!("writes={}", if quick { 4_000 } else { 20_000 })
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let writes = if opts.quick { 4_000 } else { 20_000 };
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Fig 6: P(consecutive writes change compressed size)",
+            "app",
+            vec![Column::abs("probability", 0.02)],
+        );
+        for app in &opts.apps {
+            t.push(
+                app.name(),
+                vec![Value::Num(fig06_size_change(*app, writes, opts.seed), 2)],
+            );
+        }
+        r.tables.push(t);
+        r
+    }
+}
+
+/// Fig. 7 registry entry.
+pub struct Fig07BlockSizeSeries;
+
+impl Experiment for Fig07BlockSizeSeries {
+    fn name(&self) -> &'static str {
+        "fig07_block_size_series"
+    }
+
+    fn description(&self) -> &'static str {
+        "compressed-size series of consecutive writes (bzip2 volatile, hmmer stable)"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 7"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!("writes={}", if quick { 30 } else { 80 })
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let writes = if opts.quick { 30 } else { 80 };
+        let mut r = Report::new(self.manifest(opts));
+        for app in [SpecApp::Bzip2, SpecApp::Hmmer] {
+            let series = fig07_series(app, 3, writes, opts.seed);
+            let mut t = Table::new(
+                &format!(
+                    "Fig 7: compressed sizes over consecutive writes ({})",
+                    app.name()
+                ),
+                "write",
+                vec![
+                    Column::exact("block1"),
+                    Column::exact("block2"),
+                    Column::exact("block3"),
+                ],
+            );
+            for (i, ((a, b), c)) in series[0].iter().zip(&series[1]).zip(&series[2]).enumerate() {
+                t.push(
+                    i.to_string(),
+                    vec![
+                        Value::Int(*a as i64),
+                        Value::Int(*b as i64),
+                        Value::Int(*c as i64),
+                    ],
+                );
+            }
+            r.tables.push(t);
+            for (blk, s) in series.iter().enumerate() {
+                let as_f64: Vec<f64> = s.iter().map(|&v| v as f64).collect();
+                r.series.push(Series::spark(
+                    &format!("{} block{} shape", app.name(), blk + 1),
+                    as_f64,
+                    0,
+                    Tolerance::Exact,
+                ));
+            }
+        }
+        r
+    }
+}
+
+/// Fig. 11 registry entry.
+pub struct Fig11SizeCdf;
+
+impl Experiment for Fig11SizeCdf {
+    fn name(&self) -> &'static str {
+        "fig11_size_cdf"
+    }
+
+    fn description(&self) -> &'static str {
+        "CDF of the per-address maximum compressed size (gcc vs milc)"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 11"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!("writes={}", if quick { 8_000 } else { 40_000 })
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let writes = if opts.quick { 8_000 } else { 40_000 };
+        let gcc = fig11_cdf(SpecApp::Gcc, writes, opts.seed);
+        let milc = fig11_cdf(SpecApp::Milc, writes, opts.seed);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Fig 11: CDF of per-address max compressed size",
+            "size",
+            vec![Column::abs("gcc", 0.03), Column::abs("milc", 0.03)],
+        );
+        for size in (0..=64).step_by(4) {
+            t.push(
+                size.to_string(),
+                vec![
+                    Value::Num(gcc.fraction_le(size as f64), 2),
+                    Value::Num(milc.fraction_le(size as f64), 2),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r.note("paper: ~80% of milc addresses stay below 25B; gcc spreads 25-64B");
+        r
+    }
+}
+
+/// Table III registry entry.
+pub struct Table03Workloads;
+
+impl Experiment for Table03Workloads {
+    fn name(&self) -> &'static str {
+        "table03_workloads"
+    }
+
+    fn description(&self) -> &'static str {
+        "workload characteristics: WPKI and realized compression ratio"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Table III"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!("writes={}", if quick { 3_000 } else { 12_000 })
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let writes = if opts.quick { 3_000 } else { 12_000 };
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Table III: workload characteristics",
+            "app",
+            vec![
+                Column::exact("WPKI"),
+                Column::exact("CR(target)"),
+                Column::abs("CR(realized)", 0.03),
+                Column::exact("class"),
+            ],
+        );
+        for app in &opts.apps {
+            let p = app.profile();
+            let c = calibrate(&p, 512, opts.seed ^ (*app as u64), writes);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(p.wpki, 2),
+                    Value::Num(p.target_cr, 2),
+                    Value::Num(c.realized_cr, 2),
+                    Value::Text(p.class.to_string()),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r
+    }
+}
+
+/// Write-energy registry entry (§I / §III-A.1 motivation).
+pub struct EnergyWrites;
+
+impl Experiment for EnergyWrites {
+    fn name(&self) -> &'static str {
+        "energy_writes"
+    }
+
+    fn description(&self) -> &'static str {
+        "write energy per 64B write-back: uncompressed vs compressed storage"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "§III-A.1"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        let (blocks, writes) = if quick { (16, 60) } else { (64, 150) };
+        format!("blocks={blocks} writes/block={writes}")
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let (blocks, writes) = if opts.quick { (16, 60) } else { (64, 150) };
+        let e = EnergyModel::paper();
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Write energy per 64B write-back (pJ), DW chip-level writes",
+            "app",
+            vec![
+                Column::ratio("uncompressed", 0.98, 1.02),
+                Column::ratio("compressed", 0.98, 1.02),
+                Column::abs("saving%", 2.0),
+            ],
+        );
+        for app in &opts.apps {
+            let mut plain_total = 0.0;
+            let mut comp_total = 0.0;
+            let mut n = 0u64;
+            for b in 0..blocks {
+                let mut stream = BlockStream::new(app.profile(), child_seed(opts.seed, b));
+                let mut plain = stream.current();
+                let mut comp_line = Line512::zero().with_bytes_at(0, compress_best(&plain).bytes());
+                for _ in 0..writes {
+                    let data = stream.next_data();
+                    plain_total += e.write_energy_pj(&diff_write(&plain, &data));
+                    let c = compress_best(&data);
+                    let target = comp_line.with_bytes_at(0, c.bytes());
+                    comp_total += e.write_energy_pj(&diff_write(&comp_line, &target));
+                    plain = data;
+                    comp_line = target;
+                    n += 1;
+                }
+            }
+            let (p, c) = (plain_total / n as f64, comp_total / n as f64);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(p, 0),
+                    Value::Num(c, 0),
+                    Value::Num(100.0 * (1.0 - c / p), 1),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r
+    }
+}
+
+/// Compressor-comparison registry entry (§III design space).
+pub struct CompressorComparison;
+
+impl Experiment for CompressorComparison {
+    fn name(&self) -> &'static str {
+        "compressor_comparison"
+    }
+
+    fn description(&self) -> &'static str {
+        "mean compressed size: BDI vs FPC vs best-of vs a trained FVC dictionary"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "§III"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!("writes={}", if quick { 2_000 } else { 10_000 })
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let writes = if opts.quick { 2_000 } else { 10_000 };
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Mean compressed size (bytes): BDI / FPC / BEST / FVC-64",
+            "app",
+            vec![
+                Column::ratio("BDI", 0.98, 1.02),
+                Column::ratio("FPC", 0.98, 1.02),
+                Column::ratio("BEST", 0.98, 1.02),
+                Column::ratio("FVC", 0.98, 1.02),
+            ],
+        );
+        for app in &opts.apps {
+            let seed = child_seed(opts.seed, *app as u64);
+            // Train FVC on a separate warmup stream of the same workload.
+            let mut warmup = TraceGenerator::from_profile(app.profile(), 256, seed ^ 1);
+            let training: Vec<_> = (0..2_000).map(|_| warmup.next_write().data).collect();
+            let dict = FvcDictionary::train(training.iter(), 64);
+
+            let mut generator = TraceGenerator::from_profile(app.profile(), 256, seed);
+            let (mut b, mut f, mut best, mut v) = (0usize, 0usize, 0usize, 0usize);
+            for _ in 0..writes {
+                let data = generator.next_write().data;
+                b += bdi::compress(&data).map(|c| c.size()).unwrap_or(64);
+                f += fpc::compress(&data).size().min(64);
+                best += compress_best(&data).size();
+                v += dict.compress(&data).size_bytes().min(64);
+            }
+            let n = writes as f64;
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(b as f64 / n, 1),
+                    Value::Num(f as f64 / n, 1),
+                    Value::Num(best as f64 / n, 1),
+                    Value::Num(v as f64 / n, 1),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r.note("FVC needs persistent dictionary state; the controller prefers the stateless pair");
+        r
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,11 @@
 //! Lifetime experiments: Figs. 10, 12, 13 and Table IV.
 
-use pcm_core::lifetime::{run_campaign, CampaignConfig, LifetimeResult, LineSimConfig};
+use crate::cli::Options;
+use crate::registry::Experiment;
+use crate::report::{Column, Report, Series, Table, Tolerance, Value};
+use pcm_core::lifetime::{
+    run_campaign, run_mixed_campaign, CampaignConfig, LifetimeResult, LineSimConfig, WorkloadMix,
+};
 use pcm_core::{SystemConfig, SystemKind};
 use pcm_trace::SpecApp;
 use pcm_util::child_seed;
@@ -138,6 +143,316 @@ pub fn table4_row(app: SpecApp, lifetimes: &AppLifetimes, scale: Scale) -> Month
         compwf: lifetimes
             .result(SystemKind::CompWF)
             .months(wpki, scale.endurance_scale()),
+    }
+}
+
+// --------------------------------------------------------- registry entries
+
+fn scale_text(quick: bool) -> String {
+    let s = Scale::from_quick(quick);
+    format!(
+        "lines={} endurance={:.0} sample_writes={}",
+        s.lines, s.endurance_mean, s.sample_writes
+    )
+}
+
+/// Fig. 10 registry entry.
+pub struct Fig10Lifetime;
+
+impl Experiment for Fig10Lifetime {
+    fn name(&self) -> &'static str {
+        "fig10_lifetime"
+    }
+
+    fn description(&self) -> &'static str {
+        "normalized lifetime of Comp, Comp+W, Comp+WF vs the baseline"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 10"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Fig 10: normalized lifetime (x baseline)",
+            "app",
+            vec![
+                Column::ratio("Comp", 0.85, 1.18),
+                Column::ratio("Comp+W", 0.85, 1.18),
+                Column::ratio("Comp+WF", 0.85, 1.18),
+            ],
+        );
+        let mut sums = [0.0f64; 3];
+        for app in &opts.apps {
+            let l = fig10_app(*app, scale, opts.seed);
+            let row = [
+                l.normalized(SystemKind::Comp),
+                l.normalized(SystemKind::CompW),
+                l.normalized(SystemKind::CompWF),
+            ];
+            t.push(app.name(), row.iter().map(|&v| Value::Num(v, 2)).collect());
+            for (s, v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        let n = opts.apps.len() as f64;
+        let avgs: Vec<f64> = sums.iter().map(|s| s / n).collect();
+        t.push("Average", avgs.iter().map(|&v| Value::Num(v, 2)).collect());
+        r.tables.push(t);
+        r.series.push(Series::bars(
+            "average normalized lifetime",
+            &["Comp", "Comp+W", "Comp+WF"],
+            avgs,
+            5.0,
+            2,
+            Tolerance::Ratio(crate::report::RatioBand::new(0.85, 1.18)),
+        ));
+        r.note("paper averages: Comp 1.35x, Comp+W 3.2x, Comp+WF 4.3x");
+        r
+    }
+}
+
+/// Fig. 12 registry entry.
+pub struct Fig12ToleratedErrors;
+
+impl Experiment for Fig12ToleratedErrors {
+    fn name(&self) -> &'static str {
+        "fig12_tolerated_errors"
+    }
+
+    fn description(&self) -> &'static str {
+        "mean faulty cells per failed 512-bit block under Comp+WF"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 12"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Fig 12: mean faulty cells per failed block (Comp+WF)",
+            "app",
+            vec![
+                Column::ratio("faults/event", 0.85, 1.18),
+                Column::ratio("faults/final", 0.85, 1.18),
+                Column::ratio("baseline", 0.85, 1.18),
+            ],
+        );
+        let mut events = Vec::new();
+        for app in &opts.apps {
+            let l = fig10_app(*app, scale, opts.seed);
+            let wf = l.result(SystemKind::CompWF);
+            let base = l.result(SystemKind::Baseline);
+            let e = wf.mean_faults_at_death.unwrap_or(0.0);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(e, 1),
+                    Value::Num(wf.mean_final_death_faults.unwrap_or(0.0), 1),
+                    Value::Num(base.mean_faults_at_death.unwrap_or(0.0), 1),
+                ],
+            );
+            events.push(e);
+        }
+        r.tables.push(t);
+        r.note(format!(
+            "average {:.1} faults per failed block (paper: ~3x the ECP-6 baseline of 7)",
+            pcm_util::stats::mean(&events)
+        ));
+        r
+    }
+}
+
+/// Fig. 13 registry entry.
+pub struct Fig13LifetimeCov25;
+
+impl Experiment for Fig13LifetimeCov25 {
+    fn name(&self) -> &'static str {
+        "fig13_lifetime_cov25"
+    }
+
+    fn description(&self) -> &'static str {
+        "Comp+WF normalized lifetime under higher process variation (CoV 0.25)"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Fig. 13"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Fig 13: Comp+WF normalized lifetime at CoV 0.25",
+            "app",
+            vec![Column::ratio("Comp+WF", 0.85, 1.18)],
+        );
+        let mut sum = 0.0;
+        for app in &opts.apps {
+            let (base, wf) = fig13_app(*app, scale, opts.seed);
+            let norm = wf.normalized_against(&base);
+            t.push(app.name(), vec![Value::Num(norm, 2)]);
+            sum += norm;
+        }
+        t.push("Average", vec![Value::Num(sum / opts.apps.len() as f64, 2)]);
+        r.tables.push(t);
+        r
+    }
+}
+
+/// Table IV registry entry.
+pub struct Table04Months;
+
+impl Experiment for Table04Months {
+    fn name(&self) -> &'static str {
+        "table04_months"
+    }
+
+    fn description(&self) -> &'static str {
+        "lifetime in months at the paper's endurance and machine scale"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "Table IV"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Table IV: lifetime in months",
+            "app",
+            vec![
+                Column::ratio("Baseline", 0.85, 1.18),
+                Column::ratio("Comp+WF", 0.85, 1.18),
+                Column::ratio("ratio", 0.85, 1.18),
+            ],
+        );
+        let mut base_sum = 0.0;
+        let mut wf_sum = 0.0;
+        for app in &opts.apps {
+            let l = fig10_app(*app, scale, opts.seed);
+            let row = table4_row(*app, &l, scale);
+            t.push(
+                app.name(),
+                vec![
+                    Value::Num(row.baseline, 1),
+                    Value::Num(row.compwf, 1),
+                    Value::Num(row.compwf / row.baseline, 2),
+                ],
+            );
+            base_sum += row.baseline;
+            wf_sum += row.compwf;
+        }
+        let n = opts.apps.len() as f64;
+        t.push(
+            "Avg",
+            vec![
+                Value::Num(base_sum / n, 1),
+                Value::Num(wf_sum / n, 1),
+                Value::Num(wf_sum / base_sum, 2),
+            ],
+        );
+        r.tables.push(t);
+        r.note("paper: baseline avg 22 months, Comp+WF avg 79 months");
+        r
+    }
+}
+
+/// Multiprogrammed-mix extension study registry entry.
+pub struct MixStudy;
+
+impl Experiment for MixStudy {
+    fn name(&self) -> &'static str {
+        "mix_study"
+    }
+
+    fn description(&self) -> &'static str {
+        "Comp+WF lifetime for multiprogrammed milc/lbm blends"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "extension"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        scale_text(quick)
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let scale = Scale::from_quick(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Mix study: Comp+WF lifetime (per-line writes) for milc/lbm blends",
+            "milc:lbm",
+            vec![
+                Column::ratio("Baseline", 0.9, 1.1),
+                Column::ratio("Comp+WF", 0.9, 1.1),
+                Column::ratio("normalized", 0.85, 1.18),
+            ],
+        );
+        for (a, b) in [
+            (1.0f64, 0.0f64),
+            (3.0, 1.0),
+            (1.0, 1.0),
+            (1.0, 3.0),
+            (0.0, 1.0),
+        ] {
+            let mut entries = Vec::new();
+            if a > 0.0 {
+                entries.push((SpecApp::Milc.profile(), a));
+            }
+            if b > 0.0 {
+                entries.push((SpecApp::Lbm.profile(), b));
+            }
+            let mix = WorkloadMix::new(entries);
+            let seed = child_seed(opts.seed, (a * 10.0 + b) as u64);
+            let base = run_mixed_campaign(
+                SystemConfig::new(SystemKind::Baseline).with_endurance_mean(scale.endurance_mean),
+                &mix,
+                scale.lines,
+                scale.sample_writes,
+                seed,
+            );
+            let wf = run_mixed_campaign(
+                SystemConfig::new(SystemKind::CompWF).with_endurance_mean(scale.endurance_mean),
+                &mix,
+                scale.lines,
+                scale.sample_writes,
+                seed,
+            );
+            t.push(
+                format!("{a}:{b}"),
+                vec![
+                    Value::Int(base.lifetime_writes() as i64),
+                    Value::Int(wf.lifetime_writes() as i64),
+                    Value::Num(wf.normalized_against(&base), 2),
+                ],
+            );
+        }
+        r.tables.push(t);
+        r.note("gains should degrade smoothly from pure-milc to pure-lbm");
+        r
     }
 }
 

@@ -1,34 +1,34 @@
 //! Experiment harness: regenerates every table and figure of the DSN'17
 //! paper from the workspace's simulators.
 //!
-//! Each `fig*`/`table*` binary under `src/bin/` prints the same rows or
-//! series the paper reports; the heavy lifting lives in [`experiments`] so
-//! integration tests can assert on the numbers. All binaries accept:
+//! Every experiment lives behind the [`registry`]: a unit struct in
+//! [`experiments`] implements [`Experiment`] (name, description, paper
+//! anchor, scale knobs) and returns a typed [`Report`] — tables, series,
+//! and notes under a manifest carrying seed, scale, app list, and
+//! wall-clock. Shared emitters render each report as human text, long
+//! TSV, or JSON; [`report::diff_reports`] compares a fresh run against a
+//! tracked report within per-statistic tolerance bands.
+//!
+//! The `pcm-lab` binary is the single entry point: `list` prints the
+//! registry, `run <name…>` executes experiments, `run-all [--jobs N]`
+//! regenerates the whole `results/` directory with deterministic output
+//! ordering, and `diff` re-runs tracked reports at their recorded
+//! seed/scale and gates on the tolerance bands. All run commands accept:
 //!
 //! * `--quick` — reduced sample sizes for smoke runs,
 //! * `--seed N` — override the campaign seed,
 //! * `--apps a,b,c` — restrict to a subset of the 15 SPEC workloads.
 //!
-//! | binary | reproduces |
-//! |--------|------------|
-//! | `fig01_dw_randomness` | Fig. 1 — DW bit flips per write are random |
-//! | `fig03_compressed_size` | Fig. 3 — BDI vs FPC vs BEST sizes |
-//! | `fig05_bitflip_delta` | Fig. 5 — flips increased/untouched/decreased |
-//! | `fig06_size_change_prob` | Fig. 6 — consecutive-write size changes |
-//! | `fig07_block_size_series` | Fig. 7 — per-block size over time |
-//! | `fig09_montecarlo` | Fig. 9 — ECP/SAFER/Aegis failure probability |
-//! | `fig10_lifetime` | Fig. 10 — normalized lifetime of Comp/W/WF |
-//! | `fig11_size_cdf` | Fig. 11 — per-address max-size CDFs |
-//! | `fig12_tolerated_errors` | Fig. 12 — faults tolerated per failed line |
-//! | `fig13_lifetime_cov25` | Fig. 13 — Comp+WF at CoV 0.25 |
-//! | `table03_workloads` | Table III — WPKI and realized CR |
-//! | `table04_months` | Table IV — lifetime in months |
-//! | `perf_overhead` | §V.B — decompression latency impact |
-//! | `ablation_*` | design-choice sweeps (heuristic, ECC, rotation, FNW) |
+//! The only other binary is `pcm-bench-hotpath`, the kernel benchmark
+//! harness (DESIGN.md §9), which has its own options and output format.
 
 pub mod cli;
 pub mod experiments;
 pub mod hotpath;
 pub mod plot;
+pub mod registry;
+pub mod report;
 
 pub use cli::Options;
+pub use registry::{find, run_timed, Experiment, REGISTRY};
+pub use report::Report;

@@ -1,0 +1,125 @@
+//! The experiment registry: every figure, table, and ablation the harness
+//! can reproduce, behind one trait and one static list.
+//!
+//! Each entry is a unit struct (defined next to its computation in
+//! [`crate::experiments`]) implementing [`Experiment`]; `pcm-lab` drives
+//! the whole matrix through [`REGISTRY`] — `list` prints it, `run` and
+//! `run-all` execute entries, `diff` re-runs them against tracked
+//! reports. Adding an experiment means implementing the trait and adding
+//! one line here; the completeness test in `tests/registry.rs` fails if a
+//! binary exists without a registry entry.
+
+use crate::cli::Options;
+use crate::experiments::{ablation, compression, lifetime, montecarlo, perf};
+use crate::report::{Manifest, Report};
+
+/// One reproducible experiment: a paper figure, table, or ablation.
+pub trait Experiment: Sync {
+    /// Registry name (`fig10_lifetime`, …); doubles as the results stem.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `pcm-lab list`.
+    fn description(&self) -> &'static str;
+
+    /// Paper anchor (`Fig. 10`, `Table IV`, `ablation`, `§V.B`).
+    fn anchor(&self) -> &'static str;
+
+    /// Human summary of the scale knobs at the given `--quick` setting.
+    fn scale_summary(&self, quick: bool) -> String;
+
+    /// Runs the experiment and returns its typed report. `wall_ms` is
+    /// left at zero; [`run_timed`] stamps it.
+    fn run(&self, opts: &Options) -> Report;
+
+    /// The manifest every implementation starts its report from.
+    fn manifest(&self, opts: &Options) -> Manifest {
+        Manifest {
+            experiment: self.name().into(),
+            anchor: self.anchor().into(),
+            seed: opts.seed,
+            quick: opts.quick,
+            apps: opts.apps.iter().map(|a| a.name().to_string()).collect(),
+            wall_ms: 0.0,
+        }
+    }
+}
+
+/// Every experiment the harness knows, in presentation order (figures,
+/// tables, sections, extension studies, ablations).
+pub static REGISTRY: &[&dyn Experiment] = &[
+    &compression::Fig01DwRandomness,
+    &compression::Fig03CompressedSize,
+    &compression::Fig05BitflipDelta,
+    &compression::Fig06SizeChangeProb,
+    &compression::Fig07BlockSizeSeries,
+    &montecarlo::Fig09Montecarlo,
+    &lifetime::Fig10Lifetime,
+    &compression::Fig11SizeCdf,
+    &lifetime::Fig12ToleratedErrors,
+    &lifetime::Fig13LifetimeCov25,
+    &compression::Table03Workloads,
+    &lifetime::Table04Months,
+    &perf::PerfOverhead,
+    &perf::MetadataRates,
+    &compression::EnergyWrites,
+    &compression::CompressorComparison,
+    &lifetime::MixStudy,
+    &ablation::AblationHeuristic,
+    &ablation::AblationEcc,
+    &ablation::AblationSecded,
+    &ablation::AblationRotation,
+    &ablation::AblationWindowStep,
+    &ablation::AblationFlipNWrite,
+    &ablation::AblationInterlineWl,
+    &ablation::AblationMlc,
+];
+
+/// Looks an experiment up by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY.iter().copied().find(|e| e.name() == name)
+}
+
+/// Runs an experiment and stamps the wall-clock into its manifest.
+pub fn run_timed(exp: &dyn Experiment, opts: &Options) -> Report {
+    let start = std::time::Instant::now();
+    let mut report = exp.run(opts);
+    report.manifest.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_findable() {
+        let mut names: Vec<_> = REGISTRY.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate registry names");
+        for e in REGISTRY {
+            assert!(find(e.name()).is_some());
+            assert!(!e.description().is_empty());
+            assert!(!e.anchor().is_empty());
+            assert!(!e.scale_summary(true).is_empty());
+        }
+        assert!(find("no_such_experiment").is_none());
+    }
+
+    #[test]
+    fn manifest_reflects_options() {
+        let opts = Options {
+            quick: true,
+            seed: 99,
+            apps: vec![pcm_trace::SpecApp::Milc],
+        };
+        let exp = find("fig10_lifetime").unwrap();
+        let m = exp.manifest(&opts);
+        assert_eq!(m.experiment, "fig10_lifetime");
+        assert_eq!(m.seed, 99);
+        assert!(m.quick);
+        assert_eq!(m.apps, vec!["milc".to_string()]);
+        assert_eq!(m.wall_ms, 0.0);
+    }
+}

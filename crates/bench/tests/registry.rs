@@ -1,0 +1,114 @@
+//! Registry completeness: the experiment matrix must be reachable through
+//! `pcm-lab`, with no stray one-off binaries and no hand-maintained
+//! experiment list in the run-all script.
+
+use pcm_bench::{find, run_timed, Options, REGISTRY};
+use std::path::Path;
+
+/// Binaries that are deliberately not registry experiments: the registry
+/// driver itself and the kernel benchmark harness (plus the workspace-root
+/// `pcm-verify`, which lives outside this crate).
+const NON_EXPERIMENT_BINS: &[&str] = &["pcm-lab", "pcm-bench-hotpath"];
+
+fn bin_stems() -> Vec<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let mut stems: Vec<String> = std::fs::read_dir(&dir)
+        .expect("src/bin must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    stems.sort();
+    stems
+}
+
+#[test]
+fn every_bin_is_the_driver_or_registered() {
+    for stem in bin_stems() {
+        if NON_EXPERIMENT_BINS.contains(&stem.as_str()) {
+            continue;
+        }
+        assert!(
+            find(&stem).is_some(),
+            "binary '{stem}' is not reachable through the registry; \
+             add an Experiment impl and a REGISTRY entry instead of a one-off binary"
+        );
+    }
+}
+
+#[test]
+fn registry_covers_the_paper_matrix() {
+    // The figures, tables, and studies ROADMAP.md promises must all stay
+    // registered; deleting one silently would shrink the reproduction.
+    for name in [
+        "fig01_dw_randomness",
+        "fig03_compressed_size",
+        "fig05_bitflip_delta",
+        "fig06_size_change_prob",
+        "fig07_block_size_series",
+        "fig09_montecarlo",
+        "fig10_lifetime",
+        "fig11_size_cdf",
+        "fig12_tolerated_errors",
+        "fig13_lifetime_cov25",
+        "table03_workloads",
+        "table04_months",
+        "perf_overhead",
+        "metadata_rates",
+        "energy_writes",
+        "compressor_comparison",
+        "mix_study",
+        "ablation_heuristic",
+        "ablation_ecc",
+        "ablation_secded",
+        "ablation_rotation",
+        "ablation_window_step",
+        "ablation_flip_n_write",
+        "ablation_interline_wl",
+        "ablation_mlc",
+    ] {
+        assert!(find(name).is_some(), "'{name}' missing from REGISTRY");
+    }
+    assert_eq!(REGISTRY.len(), 25, "registry gained or lost an experiment");
+}
+
+#[test]
+fn run_all_script_drives_the_registry() {
+    let script = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scripts_run_all.sh");
+    let text = std::fs::read_to_string(&script).expect("scripts_run_all.sh must exist");
+    assert!(
+        text.contains("pcm-lab run-all"),
+        "scripts_run_all.sh must drive `pcm-lab run-all`"
+    );
+    assert!(
+        !text.contains("BINS="),
+        "scripts_run_all.sh must not keep a hand-maintained experiment list"
+    );
+    for e in REGISTRY {
+        assert!(
+            !text.contains(&format!("/{}", e.name())),
+            "scripts_run_all.sh references experiment binary '{}' directly",
+            e.name()
+        );
+    }
+}
+
+#[test]
+fn registry_experiments_honor_options() {
+    // A cheap experiment run through the registry must stamp the manifest
+    // from the options it was given and produce deterministic content.
+    let opts = Options {
+        quick: true,
+        seed: 123,
+        apps: vec![pcm_trace::SpecApp::Milc, pcm_trace::SpecApp::Gcc],
+    };
+    let exp = find("fig06_size_change_prob").unwrap();
+    let a = run_timed(exp, &opts);
+    let b = run_timed(exp, &opts);
+    assert_eq!(a.manifest.seed, 123);
+    assert!(a.manifest.quick);
+    assert_eq!(a.manifest.apps, vec!["milc".to_string(), "gcc".to_string()]);
+    assert!(a.manifest.wall_ms > 0.0, "run_timed must stamp wall_ms");
+    assert_eq!(a.tables, b.tables, "same options must reproduce the table");
+    assert_eq!(a.tables[0].rows.len(), 2);
+}

@@ -26,7 +26,7 @@ pub mod churn;
 pub mod oracle;
 
 pub use churn::{churn_lines, churn_memory, ChurnData, ChurnError, ChurnStats};
-pub use oracle::{run_oracle, OracleConfig, OracleDiff, OracleReport, OracleTolerances};
+pub use oracle::{run_oracle, OracleConfig, OracleDiff, OracleReport, OracleTolerances, RatioBand};
 
 use crate::system::{EccChoice, SystemConfig, SystemKind};
 use pcm_trace::SpecApp;

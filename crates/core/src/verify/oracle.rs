@@ -14,20 +14,69 @@ use crate::lifetime::{
 use crate::system::SystemConfig;
 use pcm_trace::SpecApp;
 
+/// An acceptance band on the ratio of two positive statistics.
+///
+/// The band accepts a `candidate / reference` ratio in `lo..=hi`. Both the
+/// differential oracle below and the experiment-layer `pcm-lab diff` gate
+/// express their per-statistic tolerances with this type, so "how much may
+/// two runs disagree" has exactly one vocabulary across the workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioBand {
+    /// Smallest acceptable ratio.
+    pub lo: f64,
+    /// Largest acceptable ratio.
+    pub hi: f64,
+}
+
+impl RatioBand {
+    /// A band accepting ratios in `lo..=hi`.
+    pub const fn new(lo: f64, hi: f64) -> Self {
+        RatioBand { lo, hi }
+    }
+
+    /// Whether `ratio` lands inside the band.
+    pub fn contains(&self, ratio: f64) -> bool {
+        (self.lo..=self.hi).contains(&ratio)
+    }
+
+    /// Computes `candidate / reference` and checks it against the band.
+    ///
+    /// A zero reference is accepted only when the candidate is also zero
+    /// (the ratio is reported as infinity otherwise), so statistics that
+    /// legitimately bottom out at 0 — Monte-Carlo failure probabilities,
+    /// fault counts — do not divide-by-zero their way past the gate.
+    pub fn check(&self, reference: f64, candidate: f64) -> (f64, bool) {
+        if reference == 0.0 {
+            return if candidate == 0.0 {
+                (1.0, true)
+            } else {
+                (f64::INFINITY, false)
+            };
+        }
+        let ratio = candidate / reference;
+        (ratio, self.contains(ratio))
+    }
+}
+
+impl std::fmt::Display for RatioBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
 /// Acceptable `engine / replay` ratio bands, one per compared statistic.
 ///
-/// A band `(lo, hi)` accepts ratios in `lo..=hi`. The defaults are
-/// calibrated against the seeds used by [`run_oracle`]'s callers and
-/// documented in DESIGN.md; they are deliberately tighter than the
-/// original cross-validation test's factor of 3.
+/// The defaults are calibrated against the seeds used by [`run_oracle`]'s
+/// callers and documented in DESIGN.md; they are deliberately tighter than
+/// the original cross-validation test's factor of 3.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OracleTolerances {
     /// Per-line writes to the 50%-capacity failure criterion.
-    pub lifetime: (f64, f64),
+    pub lifetime: RatioBand,
     /// Mean programmed cells per demand write.
-    pub flips: (f64, f64),
+    pub flips: RatioBand,
     /// Mean faulty cells per uncorrectable-failure event (Fig. 12 metric).
-    pub faults_at_death: (f64, f64),
+    pub faults_at_death: RatioBand,
 }
 
 impl Default for OracleTolerances {
@@ -43,9 +92,9 @@ impl Default for OracleTolerances {
         // a dead neighbour absorbs retries; the engine's exchangeable
         // lines enjoy neither.
         OracleTolerances {
-            lifetime: (0.15, 2.0),
-            flips: (0.4, 2.8),
-            faults_at_death: (0.5, 3.2),
+            lifetime: RatioBand::new(0.15, 2.0),
+            flips: RatioBand::new(0.4, 2.8),
+            faults_at_death: RatioBand::new(0.5, 3.2),
         }
     }
 }
@@ -99,7 +148,7 @@ pub struct OracleDiff {
     /// `engine / replay`.
     pub ratio: f64,
     /// The acceptance band applied.
-    pub bounds: (f64, f64),
+    pub bounds: RatioBand,
     /// Whether the ratio landed inside the band.
     pub ok: bool,
 }
@@ -139,13 +188,12 @@ impl OracleReport {
         }
         for d in &self.diffs {
             out.push_str(&format!(
-                "\n  {:16} replay {:>12.2}  engine {:>12.2}  ratio {:.3} in [{}, {}] {}",
+                "\n  {:16} replay {:>12.2}  engine {:>12.2}  ratio {:.3} in {} {}",
                 d.stat,
                 d.replay,
                 d.engine,
                 d.ratio,
-                d.bounds.0,
-                d.bounds.1,
+                d.bounds,
                 if d.ok { "ok" } else { "FAIL" }
             ));
         }
@@ -153,19 +201,15 @@ impl OracleReport {
     }
 }
 
-fn diff(stat: &'static str, replay: f64, engine: f64, bounds: (f64, f64)) -> OracleDiff {
-    let ratio = if replay > 0.0 {
-        engine / replay
-    } else {
-        f64::INFINITY
-    };
+fn diff(stat: &'static str, replay: f64, engine: f64, bounds: RatioBand) -> OracleDiff {
+    let (ratio, ok) = bounds.check(replay, engine);
     OracleDiff {
         stat,
         replay,
         engine,
         ratio,
         bounds,
-        ok: (bounds.0..=bounds.1).contains(&ratio),
+        ok,
     }
 }
 

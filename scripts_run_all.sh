@@ -1,34 +1,43 @@
 #!/bin/bash
-# Regenerates every table and figure into results/.
+# Regenerates every table and figure into results/ via the experiment
+# registry (`pcm-lab run-all`); there is no per-experiment binary list to
+# maintain — registering an Experiment is enough to be picked up here.
 #
-# Flags consumed by this script (everything else is passed through to the
-# figure/table binaries):
+# Flags consumed by this script (everything else — --quick, --seed N,
+# --apps a,b,c — is passed through to `pcm-lab run-all`):
 #   --bench-smoke   run the hot-path bench harness in smoke mode (seconds,
 #                   for the CI gate) instead of the full calibrated run
+#   --diff          after regenerating, re-run `pcm-lab diff` against the
+#                   freshly written results/ and fail non-zero on drift
 set -u
 cd /root/repo
 
 # Warnings are errors for everything the gate builds below.
 export RUSTFLAGS="-D warnings"
 
-# Split our own flags from the passthrough args: the figure/table binaries
-# abort on flags they don't know.
+# Split our own flags from the passthrough args: pcm-lab aborts on flags
+# it doesn't know. pcm-verify only understands --seed, so that is the one
+# experiment option it also receives.
 BENCH_SMOKE=0
+RUN_DIFF=0
+EXPECT_SEED=0
 PASSTHROUGH=()
+VERIFY_ARGS=()
 for arg in "$@"; do
+  if [ "$EXPECT_SEED" = 1 ]; then
+    VERIFY_ARGS+=("$arg")
+    PASSTHROUGH+=("$arg")
+    EXPECT_SEED=0
+    continue
+  fi
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --diff) RUN_DIFF=1 ;;
+    --seed) EXPECT_SEED=1; VERIFY_ARGS+=("$arg"); PASSTHROUGH+=("$arg") ;;
     *) PASSTHROUGH+=("$arg") ;;
   esac
 done
 set -- ${PASSTHROUGH[@]+"${PASSTHROUGH[@]}"}
-
-BINS="fig01_dw_randomness fig03_compressed_size fig05_bitflip_delta fig06_size_change_prob \
-fig07_block_size_series fig10_lifetime fig11_size_cdf fig12_tolerated_errors \
-fig13_lifetime_cov25 table03_workloads table04_months perf_overhead \
-ablation_heuristic ablation_ecc ablation_rotation ablation_flip_n_write \
-ablation_secded ablation_mlc ablation_interline_wl ablation_window_step energy_writes \
-compressor_comparison metadata_rates mix_study fig09_montecarlo"
 
 mkdir -p results
 
@@ -47,7 +56,7 @@ cargo build -q --release -p pcm-bench 2>/dev/null
 # replay-vs-engine oracle (see DESIGN.md "Verification") must pass before
 # any figures are regenerated. A mismatch aborts the whole run non-zero.
 echo "== verify =="
-if ! /usr/bin/timeout 3000 cargo run -q --release --bin pcm-verify -- "$@" > results/verify.txt 2>&1; then
+if ! /usr/bin/timeout 3000 cargo run -q --release --bin pcm-verify -- ${VERIFY_ARGS[@]+"${VERIFY_ARGS[@]}"} > results/verify.txt 2>&1; then
   echo "   VERIFY FAILED (see results/verify.txt)" >&2
   tail -n 20 results/verify.txt >&2
   exit 1
@@ -80,8 +89,21 @@ if ! /usr/bin/timeout 3000 cargo run -q --release -p pcm-bench --bin pcm-bench-h
 fi
 echo "   ok ($(wc -l < results/bench_hotpath.txt) lines)"
 
-for b in $BINS; do
-  echo "== $b =="
-  /usr/bin/timeout 3000 cargo run -q -p pcm-bench --release --bin $b -- "$@" > results/$b.txt 2>&1
-  echo "   done ($(wc -l < results/$b.txt) lines)"
-done
+# Experiment matrix: every registered experiment, deterministic order,
+# results/<name>.txt + results/<name>.json.
+echo "== experiments =="
+if ! /usr/bin/timeout 36000 cargo run -q --release -p pcm-bench --bin pcm-lab -- \
+    run-all --out-dir results "$@"; then
+  echo "   RUN-ALL FAILED" >&2
+  exit 1
+fi
+
+# Drift gate: re-run each tracked report at its recorded seed/scale and
+# compare within the per-statistic tolerance bands.
+if [ "$RUN_DIFF" = 1 ]; then
+  echo "== diff =="
+  if ! /usr/bin/timeout 36000 cargo run -q --release -p pcm-bench --bin pcm-lab -- diff; then
+    echo "   DIFF FAILED (results/ drifted out of tolerance)" >&2
+    exit 1
+  fi
+fi
