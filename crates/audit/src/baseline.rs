@@ -1,0 +1,276 @@
+//! The grandfathering baseline: `audit-baseline.toml`.
+//!
+//! Pre-existing findings are tracked per `(rule, file)` with a count and a
+//! mandatory reason, so the gate can be strict for *new* code while old
+//! debt is paid down incrementally. Counts only ratchet down: a group that
+//! exceeds its baselined count fails the audit, a group that shrinks is
+//! reported as a stale entry to tighten.
+//!
+//! The format is the TOML subset below (parsed in-tree — the workspace is
+//! offline, so no external TOML crate):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "panic-unwrap"
+//! file = "crates/compress/src/bdi.rs"
+//! count = 2
+//! reason = "decoder invariants guarded by round-trip proptests"
+//! ```
+
+use crate::rules::{rule, Finding};
+use std::collections::BTreeMap;
+
+/// One grandfathered `(rule, file)` group.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id from the rule table.
+    pub rule: String,
+    /// Repo-relative file the findings live in.
+    pub file: String,
+    /// Number of findings grandfathered in that file.
+    pub count: usize,
+    /// Why these findings are acceptable for now.
+    pub reason: String,
+}
+
+/// Parses `audit-baseline.toml`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for syntax errors, unknown
+/// keys or rule ids, missing reasons, and duplicate `(rule, file)` pairs.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let at = |msg: String| format!("audit-baseline.toml:{}: {msg}", no + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push(BaselineEntry {
+                count: 1,
+                ..Default::default()
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(at(format!("expected `key = value`, got `{line}`")));
+        };
+        let Some(entry) = entries.last_mut() else {
+            return Err(at("key before the first [[allow]] header".to_string()));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let unquote = |v: &str| -> Result<String, String> {
+            let inner = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| at(format!("`{key}` must be a quoted string")))?;
+            Ok(inner.to_string())
+        };
+        match key {
+            "rule" => entry.rule = unquote(value)?,
+            "file" => entry.file = unquote(value)?,
+            "reason" => entry.reason = unquote(value)?,
+            "count" => {
+                entry.count = value
+                    .parse()
+                    .map_err(|_| at(format!("`count` must be an integer, got `{value}`")))?
+            }
+            other => return Err(at(format!("unknown key `{other}`"))),
+        }
+    }
+    let mut seen = BTreeMap::new();
+    for e in &entries {
+        if rule(&e.rule).is_none() {
+            return Err(format!("baseline entry names unknown rule '{}'", e.rule));
+        }
+        if e.file.is_empty() {
+            return Err(format!("baseline entry for rule '{}' has no file", e.rule));
+        }
+        if e.reason.trim().is_empty() {
+            return Err(format!(
+                "baseline entry {}/{} needs a reason",
+                e.rule, e.file
+            ));
+        }
+        if e.count == 0 {
+            return Err(format!(
+                "baseline entry {}/{} has count 0; delete it instead",
+                e.rule, e.file
+            ));
+        }
+        if seen.insert((e.rule.clone(), e.file.clone()), ()).is_some() {
+            return Err(format!("duplicate baseline entry {}/{}", e.rule, e.file));
+        }
+    }
+    Ok(entries)
+}
+
+/// The result of filtering findings through the baseline.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings not covered by the baseline (these fail the audit).
+    pub visible: Vec<Finding>,
+    /// Number of findings the baseline suppressed.
+    pub baselined: usize,
+    /// Groups that exceeded their baselined count (`rule/file: N > M`).
+    pub exceeded: Vec<String>,
+    /// Entries whose group shrank or vanished (safe to tighten).
+    pub stale: Vec<String>,
+}
+
+/// Filters sorted findings through the baseline.
+///
+/// A group at or under its baselined count is suppressed entirely; a group
+/// over it keeps **all** its findings visible (plus an `exceeded` note), so
+/// a regression cannot hide behind grandfathered neighbors.
+pub fn apply(findings: Vec<Finding>, entries: &[BaselineEntry]) -> Applied {
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        groups
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_default()
+            .push(f);
+    }
+    let mut applied = Applied::default();
+    for e in entries {
+        let key = (e.rule.clone(), e.file.clone());
+        match groups.get(&key) {
+            None => applied.stale.push(format!(
+                "{}/{}: 0 findings vs count {}",
+                e.rule, e.file, e.count
+            )),
+            Some(group) if group.len() <= e.count => {
+                if group.len() < e.count {
+                    applied.stale.push(format!(
+                        "{}/{}: {} finding(s) vs count {}",
+                        e.rule,
+                        e.file,
+                        group.len(),
+                        e.count
+                    ));
+                }
+                applied.baselined += group.len();
+                groups.remove(&key);
+            }
+            Some(group) => applied.exceeded.push(format!(
+                "{}/{}: {} finding(s) vs baselined {}",
+                e.rule,
+                e.file,
+                group.len(),
+                e.count
+            )),
+        }
+    }
+    applied.visible = groups.into_values().flatten().collect();
+    applied.visible.sort();
+    applied.stale.sort();
+    applied.exceeded.sort();
+    applied
+}
+
+/// Renders findings as a fresh baseline file (reasons left as TODOs).
+pub fn render(findings: &[Finding]) -> String {
+    let mut groups: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for f in findings {
+        *groups.entry((f.rule, f.file.as_str())).or_default() += 1;
+    }
+    let mut out = String::from(
+        "# pcm-audit grandfathered findings. Counts only ratchet down; every\n\
+         # entry needs a reason. See DESIGN.md §11 for the policy.\n",
+    );
+    for ((rule, file), count) in groups {
+        out.push_str(&format!(
+            "\n[[allow]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n\
+             reason = \"TODO: justify or fix\"\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let findings = vec![
+            finding("panic-unwrap", "a.rs", 1),
+            finding("panic-unwrap", "a.rs", 2),
+            finding("panic-macro", "b.rs", 3),
+        ];
+        let text = render(&findings).replace("TODO: justify or fix", "because");
+        let entries = parse(&text).expect("rendered baseline must parse");
+        assert_eq!(entries.len(), 2);
+        let a = entries
+            .iter()
+            .find(|e| e.file == "a.rs")
+            .expect("a.rs entry");
+        assert_eq!((a.rule.as_str(), a.count), ("panic-unwrap", 2));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(
+            parse("rule = \"panic-unwrap\"").is_err(),
+            "key before header"
+        );
+        assert!(parse("[[allow]]\nrule = \"nope\"\nfile = \"a\"\nreason = \"r\"").is_err());
+        assert!(
+            parse("[[allow]]\nrule = \"pragma\"\nfile = \"a\"").is_err(),
+            "no reason"
+        );
+        assert!(
+            parse("[[allow]]\nrule = \"pragma\"\nfile = \"a\"\nreason = \"r\"\ncount = x").is_err()
+        );
+        let dup = "[[allow]]\nrule = \"pragma\"\nfile = \"a\"\nreason = \"r\"\n\
+                   [[allow]]\nrule = \"pragma\"\nfile = \"a\"\nreason = \"r\"\n";
+        assert!(parse(dup).is_err(), "duplicate entries");
+    }
+
+    #[test]
+    fn apply_suppresses_exact_and_under_counts() {
+        let entries = parse(
+            "[[allow]]\nrule = \"panic-unwrap\"\nfile = \"a.rs\"\ncount = 2\nreason = \"r\"\n\
+             [[allow]]\nrule = \"panic-macro\"\nfile = \"gone.rs\"\ncount = 1\nreason = \"r\"\n",
+        )
+        .expect("baseline parses");
+        let out = apply(
+            vec![
+                finding("panic-unwrap", "a.rs", 1),
+                finding("panic-unwrap", "a.rs", 2),
+            ],
+            &entries,
+        );
+        assert!(out.visible.is_empty());
+        assert_eq!(out.baselined, 2);
+        assert_eq!(out.stale.len(), 1, "vanished group is stale");
+    }
+
+    #[test]
+    fn apply_fails_whole_group_on_excess() {
+        let entries = parse(
+            "[[allow]]\nrule = \"panic-unwrap\"\nfile = \"a.rs\"\ncount = 1\nreason = \"r\"\n",
+        )
+        .expect("baseline parses");
+        let out = apply(
+            vec![
+                finding("panic-unwrap", "a.rs", 1),
+                finding("panic-unwrap", "a.rs", 2),
+            ],
+            &entries,
+        );
+        assert_eq!(out.visible.len(), 2, "excess keeps the whole group visible");
+        assert_eq!(out.exceeded.len(), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! CLI for the workspace determinism & hygiene audit.
+//!
+//! Exit status: 0 when every finding is baselined, 1 on unbaselined
+//! findings, 2 on usage or I/O errors. The report is deterministic —
+//! byte-identical across runs and `--jobs` settings — so the gate can
+//! diff it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pcm-audit — workspace-wide determinism & hygiene lints (DESIGN.md §11)
+
+USAGE:
+    pcm-audit [OPTIONS]
+
+OPTIONS:
+    --root <DIR>            workspace root to audit [default: .]
+    --baseline <FILE>       baseline file [default: <root>/audit-baseline.toml]
+    --no-baseline           ignore any baseline file (report everything)
+    --jobs <N>              worker threads for file checks [default: 1]
+    --write-baseline <FILE> write a fresh baseline for current findings and exit
+    --list-rules            print the rule table and exit
+    -h, --help              print this help and exit
+
+Suppress a single finding in place with an inline pragma:
+    // pcm-audit: allow(<rule>) — <reason>
+Grandfathered findings live in audit-baseline.toml; counts only ratchet
+down. Exit codes: 0 clean, 1 findings, 2 usage/IO error.";
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    jobs: usize,
+    write_baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        no_baseline: false,
+        jobs: 1,
+        write_baseline: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value (see --help)"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--no-baseline" => args.no_baseline = true,
+            "--jobs" => {
+                let v = value("--jobs")?;
+                args.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got '{v}'"))?;
+            }
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
+            }
+            "--list-rules" => args.list_rules = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        println!("{:<14} {:<10} summary", "rule", "scope");
+        for r in pcm_audit::RULES {
+            let scope = match r.scope {
+                pcm_audit::rules::Scope::File => "file",
+                pcm_audit::rules::Scope::Workspace => "workspace",
+            };
+            println!(
+                "{:<14} {:<10} {}",
+                r.id,
+                scope,
+                r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+            );
+        }
+        return Ok(true);
+    }
+
+    let report = pcm_audit::scan(&args.root, args.jobs)?;
+
+    if let Some(path) = args.write_baseline {
+        let text = pcm_audit::baseline::render(&report.findings);
+        std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "wrote {} ({} finding(s)); fill in the reasons",
+            path.display(),
+            report.findings.len()
+        );
+        return Ok(true);
+    }
+
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| args.root.join("audit-baseline.toml"));
+    let entries = if !args.no_baseline && baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        pcm_audit::baseline::parse(&text)?
+    } else {
+        Vec::new()
+    };
+    let applied = pcm_audit::baseline::apply(report.findings.clone(), &entries);
+    print!("{}", pcm_audit::render(&report, &applied));
+    Ok(applied.visible.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("pcm-audit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! The audit tool needs to reason about *code*, not about rule names that
+//! happen to appear inside comments, doc examples, or string literals. A
+//! full parser would be overkill (and the workspace is offline, so no
+//! external crates); this lexer recognizes exactly the token classes the
+//! rule engine cares about:
+//!
+//! * line (`//`) and nested block (`/* */`) comments — captured separately
+//!   so pragma and `SAFETY:` scanning can see them;
+//! * normal strings with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//!   depth), byte/C-string prefixes (`b"…"`, `br#"…"#`, `c"…"`);
+//! * char literals vs. lifetimes (`'x'` vs. `'a`);
+//! * identifiers (including raw `r#ident`), numbers, and single-character
+//!   punctuation (multi-character operators arrive as adjacent puncts,
+//!   which is all the pattern matching needs).
+//!
+//! The lexer is total: it never panics and never rejects input — on
+//! malformed source it degrades to punctuation tokens, which at worst
+//! costs a rule some precision, never a crash of the gate.
+
+/// Token classes the rule engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal of any flavor; `text` holds the inner content.
+    Str,
+    /// Char literal; `text` holds the inner content.
+    Char,
+    /// Lifetime (`'a`); `text` holds the name without the quote.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// One punctuation character; `text` is that character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: Kind,
+    /// Token text (see [`Kind`] for per-class conventions).
+    pub text: String,
+}
+
+/// One comment (line or block) with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Tok {
+    fn punct(line: u32, c: u8) -> Tok {
+        Tok {
+            line,
+            kind: Kind::Punct,
+            text: (c as char).to_string(),
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes one Rust source file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(false, 0),
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_string(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.out.tokens.push(Tok::punct(self.line, b));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            text: self.src[start..self.pos].to_string(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.comments.push(Comment {
+            line: start_line,
+            text: self.src[start..self.pos].to_string(),
+        });
+    }
+
+    /// Lexes a `"…"` string (escapes honored) or, with `raw`, an
+    /// `r##"…"##`-style raw string terminated by `"` plus `hashes` hashes.
+    /// `self.pos` must sit on the opening quote.
+    fn string(&mut self, raw: bool, hashes: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        let content_start = self.pos;
+        let mut content_end = self.bytes.len();
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if !raw && b == b'\\' {
+                self.pos += 2;
+            } else if b == b'"' {
+                if raw {
+                    let tail = &self.bytes[self.pos + 1..];
+                    if tail.len() >= hashes && tail[..hashes].iter().all(|&h| h == b'#') {
+                        content_end = self.pos;
+                        self.pos += 1 + hashes;
+                        break;
+                    }
+                    self.pos += 1;
+                } else {
+                    content_end = self.pos;
+                    self.pos += 1;
+                    break;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+        let content_end = content_end.min(self.bytes.len());
+        self.out.tokens.push(Tok {
+            line: start_line,
+            kind: Kind::Str,
+            text: self.src[content_start..content_end.max(content_start)].to_string(),
+        });
+    }
+
+    /// Disambiguates `'x'` / `'\n'` char literals from `'a` lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let rest = &self.src[self.pos + 1..];
+        let mut chars = rest.char_indices();
+        let Some((_, first)) = chars.next() else {
+            self.out.tokens.push(Tok::punct(self.line, b'\''));
+            self.pos += 1;
+            return;
+        };
+        if first == '\\' {
+            // Escaped char literal: scan to the closing quote.
+            let start = self.pos + 1;
+            self.pos += 2; // quote + backslash
+            self.pos += 1; // the escaped character itself (ASCII in practice)
+                           // Multi-char escapes (\u{…}, \x41) run to the closing quote.
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            let end = self.pos.min(self.bytes.len());
+            self.pos += 1; // closing quote
+            self.out.tokens.push(Tok {
+                line: self.line,
+                kind: Kind::Char,
+                text: self.src[start..end.max(start)].to_string(),
+            });
+            return;
+        }
+        let after = chars.next().map(|(_, c)| c);
+        if after == Some('\'') {
+            // 'x' — a one-character literal.
+            self.out.tokens.push(Tok {
+                line: self.line,
+                kind: Kind::Char,
+                text: first.to_string(),
+            });
+            self.pos += 1 + first.len_utf8() + 1;
+        } else if first.is_ascii_alphabetic() || first == '_' {
+            // 'name — a lifetime.
+            let start = self.pos + 1;
+            self.pos += 1;
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+            self.out.tokens.push(Tok {
+                line: self.line,
+                kind: Kind::Lifetime,
+                text: self.src[start..self.pos].to_string(),
+            });
+        } else {
+            self.out.tokens.push(Tok::punct(self.line, b'\''));
+            self.pos += 1;
+        }
+    }
+
+    /// Lexes an identifier, or a string with an `r`/`b`/`br`/`c` prefix,
+    /// or a raw identifier (`r#ident`).
+    fn ident_or_prefixed_string(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        let next = self.peek(0);
+        let is_string_prefix = matches!(word, "r" | "b" | "br" | "c" | "rb");
+        if is_string_prefix && next == Some(b'"') {
+            self.string(word.contains('r'), 0);
+            return;
+        }
+        if is_string_prefix && word.contains('r') && next == Some(b'#') {
+            // Count hashes; `r#"…"#` is a raw string, `r#ident` a raw ident.
+            let mut hashes = 0;
+            while self.peek(hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some(b'"') {
+                self.pos += hashes;
+                self.string(true, hashes);
+                return;
+            }
+            if word == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                self.pos += 1; // the '#'
+                let id_start = self.pos;
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+                self.out.tokens.push(Tok {
+                    line: self.line,
+                    kind: Kind::Ident,
+                    text: self.src[id_start..self.pos].to_string(),
+                });
+                return;
+            }
+        }
+        self.out.tokens.push(Tok {
+            line: self.line,
+            kind: Kind::Ident,
+            text: word.to_string(),
+        });
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if is_ident_continue(b) {
+                self.pos += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Fractional part; `0..5` keeps its dots as punctuation.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Tok {
+            line: self.line,
+            kind: Kind::Num,
+            text: self.src[start..self.pos].to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("fn f(x: u32) -> u32 { x + 0x1F }");
+        assert_eq!(toks[0], (Kind::Ident, "fn".into()));
+        assert_eq!(toks[1], (Kind::Ident, "f".into()));
+        assert!(toks.contains(&(Kind::Num, "0x1F".into())));
+        assert!(toks.contains(&(Kind::Punct, "{".into())));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let lexed = lex("let a = 1; // HashMap here\n/* Instant::now /* nested */ */ let b = 2;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "HashMap"));
+        assert!(lexed.tokens.iter().all(|t| t.text != "Instant"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[1].text.contains("nested"));
+        assert_eq!(lexed.tokens.last().map(|t| t.text.as_str()), Some(";"));
+    }
+
+    #[test]
+    fn strings_hide_rule_text() {
+        let lexed =
+            lex(r###"let s = "Instant::now unwrap()"; let r = r#"for x in map.iter()"#;"###);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].text.contains("unwrap()"));
+        assert!(strs[1].text.contains("map.iter()"));
+        assert!(lexed.tokens.iter().all(|t| t.text != "unwrap"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let lexed = lex("let s = r##\"quote \"# inside\"##; end");
+        let s = &lexed.tokens[3];
+        assert_eq!(s.kind, Kind::Str);
+        assert_eq!(s.text, "quote \"# inside");
+        assert_eq!(lexed.tokens.last().map(|t| t.text.as_str()), Some("end"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { '\\n'; 'x' }");
+        assert!(toks.contains(&(Kind::Lifetime, "a".into())));
+        assert!(toks.contains(&(Kind::Char, "x".into())));
+        assert!(toks.contains(&(Kind::Char, "\\n".into())));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(Kind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\"multi\nline\"\nc");
+        let c = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "c")
+            .map(|t| t.line)
+            .unwrap_or(0);
+        assert_eq!(c, 5);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds("let a = b\"bytes\"; let c = c\"cstr\"; let d = br#\"raw\"#;");
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == Kind::Str).collect();
+        assert_eq!(strs.len(), 3);
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in ["\"unterminated", "'", "/* open", "r#\"open", "'\\", "r#"] {
+            let _ = lex(src);
+        }
+    }
+}

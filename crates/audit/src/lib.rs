@@ -1,0 +1,246 @@
+//! `pcm-audit` — workspace-wide determinism & hygiene lints.
+//!
+//! Every number this reproduction reports is only trustworthy because the
+//! pipeline is deterministic under a pinned seed. The runtime harnesses
+//! (`pcm-verify`, `pcm-lab diff`, the thread-invariance tests) check that
+//! property *after the fact*; this crate enforces it *by construction*
+//! with a static pass over every `.rs` file, `Cargo.toml`, and the gate
+//! script. See DESIGN.md §11 for the rule table and policy.
+//!
+//! The crate is fully self-contained: its own minimal Rust lexer
+//! ([`lexer`]), a table-driven rule engine ([`rules`]), and a
+//! grandfathering baseline ([`baseline`]) — no external dependencies, so
+//! it builds first and fast in the offline container.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use std::path::Path;
+//!
+//! let report = pcm_audit::scan(Path::new("."), 1).expect("workspace scan");
+//! let applied = pcm_audit::baseline::apply(report.findings.clone(), &[]);
+//! println!("{}", pcm_audit::render(&report, &applied));
+//! ```
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Finding, RuleInfo, RULES};
+
+use rules::{FileOutput, WorkspaceCtx};
+use std::path::{Path, PathBuf};
+
+/// Directory subtrees the walker never descends into, relative to root.
+const SKIP_DIRS: &[&str] = &["target", ".git", "crates/audit/tests/fixtures"];
+
+/// Everything one scan produced, before baseline filtering.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Source files scanned (`.rs` + manifests + script + docs).
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule, message).
+    pub findings: Vec<Finding>,
+    /// `file:line` of every `unsafe` site carrying a SAFETY comment.
+    pub unsafe_inventory: Vec<String>,
+}
+
+/// Walks the workspace at `root` and runs every rule, fanning file checks
+/// out over `jobs` threads. Output is independent of `jobs`: findings are
+/// merged and sorted before reporting.
+///
+/// # Errors
+///
+/// Returns a message if the workspace cannot be read.
+pub fn scan(root: &Path, jobs: usize) -> Result<ScanReport, String> {
+    let mut rs_files = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, root, &mut rs_files, &mut manifests)?;
+    rs_files.sort();
+    manifests.sort();
+
+    let mut report = ScanReport {
+        files_scanned: rs_files.len() + manifests.len(),
+        ..Default::default()
+    };
+
+    // File-scoped rules, optionally in parallel. Chunked round-robin so a
+    // directory of heavy files spreads across workers; determinism comes
+    // from the sort below, not the schedule.
+    let jobs = jobs.max(1).min(rs_files.len().max(1));
+    let mut registry_sources: Vec<(String, String)> = Vec::new();
+    let outputs: Vec<(FileOutput, Vec<(String, String)>)> = if jobs == 1 {
+        rs_files
+            .iter()
+            .map(|p| process_rs(root, p))
+            .collect::<Result<_, _>>()?
+    } else {
+        let chunks: Vec<Vec<&PathBuf>> = (0..jobs)
+            .map(|w| rs_files.iter().skip(w).step_by(jobs).collect())
+            .collect();
+        let results: Vec<Result<Vec<_>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(|| chunk.iter().map(|p| process_rs(root, p)).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err("audit worker thread panicked".to_string()),
+                })
+                .collect()
+        });
+        let mut merged = Vec::new();
+        for r in results {
+            merged.extend(r?);
+        }
+        merged
+    };
+    for (out, registry) in outputs {
+        report.findings.extend(out.findings);
+        report.unsafe_inventory.extend(out.unsafe_inventory);
+        registry_sources.extend(registry);
+    }
+
+    // Workspace-scoped rules.
+    let mut ctx = WorkspaceCtx::default();
+    for m in &manifests {
+        ctx.manifests.push((rel_path(root, m), read(m)?));
+    }
+    let script = root.join("scripts_run_all.sh");
+    if script.is_file() {
+        report.files_scanned += 1;
+        ctx.gate_script = Some(read(&script)?);
+    }
+    let md = root.join("EXPERIMENTS.md");
+    if md.is_file() {
+        report.files_scanned += 1;
+        ctx.experiments_md = Some(read(&md)?);
+    }
+    registry_sources.sort();
+    ctx.registry_names = registry_sources.into_iter().map(|(_, n)| n).collect();
+    ctx.results_files = list_results(&root.join("results"))?;
+    report.findings.extend(rules::check_workspace(&ctx));
+
+    report.findings.sort();
+    report.findings.dedup();
+    report.unsafe_inventory.sort();
+    Ok(report)
+}
+
+/// Lexes and checks one `.rs` file; experiment sources also yield their
+/// registry names, keyed by path so parallel scheduling cannot reorder
+/// them (the caller sorts by path before extracting the names).
+fn process_rs(root: &Path, path: &Path) -> Result<(FileOutput, Vec<(String, String)>), String> {
+    let rel = rel_path(root, path);
+    let lexed = lexer::lex(&read(path)?);
+    let out = rules::check_file(&rel, &lexed);
+    let registry = if rel.starts_with("crates/bench/src/experiments/") {
+        rules::registry_names_in(&lexed)
+            .into_iter()
+            .map(|name| (rel.clone(), name))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok((out, registry))
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    rs: &mut Vec<PathBuf>,
+    manifests: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = rel_path(root, &path);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&rel.as_str()) {
+                continue;
+            }
+            walk(root, &path, rs, manifests)?;
+        } else if rel.ends_with(".rs") {
+            rs.push(path);
+        } else if path.file_name().is_some_and(|n| n == "Cargo.toml") {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn list_results(dir: &Path) -> Result<Vec<String>, String> {
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut files = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        if entry.path().is_file() {
+            files.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Renders the deterministic findings report. Contains no timestamps or
+/// machine state, so two clean runs are byte-identical — the property the
+/// self-check test pins.
+pub fn render(report: &ScanReport, applied: &baseline::Applied) -> String {
+    let mut out = format!(
+        "pcm-audit: {} files scanned, {} rules, {} finding(s) ({} baselined)\n",
+        report.files_scanned,
+        RULES.len(),
+        applied.visible.len() + applied.baselined,
+        applied.baselined,
+    );
+    for f in &applied.visible {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    if !applied.exceeded.is_empty() {
+        out.push_str("groups over their baselined count:\n");
+        for e in &applied.exceeded {
+            out.push_str(&format!("  {e}\n"));
+        }
+    }
+    if !applied.stale.is_empty() {
+        out.push_str("stale baseline entries (safe to tighten):\n");
+        for s in &applied.stale {
+            out.push_str(&format!("  {s}\n"));
+        }
+    }
+    if report.unsafe_inventory.is_empty() {
+        out.push_str("unsafe inventory: none\n");
+    } else {
+        out.push_str("unsafe inventory:\n");
+        for u in &report.unsafe_inventory {
+            out.push_str(&format!("  {u}\n"));
+        }
+    }
+    if applied.visible.is_empty() {
+        out.push_str("result: ok\n");
+    } else {
+        out.push_str(&format!(
+            "result: FAIL ({} unbaselined finding(s))\n",
+            applied.visible.len()
+        ));
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! Fixture experiment: registers `fig_clean`, which is fully synced —
+//! tracked results and an EXPERIMENTS.md row — so `artifact-sync` must
+//! stay silent.
+
+pub struct CleanFig;
+
+impl Experiment for CleanFig {
+    fn name(&self) -> &'static str {
+        "fig_clean"
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture binary: `src/bin/` targets are outside the panic policy, so
+//! the bare unwrap() below must not fire.
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap();
+    println!("{arg}");
+}

@@ -1,0 +1,48 @@
+//! Fixture near-miss file: every trigger phrase below sits somewhere the
+//! rules must NOT look — string literals, raw strings, comments, cfg(test)
+//! regions, or under a justified pragma. A correct audit reports nothing.
+
+use std::collections::BTreeMap;
+
+/// Prose mention of HashMap and Instant::now — comments are not tokens.
+pub fn describe() -> &'static str {
+    "HashMap, Instant::now(), and panic! inside a plain string literal"
+}
+
+pub fn raw_mentions() -> &'static str {
+    r#"SystemTime, seed_from_u64 and .unwrap() inside a raw "string""#
+}
+
+pub fn pragma_lookalike() -> &'static str {
+    "pcm-audit: allow(not-a-rule) — pragma text in a string is not a pragma"
+}
+
+pub fn counts(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0u64) += 1;
+    }
+    m
+}
+
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().expect("expect() with a message is sanctioned")
+}
+
+// pcm-audit: allow(panic-unwrap) — fixture exercises a justified pragma
+pub fn head_unchecked(xs: &[u64]) -> u64 { xs.first().copied().unwrap() }
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: fixture callers pass a valid pointer; this site exercises
+    // the unsafe inventory path (SAFETY comment present, no finding).
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_panic() {
+        Some(1u32).unwrap();
+        panic!("panics are fine in cfg(test) regions");
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture integration test: `tests/` trees are outside the panic
+//! policy, so the bare unwrap() below must not fire.
+
+#[test]
+fn smoke() {
+    let v: Vec<u64> = vec![1, 2, 3];
+    assert_eq!(v.first().copied().unwrap(), 1);
+}

@@ -1,0 +1,24 @@
+#!/bin/bash
+# Fixture gate script: carries every required stage marker and driver
+# invocation, so `gate-stages` must stay silent.
+set -u
+
+echo "== fmt check =="
+cargo fmt --all --check
+
+echo "== audit =="
+cargo run -q --release -p pcm-audit --bin pcm-audit
+
+cargo build -q --release -p pcm-bench
+
+echo "== verify =="
+cargo run -q --release --bin pcm-verify
+
+echo "== examples =="
+cargo run -q --release --example quickstart -- --quick
+
+echo "== bench hotpath =="
+cargo run -q --release -p pcm-bench --bin pcm-bench-hotpath -- --smoke
+
+echo "== experiments =="
+cargo run -q --release -p pcm-bench --bin pcm-lab -- run-all --out-dir results

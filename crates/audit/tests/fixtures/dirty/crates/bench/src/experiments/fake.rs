@@ -1,0 +1,11 @@
+//! Fixture experiment: registers `fig_fake`, which has no tracked
+//! results/fig_fake.json and no EXPERIMENTS.md row — both directions of
+//! `artifact-sync` must fire.
+
+pub struct FakeFig;
+
+impl Experiment for FakeFig {
+    fn name(&self) -> &'static str {
+        "fig_fake"
+    }
+}

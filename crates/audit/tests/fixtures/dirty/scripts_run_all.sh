@@ -1,0 +1,19 @@
+#!/bin/bash
+# Fixture gate script: the static-analysis stage (marker and driver
+# invocation both) has been dropped, which must trip the stage rule.
+set -u
+
+echo "== fmt check =="
+cargo fmt --all --check
+
+echo "== verify =="
+cargo run -q --release --bin pcm-verify
+
+echo "== examples =="
+cargo run -q --release --example quickstart -- --quick
+
+echo "== bench hotpath =="
+cargo run -q --release -p pcm-bench --bin pcm-bench-hotpath -- --smoke
+
+echo "== experiments =="
+cargo run -q --release -p pcm-bench --bin pcm-lab -- run-all --out-dir results

@@ -152,8 +152,8 @@ impl Experiment for Fig01DwRandomness {
         r.tables.push(t);
         let as_f64: Vec<f64> = series.iter().map(|&f| f as f64).collect();
         let mean = as_f64.iter().sum::<f64>() / as_f64.len() as f64;
-        let max = series.iter().max().unwrap();
-        let min = series.iter().min().unwrap();
+        let max = series.iter().max().expect("series has at least one write");
+        let min = series.iter().min().expect("series has at least one write");
         r.series
             .push(Series::spark("shape", as_f64, 1, Tolerance::Exact));
         r.note(format!("mean {mean:.1}, min {min}, max {max} of 512 cells"));

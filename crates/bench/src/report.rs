@@ -914,7 +914,10 @@ impl<'a> JsonParser<'a> {
                     // Consume one UTF-8 scalar (the input is a &str, so
                     // boundaries are valid).
                     let text = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = text.chars().next().unwrap();
+                    let c = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| "unterminated string".to_string())?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -933,7 +936,8 @@ impl<'a> JsonParser<'a> {
         {
             self.pos += 1;
         }
-        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("non-UTF-8 number token at byte {start}"))?;
         tok.parse::<f64>()
             .map_err(|_| format!("bad number '{tok}' at byte {start}"))?;
         Ok(Json::Num(tok.to_string()))

@@ -16,7 +16,7 @@
 use crate::bits::{BitReader, BitWriter};
 use pcm_util::Line512;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A trained FVC dictionary of 32-bit values.
 ///
@@ -91,7 +91,10 @@ impl FvcDictionary {
             entries.is_power_of_two() && (2..=256).contains(&entries),
             "dictionary size must be a power of two in 2..=256, got {entries}"
         );
-        let mut freq: HashMap<u32, u64> = HashMap::new();
+        // BTreeMap keeps the ranking deterministic by construction: the
+        // stable sort below then only reorders by frequency, with the
+        // value-ascending map order as the built-in tie-break.
+        let mut freq: BTreeMap<u32, u64> = BTreeMap::new();
         for line in samples {
             for chunk in line.to_bytes().chunks_exact(4) {
                 let v = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));

@@ -13,7 +13,7 @@ use pcm_device::access::{simulate, AccessConfig, Op, Request};
 use pcm_device::MemoryGeometry;
 use pcm_trace::{AccessKind, TraceGenerator, WorkloadProfile};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of one performance study.
 #[derive(Debug, Clone)]
@@ -100,7 +100,7 @@ pub fn perf_overhead(cfg: &PerfConfig) -> PerfReport {
     let inter_arrival = (1.0 / accesses_per_cycle).max(0.01);
 
     let cpu_cycle_ns = 1.0 / cfg.cpu_ghz;
-    let mut stored: HashMap<u64, Method> = HashMap::new();
+    let mut stored: BTreeMap<u64, Method> = BTreeMap::new();
     let mut requests = Vec::with_capacity(cfg.accesses);
     let mut decomp_cpu_cycles_total = 0u64;
     let mut compressed_reads = 0u64;

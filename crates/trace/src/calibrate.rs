@@ -10,7 +10,7 @@ use crate::profile::WorkloadProfile;
 use pcm_compress::{bdi, compress_best, fpc, Method};
 use pcm_util::stats::Ecdf;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Realized compression statistics of a workload (Fig. 3, Table III).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,7 +71,8 @@ pub fn compression_stats(generator: &mut TraceGenerator, n: usize) -> Compressio
 /// Probability that two consecutive writes to the same block have
 /// different compressed sizes (Fig. 6).
 pub fn size_change_probability(generator: &mut TraceGenerator, n: usize) -> f64 {
-    let mut last: HashMap<u64, usize> = HashMap::new();
+    // pcm-audit: allow(map-order) — insert-only recency map, never iterated
+    let mut last: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     let mut pairs = 0u64;
     let mut changes = 0u64;
     for _ in 0..n {
@@ -94,7 +95,7 @@ pub fn size_change_probability(generator: &mut TraceGenerator, n: usize) -> f64 
 /// Per-address **maximum** compressed size distribution (Fig. 11): for
 /// every line, the largest compressed write observed.
 pub fn max_size_cdf(generator: &mut TraceGenerator, n: usize) -> Ecdf {
-    let mut max_size: HashMap<u64, usize> = HashMap::new();
+    let mut max_size: BTreeMap<u64, usize> = BTreeMap::new();
     for _ in 0..n {
         let w = generator.next_write();
         let size = compress_best(&w.data).size();

@@ -125,10 +125,11 @@ impl Trace {
             .get(..8)
             .and_then(|h| h.try_into().ok())
             .ok_or(DecodeTraceError::Truncated)?;
-        if u32::from_le_bytes(header[..4].try_into().unwrap()) != MAGIC {
+        if u32::from_le_bytes(header[..4].try_into().expect("4-byte magic slice")) != MAGIC {
             return Err(DecodeTraceError::BadMagic);
         }
-        let count = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+        let count =
+            u32::from_le_bytes(header[4..].try_into().expect("4-byte count slice")) as usize;
         let body = &bytes[8..];
         if body.len() < count * 72 {
             return Err(DecodeTraceError::Truncated);
@@ -136,10 +137,10 @@ impl Trace {
         let records = body[..count * 72]
             .chunks_exact(72)
             .map(|rec| {
-                let line = u64::from_le_bytes(rec[..8].try_into().unwrap());
+                let line = u64::from_le_bytes(rec[..8].try_into().expect("8-byte line id"));
                 WriteRecord {
                     line,
-                    data: Line512::from_bytes(rec[8..].try_into().unwrap()),
+                    data: Line512::from_bytes(rec[8..].try_into().expect("64-byte payload")),
                 }
             })
             .collect();

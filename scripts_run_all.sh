@@ -50,6 +50,18 @@ if ! cargo fmt --all --check > results/fmt.txt 2>&1; then
 fi
 echo "   ok"
 
+# Static-analysis gate: determinism & hygiene lints (DESIGN.md §11) run
+# before anything expensive is built. pcm-audit is dependency-free, so
+# this compiles in seconds even on a cold target/. Fails non-zero on any
+# finding not covered by audit-baseline.toml; --quick does not skip it.
+echo "== audit =="
+if ! /usr/bin/timeout 600 cargo run -q --release -p pcm-audit --bin pcm-audit > results/audit.txt 2>&1; then
+  echo "   AUDIT FAILED (see results/audit.txt)" >&2
+  tail -n 30 results/audit.txt >&2
+  exit 1
+fi
+echo "   ok ($(wc -l < results/audit.txt) lines)"
+
 cargo build -q --release -p pcm-bench 2>/dev/null
 
 # Verification gate: the fault-injection churn matrix and the differential

@@ -38,6 +38,7 @@ fn main() {
         i += 1;
     }
 
+    // pcm-audit: allow(wallclock) — progress reporting only, never a Report
     let start = std::time::Instant::now();
     let report = run_all(&cfg);
     for entry in &report.entries {

@@ -1,0 +1,55 @@
+//! Gate-wiring test: `scripts_run_all.sh` must run the static-analysis
+//! stage (`pcm-audit`) ahead of every build/run stage, and nothing may
+//! gate it behind a flag like `--quick`. The audit crate's own
+//! `gate-stages` rule checks the marker set; this test pins the ordering
+//! from the outside so the two cannot drift together unnoticed.
+
+fn gate_script() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scripts_run_all.sh");
+    std::fs::read_to_string(path).expect("scripts_run_all.sh exists")
+}
+
+#[test]
+fn audit_stage_is_present_and_ordered_before_builds() {
+    let script = gate_script();
+    let audit = script
+        .find("== audit ==")
+        .expect("audit stage marker present");
+    assert!(
+        script.contains("-p pcm-audit"),
+        "audit stage must invoke the pcm-audit binary"
+    );
+    let fmt = script
+        .find("== fmt check ==")
+        .expect("fmt stage marker present");
+    let build = script
+        .find("cargo build")
+        .expect("gate builds the workspace");
+    let verify = script.find("== verify ==").expect("verify stage present");
+    assert!(fmt < audit, "fmt check should stay first");
+    assert!(
+        audit < build,
+        "audit must run before the first cargo build so hygiene failures \
+         abort the gate cheaply"
+    );
+    assert!(audit < verify, "audit must run before the verify sweep");
+}
+
+#[test]
+fn audit_stage_is_unconditional() {
+    let script = gate_script();
+    // The audit invocation must not sit behind any flag variable the way
+    // the bench smoke toggle does: from the stage marker to the first
+    // cargo build there is no `if [ "$...` guard.
+    let audit = script.find("== audit ==").expect("audit stage present");
+    let build = script.find("cargo build").expect("build present");
+    let stage = &script[audit..build];
+    assert!(
+        !stage.contains("if [ \"$"),
+        "audit stage must not be gated on a script flag:\n{stage}"
+    );
+    assert!(
+        stage.contains("exit 1"),
+        "audit failures must abort the gate non-zero"
+    );
+}
