@@ -46,6 +46,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "RNG constructed outside pcm_util::seeded_rng/split_seed plumbing",
     },
     RuleInfo {
+        id: "thread-spawn",
+        scope: Scope::File,
+        summary: "thread::spawn/scope outside pcm_util::pool; ad-hoc parallelism can \
+                  reintroduce scheduling-dependent results",
+    },
+    RuleInfo {
         id: "panic-unwrap",
         scope: Scope::File,
         summary: "bare unwrap() in library code; return Result or expect() with a message",
@@ -130,6 +136,10 @@ const MAP_ORDER_SCOPE: &[&str] = &["crates/core/src", "crates/trace/src", "crate
 
 /// The sanctioned home of RNG construction.
 const RNG_ALLOW: &[&str] = &["crates/util/", "crates/rand/", "crates/proptest/"];
+
+/// The sanctioned homes of thread creation: the deterministic job pool and
+/// the auditor's own file walker (which never touches simulation results).
+const THREAD_ALLOW: &[&str] = &["crates/util/src/pool.rs", "crates/audit/"];
 
 /// Stage markers the gate script must keep, in order of appearance.
 pub const GATE_STAGES: &[&str] = &[
@@ -412,6 +422,27 @@ pub fn check_file(rel: &str, lexed: &Lexed) -> FileOutput {
                     t.text
                 ),
             });
+        }
+
+        // thread-spawn: ad-hoc thread creation outside the job pool.
+        if !in_test[i]
+            && !path_allowed(rel, THREAD_ALLOW)
+            && t.text == "thread"
+            && punct(i + 1, ":")
+            && punct(i + 2, ":")
+        {
+            if let Some(entry) = ident(i + 3).filter(|n| n.text == "spawn" || n.text == "scope") {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: "thread-spawn",
+                    message: format!(
+                        "`thread::{}` outside pcm_util::pool: route parallel work through \
+                         the shared Pool so results stay scheduling-invariant",
+                        entry.text
+                    ),
+                });
+            }
         }
 
         // panic-unwrap / panic-macro: library code only, tests excluded.

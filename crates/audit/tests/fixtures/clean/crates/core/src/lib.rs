@@ -17,6 +17,10 @@ pub fn pragma_lookalike() -> &'static str {
     "pcm-audit: allow(not-a-rule) — pragma text in a string is not a pragma"
 }
 
+pub fn thread_prose() -> &'static str {
+    "thread::spawn and thread::scope in a string are not thread creation"
+}
+
 pub fn counts(xs: &[u64]) -> BTreeMap<u64, u64> {
     let mut m = BTreeMap::new();
     for &x in xs {
@@ -44,5 +48,10 @@ mod tests {
     fn test_code_may_unwrap_and_panic() {
         Some(1u32).unwrap();
         panic!("panics are fine in cfg(test) regions");
+    }
+
+    #[test]
+    fn test_code_may_spawn_threads() {
+        std::thread::spawn(|| ()).join().unwrap();
     }
 }

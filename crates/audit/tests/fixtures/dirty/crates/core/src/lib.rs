@@ -39,3 +39,14 @@ pub fn boom() -> ! {
 pub unsafe fn read_raw(p: *const u8) -> u8 {
     *p
 }
+
+pub fn fan_out(xs: &[u64]) -> u64 {
+    std::thread::scope(|s| {
+        let h = s.spawn(|| xs.iter().sum::<u64>());
+        h.join().unwrap_or(0)
+    })
+}
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| ());
+}

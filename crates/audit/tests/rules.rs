@@ -49,6 +49,8 @@ fn dirty_fixture_specific_sites() {
     assert!(has("wallclock", lib, "SystemTime"));
     assert!(has("map-order", lib, "HashMap"));
     assert!(has("rng-source", lib, "seed_from_u64"));
+    assert!(has("thread-spawn", lib, "`thread::scope`"));
+    assert!(has("thread-spawn", lib, "`thread::spawn`"));
     assert!(has("pragma", lib, "made-up-rule"));
     assert!(has("pragma", lib, "needs a reason"));
     // Malformed pragmas suppress nothing: the annotated sites still fire.

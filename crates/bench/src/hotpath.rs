@@ -10,7 +10,9 @@
 //!    differential-write and Flip-N-Write encoding,
 //! 3. `simulate_line` throughput (simulated demand writes/sec) per
 //!    `SystemKind` × `EccChoice`,
-//! 4. end-to-end campaign wall-clock.
+//! 4. `pcm_util::Pool` scheduling (threads ∈ {1, 2, 4, 8}, balanced vs.
+//!    skewed job cost),
+//! 5. end-to-end campaign wall-clock.
 //!
 //! Every benchmark also folds its outputs into a seed-stable checksum, so
 //! two runs with the same `--seed` must agree on every non-timing field —
@@ -23,7 +25,7 @@ use pcm_core::lifetime::{run_campaign, simulate_line, CampaignConfig, LineSimCon
 use pcm_core::{EccChoice, SystemConfig, SystemKind};
 use pcm_device::{diff_write, FlipNWrite};
 use pcm_trace::{BlockStream, SpecApp};
-use pcm_util::{child_seed, seeded_rng, Line512};
+use pcm_util::{child_seed, seeded_rng, Line512, Pool};
 use std::time::{Duration, Instant};
 
 /// Options of the `pcm-bench-hotpath` binary.
@@ -382,6 +384,45 @@ pub fn run(opts: &HotpathOptions) -> HotpathReport {
         entries.push(("writes", checksum));
     }
 
+    // --- 4. scheduler: pool scaling, balanced vs. skewed job cost ------
+    // Each job spins a deterministic LCG seeded by its index; the skewed
+    // shape makes every 8th job 16× heavier — the static-striping worst
+    // case. Checksums fold the pooled results in index order, so they must
+    // agree across every thread count (scheduling invariance).
+    let jobs = if opts.smoke { 32 } else { 256 };
+    let base_rounds: u64 = if opts.smoke { 1_000 } else { 10_000 };
+    let spin = |seed: u64, rounds: u64| {
+        let mut acc = seed;
+        for _ in 0..rounds {
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        acc
+    };
+    let weights: [(&str, fn(usize) -> u64); 2] = [
+        ("balanced", |_| 1),
+        ("skewed", |i| if i % 8 == 0 { 16 } else { 1 }),
+    ];
+    for (shape, weight) in weights {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let run_pool = || {
+                pool.map_indexed(jobs, 1, |i| {
+                    spin(child_seed(opts.seed, i as u64), base_rounds * weight(i))
+                })
+                .into_iter()
+                .fold(0u64, mix)
+            };
+            let checksum = run_pool();
+            let mut g = c.benchmark_group("scheduler");
+            g.throughput(Throughput::Elements(jobs as u64));
+            g.bench_function(format!("{shape}/t{threads}"), |b| b.iter(run_pool));
+            g.finish();
+            entries.push(("jobs", checksum));
+        }
+    }
+
     // --- micro-bench entries -------------------------------------------
     assert_eq!(
         c.results().len(),
@@ -403,7 +444,7 @@ pub fn run(opts: &HotpathOptions) -> HotpathReport {
         })
         .collect();
 
-    // --- 4. end-to-end campaign wall-clock -----------------------------
+    // --- 5. end-to-end campaign wall-clock -----------------------------
     let mut campaigns = Vec::new();
     for (kind, app) in [
         (SystemKind::Baseline, SpecApp::Lbm),

@@ -23,6 +23,9 @@ use serde::{Deserialize, Serialize};
 /// Decompression latency of BDI in CPU cycles (paper Table I).
 pub const BDI_DECOMPRESSION_CYCLES: u64 = 1;
 
+/// Largest possible BDI payload (the B8D4 encoding, paper Table I).
+pub const BDI_MAX_BYTES: usize = 40;
+
 /// The eight BDI encodings, ordered by compressed size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum BdiEncoding {
@@ -176,16 +179,21 @@ fn sign_extend(v: u64, bits: usize) -> i64 {
 }
 
 /// Attempts to compress with a specific base-delta geometry, emitting the
-/// payload as it validates so a failing element aborts without having
-/// buffered the deltas separately.
-fn try_base_delta(bytes: &[u8; DATA_BYTES], k: usize, d: usize) -> Option<Vec<u8>> {
+/// payload into `out` as it validates so a failing element aborts without
+/// having buffered the deltas separately. Returns the payload length.
+fn try_base_delta_into(
+    bytes: &[u8; DATA_BYTES],
+    k: usize,
+    d: usize,
+    out: &mut [u8],
+) -> Option<usize> {
     let n = DATA_BYTES / k;
     let base = element(bytes, k, 0);
     let dbits = d * 8;
     let lo = -(1i64 << (dbits - 1));
     let hi = (1i64 << (dbits - 1)) - 1;
-    let mut out = Vec::with_capacity(k + n * d);
-    out.extend_from_slice(&base.to_le_bytes()[..k]);
+    out[..k].copy_from_slice(&base.to_le_bytes()[..k]);
+    let mut len = k;
     for i in 0..n {
         let e = element(bytes, k, i);
         // Wrapping difference within the k-byte element width.
@@ -194,9 +202,10 @@ fn try_base_delta(bytes: &[u8; DATA_BYTES], k: usize, d: usize) -> Option<Vec<u8
         if delta < lo || delta > hi {
             return None;
         }
-        out.extend_from_slice(&(delta as u64).to_le_bytes()[..d]);
+        out[len..len + d].copy_from_slice(&(delta as u64).to_le_bytes()[..d]);
+        len += d;
     }
-    Some(out)
+    Some(len)
 }
 
 /// Compresses a line with the smallest applicable BDI encoding.
@@ -216,31 +225,38 @@ fn try_base_delta(bytes: &[u8; DATA_BYTES], k: usize, d: usize) -> Option<Vec<u8
 /// assert_eq!(c.size(), 1);
 /// ```
 pub fn compress(line: &Line512) -> Option<BdiCompressed> {
+    let mut buf = [0u8; BDI_MAX_BYTES];
+    let (encoding, len) = compress_into(line, &mut buf)?;
+    Some(BdiCompressed {
+        encoding,
+        data: buf[..len].to_vec(),
+    })
+}
+
+/// Allocation-free [`compress`]: writes the payload into `out` (which must
+/// hold at least [`BDI_MAX_BYTES`]) and returns the encoding plus payload
+/// length. This is the hot-path entry point — `compress` delegates here, so
+/// the two can never disagree.
+pub fn compress_into(line: &Line512, out: &mut [u8]) -> Option<(BdiEncoding, usize)> {
+    assert!(out.len() >= BDI_MAX_BYTES, "output buffer too small");
     let bytes = line.to_bytes();
 
     if line.is_zero() {
-        return Some(BdiCompressed {
-            encoding: BdiEncoding::Zeros,
-            data: vec![0u8],
-        });
+        out[0] = 0;
+        return Some((BdiEncoding::Zeros, 1));
     }
 
     let words = line.words();
     if words.iter().all(|&w| w == words[0]) {
-        return Some(BdiCompressed {
-            encoding: BdiEncoding::Rep8,
-            data: words[0].to_le_bytes().to_vec(),
-        });
+        out[..8].copy_from_slice(&words[0].to_le_bytes());
+        return Some((BdiEncoding::Rep8, 8));
     }
 
     for enc in ALL_ENCODINGS {
         if let Some((k, d)) = enc.geometry() {
-            if let Some(data) = try_base_delta(&bytes, k, d) {
-                debug_assert_eq!(data.len(), enc.compressed_size());
-                return Some(BdiCompressed {
-                    encoding: enc,
-                    data,
-                });
+            if let Some(len) = try_base_delta_into(&bytes, k, d, out) {
+                debug_assert_eq!(len, enc.compressed_size());
+                return Some((enc, len));
             }
         }
     }

@@ -171,37 +171,46 @@ impl CompressedWrite {
 /// assert_eq!(c.size(), 1); // BDI zeros encoding wins
 /// ```
 pub fn compress_best(line: &Line512) -> CompressedWrite {
+    let mut buf = [0u8; DATA_BYTES];
+    let (method, len) = compress_best_into(line, &mut buf);
+    CompressedWrite {
+        method,
+        bytes: buf[..len].to_vec(),
+    }
+}
+
+/// Allocation-free [`compress_best`]: writes the winning payload into `out`
+/// and returns the method plus payload length (64 for uncompressed). This
+/// is the hot-path entry point — `compress_best` delegates here, so the two
+/// can never disagree on method, size, or bytes.
+pub fn compress_best_into(line: &Line512, out: &mut [u8; DATA_BYTES]) -> (Method, usize) {
     // BDI first: its cascade tries encodings smallest-first and each
     // geometry aborts on the first out-of-range delta, so a miss is cheap.
-    let bdi_out = bdi::compress(line);
-    let bdi_size = bdi_out.as_ref().map(|c| c.size()).unwrap_or(usize::MAX);
+    // Its payload (≤ 40 bytes) lands directly in `out`.
+    let bdi_out = bdi::compress_into(line, out);
+    let bdi_size = bdi_out.map(|(_, len)| len).unwrap_or(usize::MAX);
 
     // FPC wins only when strictly smaller than both the BDI result and the
     // raw line (ties prefer BDI's 1-cycle decompression), so cap its
     // emission at one byte below that bound — anything larger would lose
     // anyway, and the encoder stops as soon as it crosses the cap.
     let budget_bytes = bdi_size.min(DATA_BYTES) - 1;
-    let fpc_out = if budget_bytes < 2 {
+    let mut fpc_buf = [0u8; fpc::FPC_MAX_BYTES];
+    let fpc_bits = if budget_bytes < 2 {
         None // FPC's smallest possible output (an all-zero line) is 2 bytes.
     } else {
-        fpc::compress_bounded(line, budget_bytes * 8)
+        fpc::compress_bounded_into(line, budget_bytes * 8, &mut fpc_buf)
     };
 
-    if let Some(f) = fpc_out {
-        CompressedWrite {
-            method: Method::Fpc,
-            bytes: f.into_data(),
-        }
-    } else if let Some(c) = bdi_out {
-        CompressedWrite {
-            method: Method::Bdi(c.encoding()),
-            bytes: c.into_data(),
-        }
+    if let Some(bits) = fpc_bits {
+        let len = bits.div_ceil(8);
+        out[..len].copy_from_slice(&fpc_buf[..len]);
+        (Method::Fpc, len)
+    } else if let Some((enc, len)) = bdi_out {
+        (Method::Bdi(enc), len)
     } else {
-        CompressedWrite {
-            method: Method::Uncompressed,
-            bytes: line.to_bytes().to_vec(),
-        }
+        out.copy_from_slice(&line.to_bytes());
+        (Method::Uncompressed, DATA_BYTES)
     }
 }
 

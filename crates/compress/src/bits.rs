@@ -79,6 +79,71 @@ impl BitWriter {
     }
 }
 
+/// A [`BitWriter`] over a caller-provided byte buffer: identical bit
+/// packing, no allocation. The FPC hot path reuses one stack buffer per
+/// write instead of growing a fresh `Vec`.
+#[derive(Debug)]
+pub struct FixedBitWriter<'a> {
+    bytes: &'a mut [u8],
+    /// Bytes in use (the last one possibly partial).
+    len: usize,
+    /// Number of valid bits in the last byte (0 means the last byte is full
+    /// or the buffer is empty).
+    partial: u32,
+}
+
+impl<'a> FixedBitWriter<'a> {
+    /// Creates a writer over `bytes`, starting empty.
+    pub fn new(bytes: &'a mut [u8]) -> Self {
+        FixedBitWriter {
+            bytes,
+            len: 0,
+            partial: 0,
+        }
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64, if `value` has bits set
+    /// above `width`, or if the buffer is full.
+    pub fn push(&mut self, value: u64, width: u32) {
+        assert!(
+            (1..=64).contains(&width),
+            "width must be 1..=64, got {width}"
+        );
+        assert!(
+            width == 64 || value >> width == 0,
+            "value {value:#x} wider than {width} bits"
+        );
+        let mut remaining = width;
+        let mut v = value;
+        while remaining > 0 {
+            if self.partial == 0 {
+                self.bytes[self.len] = 0;
+                self.len += 1;
+            }
+            let free = 8 - self.partial;
+            let take = free.min(remaining);
+            let chunk = (v & ((1u64 << take) - 1)) as u8;
+            self.bytes[self.len - 1] |= chunk << self.partial;
+            self.partial = (self.partial + take) % 8;
+            v >>= take;
+            remaining -= take;
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.partial == 0 {
+            self.len * 8
+        } else {
+            (self.len - 1) * 8 + self.partial as usize
+        }
+    }
+}
+
 /// Error returned when a [`BitReader`] runs past the end of its input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutOfBits;
@@ -214,6 +279,39 @@ mod tests {
         assert_eq!(r.pull(8).unwrap(), 0xAA);
         assert_eq!(r.pull(1), Err(OutOfBits));
         assert_eq!(OutOfBits.to_string(), "bit stream exhausted");
+    }
+
+    #[test]
+    fn fixed_writer_matches_vec_writer() {
+        let values: &[(u64, u32)] = &[
+            (0b101, 3),
+            (0xDEAD, 16),
+            (0x1F, 5),
+            (u64::MAX, 64),
+            (0, 7),
+            (0x3FFFF, 18),
+            (1, 1),
+        ];
+        let mut w = BitWriter::new();
+        let mut buf = [0u8; 32];
+        let mut fw = FixedBitWriter::new(&mut buf);
+        for &(v, width) in values {
+            w.push(v, width);
+            fw.push(v, width);
+            assert_eq!(w.bit_len(), fw.bit_len());
+        }
+        let bit_len = fw.bit_len();
+        let bytes = w.into_bytes();
+        assert_eq!(&buf[..bytes.len()], &bytes[..]);
+        assert_eq!(bit_len, 114); // packed into 15 bytes
+        assert_eq!(bytes.len(), bit_len.div_ceil(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn fixed_push_rejects_overwide_value() {
+        let mut buf = [0u8; 4];
+        FixedBitWriter::new(&mut buf).push(0b100, 2);
     }
 
     #[test]

@@ -18,12 +18,17 @@
 //! (16 × 35 bits = 70 bytes); the [best-of selector](crate::best) falls back
 //! to uncompressed storage in that case.
 
-use crate::bits::{BitReader, BitWriter, OutOfBits};
+use crate::bits::{BitReader, FixedBitWriter, OutOfBits};
 use pcm_util::Line512;
 use serde::{Deserialize, Serialize};
 
 /// Decompression latency of FPC in CPU cycles (paper Table I).
 pub const FPC_DECOMPRESSION_CYCLES: u64 = 5;
+
+/// Largest possible FPC output: sixteen raw words at 35 bits each, packed
+/// into 70 bytes. Buffers handed to [`compress_bounded_into`] must hold at
+/// least this much.
+pub const FPC_MAX_BYTES: usize = 70;
 
 const WORDS: usize = 16;
 
@@ -145,13 +150,28 @@ pub fn compress(line: &Line512) -> FpcCompressed {
 /// assert!(fpc::compress_bounded(&Line512::zero(), 11).is_none());
 /// ```
 pub fn compress_bounded(line: &Line512, max_bits: usize) -> Option<FpcCompressed> {
+    let mut buf = [0u8; FPC_MAX_BYTES];
+    let bit_len = compress_bounded_into(line, max_bits, &mut buf)?;
+    Some(FpcCompressed {
+        data: buf[..bit_len.div_ceil(8)].to_vec(),
+        bit_len,
+    })
+}
+
+/// Allocation-free [`compress_bounded`]: packs the stream into `out` (which
+/// must hold at least [`FPC_MAX_BYTES`]) and returns the exact bit length;
+/// the payload occupies the first `bit_len.div_ceil(8)` bytes. This is the
+/// hot-path entry point — `compress_bounded` delegates here, so the two can
+/// never disagree.
+pub fn compress_bounded_into(line: &Line512, max_bits: usize, out: &mut [u8]) -> Option<usize> {
+    assert!(out.len() >= FPC_MAX_BYTES, "output buffer too small");
     let bytes = line.to_bytes();
     let mut words = [0u32; WORDS];
     for (w, c) in words.iter_mut().zip(bytes.chunks_exact(4)) {
         *w = u32::from_le_bytes(c.try_into().expect("4 bytes"));
     }
 
-    let mut w = BitWriter::new();
+    let mut w = FixedBitWriter::new(out);
     let mut i = 0;
     while i < WORDS {
         if w.bit_len() > max_bits {
@@ -197,10 +217,7 @@ pub fn compress_bounded(line: &Line512, max_bits: usize) -> Option<FpcCompressed
     if bit_len > max_bits {
         return None;
     }
-    Some(FpcCompressed {
-        data: w.into_bytes(),
-        bit_len,
-    })
+    Some(bit_len)
 }
 
 /// Decompresses an FPC payload back into the original line.

@@ -9,29 +9,13 @@
 //! correctness tests, examples, and to cross-validate the accelerated
 //! lifetime engine; use [`crate::lifetime`] for endurance-scale campaigns.
 
-use crate::heuristic::Decision;
 use crate::line::{EccEngine, LineWriteReport, ManagedLine, Payload};
+use crate::payload::{choose_payload, HostMeta, PayloadBufs};
 use crate::system::SystemConfig;
-use pcm_compress::{compress_best, decompress, CompressedWrite, Method};
-use pcm_util::{seeded_rng, Line512, DATA_BYTES};
+use pcm_compress::{decompress, CompressedWrite, Method};
+use pcm_util::{seeded_rng, Line512};
 use pcm_wear::{IntraLineLeveler, StartGap};
 use serde::{Deserialize, Serialize};
-
-/// Per-logical-block controller metadata (mirrored to the LLC, §III-B).
-#[derive(Debug, Clone, Copy)]
-struct BlockMeta {
-    sc: u8,
-    last_size: usize,
-}
-
-impl Default for BlockMeta {
-    fn default() -> Self {
-        BlockMeta {
-            sc: 0,
-            last_size: DATA_BYTES,
-        }
-    }
-}
 
 /// Cumulative statistics of a [`PcmMemory`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -125,7 +109,7 @@ pub struct PcmMemory {
     levelers: Vec<IntraLineLeveler>,
     shadow: Vec<Option<Line512>>,
     parked: Vec<bool>,
-    meta: Vec<BlockMeta>,
+    meta: Vec<HostMeta>,
     stats: MemoryStats,
 }
 
@@ -163,7 +147,7 @@ impl PcmMemory {
             levelers,
             shadow: vec![None; logical_lines as usize],
             parked: vec![false; logical_lines as usize],
-            meta: vec![BlockMeta::default(); logical_lines as usize],
+            meta: vec![HostMeta::default(); logical_lines as usize],
             stats: MemoryStats::default(),
         }
     }
@@ -295,8 +279,11 @@ impl PcmMemory {
         data: Line512,
     ) -> Result<(LineWriteReport, bool), WriteError> {
         let kind = self.cfg.kind;
-        let (mut payload_bytes, mut method, new_meta, fallback) =
-            self.choose_payload(logical, &data);
+        // One stack-resident buffer pair per write: the storage decision
+        // never heap-allocates (see crate::payload).
+        let mut bufs = PayloadBufs::new();
+        let (mut method, new_meta, fallback) =
+            choose_payload(&self.cfg, self.meta[logical as usize], &data, &mut bufs);
         let preferred = if kind.rotates() {
             self.levelers[bank].offset()
         } else {
@@ -305,15 +292,21 @@ impl PcmMemory {
         let line = &mut self.phys[phys];
         // Revert a heuristic "store uncompressed" decision when only the
         // compressed form still fits this line.
-        if let Some((fb_bytes, fb_method)) = fallback {
+        let mut payload_bytes = bufs.chosen();
+        if let Some(fb_method) = fallback {
             if line
-                .can_host(&self.engine, payload_bytes.len(), preferred, kind.slides())
+                .can_host(&self.engine, bufs.chosen().len(), preferred, kind.slides())
                 .is_none()
                 && line
-                    .can_host(&self.engine, fb_bytes.len(), preferred, kind.slides())
+                    .can_host(
+                        &self.engine,
+                        bufs.fallback().len(),
+                        preferred,
+                        kind.slides(),
+                    )
                     .is_some()
             {
-                payload_bytes = fb_bytes;
+                payload_bytes = bufs.fallback();
                 method = fb_method;
             }
         }
@@ -329,7 +322,7 @@ impl PcmMemory {
                         &self.engine,
                         Payload {
                             method,
-                            bytes: &payload_bytes,
+                            bytes: payload_bytes,
                         },
                         offset,
                         true,
@@ -353,7 +346,7 @@ impl PcmMemory {
             &self.engine,
             Payload {
                 method,
-                bytes: &payload_bytes,
+                bytes: payload_bytes,
             },
             preferred,
             kind.slides(),
@@ -377,12 +370,12 @@ impl PcmMemory {
         data: Line512,
         method: Method,
         size: usize,
-        new_meta: BlockMeta,
+        new_meta: HostMeta,
         r: &LineWriteReport,
     ) {
         self.shadow[logical as usize] = Some(data);
         self.parked[logical as usize] = false;
-        self.meta[logical as usize] = BlockMeta {
+        self.meta[logical as usize] = HostMeta {
             sc: new_meta.sc,
             last_size: size,
         };
@@ -390,47 +383,6 @@ impl PcmMemory {
         self.stats.new_faults += r.new_faults as u64;
         if method.is_compressed() {
             self.stats.compressed_writes += 1;
-        }
-    }
-
-    /// Chooses compressed vs. uncompressed storage for this write-back,
-    /// returning an optional compressed fallback when the heuristic
-    /// preferred uncompressed storage (an optimization the controller
-    /// abandons if the full line no longer fits).
-    #[allow(clippy::type_complexity)]
-    fn choose_payload(
-        &mut self,
-        logical: u64,
-        data: &Line512,
-    ) -> (Vec<u8>, Method, BlockMeta, Option<(Vec<u8>, Method)>) {
-        let meta = self.meta[logical as usize];
-        if !self.cfg.kind.compresses() {
-            return (data.to_bytes().to_vec(), Method::Uncompressed, meta, None);
-        }
-        let c = compress_best(data);
-        if c.method() == Method::Uncompressed {
-            return (data.to_bytes().to_vec(), Method::Uncompressed, meta, None);
-        }
-        if self.cfg.use_heuristic {
-            let (decision, sc) = self.cfg.heuristic.decide(c.size(), meta.last_size, meta.sc);
-            let meta = BlockMeta {
-                sc,
-                last_size: meta.last_size,
-            };
-            match decision {
-                Decision::Compressed => (c.bytes().to_vec(), c.method(), meta, None),
-                Decision::Uncompressed => {
-                    let fallback = Some((c.bytes().to_vec(), c.method()));
-                    (
-                        data.to_bytes().to_vec(),
-                        Method::Uncompressed,
-                        meta,
-                        fallback,
-                    )
-                }
-            }
-        } else {
-            (c.bytes().to_vec(), c.method(), meta, None)
         }
     }
 

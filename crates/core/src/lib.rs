@@ -45,6 +45,7 @@ pub mod heuristic;
 pub mod lifetime;
 pub mod line;
 pub mod meta;
+mod payload;
 pub mod perf;
 pub mod system;
 pub mod verify;

@@ -1,7 +1,7 @@
 //! Whole-memory lifetime campaigns over many independent lines.
 
-use super::linesim::{simulate_line, LineRecord, LineSimConfig};
-use pcm_util::child_seed;
+use super::linesim::{simulate_line_with, LineRecord, LineScratch, LineSimConfig};
+use pcm_util::{child_seed, Pool};
 use serde::{Deserialize, Serialize};
 
 /// Assumed per-core IPC for the Table IV months conversion (see
@@ -95,81 +95,104 @@ impl LifetimeResult {
 
 /// Runs `cfg.lines` independent line simulations (in parallel) and sweeps
 /// the death/revival events for the 50%-capacity failure time.
+///
+/// Convenience wrapper that builds a one-shot [`Pool`] from `cfg.threads`;
+/// callers that already own a pool (e.g. `pcm-lab run-all`) should use
+/// [`run_campaign_on`] so parallelism is resolved exactly once.
 pub fn run_campaign(cfg: &CampaignConfig) -> LifetimeResult {
+    run_campaign_on(&Pool::new(cfg.threads), cfg)
+}
+
+/// [`run_campaign`] on a caller-provided pool. Lines drain one at a time
+/// from the pool's shared queue (work-stealing, not static striping), so an
+/// early-dying line frees its worker for the stragglers; per-line seeds are
+/// `child_seed(cfg.seed, i)`, making results scheduling-invariant.
+pub fn run_campaign_on(pool: &Pool, cfg: &CampaignConfig) -> LifetimeResult {
     assert!(cfg.lines > 0, "need at least one line");
-    let threads = if cfg.threads > 0 {
-        cfg.threads
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    }
-    .min(cfg.lines);
-
-    let records: Vec<LineRecord> = std::thread::scope(|s| {
-        let chunks: Vec<Vec<usize>> = (0..threads)
-            .map(|t| (t..cfg.lines).step_by(threads).collect())
-            .collect();
-        let mut handles = Vec::with_capacity(threads);
-        for chunk in chunks {
-            let line_cfg = &cfg.line;
-            let seed = cfg.seed;
-            handles.push(s.spawn(move || {
-                chunk
-                    .into_iter()
-                    .map(|i| (i, simulate_line(line_cfg, child_seed(seed, i as u64))))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        let mut indexed: Vec<(usize, LineRecord)> = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect();
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, r)| r).collect()
-    });
-
+    let records: Vec<LineRecord> =
+        pool.map_indexed_with(cfg.lines, 1, LineScratch::new, |scratch, i| {
+            simulate_line_with(&cfg.line, child_seed(cfg.seed, i as u64), scratch)
+        });
     summarize(&records, cfg.line.max_writes)
 }
 
-/// The 50%-simultaneously-dead sweep over a set of line records.
-fn half_capacity_time(records: &[&LineRecord]) -> Option<u64> {
-    let mut deltas: Vec<(u64, i64)> = Vec::new();
-    for r in records {
-        for (i, &t) in r.events.iter().enumerate() {
-            deltas.push((t, if i % 2 == 0 { 1 } else { -1 }));
+/// The 50%-simultaneously-dead sweep, shared by the point estimate and
+/// every bootstrap resample. Event deltas are flattened and sorted **once**
+/// per record set; each sweep then weights them by per-line multiplicity
+/// (1 for the point estimate, a with-replacement draw count for bootstrap
+/// resamples). The crossing time it reports is identical to rebuilding and
+/// re-sorting the resampled deltas: ties sort `-1` before `+1` at equal
+/// `t`, a crossing can only happen inside a `+1` group, and every member
+/// of that group shares the same `t`.
+struct DeathSweep {
+    len: usize,
+    /// `(event time, ±1, record index)`, sorted.
+    deltas: Vec<(u64, i64, u32)>,
+    /// Per-record multiplicity buffer, reused across sweeps.
+    counts: Vec<u32>,
+}
+
+impl DeathSweep {
+    fn new(records: &[LineRecord]) -> Self {
+        let total: usize = records.iter().map(|r| r.events.len()).sum();
+        let mut deltas = Vec::with_capacity(total);
+        for (idx, r) in records.iter().enumerate() {
+            for (i, &t) in r.events.iter().enumerate() {
+                deltas.push((t, if i % 2 == 0 { 1 } else { -1 }, idx as u32));
+            }
+        }
+        deltas.sort_unstable();
+        DeathSweep {
+            len: records.len(),
+            deltas,
+            counts: vec![0; records.len()],
         }
     }
-    deltas.sort_unstable();
-    let mut dead = 0i64;
-    let half = records.len() as i64 / 2 + records.len() as i64 % 2;
-    for (t, d) in deltas {
-        dead += d;
-        if dead >= half {
-            return Some(t);
-        }
+
+    /// The crossing with every line counted once.
+    fn half_capacity_time(&mut self) -> Option<u64> {
+        self.counts.fill(1);
+        self.crossing()
     }
-    None
+
+    /// The crossing for one bootstrap resample (lines drawn with
+    /// replacement). The RNG call sequence matches materializing the
+    /// resampled record set, so CIs are bit-identical to the historical
+    /// rebuild-per-resample implementation.
+    fn resample_time(&mut self, rng: &mut rand::rngs::StdRng) -> Option<u64> {
+        use rand::RngExt;
+        self.counts.fill(0);
+        for _ in 0..self.len {
+            self.counts[rng.random_range(0..self.len)] += 1;
+        }
+        self.crossing()
+    }
+
+    fn crossing(&self) -> Option<u64> {
+        let mut dead = 0i64;
+        let half = self.len as i64 / 2 + self.len as i64 % 2;
+        for &(t, d, idx) in &self.deltas {
+            dead += d * i64::from(self.counts[idx as usize]);
+            if dead >= half {
+                return Some(t);
+            }
+        }
+        None
+    }
 }
 
 /// Aggregates per-line records into a memory-level result.
 pub fn summarize(records: &[LineRecord], horizon: u64) -> LifetimeResult {
-    let refs: Vec<&LineRecord> = records.iter().collect();
-    let writes_to_half_capacity = half_capacity_time(&refs);
+    let mut sweep = DeathSweep::new(records);
+    let writes_to_half_capacity = sweep.half_capacity_time();
 
     // Bootstrap the failure time by resampling lines (they are iid under
     // the engine's exchangeability assumption).
     let half_capacity_ci = writes_to_half_capacity.map(|_| {
-        use rand::RngExt;
         let mut rng = pcm_util::seeded_rng(0xB007_57A9);
         let resamples = 100;
         let mut times: Vec<u64> = (0..resamples)
-            .map(|_| {
-                let pick: Vec<&LineRecord> = (0..records.len())
-                    .map(|_| &records[rng.random_range(0..records.len())])
-                    .collect();
-                half_capacity_time(&pick).unwrap_or(horizon)
-            })
+            .map(|_| sweep.resample_time(&mut rng).unwrap_or(horizon))
             .collect();
         times.sort_unstable();
         (times[resamples / 20], times[resamples - 1 - resamples / 20])

@@ -1,9 +1,8 @@
 //! The accelerated per-line lifetime simulation.
 
-use crate::heuristic::Decision;
 use crate::line::{EccEngine, ManagedLine, Payload};
+use crate::payload::{choose_payload, HostMeta, PayloadBufs};
 use crate::system::SystemConfig;
-use pcm_compress::{compress_best, Method};
 use pcm_trace::{BlockStream, WorkloadProfile};
 use pcm_util::{child_seed, seeded_rng, DATA_BITS, DATA_BYTES};
 use serde::{Deserialize, Serialize};
@@ -70,19 +69,18 @@ impl LineRecord {
     }
 }
 
-/// Per-block controller metadata carried across writes.
-#[derive(Debug, Clone, Copy)]
-struct HostMeta {
-    sc: u8,
-    last_size: usize,
+/// Reusable per-worker scratch for [`simulate_line_with`]: the payload
+/// buffer pair is allocated once and shared across every line the worker
+/// simulates, so the per-write hot path never touches the heap.
+#[derive(Debug, Default)]
+pub struct LineScratch {
+    bufs: PayloadBufs,
 }
 
-impl Default for HostMeta {
-    fn default() -> Self {
-        HostMeta {
-            sc: 0,
-            last_size: DATA_BYTES,
-        }
+impl LineScratch {
+    /// Creates fresh scratch buffers.
+    pub fn new() -> Self {
+        LineScratch::default()
     }
 }
 
@@ -94,6 +92,12 @@ impl Default for HostMeta {
 /// establish the per-cell flip rates, and the rest of the segment is
 /// fast-forwarded onto the wear counters.
 pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
+    simulate_line_with(cfg, seed, &mut LineScratch::new())
+}
+
+/// [`simulate_line`] with caller-owned scratch buffers, reusable across
+/// lines (the campaign runner hands each pool worker one [`LineScratch`]).
+pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScratch) -> LineRecord {
     let sys = &cfg.system;
     let engine = EccEngine::new(sys.ecc);
     let mut rng = seeded_rng(child_seed(seed, 0));
@@ -106,10 +110,18 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
     let mut residency_left: u64 = sys.residency_writes;
     let mut block_counter: u64 = 2;
 
-    let mut events: Vec<u64> = Vec::new();
+    // Death/revival events only happen at residency boundaries (a dead
+    // line waits for the next relocation), so the horizon bounds how many
+    // can occur; one up-front reservation replaces regrowth in the loop.
+    let max_events = if sys.kind.slides() {
+        ((cfg.max_writes / sys.residency_writes.max(1)).min(512) as usize + 1) * 2
+    } else {
+        1
+    };
+    let mut events: Vec<u64> = Vec::with_capacity(max_events);
     let mut first_death = None;
     let mut faults_at_death = None;
-    let mut death_fault_counts: Vec<u32> = Vec::new();
+    let mut death_fault_counts: Vec<u32> = Vec::with_capacity(max_events / 2 + 1);
     let mut flip_sum: u64 = 0;
     let mut sampled: u64 = 0;
 
@@ -137,13 +149,14 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
             residency_left = sys.residency_writes;
             // Resurrection check with the incoming block's payload size
             // (compressed fallback counts: any storable form revives).
-            let (bytes, _, _, fallback) = choose_payload(sys, &mut meta, block.current());
+            let (_, _, fallback) = choose_payload(sys, meta, &block.current(), &mut scratch.bufs);
             let preferred = if sys.kind.rotates() { rotation } else { 0 };
-            let len = fallback
-                .as_ref()
-                .map(|(b, _)| b.len())
-                .unwrap_or(bytes.len())
-                .min(bytes.len());
+            let len = if fallback.is_some() {
+                scratch.bufs.fallback().len()
+            } else {
+                scratch.bufs.chosen().len()
+            }
+            .min(scratch.bufs.chosen().len());
             if line
                 .can_host_with_step(&engine, len, preferred, true, sys.window_step)
                 .is_some()
@@ -173,12 +186,14 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
         let mut died = false;
         for _ in 0..k {
             let data = block.next_data();
-            let (mut bytes, mut method, new_meta, fallback) = choose_payload(sys, &mut meta, data);
+            let (mut method, new_meta, fallback) =
+                choose_payload(sys, meta, &data, &mut scratch.bufs);
             meta = new_meta;
+            let mut bytes: &[u8] = scratch.bufs.chosen();
             let preferred = if sys.kind.rotates() { rotation } else { 0 };
             // If the heuristic preferred uncompressed but the full line no
             // longer fits while the compressed form would, revert.
-            if let Some((fb_bytes, fb_method)) = fallback {
+            if let Some(fb_method) = fallback {
                 if line
                     .can_host_with_step(
                         &engine,
@@ -191,23 +206,20 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
                     && line
                         .can_host_with_step(
                             &engine,
-                            fb_bytes.len(),
+                            scratch.bufs.fallback().len(),
                             preferred,
                             sys.kind.slides(),
                             sys.window_step,
                         )
                         .is_some()
                 {
-                    bytes = fb_bytes;
+                    bytes = scratch.bufs.fallback();
                     method = fb_method;
                 }
             }
             match line.write_with_step(
                 &engine,
-                Payload {
-                    method,
-                    bytes: &bytes,
-                },
+                Payload { method, bytes },
                 preferred,
                 sys.kind.slides(),
                 sys.window_step,
@@ -298,49 +310,6 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
         },
         demand_writes: writes,
         horizon: cfg.max_writes,
-    }
-}
-
-/// The controller's per-write storage decision (shared with the functional
-/// controller's logic; duplicated here to keep the hot path allocation-
-/// light). Returns the chosen payload plus, when the heuristic preferred
-/// uncompressed storage of compressible data, the compressed *fallback*
-/// the controller reverts to if the full line no longer fits (storing
-/// uncompressed is a flip optimization, never a requirement).
-#[allow(clippy::type_complexity)]
-fn choose_payload(
-    sys: &SystemConfig,
-    meta: &mut HostMeta,
-    data: pcm_util::Line512,
-) -> (Vec<u8>, Method, HostMeta, Option<(Vec<u8>, Method)>) {
-    if !sys.kind.compresses() {
-        return (data.to_bytes().to_vec(), Method::Uncompressed, *meta, None);
-    }
-    let c = compress_best(&data);
-    if c.method() == Method::Uncompressed {
-        // The selector already materialized the 64 raw bytes — reuse them.
-        let (_, bytes) = c.into_parts();
-        return (bytes, Method::Uncompressed, *meta, None);
-    }
-    if sys.use_heuristic {
-        let (decision, sc) = sys.heuristic.decide(c.size(), meta.last_size, meta.sc);
-        let new_meta = HostMeta {
-            sc,
-            last_size: meta.last_size,
-        };
-        let (method, bytes) = c.into_parts();
-        match decision {
-            Decision::Compressed => (bytes, method, new_meta, None),
-            Decision::Uncompressed => (
-                data.to_bytes().to_vec(),
-                Method::Uncompressed,
-                new_meta,
-                Some((bytes, method)),
-            ),
-        }
-    } else {
-        let (method, bytes) = c.into_parts();
-        (bytes, method, *meta, None)
     }
 }
 

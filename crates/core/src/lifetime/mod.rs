@@ -29,7 +29,7 @@ pub mod linesim;
 pub mod mix;
 pub mod replay;
 
-pub use campaign::{run_campaign, CampaignConfig, LifetimeResult};
-pub use linesim::{simulate_line, LineRecord, LineSimConfig};
+pub use campaign::{run_campaign, run_campaign_on, CampaignConfig, LifetimeResult};
+pub use linesim::{simulate_line, simulate_line_with, LineRecord, LineScratch, LineSimConfig};
 pub use mix::{run_mixed_campaign, WorkloadMix};
 pub use replay::{replay_to_failure, ReplayConfig, ReplayResult};

@@ -95,7 +95,9 @@ pub fn diff_write(old: &Line512, new: &Line512) -> DiffWrite {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlipNWrite {
     chunk_bits: usize,
-    flags: Vec<bool>,
+    /// One bit per chunk, packed into a fixed bitset (at the minimum 2-bit
+    /// chunk width there are 256 chunks): no heap allocation per line.
+    flags: [u64; 4],
 }
 
 impl FlipNWrite {
@@ -111,13 +113,26 @@ impl FlipNWrite {
         );
         FlipNWrite {
             chunk_bits,
-            flags: vec![false; 512 / chunk_bits],
+            flags: [0; 4],
         }
     }
 
     /// Number of flag bits (one per chunk).
     pub fn flag_bits(&self) -> usize {
-        self.flags.len()
+        512 / self.chunk_bits
+    }
+
+    fn flag(&self, chunk: usize) -> bool {
+        self.flags[chunk / 64] >> (chunk % 64) & 1 != 0
+    }
+
+    fn set_flag(&mut self, chunk: usize, value: bool) {
+        let bit = 1u64 << (chunk % 64);
+        if value {
+            self.flags[chunk / 64] |= bit;
+        } else {
+            self.flags[chunk / 64] &= !bit;
+        }
     }
 
     /// Writes `data` over the currently `stored` cells, choosing per chunk
@@ -126,7 +141,7 @@ impl FlipNWrite {
     pub fn write(&mut self, stored: &Line512, data: &Line512) -> (Line512, u32) {
         let diff = *stored ^ *data;
         let mut total_flips = 0u32;
-        for (chunk, flag) in self.flags.iter_mut().enumerate() {
+        for chunk in 0..self.flag_bits() {
             let lo = chunk * self.chunk_bits;
             let direct = diff.count_ones_in(lo..lo + self.chunk_bits);
             let complement = self.chunk_bits as u32 - direct;
@@ -135,8 +150,8 @@ impl FlipNWrite {
             } else {
                 (false, direct)
             };
-            total_flips += flips + (*flag != use_complement) as u32;
-            *flag = use_complement;
+            total_flips += flips + (self.flag(chunk) != use_complement) as u32;
+            self.set_flag(chunk, use_complement);
         }
         // Every chunk is rewritten in full, so the stored image is just the
         // data XOR the mask of complemented chunks.
@@ -153,8 +168,8 @@ impl FlipNWrite {
         let mut words = [0u64; 8];
         if self.chunk_bits >= 64 {
             let words_per_chunk = self.chunk_bits / 64;
-            for (chunk, &flag) in self.flags.iter().enumerate() {
-                if flag {
+            for chunk in 0..self.flag_bits() {
+                if self.flag(chunk) {
                     let lo = chunk * words_per_chunk;
                     for w in &mut words[lo..lo + words_per_chunk] {
                         *w = u64::MAX;
@@ -166,7 +181,7 @@ impl FlipNWrite {
             let seg = u64::MAX >> (64 - self.chunk_bits);
             for (w, word) in words.iter_mut().enumerate() {
                 for c in 0..chunks_per_word {
-                    if self.flags[w * chunks_per_word + c] {
+                    if self.flag(w * chunks_per_word + c) {
                         *word |= seg << (c * self.chunk_bits);
                     }
                 }

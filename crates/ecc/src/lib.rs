@@ -47,7 +47,7 @@ pub mod secded;
 
 pub use aegis::Aegis;
 pub use ecp::Ecp;
-pub use montecarlo::{failure_probability, MonteCarlo};
+pub use montecarlo::{failure_probability, failure_probability_on, MonteCarlo};
 pub use safer::Safer;
 pub use scheme::{find_window, EccError, HardErrorScheme};
 pub use secded::Secded;

@@ -9,7 +9,7 @@
 //! (`1 − reliability`) curves of Fig. 9.
 
 use crate::scheme::{find_window, HardErrorScheme};
-use pcm_util::{child_seed, seeded_rng, DATA_BITS};
+use pcm_util::{child_seed, seeded_rng, Pool, DATA_BITS};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
@@ -44,24 +44,14 @@ impl Default for MonteCarlo {
     }
 }
 
-impl MonteCarlo {
-    fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
-    }
-}
-
-/// Samples `k` distinct fault positions in `0..512` (partial Fisher–Yates).
+/// Samples `k` distinct fault positions in `0..512` (partial Fisher–Yates)
+/// into the caller-owned `out` buffer, sorted ascending.
 fn sample_positions<R: rand::Rng>(
     rng: &mut R,
     k: usize,
     scratch: &mut [u16; DATA_BITS],
-) -> Vec<u16> {
+    out: &mut Vec<u16>,
+) {
     debug_assert!(k <= DATA_BITS);
     for (i, s) in scratch.iter_mut().enumerate() {
         *s = i as u16;
@@ -70,9 +60,9 @@ fn sample_positions<R: rand::Rng>(
         let j = rng.random_range(i..DATA_BITS);
         scratch.swap(i, j);
     }
-    let mut out = scratch[..k].to_vec();
+    out.clear();
+    out.extend_from_slice(&scratch[..k]);
     out.sort_unstable();
-    out
 }
 
 /// Estimates the probability that a block with `errors` uniformly-placed
@@ -90,59 +80,51 @@ pub fn failure_probability(
     errors: usize,
     mc: &MonteCarlo,
 ) -> f64 {
+    failure_probability_on(&Pool::new(mc.threads), scheme, window_bytes, errors, mc)
+}
+
+/// [`failure_probability`] on a caller-provided pool; sweeps such as
+/// [`failure_surface`] reuse one pool across every `(window, errors)` point
+/// so the parallelism is resolved exactly once.
+pub fn failure_probability_on(
+    pool: &Pool,
+    scheme: &dyn HardErrorScheme,
+    window_bytes: usize,
+    errors: usize,
+    mc: &MonteCarlo,
+) -> f64 {
     assert!(errors <= DATA_BITS, "at most 512 faults fit a line");
     assert!(mc.injections > 0, "need at least one injection");
 
-    // Work is split into fixed-size chunks seeded by chunk index, not by
-    // worker id, so the estimate is bit-identical for every thread count
-    // (each injection sees the same RNG stream no matter which worker
-    // executes its chunk, and u64 summation commutes).
-    const CHUNK: usize = 1_024;
-    let chunks = mc.injections.div_ceil(CHUNK);
-    let threads = mc.effective_threads().min(chunks);
+    // Work is split into fixed-size batches of injections seeded by batch
+    // index, not by worker id, so the estimate is bit-identical for every
+    // thread count (each injection sees the same RNG stream no matter which
+    // worker claims its batch, and u64 summation commutes). The shuffle
+    // scratch and the sampled-position buffer live in per-worker scratch,
+    // reused across every batch a worker claims.
+    const BATCH: usize = 1_024;
+    let batches = mc.injections.div_ceil(BATCH);
 
-    let run_chunk = |c: usize| {
-        let lo = c * CHUNK;
-        let hi = (lo + CHUNK).min(mc.injections);
-        let mut rng = seeded_rng(child_seed(mc.seed, c as u64));
-        let mut scratch = [0u16; DATA_BITS];
-        let mut fail = 0u64;
-        for _ in lo..hi {
-            let positions = sample_positions(&mut rng, errors, &mut scratch);
-            if find_window(scheme, &positions, window_bytes).is_none() {
-                fail += 1;
+    let per_batch: Vec<u64> = pool.map_indexed_with(
+        batches,
+        1,
+        || ([0u16; DATA_BITS], Vec::with_capacity(errors)),
+        |(scratch, positions), c| {
+            let lo = c * BATCH;
+            let hi = (lo + BATCH).min(mc.injections);
+            let mut rng = seeded_rng(child_seed(mc.seed, c as u64));
+            let mut fail = 0u64;
+            for _ in lo..hi {
+                sample_positions(&mut rng, errors, scratch, positions);
+                if find_window(scheme, positions, window_bytes).is_none() {
+                    fail += 1;
+                }
             }
-        }
-        fail
-    };
+            fail
+        },
+    );
 
-    let failures: u64 = if threads <= 1 {
-        (0..chunks).map(run_chunk).sum()
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut fail = 0u64;
-                        loop {
-                            let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if c >= chunks {
-                                return fail;
-                            }
-                            fail += run_chunk(c);
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .sum()
-        })
-    };
-
-    failures as f64 / mc.injections as f64
+    per_batch.into_iter().sum::<u64>() as f64 / mc.injections as f64
 }
 
 /// A full Fig. 9 sweep for one scheme: failure probability for every
@@ -166,12 +148,13 @@ pub fn failure_surface(
     errors: &[usize],
     mc: &MonteCarlo,
 ) -> FailureSurface {
+    let pool = Pool::new(mc.threads);
     let probabilities = windows
         .iter()
         .map(|&w| {
             errors
                 .iter()
-                .map(|&e| failure_probability(scheme, w, e, mc))
+                .map(|&e| failure_probability_on(&pool, scheme, w, e, mc))
                 .collect()
         })
         .collect();
@@ -290,8 +273,9 @@ mod tests {
     fn sample_positions_distinct_and_sorted() {
         let mut rng = seeded_rng(8);
         let mut scratch = [0u16; DATA_BITS];
+        let mut pos = Vec::new();
         for k in [0usize, 1, 64, 512] {
-            let pos = sample_positions(&mut rng, k, &mut scratch);
+            sample_positions(&mut rng, k, &mut scratch, &mut pos);
             assert_eq!(pos.len(), k);
             assert!(pos.windows(2).all(|w| w[0] < w[1]), "distinct & sorted");
             assert!(pos.iter().all(|&p| (p as usize) < DATA_BITS));

@@ -69,13 +69,17 @@ impl BlockStream {
         if self.rng.random_bool(self.profile.size_volatility) {
             let a = self.affinity as i64;
             let max = ALL_CLASSES.len() as i64 - 1;
-            let candidates: Vec<usize> = [a - 1, a, a + 1]
-                .into_iter()
-                .filter(|&r| (0..=max).contains(&r))
-                .map(|r| r as usize)
-                .filter(|&r| ALL_CLASSES[r] != self.class)
-                .collect();
-            let rank = *candidates
+            // At most three neighbour ranks: keep them on the stack (this
+            // runs once per sampled write in the lifetime hot path).
+            let mut candidates = [0usize; 3];
+            let mut len = 0;
+            for r in [a - 1, a, a + 1] {
+                if (0..=max).contains(&r) && ALL_CLASSES[r as usize] != self.class {
+                    candidates[len] = r as usize;
+                    len += 1;
+                }
+            }
+            let rank = *candidates[..len]
                 .choose(&mut self.rng)
                 .expect("at least one neighbour");
             self.class = ALL_CLASSES[rank];

@@ -27,10 +27,12 @@
 pub mod dist;
 pub mod fault;
 pub mod line;
+pub mod pool;
 pub mod stats;
 
 pub use fault::{FaultMap, FaultPlan, StuckAt};
 pub use line::{Line512, DATA_BITS, DATA_BYTES};
+pub use pool::Pool;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
