@@ -67,6 +67,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "unsafe without an adjacent `// SAFETY:` comment (workspace is unsafe-free)",
     },
     RuleInfo {
+        id: "serve-ownership",
+        scope: Scope::File,
+        summary: "Arc<Mutex/RwLock> in serve/core library code; bank state is owned by \
+                  value and handed out as &mut through the pool, never shared",
+    },
+    RuleInfo {
         id: "pragma",
         scope: Scope::File,
         summary: "malformed pcm-audit pragma (unknown rule id or missing reason)",
@@ -141,6 +147,10 @@ const RNG_ALLOW: &[&str] = &["crates/util/", "crates/rand/", "crates/proptest/"]
 /// the auditor's own file walker (which never touches simulation results).
 const THREAD_ALLOW: &[&str] = &["crates/util/src/pool.rs", "crates/audit/"];
 
+/// Crates holding controller/bank state, where shared-ownership wrappers
+/// would defeat the strict per-bank ownership the serve design rests on.
+const SERVE_OWNERSHIP_SCOPE: &[&str] = &["crates/serve/src", "crates/core/src"];
+
 /// Stage markers the gate script must keep, in order of appearance.
 pub const GATE_STAGES: &[&str] = &[
     "== fmt check ==",
@@ -149,10 +159,11 @@ pub const GATE_STAGES: &[&str] = &[
     "== examples ==",
     "== bench hotpath ==",
     "== experiments ==",
+    "== serve ==",
 ];
 
 /// Non-experiment artifact stems the gate script itself writes.
-const ARTIFACT_STEM_ALLOW: &[&str] = &["audit", "bench_hotpath", "fmt", "verify"];
+const ARTIFACT_STEM_ALLOW: &[&str] = &["audit", "bench_hotpath", "fmt", "serve", "verify"];
 
 /// Non-experiment artifact stem prefixes (bench harness, example smoke).
 const ARTIFACT_PREFIX_ALLOW: &[&str] = &["BENCH_", "example_"];
@@ -474,6 +485,40 @@ pub fn check_file(rel: &str, lexed: &Lexed) -> FileOutput {
             }
         }
 
+        // serve-ownership: Arc<Mutex/RwLock> around bank/controller state.
+        if !in_test[i]
+            && path_allowed(rel, SERVE_OWNERSHIP_SCOPE)
+            && t.text == "Arc"
+            && punct(i + 1, "<")
+        {
+            // The wrapped type may be a path (`std::sync::Mutex`): walk
+            // `ident (:: ident)*` until the path ends.
+            let mut j = i + 2;
+            while let Some(tok) = toks.get(j) {
+                match tok.kind {
+                    Kind::Ident => {
+                        if tok.text == "Mutex" || tok.text == "RwLock" {
+                            findings.push(Finding {
+                                file: rel.to_string(),
+                                line: t.line,
+                                rule: "serve-ownership",
+                                message: format!(
+                                    "`Arc<{}>` shared state in an ownership-critical crate: \
+                                     bank/controller state must be owned by value and handed \
+                                     out as &mut (Pool::map_each_mut), never lock-shared",
+                                    tok.text
+                                ),
+                            });
+                            break;
+                        }
+                        j += 1;
+                    }
+                    Kind::Punct if tok.text == ":" => j += 1,
+                    _ => break,
+                }
+            }
+        }
+
         // unsafe-block: inventory with SAFETY comment, finding without.
         if t.text == "unsafe" {
             let has_safety = lexed
@@ -612,7 +657,7 @@ fn check_gate_stages(ctx: &WorkspaceCtx, findings: &mut Vec<Finding>) {
             });
         }
     }
-    for driver in ["pcm-audit", "pcm-lab", "pcm-verify"] {
+    for driver in ["pcm-audit", "pcm-lab", "pcm-verify", "pcm-serve"] {
         if !script.contains(driver) {
             findings.push(Finding {
                 file: "scripts_run_all.sh".to_string(),

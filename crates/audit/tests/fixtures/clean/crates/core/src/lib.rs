@@ -55,3 +55,12 @@ mod tests {
         std::thread::spawn(|| ()).join().unwrap();
     }
 }
+
+pub fn ownership_prose() -> &'static str {
+    "Arc<Mutex<BankCtl>> in a string literal is prose, not shared state"
+}
+
+/// Read-only shared snapshots are not lock-wrapped bank state.
+pub fn snapshot(xs: &[u64]) -> std::sync::Arc<Vec<u64>> {
+    std::sync::Arc::new(xs.to_vec())
+}

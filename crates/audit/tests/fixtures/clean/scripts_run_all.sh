@@ -20,5 +20,8 @@ cargo run -q --release --example quickstart -- --quick
 echo "== bench hotpath =="
 cargo run -q --release -p pcm-bench --bin pcm-bench-hotpath -- --smoke
 
+echo "== serve =="
+cargo run -q --release -p pcm-serve --bin pcm-serve -- --seed 7 --duration 100000
+
 echo "== experiments =="
 cargo run -q --release -p pcm-bench --bin pcm-lab -- run-all --out-dir results

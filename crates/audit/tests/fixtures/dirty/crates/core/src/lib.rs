@@ -50,3 +50,9 @@ pub fn fan_out(xs: &[u64]) -> u64 {
 pub fn fire_and_forget() {
     std::thread::spawn(|| ());
 }
+
+pub struct SharedBank {
+    pub state: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
+}
+
+pub type GuardedFleet = std::sync::Arc<std::sync::RwLock<u64>>;

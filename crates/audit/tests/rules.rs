@@ -57,6 +57,8 @@ fn dirty_fixture_specific_sites() {
     assert!(has("panic-unwrap", lib, "bare unwrap()"));
     assert!(has("panic-macro", lib, "`panic!`"));
     assert!(has("unsafe-block", lib, "SAFETY"));
+    assert!(has("serve-ownership", lib, "`Arc<Mutex>`"));
+    assert!(has("serve-ownership", lib, "`Arc<RwLock>`"));
     assert!(has("registry-dep", "Cargo.toml", "`serde`"));
     assert!(has("registry-dep", "Cargo.toml", "`rand`"));
     assert!(has("gate-stages", "scripts_run_all.sh", "== audit =="));

@@ -9,3 +9,4 @@ pub mod compression;
 pub mod lifetime;
 pub mod montecarlo;
 pub mod perf;
+pub mod serve;

@@ -1,0 +1,132 @@
+//! Serve-path study: online daemon throughput, tail latency, and
+//! shard-count invariance as a tracked report.
+//!
+//! One row per shard count, all driven by the *same* seeded open-loop
+//! script: every column except `shards` must be identical down the table,
+//! because the shard pool is pure execution width (DESIGN.md "Serve
+//! architecture"). Cells carry [`Column::exact`] tolerances, so
+//! `pcm-lab diff` re-derives the replay-determinism guarantee on every
+//! gate run — a drift in any shard row is a broken ownership or seeding
+//! invariant, not noise.
+
+use crate::cli::Options;
+use crate::registry::Experiment;
+use crate::report::{Column, Report, Table, Value};
+use pcm_serve::{Engine, ServeConfig, TrafficGen};
+
+/// Shard counts exercised by the study (mirrors `tests/serve_replay.rs`).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn serve_config(seed: u64) -> ServeConfig {
+    ServeConfig::new(seed)
+}
+
+fn horizon(quick: bool) -> u64 {
+    if quick {
+        150_000
+    } else {
+        1_500_000
+    }
+}
+
+/// `serve_throughput` registry entry.
+pub struct ServeThroughput;
+
+impl Experiment for ServeThroughput {
+    fn name(&self) -> &'static str {
+        "serve_throughput"
+    }
+
+    fn description(&self) -> &'static str {
+        "daemon replay at shard counts 1/2/4/7: throughput, p50/p99/p999 write latency, wear digest"
+    }
+
+    fn anchor(&self) -> &'static str {
+        "serve"
+    }
+
+    fn scale_summary(&self, quick: bool) -> String {
+        format!(
+            "duration={} cycles, 8 banks x 64 lines, 60 tenants",
+            horizon(quick)
+        )
+    }
+
+    fn run(&self, opts: &Options) -> Report {
+        let duration = horizon(opts.quick);
+        let mut r = Report::new(self.manifest(opts));
+        let mut t = Table::new(
+            "Serve replay: identical results at every shard count",
+            "shards",
+            vec![
+                Column::exact("requests"),
+                Column::exact("p50(cyc)"),
+                Column::exact("p99(cyc)"),
+                Column::exact("p999(cyc)"),
+                Column::exact("compressed%"),
+                Column::exact("faults"),
+                Column::exact("dead_lines"),
+                Column::exact("wear_digest"),
+            ],
+        );
+        let mut digests: Vec<Vec<u64>> = Vec::new();
+        for shards in SHARD_COUNTS {
+            let mut cfg = serve_config(opts.seed);
+            cfg.shards = shards;
+            let script = TrafficGen::new(&cfg).script_until(duration);
+            let mut engine = Engine::new(cfg);
+            engine.run_script(&script);
+            let snap = engine.snapshot();
+            // Fold the per-bank digests into one table cell; the replay
+            // suite compares the full vectors, the report tracks the fold.
+            let fold = engine
+                .wear_digests()
+                .iter()
+                .fold(0xcbf29ce484222325u64, |acc, d| {
+                    (acc ^ d).wrapping_mul(0x100000001B3)
+                });
+            digests.push(engine.wear_digests());
+            t.push(
+                format!("{shards}"),
+                vec![
+                    Value::Int(snap.writes as i64),
+                    Value::Int(snap.p50 as i64),
+                    Value::Int(snap.p99 as i64),
+                    Value::Int(snap.p999 as i64),
+                    Value::Num(100.0 * snap.compressed_fraction, 3),
+                    Value::Int(snap.faults as i64),
+                    Value::Int(snap.dead_lines as i64),
+                    Value::Text(format!("{fold:016x}")),
+                ],
+            );
+        }
+        r.tables.push(t);
+        let invariant = digests.windows(2).all(|w| w[0] == w[1]);
+        r.note(format!(
+            "shard-count invariance over {:?}: {} (per-bank wear digests {})",
+            SHARD_COUNTS,
+            if invariant { "HOLDS" } else { "VIOLATED" },
+            if invariant { "identical" } else { "DIFFER" },
+        ));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::Options;
+
+    #[test]
+    fn rows_are_identical_across_shard_counts() {
+        let mut opts = Options::default();
+        opts.quick = true;
+        let report = ServeThroughput.run(&opts);
+        let rows = &report.tables[0].rows;
+        assert_eq!(rows.len(), SHARD_COUNTS.len());
+        for row in &rows[1..] {
+            assert_eq!(row.values, rows[0].values, "shards={}", row.label);
+        }
+        assert!(report.notes.iter().any(|n| n.contains("HOLDS")));
+    }
+}

@@ -10,7 +10,7 @@
 //! binary exists without a registry entry.
 
 use crate::cli::Options;
-use crate::experiments::{ablation, compression, lifetime, montecarlo, perf};
+use crate::experiments::{ablation, compression, lifetime, montecarlo, perf, serve};
 use crate::report::{Manifest, Report};
 
 /// One reproducible experiment: a paper figure, table, or ablation.
@@ -64,6 +64,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &compression::EnergyWrites,
     &compression::CompressorComparison,
     &lifetime::MixStudy,
+    &serve::ServeThroughput,
     &ablation::AblationHeuristic,
     &ablation::AblationEcc,
     &ablation::AblationSecded,

@@ -66,10 +66,11 @@ fn registry_covers_the_paper_matrix() {
         "ablation_flip_n_write",
         "ablation_interline_wl",
         "ablation_mlc",
+        "serve_throughput",
     ] {
         assert!(find(name).is_some(), "'{name}' missing from REGISTRY");
     }
-    assert_eq!(REGISTRY.len(), 25, "registry gained or lost an experiment");
+    assert_eq!(REGISTRY.len(), 26, "registry gained or lost an experiment");
 }
 
 #[test]

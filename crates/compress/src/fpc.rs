@@ -285,11 +285,13 @@ pub fn decompress(data: &[u8]) -> Result<Line512, DecodeFpcError> {
                 words[i] = b | (b << 8) | (b << 16) | (b << 24);
                 i += 1;
             }
-            P_RAW => {
+            // `pull(3)` yields at most 0b111 == P_RAW, so the raw arm is
+            // the exhaustive remainder of the 3-bit prefix space.
+            _ => {
+                debug_assert_eq!(prefix, P_RAW);
                 words[i] = r.pull(32)? as u32;
                 i += 1;
             }
-            _ => unreachable!("3-bit prefix"),
         }
     }
     let mut bytes = [0u8; 64];

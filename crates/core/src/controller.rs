@@ -1,23 +1,23 @@
 //! The functional whole-memory model.
 //!
-//! [`PcmMemory`] wires every mechanism together exactly as the paper's
-//! architecture does: per-bank Start-Gap inter-line wear-leveling (gap
-//! moves are real writes), per-bank intra-line rotation counters, the
-//! compression pipeline with the Fig. 8 heuristic, the sliding compression
-//! window, ECC encode/decode, and dead-block resurrection at relocation
-//! events. It simulates every write cell-accurately — use it for
-//! correctness tests, examples, and to cross-validate the accelerated
-//! lifetime engine; use [`crate::lifetime`] for endurance-scale campaigns.
+//! [`PcmMemory`] interleaves logical lines over a vector of [`BankCtl`]s —
+//! each bank owns its complete controller state (Start-Gap, rotation
+//! counter, compression pipeline, ECC, resurrection bookkeeping; see
+//! [`crate::bank`]) and the memory performs only the logical→bank routing
+//! and statistic aggregation. It simulates every write cell-accurately —
+//! use it for correctness tests, examples, and to cross-validate the
+//! accelerated lifetime engine; use [`crate::lifetime`] for
+//! endurance-scale campaigns. Services that need the banks themselves
+//! (the `pcm-serve` daemon shards banks over workers) construct
+//! [`BankCtl`]s directly instead.
 
-use crate::line::{EccEngine, LineWriteReport, ManagedLine, Payload};
-use crate::payload::{choose_payload, HostMeta, PayloadBufs};
+use crate::bank::BankCtl;
+use crate::line::LineWriteReport;
 use crate::system::SystemConfig;
-use pcm_compress::{decompress, CompressedWrite, Method};
 use pcm_util::{seeded_rng, Line512};
-use pcm_wear::{IntraLineLeveler, StartGap};
 use serde::{Deserialize, Serialize};
 
-/// Cumulative statistics of a [`PcmMemory`].
+/// Cumulative statistics of a [`PcmMemory`] (or one [`BankCtl`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MemoryStats {
     /// Demand write-backs served.
@@ -40,6 +40,22 @@ pub struct MemoryStats {
     /// Sum of per-line fault counts at each death event (so
     /// `death_fault_cells / deaths` is the Fig. 12 faults-at-death mean).
     pub death_fault_cells: u64,
+}
+
+impl MemoryStats {
+    /// Accumulates another statistics block into this one (used to merge
+    /// per-bank counters into whole-memory totals).
+    pub fn absorb(&mut self, other: &MemoryStats) {
+        self.demand_writes += other.demand_writes;
+        self.gap_moves += other.gap_moves;
+        self.total_flips += other.total_flips;
+        self.new_faults += other.new_faults;
+        self.compressed_writes += other.compressed_writes;
+        self.resurrections += other.resurrections;
+        self.relocation_failures += other.relocation_failures;
+        self.deaths += other.deaths;
+        self.death_fault_cells += other.death_fault_cells;
+    }
 }
 
 /// Report of one successful demand write.
@@ -101,16 +117,8 @@ impl std::error::Error for WriteError {}
 #[derive(Debug)]
 pub struct PcmMemory {
     cfg: SystemConfig,
-    engine: EccEngine,
-    banks: usize,
+    banks: Vec<BankCtl>,
     lines_per_bank: u64,
-    phys: Vec<ManagedLine>,
-    start_gap: Vec<StartGap>,
-    levelers: Vec<IntraLineLeveler>,
-    shadow: Vec<Option<Line512>>,
-    parked: Vec<bool>,
-    meta: Vec<HostMeta>,
-    stats: MemoryStats,
 }
 
 impl PcmMemory {
@@ -126,35 +134,23 @@ impl PcmMemory {
         // needs a region), otherwise a single bank.
         let banks = Self::banks_for(logical_lines);
         let lines_per_bank = logical_lines / banks as u64;
+        // One RNG threaded through every bank, in bank order: the
+        // whole-memory endurance draw is byte-identical to the historical
+        // single-vector construction.
         let mut rng = seeded_rng(seed);
-        let phys_per_bank = lines_per_bank + 1;
-        let phys = (0..banks as u64 * phys_per_bank)
-            .map(|_| ManagedLine::sample_with_tech(&cfg.endurance, cfg.tech, &mut rng))
-            .collect();
-        let start_gap = (0..banks)
-            .map(|_| StartGap::new(lines_per_bank, cfg.start_gap_psi))
-            .collect();
-        let levelers = (0..banks)
-            .map(|_| IntraLineLeveler::new(cfg.bank_counter_period, 1))
+        let banks = (0..banks)
+            .map(|_| BankCtl::sample(cfg, lines_per_bank, &mut rng))
             .collect();
         PcmMemory {
             cfg,
-            engine: EccEngine::new(cfg.ecc),
             banks,
             lines_per_bank,
-            phys,
-            start_gap,
-            levelers,
-            shadow: vec![None; logical_lines as usize],
-            parked: vec![false; logical_lines as usize],
-            meta: vec![HostMeta::default(); logical_lines as usize],
-            stats: MemoryStats::default(),
         }
     }
 
     /// Number of logical lines.
     pub fn logical_lines(&self) -> u64 {
-        self.lines_per_bank * self.banks as u64
+        self.lines_per_bank * self.banks.len() as u64
     }
 
     // Eight banks when each bank gets at least two lines (Start-Gap needs
@@ -176,9 +172,13 @@ impl PcmMemory {
         logical_lines + Self::banks_for(logical_lines) as u64
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics, aggregated over every bank.
     pub fn stats(&self) -> MemoryStats {
-        self.stats
+        let mut total = MemoryStats::default();
+        for bank in &self.banks {
+            total.absorb(&bank.stats());
+        }
+        total
     }
 
     /// The system configuration.
@@ -186,10 +186,16 @@ impl PcmMemory {
         &self.cfg
     }
 
+    /// The per-bank controllers, in interleave order.
+    pub fn banks(&self) -> &[BankCtl] {
+        &self.banks
+    }
+
     /// Fraction of physical lines currently dead.
     pub fn dead_fraction(&self) -> f64 {
-        let dead = self.phys.iter().filter(|l| l.is_dead()).count();
-        dead as f64 / self.phys.len() as f64
+        let dead: usize = self.banks.iter().map(|b| b.dead_lines()).sum();
+        let phys: usize = self.banks.iter().map(|b| b.physical_line_count()).sum();
+        dead as f64 / phys as f64
     }
 
     /// The paper's failure criterion: 50% of capacity worn out.
@@ -198,14 +204,9 @@ impl PcmMemory {
     }
 
     fn locate(&self, logical: u64) -> (usize, u64) {
-        let bank = (logical % self.banks as u64) as usize;
-        let idx = logical / self.banks as u64;
+        let bank = (logical % self.banks.len() as u64) as usize;
+        let idx = logical / self.banks.len() as u64;
         (bank, idx)
-    }
-
-    fn phys_index(&self, bank: usize, idx: u64) -> usize {
-        let mapped = self.start_gap[bank].map(idx);
-        bank * (self.lines_per_bank as usize + 1) + mapped as usize
     }
 
     /// Serves one LLC write-back.
@@ -220,23 +221,7 @@ impl PcmMemory {
             return Err(WriteError::BadAddress);
         }
         let (bank, idx) = self.locate(logical);
-        let phys = self.phys_index(bank, idx);
-        let report = self.write_to_phys(phys, bank, logical, data)?;
-        self.stats.demand_writes += 1;
-
-        // Bank bookkeeping: rotation counter and Start-Gap.
-        self.levelers[bank].note_write();
-        let gap_moved = if let Some(mv) = self.start_gap[bank].on_write() {
-            self.relocate(bank, mv.to);
-            true
-        } else {
-            false
-        };
-        Ok(WriteReport {
-            line: report.0,
-            compressed: report.1,
-            gap_moved,
-        })
+        self.banks[bank].write(idx, data)
     }
 
     /// Reads one line back, decompressing as needed.
@@ -251,162 +236,13 @@ impl PcmMemory {
             return Err(WriteError::BadAddress);
         }
         let (bank, idx) = self.locate(logical);
-        let phys = self.phys_index(bank, idx);
-        let line = &self.phys[phys];
-        if self.parked[logical as usize] || !line.is_valid() {
-            return Err(WriteError::LineDead {
-                faults: line.faults().count(),
-            });
-        }
-        let (method, bytes) = line.read(&self.engine).expect("valid line reads");
-        let c =
-            CompressedWrite::from_parts(method, bytes).expect("stored payload is self-consistent");
-        Ok(decompress(&c))
+        self.banks[bank].read(idx)
     }
 
     /// Decompression latency (CPU cycles) a demand read of this line pays.
     pub fn read_decompression_cycles(&self, logical: u64) -> u64 {
         let (bank, idx) = self.locate(logical);
-        let phys = self.phys_index(bank, idx);
-        self.phys[phys].method().decompression_cycles()
-    }
-
-    fn write_to_phys(
-        &mut self,
-        phys: usize,
-        bank: usize,
-        logical: u64,
-        data: Line512,
-    ) -> Result<(LineWriteReport, bool), WriteError> {
-        let kind = self.cfg.kind;
-        // One stack-resident buffer pair per write: the storage decision
-        // never heap-allocates (see crate::payload).
-        let mut bufs = PayloadBufs::new();
-        let (mut method, new_meta, fallback) =
-            choose_payload(&self.cfg, self.meta[logical as usize], &data, &mut bufs);
-        let preferred = if kind.rotates() {
-            self.levelers[bank].offset()
-        } else {
-            0
-        };
-        let line = &mut self.phys[phys];
-        // Revert a heuristic "store uncompressed" decision when only the
-        // compressed form still fits this line.
-        let mut payload_bytes = bufs.chosen();
-        if let Some(fb_method) = fallback {
-            if line
-                .can_host(&self.engine, bufs.chosen().len(), preferred, kind.slides())
-                .is_none()
-                && line
-                    .can_host(
-                        &self.engine,
-                        bufs.fallback().len(),
-                        preferred,
-                        kind.slides(),
-                    )
-                    .is_some()
-            {
-                payload_bytes = bufs.fallback();
-                method = fb_method;
-            }
-        }
-        if line.is_dead() {
-            // Comp+WF checks dead lines for fit before giving up.
-            if kind.slides() {
-                if let Some(offset) =
-                    line.can_host(&self.engine, payload_bytes.len(), preferred, true)
-                {
-                    line.revive();
-                    self.stats.resurrections += 1;
-                    let r = match line.write(
-                        &self.engine,
-                        Payload {
-                            method,
-                            bytes: payload_bytes,
-                        },
-                        offset,
-                        true,
-                    ) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            self.stats.deaths += 1;
-                            self.stats.death_fault_cells += e.faults as u64;
-                            return Err(WriteError::LineDead { faults: e.faults });
-                        }
-                    };
-                    self.commit(logical, data, method, payload_bytes.len(), new_meta, &r);
-                    return Ok((r, method.is_compressed()));
-                }
-            }
-            return Err(WriteError::LineDead {
-                faults: line.faults().count(),
-            });
-        }
-        match line.write(
-            &self.engine,
-            Payload {
-                method,
-                bytes: payload_bytes,
-            },
-            preferred,
-            kind.slides(),
-        ) {
-            Ok(r) => {
-                self.commit(logical, data, method, payload_bytes.len(), new_meta, &r);
-                Ok((r, method.is_compressed()))
-            }
-            Err(e) => {
-                self.parked[logical as usize] = true;
-                self.stats.deaths += 1;
-                self.stats.death_fault_cells += e.faults as u64;
-                Err(WriteError::LineDead { faults: e.faults })
-            }
-        }
-    }
-
-    fn commit(
-        &mut self,
-        logical: u64,
-        data: Line512,
-        method: Method,
-        size: usize,
-        new_meta: HostMeta,
-        r: &LineWriteReport,
-    ) {
-        self.shadow[logical as usize] = Some(data);
-        self.parked[logical as usize] = false;
-        self.meta[logical as usize] = HostMeta {
-            sc: new_meta.sc,
-            last_size: size,
-        };
-        self.stats.total_flips += r.flips as u64;
-        self.stats.new_faults += r.new_faults as u64;
-        if method.is_compressed() {
-            self.stats.compressed_writes += 1;
-        }
-    }
-
-    /// Performs the Start-Gap relocation write into physical slot `to`
-    /// (bank-relative), including the Comp+WF resurrection check.
-    fn relocate(&mut self, bank: usize, to: u64) {
-        self.stats.gap_moves += 1;
-        // Which logical (bank-relative) line now maps to `to`?
-        let idx = (0..self.lines_per_bank).find(|&i| self.start_gap[bank].map(i) == to);
-        let Some(idx) = idx else {
-            return; // `to` is the new gap itself (wrap move): nothing to copy.
-        };
-        let logical = idx * self.banks as u64 + bank as u64;
-        let Some(data) = self.shadow[logical as usize] else {
-            return; // never written: nothing to relocate
-        };
-        let phys = bank * (self.lines_per_bank as usize + 1) + to as usize;
-        match self.write_to_phys(phys, bank, logical, data) {
-            Ok(_) => {}
-            Err(_) => {
-                self.stats.relocation_failures += 1;
-                self.parked[logical as usize] = true;
-            }
-        }
+        self.banks[bank].read_decompression_cycles(idx)
     }
 }
 
@@ -535,5 +371,21 @@ mod tests {
         let mut rng = seeded_rng(8);
         mem.write(1, Line512::random(&mut rng)).unwrap(); // uncompressed
         assert_eq!(mem.read_decompression_cycles(1), 0);
+    }
+
+    #[test]
+    fn per_bank_stats_sum_to_memory_stats() {
+        let mut mem = PcmMemory::new(cfg(SystemKind::CompWF), 32, 13);
+        let mut rng = seeded_rng(99);
+        for _ in 0..300u32 {
+            let l = rng.random_range(0..32);
+            mem.write(l, Line512::random(&mut rng)).unwrap();
+        }
+        let mut summed = MemoryStats::default();
+        for bank in mem.banks() {
+            summed.absorb(&bank.stats());
+        }
+        assert_eq!(summed, mem.stats());
+        assert_eq!(mem.banks().len(), 8);
     }
 }

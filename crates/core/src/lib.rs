@@ -40,6 +40,7 @@
 //! assert_eq!(mem.read(3).unwrap(), data);
 //! ```
 
+pub mod bank;
 pub mod controller;
 pub mod heuristic;
 pub mod lifetime;
@@ -51,7 +52,8 @@ pub mod system;
 pub mod verify;
 pub mod window;
 
-pub use controller::{PcmMemory, WriteError, WriteReport};
+pub use bank::BankCtl;
+pub use controller::{MemoryStats, PcmMemory, WriteError, WriteReport};
 pub use heuristic::{CompressionHeuristic, Decision};
 pub use line::{LineWriteReport, ManagedLine, MetaUpdateCounts};
 pub use meta::LineMetadata;

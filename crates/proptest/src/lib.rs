@@ -513,6 +513,7 @@ pub mod test_runner {
             };
             let mut rng = TestRng::seed_from_u64(seed);
             if let Err(msg) = body(&mut rng) {
+                // pcm-audit: allow(panic-macro) — the shim reports case failure by panicking; that is its contract with the test harness
                 panic!(
                     "proptest '{name}' failed at case {case}/{cases} (seed {seed}): {msg}\n\
                      reproduce with: PROPTEST_SEED={seed} PROPTEST_CASES=1"

@@ -1,0 +1,141 @@
+//! Built-in open-loop traffic generator.
+//!
+//! Tenants are ranked by a Zipf popularity mix (tenant 0 hottest) and each
+//! tenant replays write-back content from one of the paper's 15 SPEC
+//! workload profiles (`tenant % 15` in Table III order), so the offered
+//! stream exercises the same compressibility spectrum as the batch
+//! experiments. Arrival times come from a seeded exponential process in
+//! virtual bus cycles ([`pcm_util::ArrivalStream`]) — the generator is
+//! open-loop: it never waits for the engine, so overload shows up as
+//! queueing delay in the latency percentiles rather than as silently
+//! reduced throughput.
+//!
+//! Everything derives from the [`ServeConfig`] seed by fixed child
+//! indices; the emitted script is a pure function of the config and is
+//! generated identically regardless of shard count.
+
+use crate::engine::{ScriptedWrite, ServeConfig};
+use pcm_trace::profile::ALL_APPS;
+use pcm_trace::stream::BlockStream;
+use pcm_util::dist::Zipf;
+use pcm_util::{child_seed, seeded_rng, ArrivalStream};
+use rand::rngs::StdRng;
+
+/// Child-seed lanes off the master seed. Keep these stable: changing them
+/// changes every replay digest.
+const LANE_ARRIVALS: u64 = 1;
+const LANE_CHOICES: u64 = 2;
+const LANE_TENANT_BASE: u64 = 1000;
+
+/// The seeded open-loop request source.
+#[derive(Debug)]
+pub struct TrafficGen {
+    arrivals: ArrivalStream,
+    choices: StdRng,
+    tenant_zipf: Zipf,
+    addr_zipf: Zipf,
+    streams: Vec<BlockStream>,
+    lines_per_bank: u64,
+    seed: u64,
+}
+
+impl TrafficGen {
+    /// Builds a generator for the given serve configuration.
+    pub fn new(cfg: &ServeConfig) -> Self {
+        let streams = (0..cfg.tenants)
+            .map(|t| {
+                let app = ALL_APPS[(t % ALL_APPS.len() as u64) as usize];
+                BlockStream::new(app.profile(), child_seed(cfg.seed, LANE_TENANT_BASE + t))
+            })
+            .collect();
+        TrafficGen {
+            arrivals: ArrivalStream::new(child_seed(cfg.seed, LANE_ARRIVALS), cfg.mean_gap_cycles),
+            choices: seeded_rng(child_seed(cfg.seed, LANE_CHOICES)),
+            tenant_zipf: Zipf::new(cfg.tenants as usize, cfg.zipf_s),
+            // Addresses inside a tenant's region follow a mild Zipf of
+            // their own: hot lines wear faster, which is what the wear
+            // telemetry is there to show.
+            addr_zipf: Zipf::new(cfg.lines_per_bank as usize, 0.8),
+            streams,
+            lines_per_bank: cfg.lines_per_bank,
+            seed: cfg.seed,
+        }
+    }
+
+    /// The tenant popularity distribution (rank == tenant id).
+    pub fn tenant_zipf(&self) -> &Zipf {
+        &self.tenant_zipf
+    }
+
+    /// Emits the next write-back.
+    pub fn next_write(&mut self) -> ScriptedWrite {
+        let at = self.arrivals.next_arrival();
+        let tenant = self.tenant_zipf.sample(&mut self.choices) as u64;
+        // Each tenant gets its own deterministic offset into the bank's
+        // line space, so co-located tenants overlap only incidentally.
+        let base = child_seed(self.seed, tenant) % self.lines_per_bank;
+        let rank = self.addr_zipf.sample(&mut self.choices) as u64;
+        let line = (base + rank) % self.lines_per_bank;
+        let data = self.streams[tenant as usize].next_data();
+        ScriptedWrite {
+            at,
+            tenant,
+            line,
+            data,
+        }
+    }
+
+    /// Emits every write arriving at or before `end_cycle`.
+    pub fn script_until(&mut self, end_cycle: u64) -> Vec<ScriptedWrite> {
+        let mut script = Vec::new();
+        loop {
+            let w = self.next_write();
+            if w.at > end_cycle {
+                return script;
+            }
+            script.push(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_config_same_script() {
+        let cfg = ServeConfig::new(99);
+        let a = TrafficGen::new(&cfg).script_until(100_000);
+        let b = TrafficGen::new(&cfg).script_until(100_000);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_count_does_not_reach_the_generator() {
+        let mut a_cfg = ServeConfig::new(4);
+        let mut b_cfg = ServeConfig::new(4);
+        a_cfg.shards = 1;
+        b_cfg.shards = 7;
+        let a = TrafficGen::new(&a_cfg).script_until(50_000);
+        let b = TrafficGen::new(&b_cfg).script_until(50_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn script_respects_the_horizon_and_order() {
+        let cfg = ServeConfig::new(7);
+        let script = TrafficGen::new(&cfg).script_until(80_000);
+        assert!(script.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(script.last().expect("non-empty").at <= 80_000);
+    }
+
+    #[test]
+    fn lines_stay_in_range() {
+        let cfg = ServeConfig::new(13);
+        for w in TrafficGen::new(&cfg).script_until(100_000) {
+            assert!(w.line < cfg.lines_per_bank);
+            assert!(w.tenant < cfg.tenants);
+        }
+    }
+}

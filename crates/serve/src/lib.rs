@@ -1,0 +1,35 @@
+//! `pcm-serve`: the simulator stood up as an online memory-controller
+//! daemon.
+//!
+//! The batch experiments in `pcm-bench` answer the paper's questions in
+//! one shot; this crate answers the ROADMAP's "long-lived system" ones.
+//! Simulated tenants send 64-byte write-backs over a length-prefixed
+//! binary protocol ([`protocol`]); a deterministic tenant→bank map
+//! ([`router`]) pins every tenant to one PCM bank; each bank's controller
+//! state ([`pcm_core::BankCtl`]) is owned by exactly one shard at a time
+//! ([`engine`]), concurrency comes from `pcm_util::Pool`, and live
+//! compression/wear/fault counters plus write-latency percentiles stream
+//! back out of the [`telemetry`] snapshot endpoint.
+//!
+//! Time is virtual throughout — requests carry their own arrival cycle,
+//! the built-in open-loop [`generator`] draws arrivals from a seeded
+//! exponential process, and service/queueing delay comes from the DDR3
+//! timing model — so a daemon run is a pure function of `(config, input
+//! bytes)` and replays byte-identically at any shard count
+//! (`tests/serve_replay.rs` at the workspace root pins this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod engine;
+pub mod generator;
+pub mod protocol;
+pub mod router;
+pub mod telemetry;
+
+pub use daemon::{ConnState, Daemon};
+pub use engine::{Engine, ScriptedWrite, ServeConfig};
+pub use generator::TrafficGen;
+pub use protocol::{FrameDecoder, ProtoError, Request};
+pub use telemetry::{LatencyHist, Snapshot};

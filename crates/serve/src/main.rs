@@ -1,0 +1,131 @@
+//! `pcm-serve` — the online memory-controller daemon.
+//!
+//! Batch replay mode (default): generate `--duration` virtual cycles of
+//! open-loop traffic from the built-in zipfian generator, serve it on the
+//! shard pool, print the telemetry snapshot and per-bank wear digests, and
+//! exit. For a fixed `--seed` the printed bytes are identical for every
+//! `--shards` value and every repetition — the property
+//! `tests/serve_replay.rs` enforces.
+//!
+//! Online mode (`--listen ADDR` / `--unix PATH`): after the batch phase
+//! (if any), accept connections and serve the wire protocol until a
+//! SHUTDOWN frame arrives.
+
+use pcm_serve::{Daemon, ServeConfig, TrafficGen};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+
+const USAGE: &str = "pcm-serve [--seed N] [--shards K] [--duration CYCLES] \
+[--banks B] [--lines L] [--tenants T] [--mean-gap CYCLES] \
+[--listen ADDR] [--unix PATH]";
+
+struct Cli {
+    cfg: ServeConfig,
+    duration: u64,
+    listen: Option<String>,
+    unix: Option<String>,
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cfg: ServeConfig::new(2017),
+        duration: 2_000_000,
+        listen: None,
+        unix: None,
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--seed" => cli.cfg.seed = num(&value("--seed")?, "--seed")?,
+            "--shards" => cli.cfg.shards = num(&value("--shards")?, "--shards")? as usize,
+            "--duration" => cli.duration = num(&value("--duration")?, "--duration")?,
+            "--banks" => {
+                cli.cfg.banks = num(&value("--banks")?, "--banks")? as usize;
+                if cli.cfg.banks == 0 {
+                    return Err("--banks must be at least 1".into());
+                }
+            }
+            "--lines" => {
+                cli.cfg.lines_per_bank = num(&value("--lines")?, "--lines")?;
+                if cli.cfg.lines_per_bank < 2 {
+                    return Err("--lines must be at least 2".into());
+                }
+            }
+            "--tenants" => {
+                cli.cfg.tenants = num(&value("--tenants")?, "--tenants")?;
+                if cli.cfg.tenants == 0 {
+                    return Err("--tenants must be at least 1".into());
+                }
+            }
+            "--mean-gap" => {
+                let v = num(&value("--mean-gap")?, "--mean-gap")?;
+                if v == 0 {
+                    return Err("--mean-gap must be positive".into());
+                }
+                cli.cfg.mean_gap_cycles = v as f64;
+            }
+            "--listen" => cli.listen = Some(value("--listen")?),
+            "--unix" => cli.unix = Some(value("--unix")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+fn num(v: &str, flag: &str) -> Result<u64, String> {
+    v.parse().map_err(|_| format!("{flag} needs an integer"))
+}
+
+fn main() {
+    let cli = parse_args(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        let code = if msg.is_empty() {
+            0
+        } else {
+            eprintln!("error: {msg}");
+            2
+        };
+        eprintln!("usage: {USAGE}");
+        std::process::exit(code);
+    });
+
+    let mut daemon = Daemon::new(cli.cfg.clone());
+    if cli.duration > 0 {
+        let script = TrafficGen::new(&cli.cfg).script_until(cli.duration);
+        daemon.engine_mut().run_script(&script);
+        print!("{}", daemon.engine().snapshot().render());
+        let digests: Vec<String> = daemon
+            .engine()
+            .wear_digests()
+            .iter()
+            .map(|d| format!("{d:016x}"))
+            .collect();
+        println!("wear_digests {}", digests.join(" "));
+    }
+
+    if let Some(path) = &cli.unix {
+        // A stale socket file from a previous run would make bind fail.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind unix socket {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("pcm-serve listening on unix socket {path}");
+        if let Err(e) = daemon.serve_unix(&listener) {
+            eprintln!("error: unix serve loop failed: {e}");
+            std::process::exit(1);
+        }
+        let _ = std::fs::remove_file(path);
+    } else if let Some(addr) = &cli.listen {
+        let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+        let local = listener.local_addr().expect("bound socket has an address");
+        eprintln!("pcm-serve listening on {local}");
+        if let Err(e) = daemon.serve_tcp(&listener) {
+            eprintln!("error: tcp serve loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic tenant→bank routing.
+//!
+//! The daemon multiplexes tenants onto banks with **strict per-bank
+//! ownership**: once a tenant is routed, every one of its requests lands on
+//! the same bank, so that bank's controller state can live exclusively
+//! inside one shard with no cross-shard sharing. The map must therefore be
+//! a pure function of `(tenant, bank_count)` — no registration table, no
+//! load feedback — or replay determinism dies.
+//!
+//! We use Lamping & Veach's *jump consistent hash*. Besides being a total
+//! function over the full `u64` tenant space, it gives the one remap rule
+//! we document and test: growing the fleet from `k` to `k + 1` banks moves
+//! a tenant **only to the new bank** —
+//!
+//! ```text
+//! route(t, k + 1) ∈ { route(t, k),  k }
+//! ```
+//!
+//! so a capacity step relocates `~1/(k+1)` of tenants and never reshuffles
+//! traffic between pre-existing banks (`crates/serve/tests/props.rs` pins
+//! both properties).
+
+/// Routes a tenant id onto one of `banks` banks (jump consistent hash).
+///
+/// # Panics
+///
+/// Panics if `banks == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_serve::router::route;
+///
+/// let bank = route(42, 8);
+/// assert!(bank < 8);
+/// // Total and pure: the same tenant always routes identically.
+/// assert_eq!(bank, route(42, 8));
+/// ```
+pub fn route(tenant: u64, banks: u32) -> u32 {
+    assert!(banks > 0, "cannot route over zero banks");
+    let mut key = tenant;
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < banks as i64 {
+        b = j;
+        key = key.wrapping_mul(2862933555777941757).wrapping_add(1);
+        // Upper 33 bits of the LCG state drive the jump length; the +1
+        // keeps the divisor nonzero.
+        j = ((b + 1) as f64 * ((1u64 << 31) as f64 / ((key >> 33) + 1) as f64)) as i64;
+    }
+    b as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bank_takes_everything() {
+        for t in [0u64, 1, 7, u64::MAX] {
+            assert_eq!(route(t, 1), 0);
+        }
+    }
+
+    #[test]
+    fn spread_is_roughly_uniform() {
+        let banks = 8u32;
+        let mut counts = [0u32; 8];
+        for t in 0..8000u64 {
+            counts[route(t, banks) as usize] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "bank {b} got {c} of 8000 tenants"
+            );
+        }
+    }
+
+    #[test]
+    fn growth_only_moves_tenants_to_the_new_bank() {
+        for k in 1..16u32 {
+            for t in 0..2000u64 {
+                let old = route(t, k);
+                let new = route(t, k + 1);
+                assert!(
+                    new == old || new == k,
+                    "tenant {t}: route({k})={old} but route({})={new}",
+                    k + 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Live serve-path telemetry: counters, latency percentiles, wear digests.
+//!
+//! Everything here is a pure function of the request history, in virtual
+//! time — snapshots are rendered to a canonical text form whose bytes the
+//! replay suite compares across runs and shard counts. Keep the rendering
+//! stable: any incidental change (float formatting, map ordering) shows up
+//! as a replay-determinism failure, which is the point.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Exact latency histogram in whole bus cycles.
+///
+/// Distinct write latencies are few (occupancy plus quantised queueing
+/// delay), so an ordered map of `latency → count` stays small while giving
+/// *exact* percentiles — no bucketing error to drift across shard counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHist {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl LatencyHist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHist::default()
+    }
+
+    /// Records one latency observation (cycles).
+    pub fn record(&mut self, cycles: u64) {
+        *self.counts.entry(cycles).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Merges another histogram into this one (bank → global roll-up).
+    pub fn absorb(&mut self, other: &LatencyHist) {
+        for (&lat, &n) in &other.counts {
+            *self.counts.entry(lat).or_insert(0) += n;
+        }
+        self.total += other.total;
+    }
+
+    /// The smallest latency `L` such that at least `permille`/1000 of
+    /// observations are ≤ `L`. Returns 0 for an empty histogram.
+    pub fn percentile_permille(&self, permille: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, ceiling division so
+        // p1000 is the maximum and p500 the median's upper element.
+        let rank = (self.total * permille).div_ceil(1000).max(1);
+        let mut seen = 0u64;
+        for (&lat, &n) in &self.counts {
+            seen += n;
+            if seen >= rank {
+                return lat;
+            }
+        }
+        *self.counts.keys().next_back().expect("non-empty histogram")
+    }
+
+    /// (p50, p99, p999) in cycles.
+    pub fn summary(&self) -> (u64, u64, u64) {
+        (
+            self.percentile_permille(500),
+            self.percentile_permille(990),
+            self.percentile_permille(999),
+        )
+    }
+}
+
+/// Per-bank live counters, updated on the serve path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankTelemetry {
+    /// Write requests served (including ones that died).
+    pub writes: u64,
+    /// Read requests served.
+    pub reads: u64,
+    /// Writes rejected with an uncorrectable-error outcome.
+    pub write_failures: u64,
+    /// Requests addressed outside the bank's line range.
+    pub bad_addresses: u64,
+    /// Write latency distribution, virtual cycles.
+    pub latency: LatencyHist,
+    /// Virtual cycle at which the bank next becomes free.
+    pub free_at: u64,
+}
+
+/// One bank's row in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankSnapshot {
+    /// Bank index.
+    pub bank: usize,
+    /// Writes served.
+    pub writes: u64,
+    /// Demand writes stored compressed.
+    pub compressed: u64,
+    /// Cells programmed.
+    pub flips: u64,
+    /// Cells newly stuck.
+    pub faults: u64,
+    /// Dead physical lines.
+    pub dead_lines: u64,
+    /// Uncorrectable failures observed on the serve path.
+    pub write_failures: u64,
+    /// FNV-1a digest over the bank's full wear state.
+    pub wear_digest: u64,
+}
+
+/// A rendered-comparable snapshot of the whole daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Virtual cycle the snapshot was taken at (max arrival seen).
+    pub now: u64,
+    /// Total writes served.
+    pub writes: u64,
+    /// Total reads served.
+    pub reads: u64,
+    /// Fraction of demand writes stored compressed.
+    pub compressed_fraction: f64,
+    /// Total cells newly stuck.
+    pub faults: u64,
+    /// Total dead physical lines.
+    pub dead_lines: u64,
+    /// Median write latency, cycles.
+    pub p50: u64,
+    /// 99th-percentile write latency, cycles.
+    pub p99: u64,
+    /// 99.9th-percentile write latency, cycles.
+    pub p999: u64,
+    /// Per-bank rows, in bank order.
+    pub banks: Vec<BankSnapshot>,
+}
+
+impl Snapshot {
+    /// Renders the canonical text form. Byte-stable by construction: only
+    /// integers and one fixed-precision fraction, banks in index order.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "pcm-serve telemetry @ cycle {}", self.now);
+        let _ = writeln!(
+            s,
+            "writes {} reads {} compressed_fraction {:.6} faults {} dead_lines {}",
+            self.writes, self.reads, self.compressed_fraction, self.faults, self.dead_lines
+        );
+        let _ = writeln!(
+            s,
+            "write_latency_cycles p50 {} p99 {} p999 {}",
+            self.p50, self.p99, self.p999
+        );
+        for b in &self.banks {
+            let _ = writeln!(
+                s,
+                "bank {} writes {} compressed {} flips {} faults {} dead {} failures {} wear_digest {:016x}",
+                b.bank,
+                b.writes,
+                b.compressed,
+                b.flips,
+                b.faults,
+                b.dead_lines,
+                b.write_failures,
+                b.wear_digest
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact() {
+        let mut h = LatencyHist::new();
+        for lat in 1..=100u64 {
+            h.record(lat);
+        }
+        assert_eq!(h.percentile_permille(500), 50);
+        assert_eq!(h.percentile_permille(990), 99);
+        assert_eq!(h.percentile_permille(999), 100);
+        assert_eq!(h.percentile_permille(1000), 100);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        assert_eq!(LatencyHist::new().summary(), (0, 0, 0));
+    }
+
+    #[test]
+    fn absorb_equals_pooled_recording() {
+        let mut parts = [LatencyHist::new(), LatencyHist::new()];
+        let mut pooled = LatencyHist::new();
+        for i in 0..1000u64 {
+            let lat = (i * 37) % 211;
+            parts[(i % 2) as usize].record(lat);
+            pooled.record(lat);
+        }
+        let mut merged = LatencyHist::new();
+        merged.absorb(&parts[0]);
+        merged.absorb(&parts[1]);
+        assert_eq!(merged, pooled);
+        assert_eq!(merged.summary(), pooled.summary());
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let snap = Snapshot {
+            now: 10,
+            writes: 2,
+            reads: 1,
+            compressed_fraction: 0.5,
+            faults: 0,
+            dead_lines: 0,
+            p50: 68,
+            p99: 70,
+            p999: 70,
+            banks: vec![BankSnapshot {
+                bank: 0,
+                writes: 2,
+                compressed: 1,
+                flips: 3,
+                faults: 0,
+                dead_lines: 0,
+                write_failures: 0,
+                wear_digest: 0xdeadbeef,
+            }],
+        };
+        assert_eq!(snap.render(), snap.render());
+        assert!(snap.render().contains("p50 68 p99 70 p999 70"));
+        assert!(snap.render().contains("wear_digest 00000000deadbeef"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property suite for the tenant→bank router and the traffic generator's
+//! zipfian tenant mix.
+
+use pcm_serve::router::route;
+use pcm_serve::{ServeConfig, TrafficGen};
+use pcm_util::dist::Zipf;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Routing is a total function over the whole tenant space: every
+    /// `u64` maps to a valid bank, with no panic and no reserved ids.
+    #[test]
+    fn routing_is_total(tenant in any::<u64>(), banks in 1u32..64) {
+        let bank = route(tenant, banks);
+        prop_assert!(bank < banks);
+    }
+
+    /// Purity: the same `(tenant, banks)` pair always yields the same
+    /// bank (no hidden state).
+    #[test]
+    fn routing_is_pure(tenant in any::<u64>(), banks in 1u32..64) {
+        prop_assert_eq!(route(tenant, banks), route(tenant, banks));
+    }
+
+    /// The documented remap rule — the ONLY way a bank-count change may
+    /// move tenants: growing `k → k+1` either leaves a tenant where it
+    /// was or moves it to the brand-new bank `k`. Applied transitively
+    /// this pins the remap behaviour for any growth.
+    #[test]
+    fn growth_remaps_only_to_the_new_bank(tenant in any::<u64>(), banks in 1u32..63) {
+        let old = route(tenant, banks);
+        let new = route(tenant, banks + 1);
+        prop_assert!(
+            new == old || new == banks,
+            "tenant {} moved {} -> {} when bank {} was added",
+            tenant, old, new, banks
+        );
+    }
+}
+
+/// Growth moves roughly `1/(k+1)` of tenants (the consistent-hashing
+/// payoff); a naive `tenant % k` map would reshuffle nearly all of them.
+#[test]
+fn growth_moves_about_one_in_k_plus_one() {
+    let tenants = 20_000u64;
+    for k in [4u32, 8, 12] {
+        let moved = (0..tenants)
+            .filter(|&t| route(t, k) != route(t, k + 1))
+            .count() as f64;
+        let expect = tenants as f64 / (k + 1) as f64;
+        assert!(
+            moved > expect * 0.7 && moved < expect * 1.3,
+            "k={k}: moved {moved}, expected ~{expect:.0}"
+        );
+    }
+}
+
+/// The generator's empirical tenant rank-frequency stays within a
+/// tolerance band of the configured Zipf pmf for the popular ranks (the
+/// tail is too thin to measure tightly at this sample size).
+#[test]
+fn zipfian_tenant_mix_tracks_its_parameter() {
+    let mut cfg = ServeConfig::new(0xF00D);
+    cfg.mean_gap_cycles = 4.0; // dense arrivals: big sample, short horizon
+    let mut gen = TrafficGen::new(&cfg);
+    let samples = 120_000usize;
+    let mut counts = vec![0u64; cfg.tenants as usize];
+    for _ in 0..samples {
+        counts[gen.next_write().tenant as usize] += 1;
+    }
+    let zipf = Zipf::new(cfg.tenants as usize, cfg.zipf_s);
+    for rank in 0..10 {
+        let expect = zipf.pmf(rank) * samples as f64;
+        let got = counts[rank] as f64;
+        let err = (got - expect).abs() / expect;
+        assert!(
+            err < 0.10,
+            "rank {rank}: got {got}, expected {expect:.0} (err {err:.3})"
+        );
+    }
+    // Monotone-ish head: the hottest tenant really is the hottest.
+    assert!(counts[0] > counts[5]);
+    assert!(counts[0] > counts[30]);
+}
+
+/// Every tenant routes somewhere inside the configured fleet, and the
+/// engine's `bank_of` agrees with the raw router.
+#[test]
+fn engine_routing_agrees_with_router() {
+    let cfg = ServeConfig::new(3);
+    let engine = pcm_serve::Engine::new(cfg.clone());
+    for tenant in 0..cfg.tenants {
+        assert_eq!(
+            engine.bank_of(tenant),
+            route(tenant, cfg.banks as u32) as usize
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Protocol corruption suite: hostile byte streams must produce typed
+//! error responses — never a panic, never a desynchronised connection.
+//! The golden error-code table here is the wire contract; changing a code
+//! is a protocol break and must show up as a diff in this file.
+
+use pcm_serve::protocol::{
+    decode_response, encode_read, encode_write, FrameDecoder, ProtoError, MAX_FRAME, OP_READ,
+    OP_WRITE, STATUS_OK,
+};
+use pcm_serve::{ConnState, Daemon, ServeConfig};
+use pcm_util::Line512;
+use proptest::prelude::*;
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A deliberately tiny fleet: protocol handling is what's under test, and
+/// the proptest cases below each build a fresh daemon.
+fn tiny_config() -> ServeConfig {
+    let mut cfg = ServeConfig::new(1);
+    cfg.banks = 2;
+    cfg.lines_per_bank = 8;
+    cfg.tenants = 4;
+    cfg
+}
+
+fn drive(wire: &[u8]) -> (Vec<(u8, Vec<u8>)>, ConnState) {
+    let mut daemon = Daemon::new(tiny_config());
+    let mut decoder = FrameDecoder::new();
+    let mut out = Vec::new();
+    let state = daemon.handle_bytes(&mut decoder, wire, &mut out);
+    let mut responses = Vec::new();
+    let mut rest = &out[..];
+    while let Some((status, body, used)) = decode_response(rest) {
+        responses.push((status, body.to_vec()));
+        rest = &rest[used..];
+    }
+    assert!(rest.is_empty(), "responses are always whole frames");
+    (responses, state)
+}
+
+/// The golden error-code table (protocol.rs module docs). A mismatch here
+/// is a wire-protocol break.
+#[test]
+fn golden_error_code_table() {
+    let cases: [(ProtoError, u8, bool); 5] = [
+        (ProtoError::Truncated, 1, true),
+        (ProtoError::Oversize { declared: 70_000 }, 2, true),
+        (ProtoError::Empty, 3, false),
+        (ProtoError::BadOpcode(0xAB), 4, false),
+        (
+            ProtoError::BadLength {
+                opcode: OP_READ,
+                got: 2,
+                want: 16,
+            },
+            5,
+            false,
+        ),
+    ];
+    for (err, code, fatal) in cases {
+        assert_eq!(err.code(), code, "{err:?}");
+        assert_eq!(err.is_fatal(), fatal, "{err:?}");
+    }
+}
+
+#[test]
+fn truncated_frame_is_detected_at_stream_end() {
+    let wire = encode_write(1, 2, 3, &Line512::ones());
+    for cut in 1..wire.len() {
+        let mut d = FrameDecoder::new();
+        d.push(&wire[..cut]);
+        assert!(d.next_frame().is_none(), "cut={cut}: partial frame parsed");
+        assert_eq!(d.finish(), Err(ProtoError::Truncated), "cut={cut}");
+    }
+}
+
+#[test]
+fn oversized_length_is_fatal_and_answered() {
+    let mut wire = (MAX_FRAME + 1).to_le_bytes().to_vec();
+    wire.extend_from_slice(&[0u8; 16]); // it will never deliver the rest
+    let (responses, state) = drive(&wire);
+    assert_eq!(state, ConnState::Closed);
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].0, 2, "OVERSIZE code");
+}
+
+#[test]
+fn garbage_payload_yields_typed_error_and_no_desync() {
+    // garbage frame, then a valid write, then a short-bodied write: the
+    // daemon must answer all three and stay in sync throughout.
+    let mut wire = frame(&[0xEE, 0xBB, 0xCC]);
+    wire.extend(encode_write(10, 1, 0, &Line512::ones()));
+    wire.extend(frame(&[OP_WRITE, 1, 2, 3, 4]));
+    wire.extend(encode_read(1, 0));
+    let (responses, state) = drive(&wire);
+    assert_eq!(state, ConnState::Open);
+    assert_eq!(responses.len(), 4);
+    assert_eq!(responses[0].0, 4, "BAD_OPCODE");
+    assert_eq!(responses[1].0, STATUS_OK, "valid write still serves");
+    assert_eq!(responses[2].0, 5, "BAD_LENGTH");
+    assert_eq!(responses[3].0, STATUS_OK, "read back after the garbage");
+    assert_eq!(responses[3].1, Line512::ones().to_bytes().to_vec());
+}
+
+#[test]
+fn zero_length_frame_is_answered_and_skipped() {
+    let mut wire = frame(&[]);
+    wire.extend(encode_read(1, 0));
+    let (responses, state) = drive(&wire);
+    assert_eq!(state, ConnState::Open);
+    assert_eq!(responses[0].0, 3, "EMPTY");
+    // The read finds an unwritten line: LINE_DEAD (7), not a desync.
+    assert_eq!(responses[1].0, 7);
+}
+
+#[test]
+fn out_of_range_line_is_a_typed_error() {
+    let cfg = tiny_config();
+    let wire = encode_write(5, 0, cfg.lines_per_bank + 10, &Line512::ones());
+    let (responses, state) = drive(&wire);
+    assert_eq!(state, ConnState::Open);
+    assert_eq!(responses[0].0, 6, "BAD_ADDRESS");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the decoder or the daemon, and
+    /// every emitted response is a whole, decodable frame.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let (_responses, _state) = drive(&bytes);
+    }
+
+    /// Any prefix of any valid frame sequence parses no frame it wasn't
+    /// given: cutting a stream never fabricates or reorders requests.
+    #[test]
+    fn prefixes_never_fabricate_frames(
+        tenant in any::<u64>(),
+        line in 0u64..64,
+        cut_ppm in 0u64..1_000_000,
+    ) {
+        let mut wire = encode_write(1, tenant, line, &Line512::ones());
+        wire.extend(encode_read(tenant, line));
+        let cut = (wire.len() as u64 * cut_ppm / 1_000_000) as usize;
+        let mut d = FrameDecoder::new();
+        d.push(&wire[..cut]);
+        let mut parsed = 0;
+        while let Some(r) = d.next_frame() {
+            prop_assert!(r.is_ok());
+            parsed += 1;
+        }
+        prop_assert!(parsed <= 2);
+        // A clean cut on a frame boundary is not a truncation; anything
+        // else is.
+        let write_len = encode_write(1, tenant, line, &Line512::ones()).len();
+        let boundary = cut == 0 || cut == write_len || cut == wire.len();
+        prop_assert_eq!(d.finish().is_ok(), boundary, "cut={}", cut);
+    }
+
+    /// Interleaving garbage frames between valid ones costs exactly one
+    /// error response each and never corrupts the valid traffic around
+    /// them.
+    #[test]
+    fn garbage_frames_cost_exactly_one_error_each(
+        garbage in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 1..64), 1..8),
+    ) {
+        let mut wire = Vec::new();
+        let mut expect_ok = 0;
+        for g in &garbage {
+            wire.extend(frame(g));
+            wire.extend(encode_read(7, 0));
+            expect_ok += 1;
+        }
+        let (responses, state) = drive(&wire);
+        prop_assert_eq!(state, ConnState::Open);
+        prop_assert_eq!(responses.len(), garbage.len() + expect_ok);
+        // Valid reads answer OK (or LINE_DEAD for the unwritten line),
+        // garbage answers a protocol code 3/4/5 — in strict alternation.
+        for (i, (status, _)) in responses.iter().enumerate() {
+            if i % 2 == 0 {
+                // Garbage slot — unless the random bytes happened to form
+                // a valid opcode+body, which proptest can and will find.
+                prop_assert!(
+                    [3, 4, 5, 6, 7, STATUS_OK].contains(status),
+                    "slot {} status {}", i, status
+                );
+            } else {
+                prop_assert!(
+                    *status == STATUS_OK || *status == 7,
+                    "valid read got status {}", status
+                );
+            }
+        }
+    }
+}

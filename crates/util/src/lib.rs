@@ -29,10 +29,12 @@ pub mod fault;
 pub mod line;
 pub mod pool;
 pub mod stats;
+pub mod vclock;
 
 pub use fault::{FaultMap, FaultPlan, StuckAt};
 pub use line::{Line512, DATA_BITS, DATA_BYTES};
 pub use pool::Pool;
+pub use vclock::ArrivalStream;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

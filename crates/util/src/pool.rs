@@ -164,6 +164,74 @@ impl Pool {
         out
     }
 
+    /// Maps `f` over every element of `items` in place, one claim per
+    /// element, returning the per-element results in index order.
+    ///
+    /// This is the mutable-ownership variant the serve engine shards banks
+    /// with: each `&mut T` is handed to exactly one worker through a
+    /// one-shot cell, so no element is ever shared — there is no
+    /// `Arc<Mutex<..>>` around the state, only a transfer of exclusive
+    /// borrows (the `serve-ownership` audit rule polices the alternative).
+    /// The same determinism contract applies: `f` must depend only on the
+    /// element and its index, never on the worker that claimed it.
+    pub fn map_each_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 || Self::in_worker() {
+            return items
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+
+        // One-shot handoff cells: each holds the exclusive borrow of one
+        // element until some worker claims that index and takes it out.
+        let cells: Vec<Mutex<Option<&mut T>>> = items
+            .iter_mut()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|s| {
+            let work = || {
+                let _guard = WorkerGuard::enter();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = cells[i]
+                        .lock()
+                        .expect("pool handoff mutex poisoned")
+                        .take()
+                        .expect("element claimed twice");
+                    local.push((i, f(i, item)));
+                }
+                if !local.is_empty() {
+                    done.lock()
+                        .expect("pool results mutex poisoned")
+                        .extend(local);
+                }
+            };
+            for _ in 1..workers {
+                s.spawn(work);
+            }
+            work();
+        });
+
+        let mut results = done.into_inner().expect("pool results mutex poisoned");
+        results.sort_unstable_by_key(|&(i, _)| i);
+        assert_eq!(results.len(), n, "pool dropped jobs");
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
     /// Runs `f` over `0..n` on the pool while the calling thread consumes
     /// each result **in index order**, as soon as it and all its
     /// predecessors are available. This is the streaming variant used by
@@ -289,6 +357,40 @@ mod tests {
             !Pool::in_worker(),
             "worker flag must not leak to the caller"
         );
+    }
+
+    #[test]
+    fn map_each_mut_mutates_every_element_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let mut items: Vec<u64> = (0..23).collect();
+            let got = Pool::new(threads).map_each_mut(&mut items, |i, item| {
+                *item += 100;
+                *item + i as u64
+            });
+            let want_items: Vec<u64> = (0..23).map(|i| i + 100).collect();
+            let want: Vec<u64> = (0..23).map(|i| i + 100 + i).collect();
+            assert_eq!(items, want_items, "threads={threads}");
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_each_mut_is_deterministic_under_skewed_costs() {
+        let run = |threads: usize| -> (Vec<u64>, Vec<u64>) {
+            let mut items: Vec<u64> = (0..31).collect();
+            let out = Pool::new(threads).map_each_mut(&mut items, |i, item| {
+                let rounds = if i % 7 == 0 { 40_000 } else { 10 };
+                for _ in 0..rounds {
+                    *item = item.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                *item
+            });
+            (items, out)
+        };
+        let want = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), want, "threads={threads}");
+        }
     }
 
     #[test]

@@ -101,6 +101,25 @@ if ! /usr/bin/timeout 3000 cargo run -q --release -p pcm-bench --bin pcm-bench-h
 fi
 echo "   ok ($(wc -l < results/bench_hotpath.txt) lines)"
 
+# Serve smoke: a short seeded daemon run must come up, serve the built-in
+# open-loop generator in virtual time, report sane telemetry, and exit
+# cleanly. The replay suite (tests/serve_replay.rs) owns the byte-identity
+# guarantees; this stage guards the binary's end-to-end wiring.
+echo "== serve =="
+if ! /usr/bin/timeout 600 cargo run -q --release -p pcm-serve --bin pcm-serve -- \
+    --seed 7 --shards 4 --duration 200000 > results/serve.txt 2>&1; then
+  echo "   SERVE FAILED (see results/serve.txt)" >&2
+  tail -n 20 results/serve.txt >&2
+  exit 1
+fi
+if ! grep -q "pcm-serve telemetry @ cycle" results/serve.txt \
+    || ! grep -q "wear_digests " results/serve.txt; then
+  echo "   SERVE SMOKE MISSING TELEMETRY (see results/serve.txt)" >&2
+  tail -n 20 results/serve.txt >&2
+  exit 1
+fi
+echo "   ok ($(wc -l < results/serve.txt) lines)"
+
 # Experiment matrix: every registered experiment, deterministic order,
 # results/<name>.txt + results/<name>.json.
 echo "== experiments =="

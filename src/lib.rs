@@ -22,6 +22,7 @@
 //! | [`wear`] | `pcm-wear` | Start-Gap, intra-line rotation |
 //! | [`trace`] | `pcm-trace` | synthetic SPEC-like workload generation |
 //! | [`core`] | `pcm-core` | the compression-window controller + lifetime engine |
+//! | [`serve`] | `pcm-serve` | the online daemon: wire protocol, sharded banks, telemetry |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use pcm_compress as compress;
 pub use pcm_core as core;
 pub use pcm_device as device;
 pub use pcm_ecc as ecc;
+pub use pcm_serve as serve;
 pub use pcm_trace as trace;
 pub use pcm_util as util;
 pub use pcm_wear as wear;

@@ -36,6 +36,46 @@ fn audit_stage_is_present_and_ordered_before_builds() {
 }
 
 #[test]
+fn serve_stage_is_present_ordered_and_checked() {
+    let script = gate_script();
+    let serve = script
+        .find("== serve ==")
+        .expect("serve stage marker present");
+    assert!(
+        script.contains("-p pcm-serve"),
+        "serve stage must invoke the pcm-serve binary"
+    );
+    let stage_end = script
+        .find("== experiments ==")
+        .expect("experiments stage present");
+    assert!(
+        serve < stage_end,
+        "serve smoke runs before the experiment matrix"
+    );
+    let audit = script.find("== audit ==").expect("audit stage present");
+    assert!(audit < serve, "audit still gates the serve smoke");
+    let stage = &script[serve..stage_end];
+    for flag in ["--seed", "--shards", "--duration"] {
+        assert!(
+            stage.contains(flag),
+            "serve smoke must pin {flag} for a reproducible run"
+        );
+    }
+    assert!(
+        stage.contains("pcm-serve telemetry @ cycle") && stage.contains("wear_digests "),
+        "serve smoke must sanity-check the telemetry output"
+    );
+    assert!(
+        stage.contains("exit 1"),
+        "serve smoke failures must abort the gate non-zero"
+    );
+    assert!(
+        !stage.contains("if [ \"$"),
+        "serve stage must not be gated on a script flag:\n{stage}"
+    );
+}
+
+#[test]
 fn audit_stage_is_unconditional() {
     let script = gate_script();
     // The audit invocation must not sit behind any flag variable the way
