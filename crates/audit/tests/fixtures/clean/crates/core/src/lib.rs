@@ -36,10 +36,8 @@ pub fn head(xs: &[u64]) -> u64 {
 // pcm-audit: allow(panic-unwrap) — fixture exercises a justified pragma
 pub fn head_unchecked(xs: &[u64]) -> u64 { xs.first().copied().unwrap() }
 
-pub fn read_raw(p: *const u8) -> u8 {
-    // SAFETY: fixture callers pass a valid pointer; this site exercises
-    // the unsafe inventory path (SAFETY comment present, no finding).
-    unsafe { *p }
+pub fn lane_prose() -> &'static str {
+    "unsafe, target_feature and cfg(feature = \"simd\") in a string are prose"
 }
 
 #[cfg(test)]
@@ -53,6 +51,11 @@ mod tests {
     #[test]
     fn test_code_may_spawn_threads() {
         std::thread::spawn(|| ()).join().unwrap();
+    }
+
+    #[test]
+    fn test_code_may_gate_on_simd() {
+        assert!(cfg!(feature = "simd") || !cfg!(feature = "simd"));
     }
 }
 

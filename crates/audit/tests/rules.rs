@@ -57,6 +57,10 @@ fn dirty_fixture_specific_sites() {
     assert!(has("panic-unwrap", lib, "bare unwrap()"));
     assert!(has("panic-macro", lib, "`panic!`"));
     assert!(has("unsafe-block", lib, "SAFETY"));
+    assert!(has("simd-confine", lib, "`unsafe`"));
+    assert!(has("simd-confine", lib, "`target_feature`"));
+    assert!(has("simd-confine", lib, "CPU intrinsics"));
+    assert!(has("simd-confine", lib, "`cfg(feature = \"simd\")`"));
     assert!(has("serve-ownership", lib, "`Arc<Mutex>`"));
     assert!(has("serve-ownership", lib, "`Arc<RwLock>`"));
     assert!(has("registry-dep", "Cargo.toml", "`serde`"));
@@ -93,7 +97,7 @@ fn clean_fixture_reports_nothing() {
         "inventory: {:?}",
         report.unsafe_inventory
     );
-    assert!(report.unsafe_inventory[0].starts_with("crates/core/src/lib.rs:"));
+    assert!(report.unsafe_inventory[0].starts_with("crates/util/src/simd.rs:"));
 }
 
 #[test]

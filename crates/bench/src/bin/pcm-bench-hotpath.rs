@@ -1,11 +1,23 @@
 //! Hot-path benchmark harness: measures `compress_best`, the `Line512`
 //! kernels, `simulate_line`, and end-to-end campaigns, then writes
-//! `BENCH_hotpath.json` (DESIGN.md §9).
+//! `BENCH_hotpath.json` (DESIGN.md §9). With `--ratchet TRACKED.json` the
+//! fresh run is compared against a tracked report: checksum drift or a
+//! ratcheted benchmark below the throughput floor fails the process.
 
 use pcm_bench::hotpath::{run, HotpathOptions};
+use pcm_bench::ratchet::{check, TrackedReport};
 
 fn main() {
     let opts = HotpathOptions::from_args();
+    // Read the tracked report up front: `--ratchet` may point at the same
+    // path as `--out` (ratchet against the committed report, then refresh
+    // it), so the old contents must be captured before the write below.
+    let tracked = opts.ratchet.as_ref().map(|path| {
+        let tracked_json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read tracked report {path}: {e}"));
+        TrackedReport::parse(&tracked_json)
+            .unwrap_or_else(|e| panic!("cannot parse tracked report {path}: {e}"))
+    });
     let report = run(&opts);
     let json = report.to_json(true);
     std::fs::write(&opts.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
@@ -15,4 +27,19 @@ fn main() {
         report.benches.len(),
         report.campaigns.len()
     );
+    if let (Some(path), Some(tracked)) = (&opts.ratchet, &tracked) {
+        let outcome = check(&report, tracked, opts.ratchet_min);
+        for line in &outcome.lines {
+            println!("{line}");
+        }
+        if !outcome.passed() {
+            eprintln!(
+                "ratchet FAILED against {path}: {} of {} checks",
+                outcome.failures.len(),
+                outcome.lines.len()
+            );
+            std::process::exit(1);
+        }
+        println!("ratchet ok against {path}");
+    }
 }

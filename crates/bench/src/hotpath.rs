@@ -23,9 +23,9 @@
 use criterion::{Criterion, Throughput};
 use pcm_core::lifetime::{run_campaign, simulate_line, CampaignConfig, LineSimConfig};
 use pcm_core::{EccChoice, SystemConfig, SystemKind};
-use pcm_device::{diff_write, FlipNWrite};
+use pcm_device::{diff_write, diff_write_batch, flip_n_write_batch, FlipNWrite};
 use pcm_trace::{BlockStream, SpecApp};
-use pcm_util::{child_seed, seeded_rng, Line512, Pool};
+use pcm_util::{child_seed, seeded_rng, simd, Line512, LineBatch64, Pool, DATA_BYTES};
 use std::time::{Duration, Instant};
 
 /// Options of the `pcm-bench-hotpath` binary.
@@ -39,6 +39,11 @@ pub struct HotpathOptions {
     pub threads: usize,
     /// Output path for the JSON report.
     pub out: String,
+    /// Tracked report to ratchet against (see [`crate::ratchet`]); none
+    /// skips the comparison.
+    pub ratchet: Option<String>,
+    /// Throughput floor factor for the ratchet comparison.
+    pub ratchet_min: f64,
 }
 
 impl Default for HotpathOptions {
@@ -48,6 +53,8 @@ impl Default for HotpathOptions {
             seed: 2017,
             threads: 0,
             out: "BENCH_hotpath.json".into(),
+            ratchet: None,
+            ratchet_min: crate::ratchet::DEFAULT_MIN_RATIO,
         }
     }
 }
@@ -90,6 +97,20 @@ impl HotpathOptions {
                 "--out" => {
                     opts.out = it.next().unwrap_or_else(|| usage("--out needs a path"));
                 }
+                "--ratchet" => {
+                    opts.ratchet =
+                        Some(it.next().unwrap_or_else(|| usage("--ratchet needs a path")));
+                }
+                "--ratchet-min" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--ratchet-min needs a value"));
+                    opts.ratchet_min = v
+                        .parse()
+                        .ok()
+                        .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                        .unwrap_or_else(|| usage("--ratchet-min needs a positive number"));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -102,7 +123,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: pcm-bench-hotpath [--smoke] [--seed N] [--threads N|auto] [--out PATH]");
+    eprintln!(
+        "usage: pcm-bench-hotpath [--smoke] [--seed N] [--threads N|auto] [--out PATH] \
+         [--ratchet TRACKED.json] [--ratchet-min F]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -365,6 +389,100 @@ pub fn run(opts: &HotpathOptions) -> HotpathReport {
         entries.push(("ops", checksum));
     }
 
+    // --- 2b. SoA batch kernels -----------------------------------------
+    // The same 64 line pairs, transposed once into `LineBatch64` lane
+    // planes; each bench runs a whole-batch kernel per iteration, and each
+    // checksum folds per-lane outputs in lane order so any divergence from
+    // the per-line kernels above shows up as checksum drift.
+    let batch_a = LineBatch64::from_lines(&pairs.iter().map(|(a, _)| *a).collect::<Vec<_>>());
+    let batch_b = LineBatch64::from_lines(&pairs.iter().map(|(_, b)| *b).collect::<Vec<_>>());
+    {
+        let checksum = simd::batch_hamming(&batch_a, &batch_b)
+            .iter()
+            .fold(0u64, |h, &v| mix(h, v as u64));
+        let mut g = c.benchmark_group("batch");
+        g.throughput(Throughput::Elements(batch_a.len() as u64));
+        g.bench_function("hamming", |b| {
+            b.iter(|| simd::batch_hamming(&batch_a, &batch_b).iter().sum::<u32>())
+        });
+        g.finish();
+        entries.push(("ops", checksum));
+    }
+    {
+        let checksum = simd::batch_window_popcount(&batch_a, 9, 48)
+            .iter()
+            .fold(0u64, |h, &v| mix(h, v as u64));
+        let mut g = c.benchmark_group("batch");
+        g.throughput(Throughput::Elements(batch_a.len() as u64));
+        g.bench_function("window_popcount", |b| {
+            b.iter(|| {
+                simd::batch_window_popcount(&batch_a, 9, 48)
+                    .iter()
+                    .sum::<u32>()
+            })
+        });
+        g.finish();
+        entries.push(("ops", checksum));
+    }
+    {
+        let dw = diff_write_batch(&batch_a, &batch_b);
+        let checksum = dw
+            .flips()
+            .iter()
+            .zip(dw.sets())
+            .fold(0u64, |h, (&f, s)| mix(mix(h, f as u64), s as u64));
+        let mut g = c.benchmark_group("batch");
+        g.throughput(Throughput::Elements(batch_a.len() as u64));
+        g.bench_function("diff_write", |b| {
+            b.iter(|| {
+                diff_write_batch(&batch_a, &batch_b)
+                    .flips()
+                    .iter()
+                    .sum::<u32>()
+            })
+        });
+        g.finish();
+        entries.push(("ops", checksum));
+    }
+    {
+        let run_fnw_batch = || {
+            let mut fnws = vec![FlipNWrite::new(8); batch_a.len()];
+            let (stored, flips) = flip_n_write_batch(&mut fnws, &batch_a, &batch_b);
+            let total: u32 = flips.iter().sum();
+            (total, stored)
+        };
+        let (flips, stored) = run_fnw_batch();
+        let checksum = (0..stored.len()).fold(mix(0, flips as u64), |h, lane| {
+            mix(h, stored.lane(lane).words()[0])
+        });
+        let mut g = c.benchmark_group("batch");
+        g.throughput(Throughput::Elements(batch_a.len() as u64));
+        g.bench_function("flip_n_write", |b| b.iter(|| run_fnw_batch().0));
+        g.finish();
+        entries.push(("ops", checksum));
+    }
+    {
+        let batch_w = LineBatch64::from_lines(&wl[..64.min(wl.len())]);
+        let mut bufs = vec![[0u8; DATA_BYTES]; batch_w.len()];
+        let checksum = pcm_compress::compress_best_batch_into(&batch_w, &mut bufs)
+            .iter()
+            .fold(0u64, |h, &(m, len)| {
+                mix(mix(h, m.encode_5bit() as u64), len as u64)
+            });
+        let mut g = c.benchmark_group("batch");
+        g.throughput(Throughput::Elements(batch_w.len() as u64));
+        g.bench_function("compress_best", |b| {
+            b.iter(|| {
+                pcm_compress::compress_best_batch_into(&batch_w, &mut bufs)
+                    .iter()
+                    .map(|&(_, len)| len)
+                    .sum::<usize>()
+            })
+        });
+        g.finish();
+        entries.push(("lines", checksum));
+    }
+
     // --- 3. linesim writes/sec per SystemKind × EccChoice --------------
     let endurance = if opts.smoke { 300.0 } else { 2_000.0 };
     for (kind, ecc) in linesim_matrix(opts.smoke) {
@@ -616,8 +734,15 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.threads, 2);
         assert_eq!(o.out, "x.json");
+        assert_eq!(o.ratchet, None);
+        assert_eq!(o.ratchet_min, crate::ratchet::DEFAULT_MIN_RATIO);
         let auto = HotpathOptions::parse(["--threads", "auto"].map(String::from));
         assert_eq!(auto.threads, 0);
+        let r = HotpathOptions::parse(
+            ["--ratchet", "tracked.json", "--ratchet-min", "0.25"].map(String::from),
+        );
+        assert_eq!(r.ratchet.as_deref(), Some("tracked.json"));
+        assert_eq!(r.ratchet_min, 0.25);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod cli;
 pub mod experiments;
 pub mod hotpath;
 pub mod plot;
+pub mod ratchet;
 pub mod registry;
 pub mod report;
 

@@ -41,7 +41,10 @@ pub mod fpc;
 pub mod fvc;
 
 pub use bdi::{BdiEncoding, BDI_DECOMPRESSION_CYCLES};
-pub use best::{compress_best, compress_best_into, decompress, CompressedWrite, Method};
+pub use best::{
+    compress_best, compress_best_batch_into, compress_best_into, decompress, CompressedWrite,
+    Method,
+};
 pub use fpc::FPC_DECOMPRESSION_CYCLES;
 pub use fvc::FvcDictionary;
 

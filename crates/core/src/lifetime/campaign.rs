@@ -1,7 +1,7 @@
 //! Whole-memory lifetime campaigns over many independent lines.
 
-use super::linesim::{simulate_line_with, LineRecord, LineScratch, LineSimConfig};
-use pcm_util::{child_seed, Pool};
+use super::linesim::{simulate_line_batch, LineRecord, LineScratch, LineSimConfig};
+use pcm_util::{child_seed, Pool, BATCH_LANES};
 use serde::{Deserialize, Serialize};
 
 /// Assumed per-core IPC for the Table IV months conversion (see
@@ -103,16 +103,25 @@ pub fn run_campaign(cfg: &CampaignConfig) -> LifetimeResult {
     run_campaign_on(&Pool::new(cfg.threads), cfg)
 }
 
-/// [`run_campaign`] on a caller-provided pool. Lines drain one at a time
-/// from the pool's shared queue (work-stealing, not static striping), so an
-/// early-dying line frees its worker for the stragglers; per-line seeds are
-/// `child_seed(cfg.seed, i)`, making results scheduling-invariant.
+/// [`run_campaign`] on a caller-provided pool. Lines drain from the pool's
+/// shared queue in whole batches (work-stealing, not static striping), so
+/// an early-dying batch frees its worker for the stragglers; per-line
+/// seeds are `child_seed(cfg.seed, i)` regardless of how batches land on
+/// workers, making results scheduling-invariant.
 pub fn run_campaign_on(pool: &Pool, cfg: &CampaignConfig) -> LifetimeResult {
     assert!(cfg.lines > 0, "need at least one line");
-    let records: Vec<LineRecord> =
-        pool.map_indexed_with(cfg.lines, 1, LineScratch::new, |scratch, i| {
-            simulate_line_with(&cfg.line, child_seed(cfg.seed, i as u64), scratch)
+    // Campaigns consume whole [`pcm_util::BATCH_LANES`]-line batches: one
+    // contiguous chunk of the seed stream per pool job, records spliced
+    // back in seed order — byte-identical to the per-line path.
+    let batches = cfg.lines.div_ceil(BATCH_LANES);
+    let record_batches: Vec<Vec<LineRecord>> =
+        pool.map_indexed_with(batches, 1, LineScratch::new, |scratch, b| {
+            let lo = b * BATCH_LANES;
+            let hi = (lo + BATCH_LANES).min(cfg.lines);
+            let seeds: Vec<u64> = (lo..hi).map(|i| child_seed(cfg.seed, i as u64)).collect();
+            simulate_line_batch(&cfg.line, &seeds, scratch)
         });
+    let records: Vec<LineRecord> = record_batches.into_iter().flatten().collect();
     summarize(&records, cfg.line.max_writes)
 }
 

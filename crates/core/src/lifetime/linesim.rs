@@ -4,7 +4,7 @@ use crate::line::{EccEngine, ManagedLine, Payload};
 use crate::payload::{choose_payload, HostMeta, PayloadBufs};
 use crate::system::SystemConfig;
 use pcm_trace::{BlockStream, WorkloadProfile};
-use pcm_util::{child_seed, seeded_rng, DATA_BITS, DATA_BYTES};
+use pcm_util::{child_seed, seeded_rng, simd, DATA_BITS, DATA_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one accelerated line simulation.
@@ -180,8 +180,11 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
             .max(1);
         let k = (cfg.sample_writes as u64).min(seg);
 
-        // Real writes: establish the flip pattern of this segment.
+        // Real writes: establish the flip pattern of this segment. Flip
+        // masks land in a carry-save bit-plane accumulator and are only
+        // expanded to per-bit counts once, at the fast-forward boundary.
         let mut counts = [0u32; DATA_BITS];
+        let mut flip_acc = simd::MaskAccumulator::new();
         let mut done: u64 = 0;
         let mut died = false;
         for _ in 0..k {
@@ -227,9 +230,7 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
                 Ok(r) => {
                     flip_sum += r.flips as u64;
                     sampled += 1;
-                    for pos in r.flip_mask.iter_ones() {
-                        counts[pos] += 1;
-                    }
+                    flip_acc.accumulate(&mut counts, &r.flip_mask.words());
                     meta.last_size = bytes.len();
                     done += 1;
                 }
@@ -258,27 +259,33 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
         // write-accurate (no multi-fault overshoot within a segment).
         let mut extra = seg - done;
         if extra > 0 && done > 0 {
-            for (pos, &c) in counts.iter().enumerate() {
-                if c == 0 || line.faults().is_faulty(pos) {
-                    continue;
+            flip_acc.drain_into(&mut counts);
+            // Stop at the first projected cell failure so fault counts at
+            // death stay write-accurate; the scan lives next to the wear
+            // slices in `LineWear` instead of making 512 accessor calls.
+            extra = line.wear().project_first_failure(&counts, done, extra);
+            // The wear grant depends only on the flip count `c` (extra and
+            // done are fixed for the segment) and `c` never exceeds `done`,
+            // so a small memo table replaces the per-cell f64 divide. A
+            // failure granted here lands exactly on the capped boundary;
+            // the next sampled write discovers and re-handles it.
+            let scale = |c: u32| ((c as u64 * extra) as f64 / done as f64).round() as u32;
+            let mut grants = [0u32; DATA_BITS];
+            if done <= 64 {
+                let mut memo: [Option<u32>; 65] = [None; 65];
+                for (pos, &c) in counts.iter().enumerate() {
+                    if c != 0 {
+                        grants[pos] = *memo[c as usize].get_or_insert_with(|| scale(c));
+                    }
                 }
-                // The cell survives `remaining` more programming events and
-                // fails on the next; at c events per `done` writes that is:
-                let events_to_fail = line.wear().remaining(pos) as u64 + 1;
-                let writes_to_fail = events_to_fail.saturating_mul(done).div_ceil(c as u64);
-                extra = extra.min(writes_to_fail);
+            } else {
+                for (pos, &c) in counts.iter().enumerate() {
+                    if c != 0 {
+                        grants[pos] = scale(c);
+                    }
+                }
             }
-            for (pos, &c) in counts.iter().enumerate() {
-                if c == 0 {
-                    continue;
-                }
-                let scaled = ((c as u64 * extra) as f64 / done as f64).round() as u32;
-                if scaled > 0 {
-                    // A failure here lands exactly on the capped boundary;
-                    // the next sampled write discovers and re-handles it.
-                    let _ = line.add_wear(pos, scaled);
-                }
-            }
+            line.add_wear_bulk(&grants);
             writes += extra;
             residency_left = residency_left.saturating_sub(extra);
         }
@@ -311,6 +318,38 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
         demand_writes: writes,
         horizon: cfg.max_writes,
     }
+}
+
+/// Simulates one batch of lines (at most [`pcm_util::BATCH_LANES`] seeds)
+/// through a shared scratch, returning records in seed order.
+///
+/// This is the campaign's unit of work: lines are handed to pool workers
+/// one whole batch at a time, which amortizes scratch reuse and keeps the
+/// struct-of-arrays kernels ([`pcm_util::simd`]) fed from one contiguous
+/// chunk of the seed stream. Record `i` is exactly
+/// `simulate_line_with(cfg, seeds[i], ..)` — per-line control flow
+/// diverges (deaths, revivals, rotations), so lanes are *not* run in
+/// lockstep; batching lives in the kernels, which is what keeps the
+/// output byte-identical to the per-line path.
+///
+/// # Panics
+///
+/// Panics if more than [`pcm_util::BATCH_LANES`] seeds are passed.
+pub fn simulate_line_batch(
+    cfg: &LineSimConfig,
+    seeds: &[u64],
+    scratch: &mut LineScratch,
+) -> Vec<LineRecord> {
+    assert!(
+        seeds.len() <= pcm_util::BATCH_LANES,
+        "a batch holds at most {} lines, got {}",
+        pcm_util::BATCH_LANES,
+        seeds.len()
+    );
+    seeds
+        .iter()
+        .map(|&seed| simulate_line_with(cfg, seed, scratch))
+        .collect()
 }
 
 #[cfg(test)]

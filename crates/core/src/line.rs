@@ -27,9 +27,24 @@ use serde::{Deserialize, Serialize};
 pub struct EccEngine {
     choice: EccChoice,
     ecp: Ecp,
-    safer: Safer,
-    aegis: Aegis,
+    safer: &'static Safer,
+    aegis: &'static Aegis,
     secded: Secded,
+}
+
+/// SAFER-32 and Aegis 17×31 precompute hundreds of group masks (≈0.6 ms);
+/// they are parameterless here and immutable, so every engine shares one
+/// process-wide instance instead of rebuilding the tables per engine —
+/// `simulate_line` constructs an engine per call, which made table
+/// construction dominate short-lived lines.
+fn shared_safer32() -> &'static Safer {
+    static SAFER32: std::sync::OnceLock<Safer> = std::sync::OnceLock::new();
+    SAFER32.get_or_init(|| Safer::new(32))
+}
+
+fn shared_aegis_17x31() -> &'static Aegis {
+    static AEGIS: std::sync::OnceLock<Aegis> = std::sync::OnceLock::new();
+    AEGIS.get_or_init(|| Aegis::new(17, 31))
 }
 
 /// Per-line ECC correction state from the most recent write.
@@ -57,8 +72,8 @@ impl EccEngine {
         EccEngine {
             choice,
             ecp,
-            safer: Safer::new(32),
-            aegis: Aegis::new(17, 31),
+            safer: shared_safer32(),
+            aegis: shared_aegis_17x31(),
             secded: Secded::new(),
         }
     }
@@ -67,8 +82,8 @@ impl EccEngine {
     pub fn scheme(&self) -> &dyn HardErrorScheme {
         match self.choice {
             EccChoice::Ecp6 | EccChoice::EcpN(_) => &self.ecp,
-            EccChoice::Safer32 => &self.safer,
-            EccChoice::Aegis17x31 => &self.aegis,
+            EccChoice::Safer32 => self.safer,
+            EccChoice::Aegis17x31 => self.aegis,
             EccChoice::Secded => &self.secded,
         }
     }
@@ -281,6 +296,12 @@ impl ManagedLine {
     /// [`LineWear::add_wear`].
     pub fn add_wear(&mut self, pos: usize, events: u32) -> Option<pcm_util::StuckAt> {
         self.wear.add_wear(pos, events)
+    }
+
+    /// Fast-forwards wear on every bit at once; see
+    /// [`LineWear::add_wear_bulk`].
+    pub fn add_wear_bulk(&mut self, grants: &[u32; pcm_util::DATA_BITS]) {
+        self.wear.add_wear_bulk(grants)
     }
 
     /// Checks whether a payload of `len` bytes could be stored (used for

@@ -11,7 +11,7 @@
 
 use pcm_util::dist::Normal;
 use pcm_util::fault::{FaultMap, StuckAt};
-use pcm_util::{Line512, DATA_BITS};
+use pcm_util::{simd, Line512, DATA_BITS};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -152,14 +152,41 @@ pub struct WriteOutcome {
 /// assert!(outcome.new_faults.is_empty());
 /// assert_eq!(line.stored(), Line512::ones());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LineWear {
     tech: CellTech,
     endurance: Vec<u32>,
     wear: Vec<u32>,
     stored: Line512,
     faults: FaultMap,
+    /// Death-free write budget: a lower bound on `endurance - wear` over
+    /// every healthy cell. While positive, a differential write cannot
+    /// kill any cell (each write programs a cell at most once), so the
+    /// SLC hot path skips the per-cell death check entirely and just
+    /// decrements the bound. Pure cache: 0 is always safe (the next
+    /// write runs the full check and recomputes), so it is excluded from
+    /// equality.
+    slack: u32,
+    /// Whether `slack` has never been computed for the current fault set.
+    /// The bound only *rises* when a dying cell leaves the healthy set, so
+    /// the full write path recomputes it exactly then (or on first use)
+    /// instead of on every slow-path write.
+    slack_stale: bool,
 }
+
+impl PartialEq for LineWear {
+    fn eq(&self, other: &Self) -> bool {
+        // `slack` is a conservative cache, not state: two lines that took
+        // different code paths to identical wear may hold different slack.
+        self.tech == other.tech
+            && self.endurance == other.endurance
+            && self.wear == other.wear
+            && self.stored == other.stored
+            && self.faults == other.faults
+    }
+}
+
+impl Eq for LineWear {}
 
 impl LineWear {
     /// Samples a fresh SLC line from an endurance model. Cells start at
@@ -182,6 +209,8 @@ impl LineWear {
             wear: vec![0; cells],
             stored: Line512::zero(),
             faults: FaultMap::new(),
+            slack: 0,
+            slack_stale: true,
         }
     }
 
@@ -198,6 +227,8 @@ impl LineWear {
             wear: vec![0; DATA_BITS],
             stored: Line512::zero(),
             faults: FaultMap::new(),
+            slack: 0,
+            slack_stale: true,
         }
     }
 
@@ -222,6 +253,8 @@ impl LineWear {
             wear,
             stored: faults.apply(Line512::zero()),
             faults: *faults,
+            slack: 0,
+            slack_stale: true,
         }
     }
 
@@ -272,9 +305,86 @@ impl LineWear {
     /// there; the failure is reported in the outcome (write-verify), so the
     /// caller can immediately re-encode around it.
     pub fn write(&mut self, target: &Line512) -> WriteOutcome {
+        let diff = self.stored ^ *target;
+        if self.tech == CellTech::Slc {
+            return self.write_slc(diff);
+        }
+        self.write_per_bit(diff)
+    }
+
+    /// SLC fast path: with one bit per cell, every differing cell is
+    /// independent, so the per-bit loop collapses into whole-line lane
+    /// kernels — program the non-stuck diff bits, step their wear lanes,
+    /// and materialize stuck-at faults for the lanes that just died. The
+    /// per-bit loop below ([`Self::write_per_bit`]) is the reference
+    /// semantic; the differential rig in `tests/dw_batch_equiv.rs` pins
+    /// the equivalence against an independent model.
+    fn write_slc(&mut self, diff: Line512) -> WriteOutcome {
+        let flips = diff.count_ones();
+        let program = diff & !self.faults.positions();
+        // Death-free fast path: while the slack bound is positive, no
+        // programmed cell can exhaust its endurance on this write (each
+        // write programs a cell at most once), so the death scan, fault
+        // materialization, and bound recomputation are all skipped.
+        if self.slack > 0 {
+            if !program.is_zero() {
+                self.slack -= 1;
+                simd::mask_accumulate(&mut self.wear, &program.words());
+                self.stored = self.stored ^ program;
+            }
+            return WriteOutcome {
+                flips,
+                flip_mask: diff,
+                new_faults: Vec::new(),
+            };
+        }
+        let died_words = if program.is_zero() {
+            [0u64; 8]
+        } else {
+            simd::wear_step(&mut self.wear, &self.endurance, &program.words())
+        };
+        let died = Line512::from_words(died_words);
+        // Programmed cells that survived take the new value; dead cells
+        // keep the value they held (stuck at the old value).
+        self.stored = self.stored ^ (program & !died);
+        let mut new_faults = Vec::new();
+        if !died.is_zero() {
+            for pos in died.iter_ones() {
+                let fault = StuckAt {
+                    pos: pos as u16,
+                    value: self.stored.bit(pos),
+                };
+                self.faults.insert(fault);
+                new_faults.push(fault);
+            }
+        }
+        // Re-arm the fast path only when the bound can have risen: a death
+        // removed the weakest cell from the healthy set, or it was never
+        // computed. While a healthy cell sits at zero remaining the bound
+        // stays zero, and rescanning every write would cost more than the
+        // death check it is meant to avoid.
+        if self.slack_stale || !new_faults.is_empty() {
+            let healthy = !self.faults.positions();
+            self.slack = simd::min_remaining(&self.wear, &self.endurance, &healthy.words());
+            self.slack_stale = false;
+        }
+        WriteOutcome {
+            flips,
+            flip_mask: diff,
+            new_faults,
+        }
+    }
+
+    /// Reference per-bit write loop; the only live path for MLC, where
+    /// bits share cells (one wear event per cell per write, cell death
+    /// freezes every bit of the cell).
+    fn write_per_bit(&mut self, diff: Line512) -> WriteOutcome {
+        // The per-bit path never maintains the slack bound (MLC wear is
+        // per-cell, not per-bit); drop it so SLC fast-path assumptions
+        // cannot leak across a tech boundary.
+        self.slack = 0;
         let mut new_faults = Vec::new();
         let mut flips = 0u32;
-        let diff = self.stored ^ *target;
         let bpc = self.tech.bits_per_cell();
         let mut last_worn_cell = usize::MAX;
         for pos in diff.iter_ones() {
@@ -329,6 +439,9 @@ impl LineWear {
         if self.faults.is_faulty(pos) {
             return None;
         }
+        // One cell absorbing `events` can lower the line-wide minimum by
+        // at most `events`; shrinking the bound keeps it conservative.
+        self.slack = self.slack.saturating_sub(events);
         let cell = self.cell_of(pos);
         self.wear[cell] = self.wear[cell].saturating_add(events);
         if self.wear[cell] > self.endurance[cell] {
@@ -354,6 +467,81 @@ impl LineWear {
     /// (the line is far from dead while this is large).
     pub fn max_remaining(&self) -> u32 {
         (0..DATA_BITS).map(|p| self.remaining(p)).max().unwrap_or(0)
+    }
+
+    /// Projects the write count at which proportional wear replay first
+    /// kills a cell.
+    ///
+    /// The accelerated lifetime engine observes per-bit flip `counts`
+    /// over `done` sampled writes and then replays the rest of a segment
+    /// analytically: bit `pos` is charged `counts[pos] * extra / done`
+    /// further programming events. This scans every worn, healthy cell
+    /// and tightens `extra` to the earliest write at which one of them is
+    /// projected to exceed its endurance, so the caller never overshoots
+    /// a death inside a fast-forwarded span. Bulk twin of the per-cell
+    /// bound the engine previously computed through [`Self::remaining`];
+    /// the whole scan stays inside this line's slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `done` is zero (there is no flip profile to scale).
+    pub fn project_first_failure(&self, counts: &[u32; DATA_BITS], done: u64, extra: u64) -> u64 {
+        assert!(done > 0, "cannot project wear from zero sampled writes");
+        let healthy = !self.faults.positions();
+        let mut extra = extra;
+        let slc = self.tech == CellTech::Slc;
+        for (pos, &c) in counts.iter().enumerate() {
+            if c == 0 || !healthy.bit(pos) {
+                continue;
+            }
+            let cell = if slc { pos } else { self.cell_of(pos) };
+            let remaining = self.endurance[cell].saturating_sub(self.wear[cell]);
+            // The cell survives `remaining` more events and fails on the
+            // next; at `c` events per `done` writes that is
+            // `ceil(scaled_events / c)` writes. Divide only on strict
+            // improvements of the running bound (it is monotone, so that
+            // is a handful of divisions per call).
+            let events_to_fail = remaining as u64 + 1;
+            let scaled_events = events_to_fail.saturating_mul(done);
+            if scaled_events <= (extra - 1).saturating_mul(c as u64) {
+                extra = extra.min(scaled_events.div_ceil(c as u64));
+            }
+        }
+        extra
+    }
+
+    /// Fast-forwards wear on every bit at once: bit `pos` absorbs
+    /// `grants[pos]` programming events (zero grants and stuck bits are
+    /// skipped), and each cell pushed past its endurance sticks at its
+    /// current stored value, exactly as [`Self::add_wear`] would
+    /// position-by-position in ascending order. One slack-bound
+    /// recomputation at the end replaces 512 conservative decrements.
+    pub fn add_wear_bulk(&mut self, grants: &[u32; DATA_BITS]) {
+        if self.tech != CellTech::Slc {
+            // MLC shares cells between bits; keep the reference per-bit
+            // semantics (fault spread across the cell's bits).
+            for (pos, &g) in grants.iter().enumerate() {
+                if g > 0 {
+                    let _ = self.add_wear(pos, g);
+                }
+            }
+            return;
+        }
+        for (pos, &g) in grants.iter().enumerate() {
+            if g == 0 || self.faults.is_faulty(pos) {
+                continue;
+            }
+            self.wear[pos] = self.wear[pos].saturating_add(g);
+            if self.wear[pos] > self.endurance[pos] {
+                self.faults.insert(StuckAt {
+                    pos: pos as u16,
+                    value: self.stored.bit(pos),
+                });
+            }
+        }
+        let healthy = !self.faults.positions();
+        self.slack = simd::min_remaining(&self.wear, &self.endurance, &healthy.words());
+        self.slack_stale = false;
     }
 }
 

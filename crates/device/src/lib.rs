@@ -37,7 +37,9 @@ pub mod organization;
 pub mod timing;
 
 pub use cell::{CellTech, EnduranceModel, LineWear, WriteOutcome};
-pub use dw::{diff_write, DiffWrite, FlipNWrite};
+pub use dw::{
+    diff_write, diff_write_batch, flip_n_write_batch, DiffWrite, DiffWriteBatch, FlipNWrite,
+};
 pub use energy::EnergyModel;
 pub use organization::{BankAddress, MemoryGeometry};
 pub use timing::TimingParams;

@@ -28,12 +28,14 @@ pub mod dist;
 pub mod fault;
 pub mod line;
 pub mod pool;
+pub mod simd;
 pub mod stats;
 pub mod vclock;
 
 pub use fault::{FaultMap, FaultPlan, StuckAt};
 pub use line::{Line512, DATA_BITS, DATA_BYTES};
 pub use pool::Pool;
+pub use simd::{LineBatch64, BATCH_LANES};
 pub use vclock::ArrivalStream;
 
 use rand::rngs::StdRng;

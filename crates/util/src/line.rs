@@ -166,7 +166,7 @@ impl Line512 {
     /// Number of set bits in the line.
     #[inline]
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        crate::simd::popcount512(&self.words)
     }
 
     /// Returns `true` if no bit is set.
