@@ -175,10 +175,12 @@ pub const GATE_STAGES: &[&str] = &[
     "== simd ==",
     "== experiments ==",
     "== serve ==",
+    "== rivals ==",
 ];
 
 /// Non-experiment artifact stems the gate script itself writes.
-const ARTIFACT_STEM_ALLOW: &[&str] = &["audit", "bench_hotpath", "fmt", "serve", "verify"];
+const ARTIFACT_STEM_ALLOW: &[&str] =
+    &["audit", "bench_hotpath", "fmt", "rivals", "serve", "verify"];
 
 /// Non-experiment artifact stem prefixes (bench harness, example smoke).
 const ARTIFACT_PREFIX_ALLOW: &[&str] = &["BENCH_", "example_", "simd_"];

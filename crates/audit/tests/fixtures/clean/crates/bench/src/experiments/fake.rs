@@ -9,3 +9,14 @@ impl Experiment for CleanFig {
         "fig_clean"
     }
 }
+
+/// Second synced experiment: the rival-stack grid, mirroring the real
+/// registry's `rival_lifetime` entry so both sync directions cover more
+/// than one name.
+pub struct RivalFig;
+
+impl Experiment for RivalFig {
+    fn name(&self) -> &'static str {
+        "rival_clean"
+    }
+}

@@ -27,5 +27,8 @@ cargo run -q --release -p pcm-bench --bin pcm-bench-hotpath -- --smoke --out res
 echo "== serve =="
 cargo run -q --release -p pcm-serve --bin pcm-serve -- --seed 7 --duration 100000
 
+echo "== rivals =="
+cargo run -q --release -p pcm-bench --bin pcm-lab -- run rival_lifetime --quick > results/rivals.txt
+
 echo "== experiments =="
 cargo run -q --release -p pcm-bench --bin pcm-lab -- run-all --out-dir results

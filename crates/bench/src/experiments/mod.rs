@@ -9,4 +9,5 @@ pub mod compression;
 pub mod lifetime;
 pub mod montecarlo;
 pub mod perf;
+pub mod rivals;
 pub mod serve;

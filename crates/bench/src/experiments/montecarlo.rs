@@ -3,8 +3,9 @@
 use crate::cli::Options;
 use crate::registry::Experiment;
 use crate::report::{Column, Report, Table, Value};
+use pcm_core::registry::{shared_aegis_17x31, shared_ecp, shared_safer32};
 use pcm_ecc::montecarlo::{failure_surface, FailureSurface, MonteCarlo};
-use pcm_ecc::{Aegis, Ecp, HardErrorScheme, Safer};
+use pcm_ecc::HardErrorScheme;
 
 /// The window sizes the paper sweeps in Fig. 9 (bytes).
 pub const PAPER_WINDOWS: [usize; 10] = [1, 8, 16, 20, 24, 32, 34, 36, 40, 64];
@@ -17,11 +18,11 @@ pub fn error_grid(quick: bool) -> Vec<usize> {
 
 /// Runs the Fig. 9 sweep for all three schemes.
 pub fn fig09(injections: usize, seed: u64, quick: bool) -> Vec<FailureSurface> {
-    let schemes: Vec<Box<dyn HardErrorScheme>> = vec![
-        Box::new(Ecp::new(6)),
-        Box::new(Safer::new(32)),
-        Box::new(Aegis::new(17, 31)),
-    ];
+    // The same shared instances every other layer resolves through the
+    // registry; the SAFER/Aegis partition tables are built exactly once
+    // per process.
+    let schemes: [&'static dyn HardErrorScheme; 3] =
+        [shared_ecp(6), shared_safer32(), shared_aegis_17x31()];
     let mc = MonteCarlo {
         injections,
         seed,
@@ -30,7 +31,7 @@ pub fn fig09(injections: usize, seed: u64, quick: bool) -> Vec<FailureSurface> {
     let errors = error_grid(quick);
     schemes
         .iter()
-        .map(|s| failure_surface(s.as_ref(), &PAPER_WINDOWS, &errors, &mc))
+        .map(|&s| failure_surface(s, &PAPER_WINDOWS, &errors, &mc))
         .collect()
 }
 

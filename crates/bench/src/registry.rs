@@ -10,7 +10,7 @@
 //! binary exists without a registry entry.
 
 use crate::cli::Options;
-use crate::experiments::{ablation, compression, lifetime, montecarlo, perf, serve};
+use crate::experiments::{ablation, compression, lifetime, montecarlo, perf, rivals, serve};
 use crate::report::{Manifest, Report};
 
 /// One reproducible experiment: a paper figure, table, or ablation.
@@ -65,6 +65,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &compression::CompressorComparison,
     &lifetime::MixStudy,
     &serve::ServeThroughput,
+    &rivals::RivalLifetime,
     &ablation::AblationHeuristic,
     &ablation::AblationEcc,
     &ablation::AblationSecded,

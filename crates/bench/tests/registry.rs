@@ -67,10 +67,11 @@ fn registry_covers_the_paper_matrix() {
         "ablation_interline_wl",
         "ablation_mlc",
         "serve_throughput",
+        "rival_lifetime",
     ] {
         assert!(find(name).is_some(), "'{name}' missing from REGISTRY");
     }
-    assert_eq!(REGISTRY.len(), 26, "registry gained or lost an experiment");
+    assert_eq!(REGISTRY.len(), 27, "registry gained or lost an experiment");
 }
 
 #[test]

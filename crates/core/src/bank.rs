@@ -5,10 +5,11 @@
 //! of banks, and the `pcm-serve` daemon hands each bank to exactly one
 //! shard — no shared mutable state, so shard scheduling can never change a
 //! result. Everything the paper's architecture does per bank lives here:
-//! Start-Gap inter-line wear-leveling (gap moves are real writes), the
-//! intra-line rotation counter, the compression pipeline with the Fig. 8
-//! heuristic, ECC encode/decode, and dead-block resurrection at relocation
-//! events.
+//! inter-line wear-leveling through the pluggable
+//! [`WearScheme`](pcm_wear::WearScheme) trait (migration writes are real
+//! writes), the intra-line rotation counter, the compression pipeline with
+//! the Fig. 8 heuristic, ECC encode/decode, and dead-block resurrection at
+//! relocation events.
 
 use crate::controller::{MemoryStats, WriteError, WriteReport};
 use crate::line::{EccEngine, LineWriteReport, ManagedLine, Payload};
@@ -16,11 +17,12 @@ use crate::payload::{choose_payload, HostMeta, PayloadBufs};
 use crate::system::SystemConfig;
 use pcm_compress::{decompress, CompressedWrite, Method};
 use pcm_util::{seeded_rng, Line512};
-use pcm_wear::{IntraLineLeveler, StartGap};
+use pcm_wear::{IntraLineLeveler, WearEvent, WearScheme};
 use rand::Rng;
 
-/// One bank of a PCM main memory: `lines` logical lines over `lines + 1`
-/// physical lines (Start-Gap's spare), with all per-bank bookkeeping.
+/// One bank of a PCM main memory: `lines` logical lines over the physical
+/// lines its wear scheme asks for (Start-Gap's one spare, WoLFRaM's spare
+/// pool, …), with all per-bank bookkeeping.
 ///
 /// Addresses passed to [`write`](Self::write) / [`read`](Self::read) are
 /// **bank-relative** (`0..lines`); the owner performs the logical→bank
@@ -43,7 +45,7 @@ pub struct BankCtl {
     engine: EccEngine,
     lines: u64,
     phys: Vec<ManagedLine>,
-    start_gap: StartGap,
+    scheme: Box<dyn WearScheme>,
     leveler: IntraLineLeveler,
     shadow: Vec<Option<Line512>>,
     parked: Vec<bool>,
@@ -57,7 +59,7 @@ impl BankCtl {
     ///
     /// # Panics
     ///
-    /// Panics if `lines < 2` (Start-Gap needs a region to rotate).
+    /// Panics if `lines < 2` (the wear scheme needs a region to rotate).
     pub fn new(cfg: SystemConfig, lines: u64, seed: u64) -> Self {
         let mut rng = seeded_rng(seed);
         Self::sample(cfg, lines, &mut rng)
@@ -74,15 +76,19 @@ impl BankCtl {
     /// Panics if `lines < 2`.
     pub fn sample<R: Rng + ?Sized>(cfg: SystemConfig, lines: u64, rng: &mut R) -> Self {
         assert!(lines >= 2, "a bank needs at least two logical lines");
-        let phys = (0..lines + 1)
+        // Endurance is sampled before the wear scheme is built, and
+        // Start-Gap draws no scheme seed: the default configuration's
+        // construction RNG stream is identical to the pre-trait layout.
+        let phys = (0..cfg.wear.physical_lines(lines))
             .map(|_| ManagedLine::sample_with_tech(&cfg.endurance, cfg.tech, rng))
             .collect();
+        let scheme = cfg.wear.build(lines, cfg.start_gap_psi, rng);
         BankCtl {
             cfg,
             engine: EccEngine::new(cfg.ecc),
             lines,
             phys,
-            start_gap: StartGap::new(lines, cfg.start_gap_psi),
+            scheme,
             leveler: IntraLineLeveler::new(cfg.bank_counter_period, 1),
             shadow: vec![None; lines as usize],
             parked: vec![false; lines as usize],
@@ -96,9 +102,14 @@ impl BankCtl {
         self.lines
     }
 
-    /// Physical lines (logical capacity plus the Start-Gap spare).
+    /// Physical lines (logical capacity plus the wear scheme's spares).
     pub fn physical_line_count(&self) -> usize {
         self.phys.len()
+    }
+
+    /// The inter-line wear-leveling scheme driving this bank's remapping.
+    pub fn wear_scheme(&self) -> &dyn WearScheme {
+        self.scheme.as_ref()
     }
 
     /// Physical lines currently dead.
@@ -117,7 +128,7 @@ impl BankCtl {
     }
 
     fn phys_index(&self, idx: u64) -> usize {
-        self.start_gap.map(idx) as usize
+        self.scheme.map(idx) as usize
     }
 
     /// Serves one LLC write-back to bank-relative line `idx`.
@@ -131,14 +142,25 @@ impl BankCtl {
         if idx >= self.lines {
             return Err(WriteError::BadAddress);
         }
-        let phys = self.phys_index(idx);
-        let report = self.write_to_phys(phys, idx, data)?;
+        // A scheme with spare capacity may retire a dead physical line and
+        // redirect the write (WoLFRaM); schemes without decline and the
+        // death propagates exactly as before.
+        let mut phys = self.phys_index(idx);
+        let report = loop {
+            match self.write_to_phys(phys, idx, data) {
+                Ok(r) => break r,
+                Err(e) => match self.scheme.retire_line(phys as u64) {
+                    Some(spare) => phys = spare as usize,
+                    None => return Err(e),
+                },
+            }
+        };
         self.stats.demand_writes += 1;
 
-        // Bank bookkeeping: rotation counter and Start-Gap.
+        // Bank bookkeeping: rotation counter and inter-line wear-leveling.
         self.leveler.note_write();
-        let gap_moved = if let Some(mv) = self.start_gap.on_write() {
-            self.relocate(mv.to);
+        let gap_moved = if let Some(ev) = self.scheme.on_write(idx) {
+            self.apply_wear_event(ev);
             true
         } else {
             false
@@ -182,13 +204,15 @@ impl BankCtl {
 
     /// Folds this bank's wear state into a seed-stable FNV-1a digest:
     /// per-cell wear, fault count, and liveness of every physical line,
-    /// the Start-Gap position, and the cumulative statistics. Two banks
-    /// with the same digest took the same write history (up to hash
-    /// collision); `pcm-serve` replay tests compare these across shard
-    /// counts.
+    /// the wear scheme's [`digest_words`](WearScheme::digest_words), and
+    /// the cumulative statistics. Two banks with the same digest took the
+    /// same write history (up to hash collision); `pcm-serve` replay tests
+    /// compare these across shard counts.
     pub fn wear_digest(&self) -> u64 {
-        let mut h = fnv1a(0xcbf2_9ce4_8422_2325, self.start_gap.gap());
-        h = fnv1a(h, self.start_gap.start());
+        let mut h = 0xcbf2_9ce4_8422_2325;
+        for w in self.scheme.digest_words() {
+            h = fnv1a(h, w);
+        }
         for line in &self.phys {
             h = fnv1a(h, line.faults().count() as u64);
             h = fnv1a(h, line.is_dead() as u64);
@@ -327,14 +351,29 @@ impl BankCtl {
         }
     }
 
-    /// Performs the Start-Gap relocation write into physical slot `to`,
-    /// including the Comp+WF resurrection check.
-    fn relocate(&mut self, to: u64) {
+    /// Performs the migration writes a wear-leveling event demands. The
+    /// scheme's map already reflects the new positions; this copies the
+    /// hosted data into its new slots (a swap is two migration writes).
+    fn apply_wear_event(&mut self, ev: WearEvent) {
         self.stats.gap_moves += 1;
+        match ev {
+            WearEvent::Move { to } => self.migrate_into(to),
+            WearEvent::Swap { a, b } => {
+                if a != b {
+                    self.migrate_into(a);
+                    self.migrate_into(b);
+                }
+            }
+        }
+    }
+
+    /// One relocation write into physical slot `to`, including the
+    /// Comp+WF resurrection check.
+    fn migrate_into(&mut self, to: u64) {
         // Which logical (bank-relative) line now maps to `to`?
-        let idx = (0..self.lines).find(|&i| self.start_gap.map(i) == to);
+        let idx = (0..self.lines).find(|&i| self.scheme.map(i) == to);
         let Some(idx) = idx else {
-            return; // `to` is the new gap itself (wrap move): nothing to copy.
+            return; // `to` is a spare/gap slot after the event: nothing to copy.
         };
         let Some(data) = self.shadow[idx as usize] else {
             return; // never written: nothing to relocate

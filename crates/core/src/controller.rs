@@ -1,9 +1,10 @@
 //! The functional whole-memory model.
 //!
 //! [`PcmMemory`] interleaves logical lines over a vector of [`BankCtl`]s —
-//! each bank owns its complete controller state (Start-Gap, rotation
-//! counter, compression pipeline, ECC, resurrection bookkeeping; see
-//! [`crate::bank`]) and the memory performs only the logical→bank routing
+//! each bank owns its complete controller state (inter-line wear-leveling
+//! scheme, rotation counter, compression pipeline, ECC, resurrection
+//! bookkeeping; see [`crate::bank`]) and the memory performs only the
+//! logical→bank routing
 //! and statistic aggregation. It simulates every write cell-accurately —
 //! use it for correctness tests, examples, and to cross-validate the
 //! accelerated lifetime engine; use [`crate::lifetime`] for
@@ -22,7 +23,8 @@ use serde::{Deserialize, Serialize};
 pub struct MemoryStats {
     /// Demand write-backs served.
     pub demand_writes: u64,
-    /// Start-Gap gap movements (each is one extra line write).
+    /// Inter-line wear-leveling events (Start-Gap gap movements, swap
+    /// events; each costs one or two extra line writes).
     pub gap_moves: u64,
     /// Total programmed cells.
     pub total_flips: u64,
@@ -65,7 +67,8 @@ pub struct WriteReport {
     pub line: LineWriteReport,
     /// Whether the payload was stored compressed.
     pub compressed: bool,
-    /// Whether this write triggered a Start-Gap move.
+    /// Whether this write triggered an inter-line wear-leveling event
+    /// (named after Start-Gap's gap move, the default scheme's event).
     pub gap_moved: bool,
 }
 
@@ -100,8 +103,8 @@ impl std::error::Error for WriteError {}
 /// A functional PCM main memory under one of the four evaluated systems.
 ///
 /// Logical lines interleave over banks; each bank has `lines_per_bank`
-/// logical lines over `lines_per_bank + 1` physical lines (Start-Gap's
-/// spare).
+/// logical lines over the physical lines its configured wear scheme asks
+/// for (`lines_per_bank + 1` under the default Start-Gap).
 ///
 /// # Examples
 ///
@@ -130,8 +133,8 @@ impl PcmMemory {
     /// Panics if `logical_lines < 2`.
     pub fn new(cfg: SystemConfig, logical_lines: u64, seed: u64) -> Self {
         assert!(logical_lines >= 2, "need at least two logical lines");
-        // Eight banks when each bank gets at least two lines (Start-Gap
-        // needs a region), otherwise a single bank.
+        // Eight banks when each bank gets at least two lines (the wear
+        // scheme needs a region), otherwise a single bank.
         let banks = Self::banks_for(logical_lines);
         let lines_per_bank = logical_lines / banks as u64;
         // One RNG threaded through every bank, in bank order: the
@@ -163,11 +166,13 @@ impl PcmMemory {
         }
     }
 
-    /// Physical lines backing `logical_lines` logical ones: one Start-Gap
-    /// spare per bank on top of the logical capacity. Wear (and the
-    /// 50%-capacity failure criterion) is spread over this count, so
-    /// per-line write budgets comparable with the accelerated engine's
-    /// clock divide by it, not by the logical count.
+    /// Physical lines backing `logical_lines` logical ones under the
+    /// default Start-Gap wear scheme: one spare per bank on top of the
+    /// logical capacity. Wear (and the 50%-capacity failure criterion) is
+    /// spread over this count, so per-line write budgets comparable with
+    /// the accelerated engine's clock divide by it, not by the logical
+    /// count. (Other wear schemes change the spare count; query the banks
+    /// of a constructed memory for exact geometry.)
     pub fn physical_lines(logical_lines: u64) -> u64 {
         logical_lines + Self::banks_for(logical_lines) as u64
     }
@@ -292,6 +297,37 @@ mod tests {
             }
         }
         assert!(mem.stats().gap_moves > 500);
+    }
+
+    #[test]
+    fn round_trip_survives_rival_scheme_churn() {
+        // Every registered ECC × wear stack runs through the same
+        // controller loop — nothing here branches on the scheme.
+        use crate::system::{EccChoice, WearChoice};
+        for wear in WearChoice::ALL {
+            for ecc in [EccChoice::Ecp6, EccChoice::Coset] {
+                let mut base = SystemConfig::new(SystemKind::CompWF)
+                    .with_endurance_mean(1e9)
+                    .with_ecc(ecc)
+                    .with_wear(wear);
+                base.start_gap_psi = 3; // aggressive wear-leveling churn
+                let mut mem = PcmMemory::new(base, 16, 9);
+                let mut rng = seeded_rng(123);
+                let mut expected = std::collections::HashMap::new();
+                for step in 0..600u64 {
+                    let l = rng.random_range(0..16);
+                    let d = Line512::random(&mut rng);
+                    mem.write(l, d).unwrap();
+                    expected.insert(l, d);
+                    if step % 97 == 0 {
+                        for (&l, &d) in &expected {
+                            assert_eq!(mem.read(l).unwrap(), d, "{ecc}/{wear} step {step}");
+                        }
+                    }
+                }
+                assert!(mem.stats().gap_moves > 100, "{ecc}/{wear} must churn");
+            }
+        }
     }
 
     #[test]

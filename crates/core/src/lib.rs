@@ -48,6 +48,7 @@ pub mod line;
 pub mod meta;
 mod payload;
 pub mod perf;
+pub mod registry;
 pub mod system;
 pub mod verify;
 pub mod window;
@@ -57,4 +58,5 @@ pub use controller::{MemoryStats, PcmMemory, WriteError, WriteReport};
 pub use heuristic::{CompressionHeuristic, Decision};
 pub use line::{LineWriteReport, ManagedLine, MetaUpdateCounts};
 pub use meta::LineMetadata;
-pub use system::{EccChoice, SystemConfig, SystemKind};
+pub use registry::StackSpec;
+pub use system::{EccChoice, SystemConfig, SystemKind, WearChoice};

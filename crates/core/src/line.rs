@@ -8,6 +8,7 @@
 //! re-encodes (or slides the window) until the payload is stored — or the
 //! line is declared dead.
 
+use crate::registry;
 use crate::system::EccChoice;
 use crate::window;
 use pcm_compress::Method;
@@ -16,13 +17,18 @@ use pcm_ecc::aegis::AegisCode;
 use pcm_ecc::ecp::EcpCode;
 use pcm_ecc::safer::SaferCode;
 use pcm_ecc::secded::SecdedCode;
-use pcm_ecc::{Aegis, Ecp, HardErrorScheme, Safer, Secded};
+use pcm_ecc::{Aegis, Coset, Ecp, HardErrorScheme, Safer, Secded};
 use pcm_util::fault::FaultMap;
 use pcm_util::{Line512, DATA_BYTES};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// The instantiated hard-error scheme with its encode/decode machinery.
+///
+/// Table-heavy schemes (SAFER-32, Aegis 17×31, the coset masks) come from
+/// the process-wide [`registry`] so every engine shares one instance —
+/// `simulate_line` constructs an engine per call, which once made table
+/// construction dominate short-lived lines.
 #[derive(Debug, Clone)]
 pub struct EccEngine {
     choice: EccChoice,
@@ -30,21 +36,7 @@ pub struct EccEngine {
     safer: &'static Safer,
     aegis: &'static Aegis,
     secded: Secded,
-}
-
-/// SAFER-32 and Aegis 17×31 precompute hundreds of group masks (≈0.6 ms);
-/// they are parameterless here and immutable, so every engine shares one
-/// process-wide instance instead of rebuilding the tables per engine —
-/// `simulate_line` constructs an engine per call, which made table
-/// construction dominate short-lived lines.
-fn shared_safer32() -> &'static Safer {
-    static SAFER32: std::sync::OnceLock<Safer> = std::sync::OnceLock::new();
-    SAFER32.get_or_init(|| Safer::new(32))
-}
-
-fn shared_aegis_17x31() -> &'static Aegis {
-    static AEGIS: std::sync::OnceLock<Aegis> = std::sync::OnceLock::new();
-    AEGIS.get_or_init(|| Aegis::new(17, 31))
+    coset: &'static Coset,
 }
 
 /// Per-line ECC correction state from the most recent write.
@@ -60,6 +52,8 @@ pub enum EccCode {
     Aegis(AegisCode),
     /// SECDED check bytes.
     Secded(SecdedCode),
+    /// Coset transform tag + ECP pointers for the transformed payload.
+    Coset(u16, EcpCode),
 }
 
 impl EccEngine {
@@ -72,9 +66,10 @@ impl EccEngine {
         EccEngine {
             choice,
             ecp,
-            safer: shared_safer32(),
-            aegis: shared_aegis_17x31(),
+            safer: registry::shared_safer32(),
+            aegis: registry::shared_aegis_17x31(),
             secded: Secded::new(),
+            coset: registry::shared_coset(),
         }
     }
 
@@ -85,13 +80,20 @@ impl EccEngine {
             EccChoice::Safer32 => self.safer,
             EccChoice::Aegis17x31 => self.aegis,
             EccChoice::Secded => &self.secded,
+            EccChoice::Coset => self.coset,
         }
     }
 
     /// Encodes `target` around the given (window-restricted) faults.
+    ///
+    /// Payload-transforming schemes also see the currently `stored` line
+    /// and the window mask, so they can pick the cheapest equivalent
+    /// vector; plain correction schemes ignore both.
     fn encode(
         &self,
         target: &Line512,
+        stored: &Line512,
+        window_mask: &Line512,
         faults: &FaultMap,
     ) -> Result<(Line512, EccCode), pcm_ecc::EccError> {
         match self.choice {
@@ -111,6 +113,14 @@ impl EccEngine {
                 .secded
                 .write(target, faults)
                 .map(|(s, c)| (s, EccCode::Secded(c))),
+            EccChoice::Coset => {
+                let (transformed, tag) =
+                    self.coset
+                        .encode_payload(target, stored, window_mask, faults);
+                self.coset
+                    .write(&transformed, faults)
+                    .map(|(s, c)| (s, EccCode::Coset(tag, c)))
+            }
         }
     }
 
@@ -122,6 +132,7 @@ impl EccEngine {
             EccCode::Safer(c) => self.safer.read(stored, c),
             EccCode::Aegis(c) => self.aegis.read(stored, c),
             EccCode::Secded(c) => self.secded.read(stored, c),
+            EccCode::Coset(tag, c) => self.coset.decode_payload(&self.coset.read(stored, c), *tag),
         }
     }
 }
@@ -420,7 +431,11 @@ impl ManagedLine {
 
             let target = window::place(&self.wear.stored(), offset, payload.bytes);
             let window_faults = window::fault_map_in(self.faults(), offset, len);
-            let (encoded, code) = match engine.encode(&target, &window_faults) {
+            let stored_now = self.wear.stored();
+            // Program only the window cells; everything outside keeps its
+            // current physical value (don't-care, zero flips).
+            let mask = window::window_mask(offset, len);
+            let (encoded, code) = match engine.encode(&target, &stored_now, &mask, &window_faults) {
                 Ok(v) => v,
                 // can_store passed but the data-dependent encode failed
                 // (cannot happen for the schemes here, guarded anyway).
@@ -432,9 +447,6 @@ impl ManagedLine {
                     });
                 }
             };
-            // Program only the window cells; everything outside keeps its
-            // current physical value (don't-care, zero flips).
-            let mask = window::window_mask(offset, len);
             let stored_target = (encoded & mask) | (self.wear.stored() & !mask);
             let outcome = self.wear.write(&stored_target);
             report.flips += outcome.flips;
@@ -669,5 +681,55 @@ mod tests {
                 assert_eq!(back, data, "{choice:?}");
             }
         }
+    }
+
+    #[test]
+    fn coset_engine_round_trips_through_stuck_cells() {
+        let mut rng = seeded_rng(114);
+        let e = EccEngine::new(EccChoice::Coset);
+        let mut endurance = vec![u32::MAX; 512];
+        for pos in [9usize, 120, 333] {
+            endurance[pos] = 0;
+        }
+        let mut line = ManagedLine::with_endurance(endurance);
+        for _ in 0..8 {
+            let data = Line512::random(&mut rng);
+            let c = compress_best(&data);
+            line.write(&e, payload_of(&c), 0, true).unwrap();
+            let (method, bytes) = line.read(&e).unwrap();
+            let back = decompress(&CompressedWrite::from_parts(method, bytes).unwrap());
+            assert_eq!(back, data);
+        }
+    }
+
+    #[test]
+    fn coset_transform_cuts_flips_on_inverting_writes() {
+        // Alternating all-ones / all-zeros uncompressed writes: a plain
+        // scheme flips all 512 cells every write; coset's tag-7 candidate
+        // rewrites the line in place.
+        let plain = EccEngine::new(EccChoice::Ecp6);
+        let coset = EccEngine::new(EccChoice::Coset);
+        let mut flips = [0u32; 2];
+        for (i, e) in [&plain, &coset].into_iter().enumerate() {
+            let mut line = ManagedLine::with_endurance(vec![u32::MAX; 512]);
+            for round in 0..8 {
+                let data = if round % 2 == 0 {
+                    Line512::ones()
+                } else {
+                    Line512::zero()
+                };
+                let c = CompressedWrite::from_parts(Method::Uncompressed, data.to_bytes().to_vec())
+                    .unwrap();
+                flips[i] += line.write(e, payload_of(&c), 0, false).unwrap().flips;
+                let (_, bytes) = line.read(e).unwrap();
+                assert_eq!(Line512::from_bytes(&bytes.try_into().unwrap()), data);
+            }
+        }
+        assert!(
+            flips[1] < flips[0] / 2,
+            "coset ({}) must beat plain ECP ({}) on inverting traffic",
+            flips[1],
+            flips[0]
+        );
     }
 }

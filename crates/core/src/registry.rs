@@ -1,0 +1,252 @@
+//! The scheme registry: shared instances and string-named stacks.
+//!
+//! Every ECC scheme the controller can use is constructed here exactly
+//! once per process and shared as a `&'static` reference — SAFER-32 and
+//! Aegis 17×31 precompute hundreds of group masks (≈0.6 ms), and the
+//! per-call `Box` the old `EccChoice::build` handed out made table
+//! construction dominate short-lived setups. [`ecc_scheme`] is the only
+//! construction path.
+//!
+//! [`StackSpec`] names a complete controller stack — system kind, ECC
+//! scheme, wear scheme — from a single `kind/ecc/wear` string, so
+//! `pcm-lab`, `pcm-verify`, and `pcm-serve` can select any combination
+//! without a code change.
+
+use crate::system::{EccChoice, SystemConfig, SystemKind, WearChoice};
+use pcm_ecc::{Aegis, Coset, Ecp, HardErrorScheme, Safer, Secded};
+use std::sync::OnceLock;
+
+/// The process-wide SAFER-32 instance (shared partition tables).
+pub fn shared_safer32() -> &'static Safer {
+    static SAFER32: OnceLock<Safer> = OnceLock::new();
+    SAFER32.get_or_init(|| Safer::new(32))
+}
+
+/// The process-wide Aegis 17×31 instance (shared partition tables).
+pub fn shared_aegis_17x31() -> &'static Aegis {
+    static AEGIS: OnceLock<Aegis> = OnceLock::new();
+    AEGIS.get_or_init(|| Aegis::new(17, 31))
+}
+
+/// The process-wide restricted-coset scheme (shared mask table).
+pub fn shared_coset() -> &'static Coset {
+    static COSET: OnceLock<Coset> = OnceLock::new();
+    COSET.get_or_init(Coset::new)
+}
+
+/// The process-wide SECDED instance.
+pub fn shared_secded() -> &'static Secded {
+    static SECDED: OnceLock<Secded> = OnceLock::new();
+    SECDED.get_or_init(Secded::new)
+}
+
+/// The process-wide ECP-`n` instance for any entry count `1..=51`.
+pub fn shared_ecp(entries: u32) -> &'static Ecp {
+    const NONE: OnceLock<Ecp> = OnceLock::new();
+    static ECPS: [OnceLock<Ecp>; 52] = [NONE; 52];
+    assert!(
+        (1..=51).contains(&entries),
+        "ECP entries must be 1..=51, got {entries}"
+    );
+    ECPS[entries as usize].get_or_init(|| Ecp::new(entries))
+}
+
+/// The shared instance behind an [`EccChoice`] — the single construction
+/// path for hard-error schemes.
+pub fn ecc_scheme(choice: EccChoice) -> &'static dyn HardErrorScheme {
+    match choice {
+        EccChoice::Ecp6 => shared_ecp(6),
+        EccChoice::Safer32 => shared_safer32(),
+        EccChoice::Aegis17x31 => shared_aegis_17x31(),
+        EccChoice::Secded => shared_secded(),
+        EccChoice::Coset => shared_coset(),
+        EccChoice::EcpN(n) => shared_ecp(n as u32),
+    }
+}
+
+/// A complete controller stack named by its three layers.
+///
+/// The canonical string form is `kind/ecc/wear` (case-insensitive), with
+/// trailing layers optional: `"Comp+WF"`, `"Comp+WF/coset"`, and
+/// `"Comp+WF/coset/wolfram"` all parse.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_core::registry::StackSpec;
+/// use pcm_core::{EccChoice, SystemKind, WearChoice};
+///
+/// let spec: StackSpec = "compwf/coset/wolfram".parse().unwrap();
+/// assert_eq!(spec.kind, SystemKind::CompWF);
+/// assert_eq!(spec.ecc, EccChoice::Coset);
+/// assert_eq!(spec.wear, WearChoice::Wolfram);
+/// assert_eq!(spec.to_string(), "Comp+WF/Coset-ECP6/WoLFRaM");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StackSpec {
+    /// Which of the paper's four systems.
+    pub kind: SystemKind,
+    /// Hard-error scheme.
+    pub ecc: EccChoice,
+    /// Inter-line wear-leveling scheme.
+    pub wear: WearChoice,
+}
+
+impl StackSpec {
+    /// The paper's default stack for a system kind (ECP-6 + Start-Gap).
+    pub fn of(kind: SystemKind) -> Self {
+        StackSpec {
+            kind,
+            ecc: EccChoice::Ecp6,
+            wear: WearChoice::StartGap,
+        }
+    }
+
+    /// The full configuration for this stack (paper defaults elsewhere).
+    pub fn to_config(self) -> SystemConfig {
+        SystemConfig::new(self.kind)
+            .with_ecc(self.ecc)
+            .with_wear(self.wear)
+    }
+}
+
+impl std::fmt::Display for StackSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.kind, self.ecc, self.wear)
+    }
+}
+
+impl std::str::FromStr for StackSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut parts = s.split('/');
+        let kind = parse_kind(parts.next().unwrap_or_default())?;
+        let ecc = match parts.next() {
+            Some(e) => parse_ecc(e)?,
+            None => EccChoice::Ecp6,
+        };
+        let wear = match parts.next() {
+            Some(w) => parse_wear(w)?,
+            None => WearChoice::StartGap,
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("unexpected stack component '{extra}' in '{s}'"));
+        }
+        Ok(StackSpec { kind, ecc, wear })
+    }
+}
+
+/// Normalizes a layer name: lowercase, separators dropped.
+fn canon(s: &str) -> String {
+    s.chars()
+        .filter(|c| !matches!(c, '-' | '_' | '+' | ' '))
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Parses a system-kind name (`baseline`, `comp`, `compw`, `compwf`).
+pub fn parse_kind(s: &str) -> Result<SystemKind, String> {
+    SystemKind::ALL
+        .into_iter()
+        .find(|k| canon(&k.to_string()) == canon(s))
+        .ok_or_else(|| format!("unknown system '{s}' (baseline|comp|compw|compwf)"))
+}
+
+/// Parses an ECC-scheme name (`ecp6`, `safer32`, `aegis`, `secded`,
+/// `coset`, `ecpN`).
+pub fn parse_ecc(s: &str) -> Result<EccChoice, String> {
+    let c = canon(s);
+    if let Some(n) = c.strip_prefix("ecp").and_then(|n| n.parse::<u8>().ok()) {
+        return Ok(if n == 6 {
+            EccChoice::Ecp6
+        } else {
+            EccChoice::EcpN(n)
+        });
+    }
+    match c.as_str() {
+        "safer32" | "safer" => Ok(EccChoice::Safer32),
+        "aegis17x31" | "aegis" => Ok(EccChoice::Aegis17x31),
+        "secded" => Ok(EccChoice::Secded),
+        "cosetecp6" | "coset" => Ok(EccChoice::Coset),
+        _ => Err(format!(
+            "unknown ECC scheme '{s}' (ecp6|safer32|aegis|secded|coset|ecpN)"
+        )),
+    }
+}
+
+/// Parses a wear-scheme name (`startgap`, `secref`, `wolfram`).
+pub fn parse_wear(s: &str) -> Result<WearChoice, String> {
+    match canon(s).as_str() {
+        "startgap" => Ok(WearChoice::StartGap),
+        "securityrefresh" | "secref" => Ok(WearChoice::SecurityRefresh),
+        "wolfram" => Ok(WearChoice::Wolfram),
+        _ => Err(format!(
+            "unknown wear scheme '{s}' (startgap|secref|wolfram)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_instances_are_shared() {
+        assert!(std::ptr::eq(shared_safer32(), shared_safer32()));
+        assert!(std::ptr::eq(shared_ecp(6), shared_ecp(6)));
+        assert!(std::ptr::eq(
+            ecc_scheme(EccChoice::Ecp6) as *const _ as *const u8,
+            ecc_scheme(EccChoice::Ecp6) as *const _ as *const u8,
+        ));
+        assert!(!std::ptr::eq(shared_ecp(4), shared_ecp(5)));
+    }
+
+    #[test]
+    fn every_choice_resolves() {
+        for ecc in EccChoice::ALL {
+            assert!(ecc_scheme(ecc).metadata_bits() <= 64, "{ecc}");
+        }
+        assert_eq!(ecc_scheme(EccChoice::EcpN(12)).guaranteed(), 12);
+    }
+
+    #[test]
+    fn stack_specs_round_trip_through_display() {
+        for kind in SystemKind::ALL {
+            for ecc in EccChoice::ALL {
+                for wear in WearChoice::ALL {
+                    let spec = StackSpec { kind, ecc, wear };
+                    let back: StackSpec = spec.to_string().parse().unwrap();
+                    assert_eq!(back, spec);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_shorthand() {
+        let spec: StackSpec = "Comp+WF".parse().unwrap();
+        assert_eq!(spec, StackSpec::of(SystemKind::CompWF));
+        let spec: StackSpec = "comp/safer".parse().unwrap();
+        assert_eq!(spec.ecc, EccChoice::Safer32);
+        assert_eq!(spec.wear, WearChoice::StartGap);
+        let spec: StackSpec = "baseline/ecp4/secref".parse().unwrap();
+        assert_eq!(spec.ecc, EccChoice::EcpN(4));
+        assert_eq!(spec.wear, WearChoice::SecurityRefresh);
+        assert!("comp/ecp6/bogus".parse::<StackSpec>().is_err());
+        assert!("bogus".parse::<StackSpec>().is_err());
+    }
+
+    #[test]
+    fn to_config_carries_all_layers() {
+        let cfg = StackSpec {
+            kind: SystemKind::Comp,
+            ecc: EccChoice::Coset,
+            wear: WearChoice::Wolfram,
+        }
+        .to_config();
+        assert_eq!(cfg.kind, SystemKind::Comp);
+        assert_eq!(cfg.ecc, EccChoice::Coset);
+        assert_eq!(cfg.wear, WearChoice::Wolfram);
+    }
+}

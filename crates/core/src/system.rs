@@ -1,8 +1,8 @@
 //! The four evaluated system configurations (paper §IV).
 //!
-//! All four use chip-level differential writes, Start-Gap inter-line
-//! wear-leveling, and ECP-6; they differ in how much of the paper's
-//! proposal is enabled:
+//! All four default to chip-level differential writes, Start-Gap
+//! inter-line wear-leveling, and ECP-6; they differ in how much of the
+//! paper's proposal is enabled:
 //!
 //! | system   | compression | intra-line WL | sliding window + resurrection |
 //! |----------|-------------|---------------|-------------------------------|
@@ -10,10 +10,17 @@
 //! | Comp     | ✓           | —             | —                             |
 //! | Comp+W   | ✓           | ✓             | —                             |
 //! | Comp+WF  | ✓           | ✓             | ✓                             |
+//!
+//! The ECC and wear layers are pluggable: [`EccChoice`] and
+//! [`WearChoice`] name every registered scheme, and
+//! [`crate::registry::StackSpec`] assembles a full `kind/ecc/wear` stack
+//! from a string.
 
 use crate::heuristic::CompressionHeuristic;
 use pcm_device::{CellTech, EnduranceModel};
-use pcm_ecc::{Aegis, Ecp, HardErrorScheme, Safer, Secded};
+use pcm_ecc::HardErrorScheme;
+use pcm_wear::{SecurityRefresh, StartGap, WearScheme, Wolfram};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Which of the paper's four systems to simulate.
@@ -83,18 +90,26 @@ pub enum EccChoice {
     /// ECP with an arbitrary entry count (storage-overhead ablation:
     /// each entry costs 10 metadata bits; only 6 fit the ECC-DIMM budget).
     EcpN(u8),
+    /// Restricted coset coding over ECP-6 (3 tag bits of payload
+    /// transform in the budget slack ECP-6 leaves: 61 + 3 = 64).
+    Coset,
 }
 
 impl EccChoice {
-    /// Instantiates the scheme.
-    pub fn build(&self) -> Box<dyn HardErrorScheme> {
-        match self {
-            EccChoice::Ecp6 => Box::new(Ecp::new(6)),
-            EccChoice::Safer32 => Box::new(Safer::new(32)),
-            EccChoice::Aegis17x31 => Box::new(Aegis::new(17, 31)),
-            EccChoice::Secded => Box::new(Secded::new()),
-            EccChoice::EcpN(n) => Box::new(Ecp::new(*n as u32)),
-        }
+    /// Every registered scheme, in evaluation order (the pre-registry
+    /// choices first, so seed derivations over this list stay stable).
+    pub const ALL: [EccChoice; 5] = [
+        EccChoice::Ecp6,
+        EccChoice::Safer32,
+        EccChoice::Aegis17x31,
+        EccChoice::Secded,
+        EccChoice::Coset,
+    ];
+
+    /// The shared scheme instance (see [`crate::registry::ecc_scheme`]) —
+    /// table-heavy schemes like SAFER-32 are built once per process.
+    pub fn scheme(&self) -> &'static dyn HardErrorScheme {
+        crate::registry::ecc_scheme(*self)
     }
 }
 
@@ -106,6 +121,66 @@ impl std::fmt::Display for EccChoice {
             EccChoice::Aegis17x31 => write!(f, "Aegis 17x31"),
             EccChoice::Secded => write!(f, "SECDED"),
             EccChoice::EcpN(n) => write!(f, "ECP-{n}"),
+            EccChoice::Coset => write!(f, "Coset-ECP6"),
+        }
+    }
+}
+
+/// Which inter-line wear-leveling scheme each bank runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WearChoice {
+    /// Start-Gap (Qureshi et al., MICRO 2009) — the paper's default: one
+    /// spare line per bank, gap rotation every ψ demand writes.
+    StartGap,
+    /// Security Refresh (Seong et al., ISCA 2010): XOR-key remapping with
+    /// epoch-walk pair swaps; needs a power-of-two line count.
+    SecurityRefresh,
+    /// WoLFRaM (Khan et al., arXiv:2010.02825): programmable address
+    /// decoder with keyed epoch permutations, hot-slot swaps, and spare
+    /// lines that absorb retired (dead) lines.
+    Wolfram,
+}
+
+impl WearChoice {
+    /// Every registered wear scheme, Start-Gap first.
+    pub const ALL: [WearChoice; 3] = [
+        WearChoice::StartGap,
+        WearChoice::SecurityRefresh,
+        WearChoice::Wolfram,
+    ];
+
+    /// Physical lines a bank of `lines` logical lines needs under this
+    /// scheme (Start-Gap's +1 gap line, WoLFRaM's spare pool, …).
+    pub fn physical_lines(&self, lines: u64) -> u64 {
+        match self {
+            WearChoice::StartGap => lines + 1,
+            WearChoice::SecurityRefresh => lines,
+            WearChoice::Wolfram => lines + pcm_wear::wolfram::spare_lines(lines),
+        }
+    }
+
+    /// Builds the scheme for a bank. `psi` is the wear-leveling period in
+    /// demand writes. Schemes that randomize their remapping draw exactly
+    /// one `u64` seed from `rng`; Start-Gap draws nothing, so default
+    /// configurations consume the construction RNG stream exactly as they
+    /// did before the trait existed.
+    pub fn build<R: Rng + ?Sized>(&self, lines: u64, psi: u32, rng: &mut R) -> Box<dyn WearScheme> {
+        match self {
+            WearChoice::StartGap => Box::new(StartGap::new(lines, psi)),
+            WearChoice::SecurityRefresh => {
+                Box::new(SecurityRefresh::new(lines, psi, rng.next_u64()))
+            }
+            WearChoice::Wolfram => Box::new(Wolfram::new(lines, psi, rng.next_u64())),
+        }
+    }
+}
+
+impl std::fmt::Display for WearChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WearChoice::StartGap => write!(f, "Start-Gap"),
+            WearChoice::SecurityRefresh => write!(f, "SecRef"),
+            WearChoice::Wolfram => write!(f, "WoLFRaM"),
         }
     }
 }
@@ -117,6 +192,8 @@ pub struct SystemConfig {
     pub kind: SystemKind,
     /// Hard-error scheme (paper default: ECP-6).
     pub ecc: EccChoice,
+    /// Inter-line wear-leveling scheme (paper default: Start-Gap).
+    pub wear: WearChoice,
     /// Compression heuristic thresholds (Fig. 8); `use_heuristic = false`
     /// compresses unconditionally (the naive scheme, for ablation).
     pub heuristic: CompressionHeuristic,
@@ -158,6 +235,7 @@ impl SystemConfig {
         SystemConfig {
             kind,
             ecc: EccChoice::Ecp6,
+            wear: WearChoice::StartGap,
             heuristic: CompressionHeuristic::paper(),
             use_heuristic: matches!(kind, SystemKind::CompWF),
             endurance: EnduranceModel::paper(),
@@ -187,6 +265,15 @@ impl SystemConfig {
     /// Overrides the hard-error scheme.
     pub fn with_ecc(mut self, ecc: EccChoice) -> Self {
         self.ecc = ecc;
+        self
+    }
+
+    /// Overrides the inter-line wear-leveling scheme.
+    ///
+    /// `SecurityRefresh` needs a power-of-two per-bank line count; the
+    /// other schemes accept any size.
+    pub fn with_wear(mut self, wear: WearChoice) -> Self {
+        self.wear = wear;
         self
     }
 
@@ -256,10 +343,39 @@ mod tests {
 
     #[test]
     fn ecc_choices_build() {
-        for ecc in [EccChoice::Ecp6, EccChoice::Safer32, EccChoice::Aegis17x31] {
-            let scheme = ecc.build();
+        for ecc in [
+            EccChoice::Ecp6,
+            EccChoice::Safer32,
+            EccChoice::Aegis17x31,
+            EccChoice::Coset,
+        ] {
+            let scheme = ecc.scheme();
             assert!(scheme.guaranteed() >= 6);
         }
-        assert_eq!(EccChoice::Secded.build().guaranteed(), 1);
+        assert_eq!(EccChoice::Secded.scheme().guaranteed(), 1);
+    }
+
+    #[test]
+    fn wear_choices_build_consistent_geometry() {
+        let mut rng = pcm_util::seeded_rng(7);
+        for wear in WearChoice::ALL {
+            let scheme = wear.build(16, 8, &mut rng);
+            assert_eq!(scheme.logical_lines(), 16, "{wear}");
+            assert_eq!(
+                scheme.physical_lines(),
+                wear.physical_lines(16),
+                "{wear}: geometry helper must match the built scheme"
+            );
+        }
+    }
+
+    #[test]
+    fn start_gap_build_draws_no_seed() {
+        // Default configurations must consume the construction RNG stream
+        // exactly as the pre-trait controller did (bit-identity).
+        let mut a = pcm_util::seeded_rng(9);
+        let mut b = pcm_util::seeded_rng(9);
+        let _ = WearChoice::StartGap.build(16, 8, &mut a);
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 }

@@ -10,8 +10,9 @@
 //!   and diffs their statistics under per-statistic tolerances.
 //! - [`run_all`] sweeps both checks over every
 //!   [`SystemKind`] × hard-error-scheme combination at two endurance
-//!   settings — the matrix the `pcm-verify` binary (and the `verify` stage
-//!   of `scripts_run_all.sh`) runs.
+//!   settings, then churns every registered inter-line wear scheme
+//!   through the whole-memory harness — the matrix the `pcm-verify`
+//!   binary (and the `verify` stage of `scripts_run_all.sh`) runs.
 //!
 //! Fault plans come from [`pcm_util::FaultPlan`]: position-exact,
 //! density-driven, or count-driven stuck-at sets with a chosen SA-0/SA-1
@@ -28,7 +29,7 @@ pub mod oracle;
 pub use churn::{churn_lines, churn_memory, ChurnData, ChurnError, ChurnStats};
 pub use oracle::{run_oracle, OracleConfig, OracleDiff, OracleReport, OracleTolerances, RatioBand};
 
-use crate::system::{EccChoice, SystemConfig, SystemKind};
+use crate::system::{EccChoice, SystemConfig, SystemKind, WearChoice};
 use pcm_trace::SpecApp;
 use pcm_util::FaultPlan;
 
@@ -41,6 +42,8 @@ pub struct VerifyConfig {
     pub endurance_means: [f64; 2],
     /// Hard-error schemes to cross with every [`SystemKind`].
     pub eccs: Vec<EccChoice>,
+    /// Inter-line wear schemes each given a whole-memory churn pass.
+    pub wears: Vec<WearChoice>,
     /// Workload profile for churn and oracle runs.
     pub app: SpecApp,
     /// Fault-planned lines churned per combination.
@@ -58,12 +61,8 @@ impl Default for VerifyConfig {
         VerifyConfig {
             seed: 0x5EED_F00D,
             endurance_means: [250.0, 400.0],
-            eccs: vec![
-                EccChoice::Ecp6,
-                EccChoice::Safer32,
-                EccChoice::Aegis17x31,
-                EccChoice::Secded,
-            ],
+            eccs: EccChoice::ALL.to_vec(),
+            wears: WearChoice::ALL.to_vec(),
             app: SpecApp::Milc,
             churn_lines: 4,
             churn_writes: 96,
@@ -73,13 +72,16 @@ impl Default for VerifyConfig {
     }
 }
 
-/// The outcome of one [`SystemKind`] × [`EccChoice`] combination.
+/// The outcome of one [`SystemKind`] × [`EccChoice`] × [`WearChoice`]
+/// combination.
 #[derive(Debug, Clone)]
 pub struct VerifyEntry {
     /// The system evaluated.
     pub kind: SystemKind,
     /// The hard-error scheme evaluated.
     pub ecc: EccChoice,
+    /// The inter-line wear scheme evaluated.
+    pub wear: WearChoice,
     /// Combined line + memory churn outcome.
     pub churn: Result<ChurnStats, ChurnError>,
     /// One oracle report per endurance setting.
@@ -111,7 +113,7 @@ impl VerifyReport {
         let mut out = Vec::new();
         for e in &self.entries {
             if let Err(err) = &e.churn {
-                out.push(format!("{} / {}: churn: {err}", e.kind, e.ecc));
+                out.push(format!("{} / {} / {}: churn: {err}", e.kind, e.ecc, e.wear));
             }
             for o in &e.oracles {
                 if !o.passed() {
@@ -207,10 +209,30 @@ pub fn run_all(cfg: &VerifyConfig) -> VerifyReport {
             entries.push(VerifyEntry {
                 kind,
                 ecc,
+                wear: WearChoice::StartGap,
                 churn,
                 oracles,
             });
         }
+    }
+    // Wear-scheme sweep: every registered inter-line scheme gets a
+    // whole-memory churn pass under the full Comp+WF stack (16 lines → 8
+    // power-of-two banks, so Security Refresh's constraint is met). The
+    // differential oracle is skipped here: the accelerated engine's
+    // per-line write budget assumes Start-Gap's one-spare geometry.
+    for (wi, &wear) in cfg.wears.iter().enumerate() {
+        let combo_seed = pcm_util::child_seed(cfg.seed, 0x77EA_0000 + wi as u64);
+        let msys = SystemConfig::new(SystemKind::CompWF)
+            .with_endurance_mean(60.0)
+            .with_wear(wear);
+        let churn = churn_memory(&msys, 16, cfg.memory_writes, combo_seed);
+        entries.push(VerifyEntry {
+            kind: SystemKind::CompWF,
+            ecc: EccChoice::Ecp6,
+            wear,
+            churn,
+            oracles: Vec::new(),
+        });
     }
     VerifyReport { entries }
 }
@@ -238,7 +260,11 @@ mod tests {
             ..Default::default()
         };
         let report = run_all(&cfg);
-        assert_eq!(report.entries.len(), 16);
+        assert_eq!(
+            report.entries.len(),
+            SystemKind::ALL.len() * EccChoice::ALL.len() + WearChoice::ALL.len(),
+            "4 systems x 5 ECC schemes + 3 wear schemes"
+        );
         assert!(
             report.passed(),
             "failures:\n{}",
@@ -248,9 +274,10 @@ mod tests {
             let stats = e.churn.as_ref().unwrap();
             assert!(
                 stats.writes_checked > 0,
-                "{} / {} exercised nothing",
+                "{} / {} / {} exercised nothing",
                 e.kind,
-                e.ecc
+                e.ecc,
+                e.wear
             );
         }
     }

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod aegis;
+pub mod coset;
 pub mod ecp;
 pub mod layout;
 pub mod montecarlo;
@@ -46,6 +47,7 @@ pub mod scheme;
 pub mod secded;
 
 pub use aegis::Aegis;
+pub use coset::Coset;
 pub use ecp::Ecp;
 pub use montecarlo::{failure_probability, failure_probability_on, MonteCarlo};
 pub use safer::Safer;

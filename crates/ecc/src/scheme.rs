@@ -1,5 +1,7 @@
 //! The common interface of hard-error tolerance schemes.
 
+use pcm_util::fault::FaultMap;
+use pcm_util::Line512;
 use std::fmt;
 
 /// Error returned when a scheme cannot store data over the given faults.
@@ -55,6 +57,40 @@ pub trait HardErrorScheme: Send + Sync {
     /// is a small compression window — partition-based schemes partition
     /// physical positions.
     fn can_store(&self, fault_positions: &[u16]) -> bool;
+
+    /// Payload-transform tag bits this scheme stores per line, *on top of*
+    /// [`metadata_bits`](Self::metadata_bits)' correction state. Zero for
+    /// plain correction schemes; coset coding spends its spare budget here.
+    fn transform_bits(&self) -> u32 {
+        0
+    }
+
+    /// Transforms the payload before it is written: given the intended
+    /// `target` line, the currently `stored` physical line, the active
+    /// compression-window `window_mask`, and the line's `faults`, returns
+    /// the line to actually store plus a transform tag (must fit
+    /// [`transform_bits`](Self::transform_bits)). The default is the
+    /// identity transform with tag 0.
+    ///
+    /// Only bits inside `window_mask` reach the cells; the tag must be
+    /// enough to invert the transform on those bits alone.
+    fn encode_payload(
+        &self,
+        target: &Line512,
+        stored: &Line512,
+        window_mask: &Line512,
+        faults: &FaultMap,
+    ) -> (Line512, u16) {
+        let _ = (stored, window_mask, faults);
+        (*target, 0)
+    }
+
+    /// Inverts [`encode_payload`](Self::encode_payload) on a corrected
+    /// line, recovering the original payload from the stored transform tag.
+    fn decode_payload(&self, corrected: &Line512, tag: u16) -> Line512 {
+        let _ = tag;
+        *corrected
+    }
 }
 
 impl fmt::Debug for dyn HardErrorScheme {

@@ -22,7 +22,7 @@
 
 use crate::router::route;
 use crate::telemetry::{BankSnapshot, BankTelemetry, LatencyHist, Snapshot};
-use pcm_core::{BankCtl, SystemConfig, SystemKind, WriteError};
+use pcm_core::{BankCtl, EccChoice, SystemConfig, SystemKind, WearChoice, WriteError};
 use pcm_device::timing::TimingParams;
 use pcm_util::{child_seed, Line512, Pool};
 
@@ -45,6 +45,10 @@ pub struct ServeConfig {
     pub tenants: u64,
     /// Controller system under test.
     pub system: SystemKind,
+    /// Hard-error scheme of the stack under test.
+    pub ecc: EccChoice,
+    /// Inter-line wear-leveling scheme of the stack under test.
+    pub wear: WearChoice,
     /// Mean per-cell endurance for the fault model.
     pub endurance_mean: f64,
     /// Zipf exponent of the tenant popularity mix.
@@ -65,6 +69,8 @@ impl ServeConfig {
             lines_per_bank: 64,
             tenants: 60,
             system: SystemKind::CompWF,
+            ecc: EccChoice::Ecp6,
+            wear: WearChoice::StartGap,
             endurance_mean: 1e6,
             zipf_s: 0.99,
             mean_gap_cycles: 40.0,
@@ -144,7 +150,10 @@ impl Engine {
     pub fn new(cfg: ServeConfig) -> Self {
         assert!(cfg.banks > 0, "need at least one bank");
         assert!(cfg.tenants > 0, "need at least one tenant");
-        let sys = SystemConfig::new(cfg.system).with_endurance_mean(cfg.endurance_mean);
+        let sys = SystemConfig::new(cfg.system)
+            .with_ecc(cfg.ecc)
+            .with_wear(cfg.wear)
+            .with_endurance_mean(cfg.endurance_mean);
         let banks = (0..cfg.banks)
             .map(|b| BankShard {
                 ctl: BankCtl::new(sys, cfg.lines_per_bank, child_seed(cfg.seed, b as u64)),

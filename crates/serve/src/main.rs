@@ -11,13 +11,14 @@
 //! (if any), accept connections and serve the wire protocol until a
 //! SHUTDOWN frame arrives.
 
+use pcm_core::StackSpec;
 use pcm_serve::{Daemon, ServeConfig, TrafficGen};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 
 const USAGE: &str = "pcm-serve [--seed N] [--shards K] [--duration CYCLES] \
 [--banks B] [--lines L] [--tenants T] [--mean-gap CYCLES] \
-[--listen ADDR] [--unix PATH]";
+[--stack KIND[/ECC[/WEAR]]] [--listen ADDR] [--unix PATH]";
 
 struct Cli {
     cfg: ServeConfig,
@@ -63,6 +64,15 @@ fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Cli, String> {
                     return Err("--mean-gap must be positive".into());
                 }
                 cli.cfg.mean_gap_cycles = v as f64;
+            }
+            "--stack" => {
+                // Any registry stack, e.g. `compwf/coset/wolfram`; the
+                // default stack (compwf/ecp6/startgap) keeps replay
+                // telemetry identical to pre-registry builds.
+                let spec: StackSpec = value("--stack")?.parse()?;
+                cli.cfg.system = spec.kind;
+                cli.cfg.ecc = spec.ecc;
+                cli.cfg.wear = spec.wear;
             }
             "--listen" => cli.listen = Some(value("--listen")?),
             "--unix" => cli.unix = Some(value("--unix")?),

@@ -14,6 +14,11 @@
 //!   one byte, spreading the compressed payload's bit flips over the whole
 //!   64-byte line without per-line counters.
 //!
+//! Every inter-line engine implements the [`WearScheme`] trait (remap +
+//! write events + optional fault redirect), so the controller composes
+//! with [`StartGap`], [`SecurityRefresh`], or [`Wolfram`]
+//! interchangeably — see `scheme`.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,9 +32,13 @@
 //! ```
 
 pub mod intra_line;
+pub mod scheme;
 pub mod security_refresh;
 pub mod start_gap;
+pub mod wolfram;
 
 pub use intra_line::IntraLineLeveler;
+pub use scheme::{WearEvent, WearScheme};
 pub use security_refresh::SecurityRefresh;
 pub use start_gap::{GapMove, StartGap};
+pub use wolfram::Wolfram;

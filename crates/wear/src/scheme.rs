@@ -1,0 +1,188 @@
+//! The inter-line wear-leveling trait every remapping engine implements.
+//!
+//! The controller only ever sees this interface: it asks the scheme where
+//! a logical line lives (`map`), reports demand writes (`on_write`), and
+//! performs whatever physical data movement the returned [`WearEvent`]
+//! describes. The scheme owns all remapping state; the controller owns all
+//! data movement. That split is what lets Start-Gap, Security Refresh, and
+//! WoLFRaM ride the same controller loop with no scheme-specific branches.
+//!
+//! Contract:
+//!
+//! * `map` is a bijection from `0..logical_lines()` into
+//!   `0..physical_lines()` at every instant (schemes with spare slots leave
+//!   the spares unmapped).
+//! * `on_write` may mutate the mapping, but only in the way the returned
+//!   event describes: after a `Move { to }`, the logical line previously
+//!   stored at some physical slot now maps to `to`; after a
+//!   `Swap { a, b }`, the two logical lines previously at `a` and `b` have
+//!   exchanged slots. The controller copies data to match *after* the call,
+//!   so `map` must already reflect the new positions when the event is
+//!   returned.
+//! * `retire_line` lets fault-redirecting schemes (WoLFRaM) substitute a
+//!   spare physical slot when a line dies mid-write; schemes without spares
+//!   return `None` and the controller parks the line as before.
+
+use serde::{Deserialize, Serialize};
+
+use crate::security_refresh::{SecurityRefresh, Swap};
+use crate::start_gap::{GapMove, StartGap};
+
+/// A physical data movement requested by a wear scheme.
+///
+/// The controller performs the copy/exchange and charges the resulting
+/// writes to the destination lines' wear, exactly like demand writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WearEvent {
+    /// Rewrite the logical line now mapped to physical slot `to` (Start-Gap
+    /// gap migration; `to` may hold no logical line after a wrap, in which
+    /// case there is nothing to copy).
+    Move {
+        /// Destination physical slot.
+        to: u64,
+    },
+    /// Exchange the contents of physical slots `a` and `b` (Security
+    /// Refresh pair swap, WoLFRaM migration). `a == b` means the pair was
+    /// a fixed point and no data moves.
+    Swap {
+        /// First physical slot.
+        a: u64,
+        /// Second physical slot.
+        b: u64,
+    },
+}
+
+/// An inter-line wear-leveling scheme: a mutable logical→physical line
+/// remapper that occasionally asks the controller to move data.
+pub trait WearScheme: Send + std::fmt::Debug {
+    /// Scheme name as printed in reports and stack specs.
+    fn name(&self) -> &'static str;
+
+    /// Number of logical lines served.
+    fn logical_lines(&self) -> u64;
+
+    /// Number of physical lines required (≥ `logical_lines()`; the excess
+    /// are gap/spare slots).
+    fn physical_lines(&self) -> u64;
+
+    /// Current physical slot of `logical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= logical_lines()`.
+    fn map(&self, logical: u64) -> u64;
+
+    /// Records one demand write to `logical`; optionally returns a data
+    /// movement the controller must perform (the mapping already reflects
+    /// it — see the module docs).
+    fn on_write(&mut self, logical: u64) -> Option<WearEvent>;
+
+    /// Reports that physical slot `phys` can no longer store data. A
+    /// scheme with spare capacity remaps the hosted logical line to a
+    /// fresh slot and returns it; the controller retries the write there.
+    /// The default (no spares) returns `None` and the line stays dead.
+    fn retire_line(&mut self, phys: u64) -> Option<u64> {
+        let _ = phys;
+        None
+    }
+
+    /// The scheme's register state, folded into per-bank wear digests in
+    /// order. Keep the order stable: digests are compared bit-for-bit
+    /// across runs.
+    fn digest_words(&self) -> Vec<u64>;
+}
+
+impl WearScheme for StartGap {
+    fn name(&self) -> &'static str {
+        "start-gap"
+    }
+
+    fn logical_lines(&self) -> u64 {
+        StartGap::logical_lines(self)
+    }
+
+    fn physical_lines(&self) -> u64 {
+        StartGap::physical_lines(self)
+    }
+
+    fn map(&self, logical: u64) -> u64 {
+        StartGap::map(self, logical)
+    }
+
+    fn on_write(&mut self, _logical: u64) -> Option<WearEvent> {
+        StartGap::on_write(self).map(|GapMove { to, .. }| WearEvent::Move { to })
+    }
+
+    fn digest_words(&self) -> Vec<u64> {
+        // Gap before start: the order the pre-trait bank digest folded the
+        // registers, preserved so existing digests stay bit-identical.
+        vec![self.gap(), self.start()]
+    }
+}
+
+impl WearScheme for SecurityRefresh {
+    fn name(&self) -> &'static str {
+        "security-refresh"
+    }
+
+    fn logical_lines(&self) -> u64 {
+        self.lines()
+    }
+
+    fn physical_lines(&self) -> u64 {
+        self.lines()
+    }
+
+    fn map(&self, logical: u64) -> u64 {
+        SecurityRefresh::map(self, logical)
+    }
+
+    fn on_write(&mut self, _logical: u64) -> Option<WearEvent> {
+        SecurityRefresh::on_write(self).map(|Swap { a, b }| WearEvent::Swap { a, b })
+    }
+
+    fn digest_words(&self) -> Vec<u64> {
+        vec![self.pointer(), self.epoch()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bijection(s: &dyn WearScheme) {
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..s.logical_lines() {
+            let p = s.map(l);
+            assert!(p < s.physical_lines());
+            assert!(seen.insert(p), "{}: slot {p} mapped twice", s.name());
+        }
+    }
+
+    #[test]
+    fn start_gap_move_events_match_gap_moves() {
+        let mut sg = StartGap::new(8, 2);
+        let s: &mut dyn WearScheme = &mut sg;
+        assert!(s.on_write(0).is_none());
+        let ev = s.on_write(3).expect("second write moves the gap");
+        assert_eq!(ev, WearEvent::Move { to: 8 });
+        check_bijection(s);
+    }
+
+    #[test]
+    fn security_refresh_swap_events_match_steps() {
+        let mut sr = SecurityRefresh::new(16, 1, 7);
+        let s: &mut dyn WearScheme = &mut sr;
+        for i in 0..64 {
+            let ev = s.on_write(i % 16).expect("psi=1 steps every write");
+            assert!(matches!(ev, WearEvent::Swap { .. }));
+            check_bijection(s);
+        }
+    }
+
+    #[test]
+    fn default_retire_declines() {
+        let mut sg = StartGap::new(4, 1);
+        assert_eq!(WearScheme::retire_line(&mut sg, 2), None);
+    }
+}

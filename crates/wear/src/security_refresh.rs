@@ -93,6 +93,11 @@ impl SecurityRefresh {
         self.epoch
     }
 
+    /// Current refresh-pointer position within the epoch.
+    pub fn pointer(&self) -> u64 {
+        self.pointer
+    }
+
     /// Maps a logical line to its current physical line.
     ///
     /// # Panics

@@ -5,7 +5,54 @@
 use proptest::prelude::*;
 use std::collections::HashSet;
 
-use pcm_wear::{SecurityRefresh, StartGap};
+use pcm_wear::{SecurityRefresh, StartGap, WearEvent, WearScheme, Wolfram};
+
+/// Drives any `WearScheme` through the trait the controller uses: shadow
+/// physical contents follow each emitted event, and after every burst the
+/// map must be a bijection with every logical line found where it points.
+fn check_scheme_bijective(scheme: &mut dyn WearScheme, bursts: &[usize]) -> Result<(), String> {
+    let n = scheme.logical_lines();
+    let phys = scheme.physical_lines();
+    let mut slots: Vec<Option<u64>> = (0..phys).map(|p| (p < n).then_some(p)).collect();
+    let mut write = 0u64;
+    for &burst in bursts {
+        for _ in 0..burst {
+            let logical = write % n;
+            write += 1;
+            match scheme.on_write(logical) {
+                Some(WearEvent::Move { to }) => {
+                    // The logical line now mapped to `to` (if any) is
+                    // rewritten there from its old slot.
+                    let mover = (0..n).find(|&l| scheme.map(l) == to);
+                    if let Some(l) = mover {
+                        let from = slots
+                            .iter()
+                            .position(|&s| s == Some(l))
+                            .ok_or_else(|| format!("logical {l} lost"))?;
+                        slots[from] = None;
+                        slots[to as usize] = Some(l);
+                    }
+                }
+                Some(WearEvent::Swap { a, b }) => slots.swap(a as usize, b as usize),
+                None => {}
+            }
+        }
+        let mut seen = HashSet::new();
+        for l in 0..n {
+            let p = scheme.map(l);
+            prop_assert!(p < phys, "{}: slot {} out of range", scheme.name(), p);
+            prop_assert!(seen.insert(p), "{}: slot {} mapped twice", scheme.name(), p);
+            prop_assert_eq!(
+                slots[p as usize],
+                Some(l),
+                "{}: logical {} not where map points",
+                scheme.name(),
+                l
+            );
+        }
+    }
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -107,6 +154,59 @@ proptest! {
         for l in 0..n {
             prop_assert_eq!(a.map(l), b.map(l));
             prop_assert_eq!(x.map(l), y.map(l));
+        }
+    }
+
+    /// Every `WearScheme` — Start-Gap, Security Refresh, WoLFRaM — keeps a
+    /// bijective remap with reachable data under arbitrary write bursts,
+    /// exercised purely through the trait the controller uses.
+    #[test]
+    fn every_wear_scheme_bijective_through_the_trait(
+        npow in 1u32..6,
+        psi in 1u32..6,
+        seed in any::<u64>(),
+        bursts in prop::collection::vec(0usize..30, 1..30),
+    ) {
+        let n = 1u64 << npow;
+        let schemes: Vec<Box<dyn WearScheme>> = vec![
+            Box::new(StartGap::new(n, psi)),
+            Box::new(SecurityRefresh::new(n, psi, seed)),
+            Box::new(Wolfram::new(n, psi, seed)),
+        ];
+        for mut s in schemes {
+            check_scheme_bijective(s.as_mut(), &bursts)?;
+        }
+    }
+
+    /// WoLFRaM keeps the bijection through fault retirements: retire a
+    /// mapped slot mid-sequence and the hosted line must land on a spare,
+    /// with the dead slot never reappearing in the map.
+    #[test]
+    fn wolfram_bijective_across_retirements(
+        n in 2u64..40,
+        psi in 1u32..6,
+        seed in any::<u64>(),
+        victims in prop::collection::vec(0u64..40, 0..3),
+        writes in 1usize..200,
+    ) {
+        let mut w = Wolfram::new(n, psi, seed);
+        let mut dead = Vec::new();
+        for v in victims {
+            let phys = w.map(v % n);
+            if let Some(spare) = w.retire_line(phys) {
+                prop_assert_ne!(spare, phys);
+                dead.push(phys);
+            }
+        }
+        for i in 0..writes as u64 {
+            w.on_write(i % n);
+            let mut seen = HashSet::new();
+            for l in 0..n {
+                let p = w.map(l);
+                prop_assert!(p < w.physical_lines());
+                prop_assert!(seen.insert(p), "slot {} mapped twice", p);
+                prop_assert!(!dead.contains(&p), "retired slot {} reused", p);
+            }
         }
     }
 }

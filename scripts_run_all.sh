@@ -158,6 +158,20 @@ if ! grep -q "pcm-serve telemetry @ cycle" results/serve.txt \
 fi
 echo "   ok ($(wc -l < results/serve.txt) lines)"
 
+# Rival-stack gate: the pluggable-scheme grid must push WoLFRaM and
+# restricted coset coding end-to-end through the unmodified controller
+# loop (DESIGN.md §14) before the full matrix regenerates. run-all
+# refreshes the same experiment at full scale afterwards; this quick pass
+# fails fast if a registry stack stops composing.
+echo "== rivals =="
+if ! /usr/bin/timeout 600 cargo run -q --release -p pcm-bench --bin pcm-lab -- \
+    run rival_lifetime --quick > results/rivals.txt 2>&1; then
+  echo "   RIVALS FAILED (see results/rivals.txt)" >&2
+  tail -n 20 results/rivals.txt >&2
+  exit 1
+fi
+echo "   ok ($(wc -l < results/rivals.txt) lines)"
+
 # Experiment matrix: every registered experiment, deterministic order,
 # results/<name>.txt + results/<name>.json.
 echo "== experiments =="

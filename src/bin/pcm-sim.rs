@@ -14,7 +14,8 @@
 
 use collab_pcm::compress::compress_best;
 use collab_pcm::core::lifetime::{run_campaign, CampaignConfig, LineSimConfig};
-use collab_pcm::core::{EccChoice, PcmMemory, SystemConfig, SystemKind};
+use collab_pcm::core::registry::{parse_ecc, parse_kind, parse_wear};
+use collab_pcm::core::{EccChoice, PcmMemory, SystemConfig, SystemKind, WearChoice};
 use collab_pcm::ecc::montecarlo::{failure_probability, MonteCarlo};
 use collab_pcm::trace::calibrate::compression_stats;
 use collab_pcm::trace::{profile::ALL_APPS, SpecApp, Trace, TraceGenerator};
@@ -89,42 +90,15 @@ impl Opts {
     }
 
     fn system(&self) -> SystemKind {
-        match self
-            .get("system")
-            .unwrap_or("compwf")
-            .to_ascii_lowercase()
-            .as_str()
-        {
-            "baseline" => SystemKind::Baseline,
-            "comp" => SystemKind::Comp,
-            "compw" | "comp+w" => SystemKind::CompW,
-            "compwf" | "comp+wf" => SystemKind::CompWF,
-            other => usage(&format!("unknown system '{other}'")),
-        }
+        parse_kind(self.get("system").unwrap_or("compwf")).unwrap_or_else(|e| usage(&e))
     }
 
     fn ecc(&self) -> EccChoice {
-        match self
-            .get("ecc")
-            .unwrap_or("ecp6")
-            .to_ascii_lowercase()
-            .as_str()
-        {
-            "ecp6" => EccChoice::Ecp6,
-            "safer32" => EccChoice::Safer32,
-            "aegis" | "aegis17x31" => EccChoice::Aegis17x31,
-            "secded" => EccChoice::Secded,
-            other => {
-                if let Some(n) = other.strip_prefix("ecp") {
-                    let n: u8 = n
-                        .parse()
-                        .unwrap_or_else(|_| usage(&format!("bad ECP count '{n}'")));
-                    EccChoice::EcpN(n)
-                } else {
-                    usage(&format!("unknown ecc '{other}'"))
-                }
-            }
-        }
+        parse_ecc(self.get("ecc").unwrap_or("ecp6")).unwrap_or_else(|e| usage(&e))
+    }
+
+    fn wear(&self) -> WearChoice {
+        parse_wear(self.get("wear").unwrap_or("startgap")).unwrap_or_else(|e| usage(&e))
     }
 
     fn system_config(&self) -> SystemConfig {
@@ -132,6 +106,7 @@ impl Opts {
             .with_endurance_mean(self.num("endurance", 2e4))
             .with_endurance_cov(self.num("cov", 0.15))
             .with_ecc(self.ecc())
+            .with_wear(self.wear())
     }
 }
 
@@ -161,7 +136,7 @@ fn lifetime(opts: &Opts) {
 }
 
 fn montecarlo(opts: &Opts) {
-    let scheme = opts.ecc().build();
+    let scheme = opts.ecc().scheme();
     let window: usize = opts.num("window", 32);
     let errors: usize = opts.num("errors", 16);
     let mc = MonteCarlo {
@@ -169,7 +144,7 @@ fn montecarlo(opts: &Opts) {
         seed: opts.seed(),
         threads: 0,
     };
-    let p = failure_probability(scheme.as_ref(), window, errors, &mc);
+    let p = failure_probability(scheme, window, errors, &mc);
     println!("scheme\t{}", scheme.name());
     println!("window_bytes\t{window}");
     println!("errors\t{errors}");
@@ -294,7 +269,8 @@ fn usage(msg: &str) -> ! {
          \x20 trace      --app APP --out FILE [--writes N] [--lines N]\n\
          \x20 replay     --in FILE [--system S] [--endurance E]\n\n\
          systems: baseline | comp | compw | compwf\n\
-         ecc:     ecp6 | ecpN | safer32 | aegis | secded\n\
+         ecc:     ecp6 | ecpN | safer32 | aegis | secded | coset\n\
+         wear:    startgap | secref | wolfram  (--wear, default startgap)\n\
          apps:    {}",
         ALL_APPS.map(|a| a.name()).join(" ")
     );

@@ -2,7 +2,8 @@
 //!
 //! Runs the fault-injection churn harness and the replay-vs-engine
 //! differential oracle over every `SystemKind` × hard-error-scheme
-//! combination at two endurance settings (see DESIGN.md "Verification"),
+//! combination at two endurance settings, plus a whole-memory churn pass
+//! per registered inter-line wear scheme (see DESIGN.md "Verification"),
 //! printing one block per combination and exiting non-zero on any
 //! mismatch — the `verify` stage of `scripts_run_all.sh`.
 //!
@@ -47,9 +48,10 @@ fn main() {
             Ok(s) => {
                 if !quiet {
                     println!(
-                        "{:8} / {:11} churn: {} writes, {} slides, {} deaths, {} revived [{verdict}]",
+                        "{:8} / {:11} / {:9} churn: {} writes, {} slides, {} deaths, {} revived [{verdict}]",
                         entry.kind.to_string(),
                         entry.ecc.to_string(),
+                        entry.wear.to_string(),
                         s.writes_checked,
                         s.slides,
                         s.deaths,
@@ -58,9 +60,10 @@ fn main() {
                 }
             }
             Err(e) => println!(
-                "{:8} / {:11} churn FAIL: {e}",
+                "{:8} / {:11} / {:9} churn FAIL: {e}",
                 entry.kind.to_string(),
-                entry.ecc.to_string()
+                entry.ecc.to_string(),
+                entry.wear.to_string()
             ),
         }
         for o in &entry.oracles {

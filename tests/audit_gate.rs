@@ -133,6 +133,39 @@ fn simd_stage_runs_dual_build_and_compares_checksums() {
 }
 
 #[test]
+fn rivals_stage_is_present_ordered_and_unconditional() {
+    let script = gate_script();
+    let rivals = script
+        .find("== rivals ==")
+        .expect("rivals stage marker present");
+    let serve = script.find("== serve ==").expect("serve stage present");
+    let experiments = script
+        .find("== experiments ==")
+        .expect("experiments stage present");
+    assert!(
+        serve < rivals && rivals < experiments,
+        "rival-stack gate runs between the serve smoke and the full matrix"
+    );
+    let stage = &script[rivals..experiments];
+    assert!(
+        stage.contains("run rival_lifetime --quick"),
+        "rivals stage must drive the rival_lifetime grid through pcm-lab"
+    );
+    assert!(
+        stage.contains("results/rivals.txt"),
+        "rivals stage must leave its artifact in results/"
+    );
+    assert!(
+        stage.contains("exit 1"),
+        "rival-grid failures must abort the gate non-zero"
+    );
+    assert!(
+        !stage.contains("if [ \"$"),
+        "rivals stage must not be gated on a script flag:\n{stage}"
+    );
+}
+
+#[test]
 fn bench_stage_is_ratcheted_against_the_committed_reports() {
     let script = gate_script();
     let bench = script

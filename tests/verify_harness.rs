@@ -10,7 +10,7 @@
 use collab_pcm::core::verify::{
     churn_lines, churn_memory, run_all, run_oracle, ChurnData, OracleConfig, VerifyConfig,
 };
-use collab_pcm::core::{EccChoice, SystemConfig, SystemKind};
+use collab_pcm::core::{EccChoice, SystemConfig, SystemKind, WearChoice};
 use collab_pcm::trace::SpecApp;
 use collab_pcm::util::FaultPlan;
 
@@ -25,12 +25,31 @@ fn churn_matrix_is_green() {
         ..Default::default()
     };
     let report = run_all(&cfg);
-    assert_eq!(report.entries.len(), 16, "4 systems x 4 ECC schemes");
+    assert_eq!(
+        report.entries.len(),
+        23,
+        "4 systems x 5 ECC schemes + 3 wear schemes"
+    );
     assert!(
         report.passed(),
         "failures:\n{}",
         report.failures().join("\n")
     );
+}
+
+/// Every registered wear scheme survives whole-memory churn under every
+/// system kind, including the death/resurrection bookkeeping.
+#[test]
+fn wear_matrix_is_green() {
+    for wear in WearChoice::ALL {
+        for kind in [SystemKind::Comp, SystemKind::CompWF] {
+            let sys = SystemConfig::new(kind)
+                .with_endurance_mean(300.0)
+                .with_wear(wear);
+            let stats = churn_memory(&sys, 16, 3_000, 13).unwrap();
+            assert!(stats.writes_checked > 1_000, "{kind}/{wear}: {stats:?}");
+        }
+    }
 }
 
 /// A seeded fault plan is realized exactly: position, count, and stuck-at
