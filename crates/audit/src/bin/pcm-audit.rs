@@ -19,6 +19,7 @@ OPTIONS:
     --baseline <FILE>       baseline file [default: <root>/audit-baseline.toml]
     --no-baseline           ignore any baseline file (report everything)
     --jobs <N>              worker threads for file checks [default: 1]
+    --json                  machine-readable JSON report instead of text
     --write-baseline <FILE> write a fresh baseline for current findings and exit
     --list-rules            print the rule table and exit
     -h, --help              print this help and exit
@@ -33,6 +34,7 @@ struct Args {
     baseline: Option<PathBuf>,
     no_baseline: bool,
     jobs: usize,
+    json: bool,
     write_baseline: Option<PathBuf>,
     list_rules: bool,
 }
@@ -43,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         no_baseline: false,
         jobs: 1,
+        json: false,
         write_baseline: None,
         list_rules: false,
     };
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs needs a positive integer, got '{v}'"))?;
             }
+            "--json" => args.json = true,
             "--write-baseline" => {
                 args.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
             }
@@ -121,7 +125,11 @@ fn run() -> Result<bool, String> {
         Vec::new()
     };
     let applied = pcm_audit::baseline::apply(report.findings.clone(), &entries);
-    print!("{}", pcm_audit::render(&report, &applied));
+    if args.json {
+        print!("{}", pcm_audit::render_json(&report, &applied));
+    } else {
+        print!("{}", pcm_audit::render(&report, &applied));
+    }
     Ok(applied.visible.is_empty())
 }
 

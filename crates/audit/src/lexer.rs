@@ -185,6 +185,11 @@ impl Lexer<'_> {
                 self.line += 1;
                 self.pos += 1;
             } else if !raw && b == b'\\' {
+                // A line-continuation escape (`\` before a newline) still
+                // consumes that newline — keep the line count honest.
+                if self.peek(1) == Some(b'\n') {
+                    self.line += 1;
+                }
                 self.pos += 2;
             } else if b == b'"' {
                 if raw {

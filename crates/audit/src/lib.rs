@@ -7,8 +7,10 @@
 //! with a static pass over every `.rs` file, `Cargo.toml`, and the gate
 //! script. See DESIGN.md §11 for the rule table and policy.
 //!
-//! The crate is fully self-contained: its own minimal Rust lexer
-//! ([`lexer`]), a table-driven rule engine ([`rules`]), and a
+//! The crate is fully self-contained: a minimal Rust lexer ([`lexer`]),
+//! a total recursive-descent item parser ([`parser`]), a workspace
+//! symbol index ([`index`]) feeding a conservative call graph
+//! ([`graph`]), a table-driven rule engine ([`rules`]), and a
 //! grandfathering baseline ([`baseline`]) — no external dependencies, so
 //! it builds first and fast in the offline container.
 //!
@@ -20,10 +22,14 @@
 //! let report = pcm_audit::scan(Path::new("."), 1).expect("workspace scan");
 //! let applied = pcm_audit::baseline::apply(report.findings.clone(), &[]);
 //! println!("{}", pcm_audit::render(&report, &applied));
+//! println!("{}", pcm_audit::render_json(&report, &applied));
 //! ```
 
 pub mod baseline;
+pub mod graph;
+pub mod index;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 pub use rules::{Finding, RuleInfo, RULES};
@@ -46,8 +52,10 @@ pub struct ScanReport {
 }
 
 /// Walks the workspace at `root` and runs every rule, fanning file checks
-/// out over `jobs` threads. Output is independent of `jobs`: findings are
-/// merged and sorted before reporting.
+/// out over `jobs` threads. Output is independent of `jobs`: per-file
+/// results are merged and re-sorted by path before the symbol index is
+/// built, so the call-graph pass and the final report see the same world
+/// regardless of scheduling.
 ///
 /// # Errors
 ///
@@ -68,8 +76,7 @@ pub fn scan(root: &Path, jobs: usize) -> Result<ScanReport, String> {
     // directory of heavy files spreads across workers; determinism comes
     // from the sort below, not the schedule.
     let jobs = jobs.max(1).min(rs_files.len().max(1));
-    let mut registry_sources: Vec<(String, String)> = Vec::new();
-    let outputs: Vec<(FileOutput, Vec<(String, String)>)> = if jobs == 1 {
+    let mut per_file: Vec<PerFile> = if jobs == 1 {
         rs_files
             .iter()
             .map(|p| process_rs(root, p))
@@ -97,13 +104,21 @@ pub fn scan(root: &Path, jobs: usize) -> Result<ScanReport, String> {
         }
         merged
     };
-    for (out, registry) in outputs {
-        report.findings.extend(out.findings);
-        report.unsafe_inventory.extend(out.unsafe_inventory);
-        registry_sources.extend(registry);
+    // Parallel chunks interleave; restore path order so node ids (and
+    // with them every downstream sort) are schedule-independent.
+    per_file.sort_by(|a, b| a.unit.rel.cmp(&b.unit.rel));
+
+    let mut registry_sources: Vec<(String, String)> = Vec::new();
+    let mut units: Vec<index::Unit> = Vec::new();
+    for pf in per_file {
+        report.findings.extend(pf.out.findings);
+        report.unsafe_inventory.extend(pf.out.unsafe_inventory);
+        registry_sources.extend(pf.registry);
+        units.push(pf.unit);
     }
 
-    // Workspace-scoped rules.
+    // Workspace context (manifests feed both the registry-dep rule and
+    // the symbol index's crate-dependency closure).
     let mut ctx = WorkspaceCtx::default();
     for m in &manifests {
         ctx.manifests.push((rel_path(root, m), read(m)?));
@@ -121,6 +136,14 @@ pub fn scan(root: &Path, jobs: usize) -> Result<ScanReport, String> {
     registry_sources.sort();
     ctx.registry_names = registry_sources.into_iter().map(|(_, n)| n).collect();
     ctx.results_files = list_results(&root.join("results"))?;
+
+    // Inter-procedural rules: symbol index → call graph → reachability.
+    let idx = index::SymbolIndex::build(&units, &ctx.manifests);
+    let graph_findings = graph::check(&units, &idx);
+    report
+        .findings
+        .extend(apply_interproc_pragmas(graph_findings, &units));
+
     report.findings.extend(rules::check_workspace(&ctx));
 
     report.findings.sort();
@@ -129,10 +152,17 @@ pub fn scan(root: &Path, jobs: usize) -> Result<ScanReport, String> {
     Ok(report)
 }
 
-/// Lexes and checks one `.rs` file; experiment sources also yield their
-/// registry names, keyed by path so parallel scheduling cannot reorder
-/// them (the caller sorts by path before extracting the names).
-fn process_rs(root: &Path, path: &Path) -> Result<(FileOutput, Vec<(String, String)>), String> {
+/// Per-file scan output: the analysis unit plus token-local findings.
+struct PerFile {
+    unit: index::Unit,
+    out: FileOutput,
+    registry: Vec<(String, String)>,
+}
+
+/// Lexes, checks, and parses one `.rs` file; experiment sources also
+/// yield their registry names, keyed by path so parallel scheduling
+/// cannot reorder them (the caller sorts by path before extracting).
+fn process_rs(root: &Path, path: &Path) -> Result<PerFile, String> {
     let rel = rel_path(root, path);
     let lexed = lexer::lex(&read(path)?);
     let out = rules::check_file(&rel, &lexed);
@@ -144,7 +174,51 @@ fn process_rs(root: &Path, path: &Path) -> Result<(FileOutput, Vec<(String, Stri
     } else {
         Vec::new()
     };
-    Ok((out, registry))
+    // Pragma findings were already emitted by check_file; swallow the
+    // duplicates these collectors would re-report.
+    let mut scratch = Vec::new();
+    let pragmas = rules::collect_pragmas(&rel, &lexed.comments, &mut scratch);
+    let mut root_findings = Vec::new();
+    let roots = rules::collect_root_marks(&rel, &lexed.comments, &mut root_findings);
+    let parsed = parser::parse(&lexed);
+    let mut out = out;
+    out.findings.extend(root_findings);
+    out.findings.sort();
+    out.findings.dedup();
+    Ok(PerFile {
+        unit: index::Unit {
+            rel,
+            lexed,
+            parsed,
+            pragmas,
+            roots,
+        },
+        out,
+        registry,
+    })
+}
+
+/// Applies each file's inline pragmas to the inter-procedural findings.
+/// `panic-reach` findings are additionally covered by `panic-unwrap` /
+/// `panic-macro` pragmas at the site: a justified can't-happen panic is
+/// justified from the wire loop too, without demanding a second pragma
+/// on the same line.
+fn apply_interproc_pragmas(findings: Vec<Finding>, units: &[index::Unit]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            let Ok(ui) = units.binary_search_by(|u| u.rel.as_str().cmp(f.file.as_str())) else {
+                return true;
+            };
+            !units[ui].pragmas.iter().any(|p| {
+                let line_hit = f.line == p.line || f.line == p.line + 1;
+                let rule_hit = p.rule == f.rule
+                    || (f.rule == "panic-reach"
+                        && matches!(p.rule.as_str(), "panic-unwrap" | "panic-macro"));
+                line_hit && rule_hit
+            })
+        })
+        .collect()
 }
 
 fn read(path: &Path) -> Result<String, String> {
@@ -242,5 +316,77 @@ pub fn render(report: &ScanReport, applied: &baseline::Applied) -> String {
             applied.visible.len()
         ));
     }
+    out
+}
+
+/// Renders the report as machine-readable JSON (the `--json` CLI output,
+/// written to `results/audit.json` by the gate). Same determinism
+/// contract as [`render`]: byte-identical across runs and `--jobs`.
+pub fn render_json(report: &ScanReport, applied: &baseline::Applied) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"rules\": {},\n  \"baselined\": {},\n",
+        report.files_scanned,
+        RULES.len(),
+        applied.baselined
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in applied.visible.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message)
+        ));
+    }
+    if !applied.visible.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    json_str_array(&mut out, "exceeded", &applied.exceeded);
+    json_str_array(&mut out, "stale", &applied.stale);
+    json_str_array(&mut out, "unsafe_inventory", &report.unsafe_inventory);
+    out.push_str(&format!(
+        "  \"result\": {}\n}}\n",
+        json_str(if applied.visible.is_empty() {
+            "ok"
+        } else {
+            "fail"
+        })
+    ));
+    out
+}
+
+fn json_str_array(out: &mut String, key: &str, items: &[String]) {
+    out.push_str(&format!("  \"{key}\": ["));
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(item));
+    }
+    out.push_str("],\n");
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
     out
 }

@@ -1,0 +1,1030 @@
+//! A lightweight recursive-descent *item* parser over the [`crate::lexer`]
+//! token stream.
+//!
+//! DESIGN.md §11 recorded the lexer's limitation: token-local rules see
+//! names, not structure. This module recovers exactly the structure the
+//! inter-procedural rules need — function items (including nested local
+//! fns, impl methods, trait declarations, and `macro_rules!` bodies),
+//! `impl` headers (self type + implemented trait), `use` trees with
+//! aliasing and globs, and `pub` item headers — without attempting to be
+//! a full Rust grammar.
+//!
+//! Like the lexer, the parser is **total**: it never panics and never
+//! rejects input. Constructs it does not model (expressions, patterns,
+//! generics bodies) are skipped token-by-token; a misparse degrades one
+//! item's precision, never the audit gate. Item recognition is
+//! syntactic: `fn` must be followed by an identifier (so `fn(u32)`
+//! pointer types don't parse as items), attributes are skipped with
+//! balanced brackets, and every block is consumed with balanced braces.
+
+use crate::lexer::{Kind, Lexed, Tok};
+
+/// Item visibility, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// Plain `pub` — part of the crate's external API.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — crate-internal.
+    Scoped,
+    /// No visibility keyword.
+    Private,
+}
+
+/// One function-like item: a free fn, an impl method, a trait method
+/// declaration (possibly bodyless), or a `macro_rules!` definition
+/// (whose body tokens are scanned for calls like a fn body).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Item name (`r#` prefix already stripped by the lexer).
+    pub name: String,
+    /// 1-based line of the item header.
+    pub line: u32,
+    /// Visibility of the item itself.
+    pub vis: Vis,
+    /// Self type of the enclosing `impl`/`trait` block, if any.
+    pub owner: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` methods.
+    pub trait_of: Option<String>,
+    /// Declared inside a `trait { … }` block (dispatch target set).
+    pub in_trait_decl: bool,
+    /// Half-open token range of the body, `start == end` when bodyless.
+    pub body: (usize, usize),
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Index of the enclosing [`FnItem`] for local fns, if any.
+    pub parent: Option<usize>,
+    /// `macro_rules!` pseudo-function.
+    pub is_macro: bool,
+}
+
+/// One leaf binding produced by a `use` tree: `use a::b::{c as d}` yields
+/// `name = "d"`, `path = ["a", "b", "c"]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseBinding {
+    /// Local name the import binds (`*` never appears here; see `glob`).
+    pub name: String,
+    /// Full path segments, aliases resolved away.
+    pub path: Vec<String>,
+    /// `use a::b::*` — `path` holds the prefix, `name` is empty.
+    pub glob: bool,
+}
+
+/// One `pub` item header (fn, struct, enum, trait, const, static, type,
+/// mod, union) for the `pub-dead` rule.
+#[derive(Debug, Clone)]
+pub struct PubItem {
+    /// Item keyword (`"fn"`, `"struct"`, …).
+    pub kind: &'static str,
+    /// Item name.
+    pub name: String,
+    /// 1-based line of the header.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Everything the parser recovered from one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All function-like items, in source order (parents before children).
+    pub fns: Vec<FnItem>,
+    /// All `use` leaf bindings.
+    pub uses: Vec<UseBinding>,
+    /// All `pub` item headers.
+    pub pub_items: Vec<PubItem>,
+}
+
+/// Per-token flags marking `#[cfg(test)]` regions.
+///
+/// After a `#[cfg(test)]` attribute (skipping any further attributes),
+/// everything up to the end of the next balanced `{ … }` block — or a
+/// terminating `;` for `mod tests;` forms — is test code.
+pub fn test_region_flags(tokens: &[Tok]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_at(tokens, i) {
+            // Skip to the end of this attribute, then any further `#[…]`.
+            let mut j = skip_attribute(tokens, i);
+            while j < tokens.len() && tokens[j].text == "#" {
+                j = skip_attribute(tokens, j);
+            }
+            // Mark through the end of the item: the next balanced block.
+            let mut depth = 0usize;
+            let mut k = j;
+            while k < tokens.len() {
+                flags[k] = true;
+                match tokens[k].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            i = k + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn is_cfg_test_at(tokens: &[Tok], i: usize) -> bool {
+    let texts: Vec<&str> = tokens[i..]
+        .iter()
+        .take(7)
+        .map(|t| t.text.as_str())
+        .collect();
+    texts.len() == 7
+        && texts[0] == "#"
+        && texts[1] == "["
+        && texts[2] == "cfg"
+        && texts[3] == "("
+        && texts[4] == "test"
+        && texts[5] == ")"
+        && texts[6] == "]"
+}
+
+/// Returns the index just past a `#[…]` attribute starting at `i`.
+pub(crate) fn skip_attribute(tokens: &[Tok], i: usize) -> usize {
+    let mut j = i + 1; // past '#'
+    if j < tokens.len() && tokens[j].text == "!" {
+        j += 1; // inner attribute `#![…]`
+    }
+    if j < tokens.len() && tokens[j].text == "[" {
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Parses one lexed file into its item structure.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let in_test = test_region_flags(&lexed.tokens);
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        in_test,
+        out: ParsedFile::default(),
+    };
+    let end = p.toks.len();
+    p.items(0, end, &Ctx::default());
+    p.out
+}
+
+/// Item-position context threaded through recursion.
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    owner: Option<String>,
+    trait_of: Option<String>,
+    in_trait_decl: bool,
+    parent: Option<usize>,
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    in_test: Vec<bool>,
+    out: ParsedFile,
+}
+
+/// Identifiers that can never start a callable path / item name.
+const KEYWORDS: &[&str] = &[
+    "as",
+    "async",
+    "await",
+    "break",
+    "const",
+    "continue",
+    "crate",
+    "dyn",
+    "else",
+    "enum",
+    "extern",
+    "false",
+    "fn",
+    "for",
+    "if",
+    "impl",
+    "in",
+    "let",
+    "loop",
+    "match",
+    "mod",
+    "move",
+    "mut",
+    "pub",
+    "ref",
+    "return",
+    "self",
+    "Self",
+    "static",
+    "struct",
+    "super",
+    "trait",
+    "true",
+    "type",
+    "unsafe",
+    "use",
+    "where",
+    "while",
+    "union",
+    "default",
+    "macro_rules",
+];
+
+/// True for identifiers reserved by the language (loose superset; the
+/// parser only needs "cannot be a call or item name").
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word)
+}
+
+impl Parser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == Kind::Ident)
+    }
+
+    /// Scans `[i, end)` for items, recursing into blocks. Non-item tokens
+    /// are skipped one at a time — this same loop walks file scope, `mod`
+    /// bodies, `impl`/`trait` bodies, and fn bodies (where it discovers
+    /// nested local fns and scoped `use` statements).
+    fn items(&mut self, mut i: usize, end: usize, ctx: &Ctx) {
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind != Kind::Ident && t.text != "#" {
+                i += 1;
+                continue;
+            }
+            if t.text == "#" {
+                i = skip_attribute(self.toks, i).min(end);
+                continue;
+            }
+            // Visibility + modifier run: `pub(crate) const unsafe extern "C" fn`.
+            let (vis, after_vis) = self.visibility(i, end);
+            let mut j = after_vis;
+            while matches!(self.text(j), "const" | "unsafe" | "async" | "default")
+                && self.text(j + 1) != "{"
+            {
+                // `const NAME`/`const {` are items/blocks, not modifiers:
+                // only treat as modifier when something fn-ish follows.
+                if self.text(j) == "const"
+                    && !matches!(self.text(j + 1), "fn" | "unsafe" | "async" | "extern")
+                {
+                    break;
+                }
+                j += 1;
+            }
+            if self.text(j) == "extern" {
+                j += 1;
+                if self.toks.get(j).is_some_and(|t| t.kind == Kind::Str) {
+                    j += 1;
+                }
+            }
+            match self.text(j) {
+                "fn" if self.is_ident(j + 1) && !is_keyword(self.text(j + 1)) => {
+                    i = self.fn_item(j, end, vis, ctx);
+                }
+                "impl" if i == after_vis => {
+                    i = self.impl_block(j, end, ctx);
+                }
+                "trait" if self.is_ident(j + 1) => {
+                    i = self.trait_block(j, end, vis, ctx);
+                }
+                "mod" if self.is_ident(j + 1) => {
+                    i = self.mod_block(j, end, vis, ctx);
+                }
+                "use" if i == after_vis || vis != Vis::Private => {
+                    i = self.use_item(j, end);
+                }
+                "struct" | "enum" | "union" if self.is_ident(j + 1) => {
+                    i = self.type_item(j, end, vis);
+                }
+                "type" | "const" | "static"
+                    if self.is_ident(j + 1) && !is_keyword(self.text(j + 1)) =>
+                {
+                    i = self.terminated_item(j, end, vis);
+                }
+                "macro_rules" if self.text(j + 1) == "!" && self.is_ident(j + 2) => {
+                    i = self.macro_item(j, end, ctx);
+                }
+                _ => {
+                    // Not an item at this position; move past one token.
+                    i = if j > i { j } else { i + 1 };
+                }
+            }
+        }
+    }
+
+    /// Parses an optional `pub(…)?` prefix at `i`; returns the visibility
+    /// and the index of the first token after it.
+    fn visibility(&self, i: usize, end: usize) -> (Vis, usize) {
+        if self.text(i) != "pub" {
+            return (Vis::Private, i);
+        }
+        if self.text(i + 1) == "(" {
+            let close = self.skip_balanced(i + 1, end, "(", ")");
+            return (Vis::Scoped, close);
+        }
+        (Vis::Pub, i + 1)
+    }
+
+    /// Returns the index just past a balanced `open … close` group whose
+    /// opening delimiter sits at `i`. Total: unbalanced input runs to `end`.
+    fn skip_balanced(&self, i: usize, end: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < end {
+            let t = self.text(j);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Skips a `<…>` generics group at `i`, tolerating `->` inside bounds.
+    fn skip_generics(&self, i: usize, end: usize) -> usize {
+        if self.text(i) != "<" {
+            return i;
+        }
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "<" => depth += 1,
+                ">" if j > 0 && self.text(j - 1) == "-" => {} // `->` in bounds
+                ">" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                // A block or semicolon at this level means the `<` was a
+                // comparison, not generics: bail out where we started.
+                "{" | ";" if depth <= 1 => return i + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parses `fn name …` with the `fn` keyword at `i`.
+    fn fn_item(&mut self, i: usize, end: usize, vis: Vis, ctx: &Ctx) -> usize {
+        let name_tok = &self.toks[i + 1];
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        let in_test = self.in_test.get(i).copied().unwrap_or(false);
+        let mut j = i + 2;
+        j = self.skip_generics(j, end);
+        if self.text(j) == "(" {
+            j = self.skip_balanced(j, end, "(", ")");
+        }
+        // Return type / where clause: scan to the body `{` or a `;` at
+        // bracket depth 0 (angle depth is irrelevant: braces cannot occur
+        // inside a type except const-generic blocks, which we accept
+        // losing).
+        let mut depth = 0usize;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => break,
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let idx = self.out.fns.len();
+        if self.text(j) == ";" || j >= end {
+            self.out.fns.push(FnItem {
+                name: name.clone(),
+                line,
+                vis,
+                owner: ctx.owner.clone(),
+                trait_of: ctx.trait_of.clone(),
+                in_trait_decl: ctx.in_trait_decl,
+                body: (j, j),
+                in_test,
+                parent: ctx.parent,
+                is_macro: false,
+            });
+            if vis == Vis::Pub && !in_test {
+                self.out.pub_items.push(PubItem {
+                    kind: "fn",
+                    name,
+                    line,
+                    in_test,
+                });
+            }
+            return (j + 1).min(end);
+        }
+        let body_end = self.skip_balanced(j, end, "{", "}");
+        self.out.fns.push(FnItem {
+            name: name.clone(),
+            line,
+            vis,
+            owner: ctx.owner.clone(),
+            trait_of: ctx.trait_of.clone(),
+            in_trait_decl: ctx.in_trait_decl,
+            body: (j + 1, body_end.saturating_sub(1)),
+            in_test,
+            parent: ctx.parent,
+            is_macro: false,
+        });
+        if vis == Vis::Pub && !in_test {
+            self.out.pub_items.push(PubItem {
+                kind: "fn",
+                name,
+                line,
+                in_test,
+            });
+        }
+        // Recurse into the body for nested local fns and scoped uses.
+        let body_ctx = Ctx {
+            owner: None,
+            trait_of: None,
+            in_trait_decl: false,
+            parent: Some(idx),
+        };
+        self.items(j + 1, body_end.saturating_sub(1), &body_ctx);
+        body_end
+    }
+
+    /// Parses `impl … {` with the `impl` keyword at `i`. The self type is
+    /// the last angle-depth-0 path segment before the body (after `for`
+    /// when a trait is implemented); the trait is the last depth-0 segment
+    /// before `for`.
+    fn impl_block(&mut self, i: usize, end: usize, ctx: &Ctx) -> usize {
+        let mut j = i + 1;
+        j = self.skip_generics(j, end);
+        let mut angle = 0usize;
+        let mut last_seg: Option<String> = None;
+        let mut trait_seg: Option<String> = None;
+        let mut body = end;
+        while j < end {
+            let t = &self.toks[j];
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" if j > 0 && self.text(j - 1) == "-" => {}
+                ">" => angle = angle.saturating_sub(1),
+                "{" if angle == 0 => {
+                    body = j;
+                    break;
+                }
+                ";" if angle == 0 => return j + 1, // `impl Trait for Type;` never valid, bail
+                "for" if angle == 0 => {
+                    trait_seg = last_seg.take();
+                }
+                "where" if angle == 0 => {
+                    // The where clause may mention types; stop collecting.
+                    while j < end && self.text(j) != "{" {
+                        j += 1;
+                    }
+                    continue;
+                }
+                _ => {
+                    if t.kind == Kind::Ident
+                        && angle == 0
+                        && !matches!(t.text.as_str(), "dyn" | "mut" | "as" | "const")
+                    {
+                        last_seg = Some(t.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if body >= end {
+            return end;
+        }
+        let body_end = self.skip_balanced(body, end, "{", "}");
+        let inner = Ctx {
+            owner: last_seg,
+            trait_of: trait_seg,
+            in_trait_decl: false,
+            parent: ctx.parent,
+        };
+        self.items(body + 1, body_end.saturating_sub(1), &inner);
+        body_end
+    }
+
+    /// Parses `trait Name … { … }` with the `trait` keyword at `i`.
+    fn trait_block(&mut self, i: usize, end: usize, vis: Vis, ctx: &Ctx) -> usize {
+        let name_tok = &self.toks[i + 1];
+        let name = name_tok.text.clone();
+        let in_test = self.in_test.get(i).copied().unwrap_or(false);
+        if vis == Vis::Pub && !in_test {
+            self.out.pub_items.push(PubItem {
+                kind: "trait",
+                name: name.clone(),
+                line: name_tok.line,
+                in_test,
+            });
+        }
+        // Find the body brace at angle depth 0.
+        let mut j = i + 2;
+        let mut angle = 0usize;
+        while j < end {
+            match self.text(j) {
+                "<" => angle += 1,
+                ">" if self.text(j - 1) == "-" => {}
+                ">" => angle = angle.saturating_sub(1),
+                "{" if angle == 0 => break,
+                ";" if angle == 0 => return j + 1, // trait alias
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let body_end = self.skip_balanced(j, end, "{", "}");
+        let inner = Ctx {
+            owner: Some(name),
+            trait_of: None,
+            in_trait_decl: true,
+            parent: ctx.parent,
+        };
+        self.items(j + 1, body_end.saturating_sub(1), &inner);
+        body_end
+    }
+
+    /// Parses `mod name { … }` or `mod name;` with `mod` at `i`.
+    fn mod_block(&mut self, i: usize, end: usize, vis: Vis, ctx: &Ctx) -> usize {
+        let name_tok = &self.toks[i + 1];
+        let in_test = self.in_test.get(i).copied().unwrap_or(false);
+        if vis == Vis::Pub && !in_test {
+            self.out.pub_items.push(PubItem {
+                kind: "mod",
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+                in_test,
+            });
+        }
+        if self.text(i + 2) == "{" {
+            let body_end = self.skip_balanced(i + 2, end, "{", "}");
+            let inner = Ctx {
+                owner: None,
+                trait_of: None,
+                in_trait_decl: false,
+                parent: ctx.parent,
+            };
+            self.items(i + 3, body_end.saturating_sub(1), &inner);
+            return body_end;
+        }
+        (i + 3).min(end) // `mod name ;`
+    }
+
+    /// Parses a `use …;` tree with `use` at `i`, expanding groups,
+    /// aliases, and globs into leaf [`UseBinding`]s.
+    fn use_item(&mut self, i: usize, end: usize) -> usize {
+        let mut j = i + 1;
+        let mut prefix: Vec<String> = Vec::new();
+        let after = self.use_tree(&mut j, end, &mut prefix);
+        // Consume through the terminating `;`.
+        let mut k = after;
+        while k < end && self.text(k) != ";" {
+            k += 1;
+        }
+        (k + 1).min(end)
+    }
+
+    /// Parses one use-tree node starting at `*j`; `prefix` holds the path
+    /// so far. Returns the index after the node.
+    fn use_tree(&mut self, j: &mut usize, end: usize, prefix: &mut Vec<String>) -> usize {
+        loop {
+            let t = self.text(*j);
+            if t == "*" {
+                self.out.uses.push(UseBinding {
+                    name: String::new(),
+                    path: prefix.clone(),
+                    glob: true,
+                });
+                *j += 1;
+                break;
+            }
+            if t == "{" {
+                // Group: comma-separated sub-trees sharing the prefix.
+                *j += 1;
+                loop {
+                    match self.text(*j) {
+                        "}" => {
+                            *j += 1;
+                            break;
+                        }
+                        "," => *j += 1,
+                        "" => break,
+                        _ => {
+                            let mut sub = prefix.clone();
+                            self.use_tree(j, end, &mut sub);
+                        }
+                    }
+                    if *j >= end {
+                        break;
+                    }
+                }
+                break;
+            }
+            if !self.is_ident(*j) {
+                break;
+            }
+            let seg = self.text(*j).to_string();
+            *j += 1;
+            if seg == "self" && !prefix.is_empty() {
+                // `a::b::{self}` binds `b` itself.
+                let name = prefix.last().cloned().unwrap_or_default();
+                self.out.uses.push(UseBinding {
+                    name,
+                    path: prefix.clone(),
+                    glob: false,
+                });
+                break;
+            }
+            prefix.push(seg.clone());
+            if self.text(*j) == ":" && self.text(*j + 1) == ":" {
+                *j += 2;
+                continue;
+            }
+            if self.text(*j) == "as" && self.is_ident(*j + 1) {
+                let alias = self.text(*j + 1).to_string();
+                self.out.uses.push(UseBinding {
+                    name: alias,
+                    path: prefix.clone(),
+                    glob: false,
+                });
+                *j += 2;
+                break;
+            }
+            self.out.uses.push(UseBinding {
+                name: seg,
+                path: prefix.clone(),
+                glob: false,
+            });
+            break;
+        }
+        *j
+    }
+
+    /// Parses `struct|enum|union Name …` (through `;` or a balanced block).
+    fn type_item(&mut self, i: usize, end: usize, vis: Vis) -> usize {
+        let kind: &'static str = match self.text(i) {
+            "struct" => "struct",
+            "enum" => "enum",
+            _ => "union",
+        };
+        let name_tok = &self.toks[i + 1];
+        let in_test = self.in_test.get(i).copied().unwrap_or(false);
+        if vis == Vis::Pub && !in_test {
+            self.out.pub_items.push(PubItem {
+                kind,
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+                in_test,
+            });
+        }
+        // Skip to the end of the item: a `;` at depth 0 (unit or tuple
+        // struct) or past a balanced `{ … }` (field block / enum body).
+        let mut j = i + 2;
+        let mut angle = 0usize;
+        while j < end {
+            match self.text(j) {
+                "<" => angle += 1,
+                ">" if self.text(j - 1) == "-" => {}
+                ">" => angle = angle.saturating_sub(1),
+                "(" => j = self.skip_balanced(j, end, "(", ")") - 1,
+                "{" if angle == 0 => return self.skip_balanced(j, end, "{", "}"),
+                ";" if angle == 0 => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parses `type|const|static Name … ;`.
+    fn terminated_item(&mut self, i: usize, end: usize, vis: Vis) -> usize {
+        let kind: &'static str = match self.text(i) {
+            "type" => "type",
+            "const" => "const",
+            _ => "static",
+        };
+        let off = if self.text(i + 1) == "mut" { 2 } else { 1 }; // `static mut`
+        let name_tok = &self.toks[(i + off).min(end.saturating_sub(1))];
+        let in_test = self.in_test.get(i).copied().unwrap_or(false);
+        if vis == Vis::Pub && !in_test && name_tok.kind == Kind::Ident {
+            self.out.pub_items.push(PubItem {
+                kind,
+                name: name_tok.text.clone(),
+                line: name_tok.line,
+                in_test,
+            });
+        }
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        while j < end {
+            match self.text(j) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parses `macro_rules! name { … }` into a macro pseudo-fn whose body
+    /// tokens are scanned for calls like any other body.
+    fn macro_item(&mut self, i: usize, end: usize, ctx: &Ctx) -> usize {
+        let name_tok = &self.toks[i + 2];
+        let mut j = i + 3;
+        while j < end && !matches!(self.text(j), "{" | "(" | "[") {
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let (open, close) = match self.text(j) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            _ => ("{", "}"),
+        };
+        let body_end = self.skip_balanced(j, end, open, close);
+        self.out.fns.push(FnItem {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            vis: Vis::Private,
+            owner: None,
+            trait_of: None,
+            in_trait_decl: false,
+            body: (j + 1, body_end.saturating_sub(1)),
+            in_test: self.in_test.get(i).copied().unwrap_or(false),
+            parent: ctx.parent,
+            is_macro: true,
+        });
+        body_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn `{name}` in {:?}", p.fns))
+    }
+
+    #[test]
+    fn free_fns_and_visibility() {
+        let p = parsed(
+            "pub fn api() {}\n\
+             pub(crate) fn internal() {}\n\
+             fn private(x: u32) -> u32 { x }\n",
+        );
+        assert_eq!(p.fns.len(), 3);
+        assert_eq!(fn_named(&p, "api").vis, Vis::Pub);
+        assert_eq!(fn_named(&p, "internal").vis, Vis::Scoped);
+        assert_eq!(fn_named(&p, "private").vis, Vis::Private);
+        let names: Vec<_> = p.pub_items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["api"]);
+    }
+
+    #[test]
+    fn impl_methods_get_owner_and_trait() {
+        let p = parsed(
+            "struct Engine;\n\
+             impl Engine { pub fn write(&mut self) {} }\n\
+             impl std::fmt::Display for Engine {\n\
+                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+             }\n\
+             impl<T: Clone> From<Vec<T>> for Engine { fn from(_: Vec<T>) -> Self { Engine } }\n",
+        );
+        let write = fn_named(&p, "write");
+        assert_eq!(write.owner.as_deref(), Some("Engine"));
+        assert_eq!(write.trait_of, None);
+        let fmt = fn_named(&p, "fmt");
+        assert_eq!(fmt.owner.as_deref(), Some("Engine"));
+        assert_eq!(fmt.trait_of.as_deref(), Some("Display"));
+        let from = fn_named(&p, "from");
+        assert_eq!(from.owner.as_deref(), Some("Engine"));
+        assert_eq!(from.trait_of.as_deref(), Some("From"));
+    }
+
+    #[test]
+    fn trait_decls_and_default_bodies() {
+        let p = parsed(
+            "pub trait Scheme {\n\
+                 fn map(&self, x: u64) -> u64;\n\
+                 fn digest(&self) -> u64 { 0 }\n\
+             }\n",
+        );
+        let map = fn_named(&p, "map");
+        assert!(map.in_trait_decl);
+        assert_eq!(map.owner.as_deref(), Some("Scheme"));
+        assert_eq!(map.body.0, map.body.1, "bodyless decl");
+        let digest = fn_named(&p, "digest");
+        assert!(digest.body.1 > digest.body.0, "default body captured");
+        assert!(p.pub_items.iter().any(|i| i.name == "Scheme"));
+    }
+
+    #[test]
+    fn nested_local_fns_have_parents() {
+        let p = parsed(
+            "fn outer() -> u64 {\n\
+                 fn helper(x: u64) -> u64 { x }\n\
+                 helper(1)\n\
+             }\n\
+             fn helper(x: u64) -> u64 { x + 1 }\n",
+        );
+        assert_eq!(p.fns.len(), 3);
+        let outer_idx = p.fns.iter().position(|f| f.name == "outer").expect("outer");
+        let nested = p
+            .fns
+            .iter()
+            .find(|f| f.name == "helper" && f.parent.is_some())
+            .expect("nested helper");
+        assert_eq!(nested.parent, Some(outer_idx));
+        assert!(p
+            .fns
+            .iter()
+            .any(|f| f.name == "helper" && f.parent.is_none()));
+    }
+
+    #[test]
+    fn use_trees_expand_groups_aliases_and_globs() {
+        let p = parsed(
+            "use pcm_util::{seeded_rng, simd::batch_xor as bx, pool::*};\n\
+             use crate::engine::Engine;\n\
+             use std::io::Read;\n",
+        );
+        assert!(p.uses.contains(&UseBinding {
+            name: "seeded_rng".into(),
+            path: vec!["pcm_util".into(), "seeded_rng".into()],
+            glob: false,
+        }));
+        assert!(p.uses.contains(&UseBinding {
+            name: "bx".into(),
+            path: vec!["pcm_util".into(), "simd".into(), "batch_xor".into()],
+            glob: false,
+        }));
+        assert!(p.uses.contains(&UseBinding {
+            name: String::new(),
+            path: vec!["pcm_util".into(), "pool".into()],
+            glob: true,
+        }));
+        assert!(p.uses.contains(&UseBinding {
+            name: "Engine".into(),
+            path: vec!["crate".into(), "engine".into(), "Engine".into()],
+            glob: false,
+        }));
+    }
+
+    #[test]
+    fn use_group_self_binds_the_prefix() {
+        let p = parsed("use pcm_compress::bdi::{self, compress_into};\n");
+        assert!(p.uses.contains(&UseBinding {
+            name: "bdi".into(),
+            path: vec!["pcm_compress".into(), "bdi".into()],
+            glob: false,
+        }));
+        assert!(p.uses.contains(&UseBinding {
+            name: "compress_into".into(),
+            path: vec!["pcm_compress".into(), "bdi".into(), "compress_into".into()],
+            glob: false,
+        }));
+    }
+
+    #[test]
+    fn pub_items_cover_types_consts_and_mods() {
+        let p = parsed(
+            "pub struct Line(u64);\n\
+             pub enum Kind { A, B }\n\
+             pub const BITS: usize = 512;\n\
+             pub static NAME: &str = \"x\";\n\
+             pub type Alias = u64;\n\
+             pub mod wire { pub fn frame() {} }\n\
+             struct Hidden;\n",
+        );
+        let names: Vec<_> = p.pub_items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Line", "Kind", "BITS", "NAME", "Alias", "wire", "frame"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let p = parsed(
+            "pub fn live() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 pub fn helper() {}\n\
+                 #[test]\n\
+                 fn t() { helper(); }\n\
+             }\n",
+        );
+        assert!(!fn_named(&p, "live").in_test);
+        assert!(fn_named(&p, "helper").in_test);
+        assert!(fn_named(&p, "t").in_test);
+        // cfg(test) pub items never land in the pub-dead candidate set.
+        assert_eq!(p.pub_items.iter().filter(|i| i.name == "helper").count(), 0);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_fn_like() {
+        let p = parsed(
+            "macro_rules! fire {\n\
+                 ($x:expr) => { helper($x) };\n\
+             }\n\
+             fn helper(x: u64) -> u64 { x }\n",
+        );
+        let m = fn_named(&p, "fire");
+        assert!(m.is_macro);
+        assert!(m.body.1 > m.body.0);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let p = parsed("pub fn apply(f: fn(u32) -> u32, x: u32) -> u32 { f(x) }\n");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "apply");
+    }
+
+    #[test]
+    fn modifier_runs_before_fn() {
+        let p = parsed(
+            "pub const fn cbits() -> u32 { 1 }\n\
+             pub unsafe fn raw() {}\n\
+             pub extern \"C\" fn ffi() {}\n\
+             const MAX: usize = 4;\n",
+        );
+        for name in ["cbits", "raw", "ffi"] {
+            assert_eq!(fn_named(&p, name).vis, Vis::Pub, "{name}");
+        }
+        assert!(p.pub_items.iter().all(|i| i.name != "MAX"));
+    }
+
+    #[test]
+    fn total_on_garbage() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "use ;",
+            "use a::{b",
+            "trait {",
+            "pub pub pub",
+            "fn f(x: u32 { }",
+            "struct S<T where { }",
+            "macro_rules!",
+        ] {
+            let _ = parsed(src);
+        }
+    }
+
+    #[test]
+    fn where_clauses_and_generics_do_not_confuse_bodies() {
+        let p = parsed(
+            "pub fn generic<T: Iterator<Item = u64>>(it: T) -> u64\n\
+             where T: Clone {\n\
+                 it.clone().sum()\n\
+             }\n",
+        );
+        let f = fn_named(&p, "generic");
+        assert!(f.body.1 > f.body.0);
+    }
+}

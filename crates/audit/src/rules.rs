@@ -5,7 +5,7 @@
 //! adding one [`RuleInfo`] row plus its check body here — the engine,
 //! pragma filter, baseline, and CLI all key off the table.
 
-use crate::lexer::{Comment, Kind, Lexed, Tok};
+use crate::lexer::{Comment, Kind, Lexed};
 
 /// Where a rule runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +83,26 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "pragma",
         scope: Scope::File,
-        summary: "malformed pcm-audit pragma (unknown rule id or missing reason)",
+        summary: "malformed pcm-audit pragma (unknown rule id, missing reason, or a \
+                  root() mark that attaches to no fn)",
+    },
+    RuleInfo {
+        id: "hotpath-alloc",
+        scope: Scope::File,
+        summary: "allocating call (Vec::new/Box::new/push/clone/to_string/format!/vec!) \
+                  reachable from a `root(hotpath-alloc)`-annotated hot-path fn",
+    },
+    RuleInfo {
+        id: "panic-reach",
+        scope: Scope::File,
+        summary: "panic!/unwrap (everywhere) or expect/slice-indexing (serve crate) \
+                  reachable from a `root(panic-reach)`-annotated connection handler",
+    },
+    RuleInfo {
+        id: "pub-dead",
+        scope: Scope::File,
+        summary: "pub item in library code never referenced outside its defining crate \
+                  (tests/bins/doctests count as outside)",
     },
     RuleInfo {
         id: "registry-dep",
@@ -101,6 +120,9 @@ pub const RULES: &[RuleInfo] = &[
         summary: "REGISTRY names, results/*.json, and EXPERIMENTS.md rows out of sync",
     },
 ];
+
+/// Rules that accept `// pcm-audit: root(<rule>)` entry-point marks.
+pub const ROOT_RULES: &[&str] = &["hotpath-alloc", "panic-reach"];
 
 /// Looks a rule up by id.
 pub fn rule(id: &str) -> Option<&'static RuleInfo> {
@@ -190,7 +212,7 @@ const ARTIFACT_PREFIX_ALLOW: &[&str] = &["BENCH_", "example_", "simd_"];
 /// `src/` and are excluded by construction.
 pub fn is_lib_code(rel: &str) -> bool {
     let in_src = rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"));
-    in_src && !rel.contains("src/bin/")
+    in_src && !rel.contains("src/bin/") && !rel.ends_with("src/main.rs")
 }
 
 fn path_allowed(rel: &str, allow: &[&str]) -> bool {
@@ -220,6 +242,14 @@ pub fn collect_pragmas(
 ) -> Vec<Pragma> {
     let mut pragmas = Vec::new();
     for c in comments {
+        // Doc comments describe the syntax; only plain comments suppress.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
         let Some(at) = c.text.find("pcm-audit:") else {
             continue;
         };
@@ -268,6 +298,86 @@ pub fn collect_pragmas(
     pragmas
 }
 
+/// A `root(<rule>)` mark declaring the next fn item an analysis entry
+/// point for one of the [`ROOT_RULES`].
+#[derive(Debug, Clone)]
+pub struct RootMark {
+    /// Line the mark comment starts on; it annotates the next fn item.
+    pub line: u32,
+    /// The rule whose reachability analysis starts here.
+    pub rule: &'static str,
+}
+
+/// Extracts `root(<rule>)` marks from a file's comments; malformed ones
+/// (unknown rule, non-root rule, missing reason) become `pragma`
+/// findings.
+pub fn collect_root_marks(
+    rel: &str,
+    comments: &[Comment],
+    findings: &mut Vec<Finding>,
+) -> Vec<RootMark> {
+    let mut marks = Vec::new();
+    for c in comments {
+        // Doc comments describe the syntax; only plain comments carry marks.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = c.text.find("pcm-audit:") else {
+            continue;
+        };
+        let rest = c.text[at + "pcm-audit:".len()..].trim_start();
+        if !rest.starts_with("root(") {
+            continue;
+        }
+        let bad = |findings: &mut Vec<Finding>, msg: String| {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: c.line,
+                rule: "pragma",
+                message: msg,
+            });
+        };
+        let Some(close) = rest.find(')') else {
+            bad(
+                findings,
+                "root mark is missing the closing ')' after the rule id".to_string(),
+            );
+            continue;
+        };
+        let id = rest["root(".len()..close].trim();
+        let Some(info) = rule(id) else {
+            bad(findings, format!("root mark names unknown rule '{id}'"));
+            continue;
+        };
+        if !ROOT_RULES.contains(&info.id) {
+            bad(
+                findings,
+                format!("rule '{id}' does not take root() marks (only {ROOT_RULES:?} do)"),
+            );
+            continue;
+        }
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '-', '—', ':', '–'])
+            .trim();
+        if reason.is_empty() {
+            bad(
+                findings,
+                format!("root({id}) needs a reason describing the hot-path contract"),
+            );
+            continue;
+        }
+        marks.push(RootMark {
+            line: c.line,
+            rule: info.id,
+        });
+    }
+    marks
+}
+
 /// Drops findings covered by a pragma on the same or preceding line.
 pub fn apply_pragmas(findings: Vec<Finding>, pragmas: &[Pragma]) -> Vec<Finding> {
     findings
@@ -282,84 +392,9 @@ pub fn apply_pragmas(findings: Vec<Finding>, pragmas: &[Pragma]) -> Vec<Finding>
 
 // ---------------------------------------------------------------- file rules
 
-/// Per-token flags marking `#[cfg(test)]` regions.
-///
-/// After a `#[cfg(test)]` attribute (skipping any further attributes),
-/// everything up to the end of the next balanced `{ … }` block — or a
-/// terminating `;` for `mod tests;` forms — is test code.
-pub fn test_region_flags(tokens: &[Tok]) -> Vec<bool> {
-    let mut flags = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if is_cfg_test_at(tokens, i) {
-            // Skip to the end of this attribute, then any further `#[…]`.
-            let mut j = skip_attribute(tokens, i);
-            while j < tokens.len() && tokens[j].text == "#" {
-                j = skip_attribute(tokens, j);
-            }
-            // Mark through the end of the item: the next balanced block.
-            let mut depth = 0usize;
-            let mut k = j;
-            while k < tokens.len() {
-                flags[k] = true;
-                match tokens[k].text.as_str() {
-                    "{" => depth += 1,
-                    "}" => {
-                        depth = depth.saturating_sub(1);
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    ";" if depth == 0 => break,
-                    _ => {}
-                }
-                k += 1;
-            }
-            i = k + 1;
-        } else {
-            i += 1;
-        }
-    }
-    flags
-}
-
-fn is_cfg_test_at(tokens: &[Tok], i: usize) -> bool {
-    let texts: Vec<&str> = tokens[i..]
-        .iter()
-        .take(7)
-        .map(|t| t.text.as_str())
-        .collect();
-    texts.len() == 7
-        && texts[0] == "#"
-        && texts[1] == "["
-        && texts[2] == "cfg"
-        && texts[3] == "("
-        && texts[4] == "test"
-        && texts[5] == ")"
-        && texts[6] == "]"
-}
-
-/// Returns the index just past a `#[…]` attribute starting at `i`.
-fn skip_attribute(tokens: &[Tok], i: usize) -> usize {
-    let mut j = i + 1; // past '#'
-    if j < tokens.len() && tokens[j].text == "[" {
-        let mut depth = 0usize;
-        while j < tokens.len() {
-            match tokens[j].text.as_str() {
-                "[" => depth += 1,
-                "]" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return j + 1;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-    }
-    j
-}
+// `#[cfg(test)]` region marking moved to the item parser, which shares it
+// with the symbol index.
+pub use crate::parser::test_region_flags;
 
 /// Output of the per-file checks.
 #[derive(Debug, Default)]
@@ -730,10 +765,6 @@ fn stem_allowed(stem: &str, names: &[String]) -> bool {
 
 /// Registry names ↔ tracked results ↔ EXPERIMENTS.md rows, both ways.
 fn check_artifact_sync(ctx: &WorkspaceCtx, findings: &mut Vec<Finding>) {
-    let names = &ctx.registry_names;
-    if names.is_empty() {
-        return;
-    }
     let mut push = |file: String, message: String| {
         findings.push(Finding {
             file,
@@ -742,6 +773,35 @@ fn check_artifact_sync(ctx: &WorkspaceCtx, findings: &mut Vec<Finding>) {
             message,
         });
     };
+    // The audit gate's machine-readable artifact: whenever a results/
+    // tree is tracked, `results/audit.json` and the gate script's
+    // `--json` emission must appear together or not at all.
+    if !ctx.results_files.is_empty() {
+        if let Some(script) = &ctx.gate_script {
+            let script_writes = script.contains("results/audit.json");
+            let tracked = ctx.results_files.iter().any(|f| f == "audit.json");
+            if script_writes && !tracked {
+                push(
+                    "results/audit.json".to_string(),
+                    "the gate script writes results/audit.json but no such artifact \
+                     is tracked"
+                        .to_string(),
+                );
+            }
+            if tracked && !script_writes {
+                push(
+                    "results/audit.json".to_string(),
+                    "tracked results/audit.json is not regenerated by the gate script \
+                     (the audit stage's --json emission is missing)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    let names = &ctx.registry_names;
+    if names.is_empty() {
+        return;
+    }
     for name in names {
         if !ctx
             .results_files

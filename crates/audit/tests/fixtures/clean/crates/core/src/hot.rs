@@ -1,0 +1,26 @@
+//! Fixture near-miss hot path: the annotated root's reachable chain is
+//! allocation-free, the allocating helper sits outside the root's
+//! reachable set, and the vetted push carries a justified pragma — a
+//! correct `hotpath-alloc` walk reports nothing here.
+
+// pcm-audit: root(hotpath-alloc) — fixture per-write inner loop; the reachable chain stays allocation-free
+pub fn hot_loop(acc: &mut u64, out: &mut Vec<u64>) {
+    stage(acc);
+    hot_record(out);
+}
+
+fn stage(acc: &mut u64) {
+    *acc += 1;
+}
+
+fn hot_record(out: &mut Vec<u64>) {
+    // pcm-audit: allow(hotpath-alloc) — stays within the caller's reservation
+    out.push(1);
+}
+
+/// Allocates freely, but no root reaches it.
+pub fn cold_setup() -> Vec<u64> {
+    let mut xs = Vec::new();
+    xs.push(1);
+    xs
+}

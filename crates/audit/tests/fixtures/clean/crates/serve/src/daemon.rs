@@ -1,0 +1,16 @@
+//! Fixture near-miss connection handler: every access on the reachable
+//! chain degrades gracefully (`first` + `unwrap_or`, no raw indexing or
+//! expect), so `panic-reach` reports nothing here.
+
+// pcm-audit: root(panic-reach) — fixture wire loop must answer garbage with error frames
+pub fn serve_stream(bytes: &[u8]) -> u64 {
+    decode(bytes)
+}
+
+fn decode(b: &[u8]) -> u64 {
+    frame(b)
+}
+
+fn frame(b: &[u8]) -> u64 {
+    b.first().copied().unwrap_or(0) as u64
+}

@@ -8,6 +8,7 @@ cargo fmt --all --check
 
 echo "== audit =="
 cargo run -q --release -p pcm-audit --bin pcm-audit
+cargo run -q --release -p pcm-audit --bin pcm-audit -- --json > results/audit.json
 
 cargo build -q --release -p pcm-bench
 

@@ -1,0 +1,17 @@
+//! Fixture hot path: the annotated root reaches an allocating `.push()`
+//! through one call hop, so `hotpath-alloc` must fire exactly once (at
+//! the push site inside `stage`). The orphan export at the bottom is the
+//! single deliberate `pub-dead` finding.
+
+// pcm-audit: root(hotpath-alloc) — fixture per-write inner loop
+pub fn hot_loop(xs: &mut Vec<u64>) {
+    stage(xs);
+}
+
+fn stage(xs: &mut Vec<u64>) {
+    xs.push(1);
+}
+
+pub fn forsaken_export() -> u64 {
+    7
+}

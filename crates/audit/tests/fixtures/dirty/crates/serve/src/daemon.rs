@@ -1,0 +1,16 @@
+//! Fixture connection handler: the annotated root reaches a raw slice
+//! index two call hops down, so `panic-reach` must fire exactly once (at
+//! the index site inside `frame`).
+
+// pcm-audit: root(panic-reach) — fixture wire loop
+pub fn serve_stream(bytes: &[u8]) -> u64 {
+    decode(bytes)
+}
+
+fn decode(b: &[u8]) -> u64 {
+    frame(b)
+}
+
+fn frame(b: &[u8]) -> u64 {
+    b[0] as u64
+}

@@ -1,11 +1,15 @@
 //! Hot-path benchmark harness: measures `compress_best`, the `Line512`
 //! kernels, `simulate_line`, and end-to-end campaigns, then writes
 //! `BENCH_hotpath.json` (DESIGN.md §9). With `--ratchet TRACKED.json` the
-//! fresh run is compared against a tracked report: checksum drift or a
-//! ratcheted benchmark below the throughput floor fails the process.
+//! fresh run is compared against a tracked report: checksum drift fails
+//! immediately, while a benchmark below its throughput floor is
+//! re-measured up to [`MAX_RERUNS`] more times (best reading wins) before
+//! the slowdown fails the process — the gate runs on shared machines, and
+//! a noisy reading deserves a second look where a changed result never
+//! does.
 
 use pcm_bench::hotpath::{run, HotpathOptions};
-use pcm_bench::ratchet::{check, TrackedReport};
+use pcm_bench::ratchet::{check_with_reruns, RatchetOutcome, TrackedReport, MAX_RERUNS};
 
 fn main() {
     let opts = HotpathOptions::from_args();
@@ -18,17 +22,28 @@ fn main() {
         TrackedReport::parse(&tracked_json)
             .unwrap_or_else(|e| panic!("cannot parse tracked report {path}: {e}"))
     });
-    let report = run(&opts);
+    let mut report = run(&opts);
+    let outcome: Option<RatchetOutcome> = tracked.as_ref().map(|tracked| {
+        check_with_reruns(&mut report, tracked, opts.ratchet_min, MAX_RERUNS, |slow| {
+            println!(
+                "ratchet: re-measuring {} below-floor bench(es): {}",
+                slow.len(),
+                slow.join(", ")
+            );
+            run(&opts)
+        })
+    });
+    // Written after the retry loop so the refreshed report carries the
+    // best reading per bench, not the noisy first attempt.
     let json = report.to_json(true);
     std::fs::write(&opts.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
     println!(
         "wrote {} ({} benches, {} campaigns)",
         opts.out,
         report.benches.len(),
-        report.campaigns.len()
+        report.campaign_count()
     );
-    if let (Some(path), Some(tracked)) = (&opts.ratchet, &tracked) {
-        let outcome = check(&report, tracked, opts.ratchet_min);
+    if let (Some(path), Some(outcome)) = (&opts.ratchet, &outcome) {
         for line in &outcome.lines {
             println!("{line}");
         }

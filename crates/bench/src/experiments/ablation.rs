@@ -25,7 +25,7 @@ fn campaign_with(system: SystemConfig, app: SpecApp, scale: Scale, seed: u64) ->
 /// Heuristic ablation: Comp+WF lifetime and flips with the Fig. 8
 /// heuristic off (default) vs. on at several `Threshold2` settings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct HeuristicAblation {
+pub(crate) struct HeuristicAblation {
     /// The workload.
     pub app: SpecApp,
     /// Naive (heuristic off) result.
@@ -35,7 +35,7 @@ pub struct HeuristicAblation {
 }
 
 /// Runs the heuristic ablation for one workload.
-pub fn heuristic_ablation(app: SpecApp, scale: Scale, seed: u64) -> HeuristicAblation {
+pub(crate) fn heuristic_ablation(app: SpecApp, scale: Scale, seed: u64) -> HeuristicAblation {
     let base = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(scale.endurance_mean);
     let naive = campaign_with(base, app, scale, child_seed(seed, 0));
     let with_heuristic = [8usize, 16, 24]
@@ -78,7 +78,11 @@ pub fn ecc_ablation(app: SpecApp, scale: Scale, seed: u64) -> Vec<(EccChoice, Li
 }
 
 /// Rotation-period ablation for Comp+W: how fast must the window rotate?
-pub fn rotation_ablation(app: SpecApp, scale: Scale, seed: u64) -> Vec<(u64, LifetimeResult)> {
+pub(crate) fn rotation_ablation(
+    app: SpecApp,
+    scale: Scale,
+    seed: u64,
+) -> Vec<(u64, LifetimeResult)> {
     [256u64, 1024, 4096, 16_384]
         .into_iter()
         .map(|period| {
@@ -97,7 +101,7 @@ pub fn rotation_ablation(app: SpecApp, scale: Scale, seed: u64) -> Vec<(u64, Lif
 /// workload's block stream (the chip-level alternative the paper treats as
 /// orthogonal).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct FnwComparison {
+pub(crate) struct FnwComparison {
     /// The workload.
     pub app: SpecApp,
     /// Mean flips per write under plain DW.
@@ -108,7 +112,7 @@ pub struct FnwComparison {
 }
 
 /// Compares DW against Flip-N-Write over a block stream.
-pub fn flip_n_write_ablation(app: SpecApp, writes: usize, seed: u64) -> FnwComparison {
+pub(crate) fn flip_n_write_ablation(app: SpecApp, writes: usize, seed: u64) -> FnwComparison {
     let mut stream = BlockStream::new(app.profile(), seed);
     let mut fnw = FlipNWrite::new(64);
     let mut plain = stream.current();
@@ -141,7 +145,7 @@ fn scale_text(quick: bool) -> String {
 }
 
 /// Fig. 8 heuristic ablation registry entry.
-pub struct AblationHeuristic;
+pub(crate) struct AblationHeuristic;
 
 impl Experiment for AblationHeuristic {
     fn name(&self) -> &'static str {
@@ -199,7 +203,7 @@ impl Experiment for AblationHeuristic {
 }
 
 /// Hard-error-scheme ablation registry entry.
-pub struct AblationEcc;
+pub(crate) struct AblationEcc;
 
 impl Experiment for AblationEcc {
     fn name(&self) -> &'static str {
@@ -267,7 +271,7 @@ fn secded_lifetime(
 }
 
 /// SECDED-vs-ECP ablation registry entry (§II-C, §V.A.5).
-pub struct AblationSecded;
+pub(crate) struct AblationSecded;
 
 impl Experiment for AblationSecded {
     fn name(&self) -> &'static str {
@@ -360,7 +364,7 @@ impl Experiment for AblationSecded {
 }
 
 /// Rotation-period ablation registry entry.
-pub struct AblationRotation;
+pub(crate) struct AblationRotation;
 
 impl Experiment for AblationRotation {
     fn name(&self) -> &'static str {
@@ -407,7 +411,7 @@ impl Experiment for AblationRotation {
 }
 
 /// Window-placement-granularity ablation registry entry.
-pub struct AblationWindowStep;
+pub(crate) struct AblationWindowStep;
 
 impl Experiment for AblationWindowStep {
     fn name(&self) -> &'static str {
@@ -459,7 +463,7 @@ impl Experiment for AblationWindowStep {
 }
 
 /// Flip-N-Write ablation registry entry.
-pub struct AblationFlipNWrite;
+pub(crate) struct AblationFlipNWrite;
 
 impl Experiment for AblationFlipNWrite {
     fn name(&self) -> &'static str {
@@ -511,7 +515,7 @@ fn cov_spread(counts: &[f64]) -> f64 {
 }
 
 /// Inter-line wear-leveling ablation registry entry.
-pub struct AblationInterlineWl;
+pub(crate) struct AblationInterlineWl;
 
 impl Experiment for AblationInterlineWl {
     fn name(&self) -> &'static str {
@@ -610,7 +614,7 @@ fn mlc_normalized(app: SpecApp, tech: CellTech, scale: Scale, seed: u64) -> (f64
 }
 
 /// SLC-vs-MLC ablation registry entry (paper footnote 1).
-pub struct AblationMlc;
+pub(crate) struct AblationMlc;
 
 impl Experiment for AblationMlc {
     fn name(&self) -> &'static str {

@@ -31,7 +31,7 @@ pub fn fig01_flip_series(app: SpecApp, writes: usize, seed: u64) -> Vec<u32> {
 }
 
 /// Fig. 3 row: average compressed sizes for one workload.
-pub fn fig03_sizes(app: SpecApp, writes: usize, seed: u64) -> CompressionStats {
+pub(crate) fn fig03_sizes(app: SpecApp, writes: usize, seed: u64) -> CompressionStats {
     let mut generator = TraceGenerator::from_profile(app.profile(), 512, seed);
     compression_stats(&mut generator, writes)
 }
@@ -39,7 +39,7 @@ pub fn fig03_sizes(app: SpecApp, writes: usize, seed: u64) -> CompressionStats {
 /// Fig. 5 row: fraction of write-backs whose flip count increased,
 /// stayed within ±5%, or decreased after compression.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct FlipDelta {
+pub(crate) struct FlipDelta {
     /// Flips rose by more than 5%.
     pub increased: f64,
     /// Flips within ±5% of the uncompressed write.
@@ -51,7 +51,7 @@ pub struct FlipDelta {
 /// Computes Fig. 5 for one workload: each block is stored twice — verbatim
 /// and compressed (window at the line's low bytes) — and per write-back the
 /// differential-write flip counts of the two layouts are compared.
-pub fn fig05_flip_delta(
+pub(crate) fn fig05_flip_delta(
     app: SpecApp,
     blocks: usize,
     writes_per_block: usize,
@@ -96,7 +96,7 @@ pub fn fig05_flip_delta(
 
 /// Fig. 6 value: probability consecutive writes to a block change
 /// compressed size.
-pub fn fig06_size_change(app: SpecApp, writes: usize, seed: u64) -> f64 {
+pub(crate) fn fig06_size_change(app: SpecApp, writes: usize, seed: u64) -> f64 {
     let mut generator = TraceGenerator::from_profile(app.profile(), 64, seed);
     size_change_probability(&mut generator, writes)
 }
@@ -110,7 +110,7 @@ pub fn fig07_series(app: SpecApp, blocks: usize, writes: usize, seed: u64) -> Ve
 }
 
 /// Fig. 11: per-address maximum compressed-size CDF.
-pub fn fig11_cdf(app: SpecApp, writes: usize, seed: u64) -> Ecdf {
+pub(crate) fn fig11_cdf(app: SpecApp, writes: usize, seed: u64) -> Ecdf {
     let mut generator = TraceGenerator::from_profile(app.profile(), 256, seed);
     max_size_cdf(&mut generator, writes)
 }
@@ -118,7 +118,7 @@ pub fn fig11_cdf(app: SpecApp, writes: usize, seed: u64) -> Ecdf {
 // --------------------------------------------------------- registry entries
 
 /// Fig. 1 registry entry.
-pub struct Fig01DwRandomness;
+pub(crate) struct Fig01DwRandomness;
 
 impl Experiment for Fig01DwRandomness {
     fn name(&self) -> &'static str {
@@ -162,7 +162,7 @@ impl Experiment for Fig01DwRandomness {
 }
 
 /// Fig. 3 registry entry.
-pub struct Fig03CompressedSize;
+pub(crate) struct Fig03CompressedSize;
 
 impl Experiment for Fig03CompressedSize {
     fn name(&self) -> &'static str {
@@ -218,7 +218,7 @@ impl Experiment for Fig03CompressedSize {
 }
 
 /// Fig. 5 registry entry.
-pub struct Fig05BitflipDelta;
+pub(crate) struct Fig05BitflipDelta;
 
 impl Experiment for Fig05BitflipDelta {
     fn name(&self) -> &'static str {
@@ -267,7 +267,7 @@ impl Experiment for Fig05BitflipDelta {
 }
 
 /// Fig. 6 registry entry.
-pub struct Fig06SizeChangeProb;
+pub(crate) struct Fig06SizeChangeProb;
 
 impl Experiment for Fig06SizeChangeProb {
     fn name(&self) -> &'static str {
@@ -306,7 +306,7 @@ impl Experiment for Fig06SizeChangeProb {
 }
 
 /// Fig. 7 registry entry.
-pub struct Fig07BlockSizeSeries;
+pub(crate) struct Fig07BlockSizeSeries;
 
 impl Experiment for Fig07BlockSizeSeries {
     fn name(&self) -> &'static str {
@@ -368,7 +368,7 @@ impl Experiment for Fig07BlockSizeSeries {
 }
 
 /// Fig. 11 registry entry.
-pub struct Fig11SizeCdf;
+pub(crate) struct Fig11SizeCdf;
 
 impl Experiment for Fig11SizeCdf {
     fn name(&self) -> &'static str {
@@ -413,7 +413,7 @@ impl Experiment for Fig11SizeCdf {
 }
 
 /// Table III registry entry.
-pub struct Table03Workloads;
+pub(crate) struct Table03Workloads;
 
 impl Experiment for Table03Workloads {
     fn name(&self) -> &'static str {
@@ -464,7 +464,7 @@ impl Experiment for Table03Workloads {
 }
 
 /// Write-energy registry entry (§I / §III-A.1 motivation).
-pub struct EnergyWrites;
+pub(crate) struct EnergyWrites;
 
 impl Experiment for EnergyWrites {
     fn name(&self) -> &'static str {
@@ -532,7 +532,7 @@ impl Experiment for EnergyWrites {
 }
 
 /// Compressor-comparison registry entry (§III design space).
-pub struct CompressorComparison;
+pub(crate) struct CompressorComparison;
 
 impl Experiment for CompressorComparison {
     fn name(&self) -> &'static str {

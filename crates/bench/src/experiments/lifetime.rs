@@ -42,7 +42,7 @@ impl Scale {
     }
 
     /// Pick by the `--quick` flag.
-    pub fn from_quick(quick: bool) -> Self {
+    pub(crate) fn from_quick(quick: bool) -> Self {
         if quick {
             Scale::quick()
         } else {
@@ -58,7 +58,7 @@ impl Scale {
 
 /// One workload's lifetime results across the four systems.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AppLifetimes {
+pub(crate) struct AppLifetimes {
     /// The workload.
     pub app: SpecApp,
     /// Results in [`SystemKind::ALL`] order.
@@ -104,7 +104,7 @@ pub fn campaign(
 }
 
 /// Fig. 10: all four systems for one workload (CoV 0.15).
-pub fn fig10_app(app: SpecApp, scale: Scale, seed: u64) -> AppLifetimes {
+pub(crate) fn fig10_app(app: SpecApp, scale: Scale, seed: u64) -> AppLifetimes {
     let results = SystemKind::ALL
         .iter()
         .map(|&kind| campaign(app, kind, scale, 0.15, child_seed(seed, app as u64)))
@@ -113,7 +113,7 @@ pub fn fig10_app(app: SpecApp, scale: Scale, seed: u64) -> AppLifetimes {
 }
 
 /// Fig. 13: Baseline and Comp+WF at CoV 0.25.
-pub fn fig13_app(app: SpecApp, scale: Scale, seed: u64) -> (LifetimeResult, LifetimeResult) {
+pub(crate) fn fig13_app(app: SpecApp, scale: Scale, seed: u64) -> (LifetimeResult, LifetimeResult) {
     let s = child_seed(seed, 1000 + app as u64);
     (
         campaign(app, SystemKind::Baseline, scale, 0.25, s),
@@ -123,7 +123,7 @@ pub fn fig13_app(app: SpecApp, scale: Scale, seed: u64) -> (LifetimeResult, Life
 
 /// Table IV row: months of lifetime for Baseline and Comp+WF.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct MonthsRow {
+pub(crate) struct MonthsRow {
     /// The workload.
     pub app: SpecApp,
     /// Baseline months.
@@ -133,7 +133,7 @@ pub struct MonthsRow {
 }
 
 /// Converts a Fig. 10 result into Table IV months.
-pub fn table4_row(app: SpecApp, lifetimes: &AppLifetimes, scale: Scale) -> MonthsRow {
+pub(crate) fn table4_row(app: SpecApp, lifetimes: &AppLifetimes, scale: Scale) -> MonthsRow {
     let wpki = app.profile().wpki;
     MonthsRow {
         app,
@@ -157,7 +157,7 @@ fn scale_text(quick: bool) -> String {
 }
 
 /// Fig. 10 registry entry.
-pub struct Fig10Lifetime;
+pub(crate) struct Fig10Lifetime;
 
 impl Experiment for Fig10Lifetime {
     fn name(&self) -> &'static str {
@@ -219,7 +219,7 @@ impl Experiment for Fig10Lifetime {
 }
 
 /// Fig. 12 registry entry.
-pub struct Fig12ToleratedErrors;
+pub(crate) struct Fig12ToleratedErrors;
 
 impl Experiment for Fig12ToleratedErrors {
     fn name(&self) -> &'static str {
@@ -276,7 +276,7 @@ impl Experiment for Fig12ToleratedErrors {
 }
 
 /// Fig. 13 registry entry.
-pub struct Fig13LifetimeCov25;
+pub(crate) struct Fig13LifetimeCov25;
 
 impl Experiment for Fig13LifetimeCov25 {
     fn name(&self) -> &'static str {
@@ -317,7 +317,7 @@ impl Experiment for Fig13LifetimeCov25 {
 }
 
 /// Table IV registry entry.
-pub struct Table04Months;
+pub(crate) struct Table04Months;
 
 impl Experiment for Table04Months {
     fn name(&self) -> &'static str {
@@ -380,7 +380,7 @@ impl Experiment for Table04Months {
 }
 
 /// Multiprogrammed-mix extension study registry entry.
-pub struct MixStudy;
+pub(crate) struct MixStudy;
 
 impl Experiment for MixStudy {
     fn name(&self) -> &'static str {

@@ -8,10 +8,10 @@ use pcm_ecc::montecarlo::{failure_surface, FailureSurface, MonteCarlo};
 use pcm_ecc::HardErrorScheme;
 
 /// The window sizes the paper sweeps in Fig. 9 (bytes).
-pub const PAPER_WINDOWS: [usize; 10] = [1, 8, 16, 20, 24, 32, 34, 36, 40, 64];
+pub(crate) const PAPER_WINDOWS: [usize; 10] = [1, 8, 16, 20, 24, 32, 34, 36, 40, 64];
 
 /// Error counts swept on the x-axis.
-pub fn error_grid(quick: bool) -> Vec<usize> {
+pub(crate) fn error_grid(quick: bool) -> Vec<usize> {
     let step = if quick { 16 } else { 4 };
     (0..=128).step_by(step).collect()
 }
@@ -51,7 +51,7 @@ pub fn faults_at_half(surface: &FailureSurface, window: usize) -> Option<usize> 
 // --------------------------------------------------------- registry entries
 
 /// Fig. 9 registry entry.
-pub struct Fig09Montecarlo;
+pub(crate) struct Fig09Montecarlo;
 
 impl Experiment for Fig09Montecarlo {
     fn name(&self) -> &'static str {

@@ -24,7 +24,7 @@ pub fn perf_app(app: SpecApp, quick: bool, seed: u64) -> PerfReport {
 // --------------------------------------------------------- registry entries
 
 /// §V.B registry entry.
-pub struct PerfOverhead;
+pub(crate) struct PerfOverhead;
 
 impl Experiment for PerfOverhead {
     fn name(&self) -> &'static str {
@@ -88,7 +88,7 @@ impl Experiment for PerfOverhead {
 }
 
 /// Metadata-update-rate registry entry (§III-B).
-pub struct MetadataRates;
+pub(crate) struct MetadataRates;
 
 impl Experiment for MetadataRates {
     fn name(&self) -> &'static str {

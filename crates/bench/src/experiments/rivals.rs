@@ -27,7 +27,7 @@ pub const STACKS: [(EccChoice, WearChoice); 5] = [
 
 /// One cell of the grid: a full memory run to the failure criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RivalCell {
+pub(crate) struct RivalCell {
     /// Demand writes served before 50% of capacity wore out (or the cap).
     pub lifetime_writes: u64,
     /// Inter-line wear-leveling events (gap moves, pair swaps, hot swaps).
@@ -37,7 +37,7 @@ pub struct RivalCell {
 }
 
 /// Runs one stack on one system kind to the failure criterion.
-pub fn rival_cell(
+pub(crate) fn rival_cell(
     kind: SystemKind,
     ecc: EccChoice,
     wear: WearChoice,

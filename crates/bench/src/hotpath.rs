@@ -151,7 +151,7 @@ pub struct BenchEntry {
 
 /// One end-to-end campaign in the report.
 #[derive(Debug, Clone)]
-pub struct CampaignEntry {
+pub(crate) struct CampaignEntry {
     /// Campaign label, e.g. `campaign/CompWF/milc`.
     pub label: String,
     /// Wall-clock milliseconds of `run_campaign`.
@@ -177,7 +177,14 @@ pub struct HotpathReport {
     /// Micro-benchmarks, in run order.
     pub benches: Vec<BenchEntry>,
     /// End-to-end campaigns, in run order.
-    pub campaigns: Vec<CampaignEntry>,
+    pub(crate) campaigns: Vec<CampaignEntry>,
+}
+
+impl HotpathReport {
+    /// Number of end-to-end campaign entries in the report.
+    pub fn campaign_count(&self) -> usize {
+        self.campaigns.len()
+    }
 }
 
 fn mix(h: u64, v: u64) -> u64 {

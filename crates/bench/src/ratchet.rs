@@ -23,6 +23,10 @@ pub const RATCHET_PREFIXES: [&str; 3] = ["linesim/", "kernels/", "batch/"];
 /// Default throughput floor: current must reach half the tracked rate.
 pub const DEFAULT_MIN_RATIO: f64 = 0.5;
 
+/// Maximum fresh readings [`check_with_reruns`] takes for a benchmark
+/// that came in below its throughput floor.
+pub const MAX_RERUNS: usize = 2;
+
 /// One benchmark entry parsed back out of a tracked report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrackedBench {
@@ -111,12 +115,23 @@ pub struct RatchetOutcome {
     pub lines: Vec<String>,
     /// Failure messages; empty means the ratchet passed.
     pub failures: Vec<String>,
+    /// Ids of benchmarks that failed only on throughput — the retryable
+    /// subset of [`failures`](Self::failures).
+    pub slowdowns: Vec<String>,
 }
 
 impl RatchetOutcome {
     /// `true` when no ratcheted benchmark failed.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// `true` when every failure is a below-floor throughput reading —
+    /// the only kind a rerun can legitimately fix. Checksum drift, a
+    /// smoke-mode mismatch, or a missing benchmark means results (not
+    /// noise) changed, so retrying would just mask the bug.
+    pub fn retryable(&self) -> bool {
+        !self.failures.is_empty() && self.failures.len() == self.slowdowns.len()
     }
 }
 
@@ -168,6 +183,7 @@ pub fn check(current: &HotpathReport, tracked: &TrackedReport, min_ratio: f64) -
                     );
                     out.lines.push(msg.clone());
                     out.failures.push(msg);
+                    out.slowdowns.push(b.id.clone());
                 } else {
                     out.lines.push(format!(
                         "ratchet: {:<28} ok {:.2}x of tracked ({:.3e}/s)",
@@ -192,6 +208,69 @@ pub fn check(current: &HotpathReport, tracked: &TrackedReport, min_ratio: f64) -
         }
     }
     out
+}
+
+/// [`check`] with slowdown retries: a benchmark below its throughput
+/// floor gets up to `max_reruns` fresh readings, keeping the best
+/// `per_second` per bench, before the slowdown counts as a failure.
+///
+/// `rerun` re-measures the suite and is handed the below-floor ids (for
+/// progress reporting; the measurement itself is a full fresh report so
+/// the retried benches run under the same conditions as the first
+/// attempt). `current` is updated in place with the best readings, so
+/// the caller writes the merged report.
+///
+/// Two hard-fail cases skip the retry loop entirely:
+///
+/// * a first-attempt outcome that is not [`retryable`]
+///   (`RatchetOutcome::retryable`) — checksum drift, smoke mismatch, or
+///   a missing benchmark is a result change, not measurement noise;
+/// * a rerun whose checksum disagrees with the first attempt's — that is
+///   nondeterminism *within* one commit, strictly worse than drift
+///   against the tracked report.
+pub fn check_with_reruns<F>(
+    current: &mut HotpathReport,
+    tracked: &TrackedReport,
+    min_ratio: f64,
+    max_reruns: usize,
+    mut rerun: F,
+) -> RatchetOutcome
+where
+    F: FnMut(&[String]) -> HotpathReport,
+{
+    let mut outcome = check(current, tracked, min_ratio);
+    for attempt in 1..=max_reruns {
+        if outcome.passed() || !outcome.retryable() {
+            break;
+        }
+        let slow = std::mem::take(&mut outcome.slowdowns);
+        let fresh = rerun(&slow);
+        for id in &slow {
+            let cur = current.benches.iter_mut().find(|b| b.id == *id);
+            let new = fresh.benches.iter().find(|b| b.id == *id);
+            let (Some(cur), Some(new)) = (cur, new) else {
+                continue;
+            };
+            if new.checksum != cur.checksum {
+                let msg = format!(
+                    "ratchet: {:<28} RERUN CHECKSUM DRIFT {} != first attempt {}",
+                    id, new.checksum, cur.checksum
+                );
+                outcome.lines.push(msg.clone());
+                outcome.failures.push(msg);
+                return outcome;
+            }
+            if new.per_second > cur.per_second {
+                *cur = new.clone();
+            }
+        }
+        outcome = check(current, tracked, min_ratio);
+        outcome.lines.push(format!(
+            "ratchet: rerun {attempt}/{max_reruns} re-measured {} below-floor bench(es)",
+            slow.len()
+        ));
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -304,6 +383,84 @@ mod tests {
         let out = check(&cur, &tracked, DEFAULT_MIN_RATIO);
         assert!(out.passed(), "{out:?}");
         assert!(out.lines.is_empty());
+    }
+
+    fn tracked_one(id: &str, checksum: u64, per_second: f64) -> TrackedReport {
+        TrackedReport {
+            smoke: false,
+            benches: vec![TrackedBench {
+                id: id.into(),
+                checksum,
+                per_second: Some(per_second),
+            }],
+        }
+    }
+
+    #[test]
+    fn rerun_recovers_a_noisy_slowdown() {
+        let tracked = tracked_one("kernels/a", 7, 100.0);
+        let mut cur = report(false, vec![entry("kernels/a", 7, 10.0)]);
+        let mut calls = 0;
+        let out = check_with_reruns(&mut cur, &tracked, 0.5, MAX_RERUNS, |slow| {
+            calls += 1;
+            assert_eq!(slow, ["kernels/a".to_string()]);
+            report(false, vec![entry("kernels/a", 7, 90.0)])
+        });
+        assert!(out.passed(), "{out:?}");
+        assert_eq!(calls, 1, "passing rerun must stop the retry loop");
+        assert_eq!(cur.benches[0].per_second, Some(90.0), "best reading kept");
+    }
+
+    #[test]
+    fn reruns_keep_the_best_reading_and_cap_at_max() {
+        let tracked = tracked_one("kernels/a", 7, 100.0);
+        let mut cur = report(false, vec![entry("kernels/a", 7, 10.0)]);
+        let mut calls = 0;
+        let readings = [20.0, 15.0]; // both still below the 50.0 floor
+        let out = check_with_reruns(&mut cur, &tracked, 0.5, MAX_RERUNS, |_| {
+            calls += 1;
+            report(false, vec![entry("kernels/a", 7, readings[calls - 1])])
+        });
+        assert!(!out.passed());
+        assert_eq!(calls, MAX_RERUNS);
+        assert_eq!(cur.benches[0].per_second, Some(20.0), "best of 3 kept");
+        assert!(out.failures[0].contains("SLOWDOWN"), "{out:?}");
+    }
+
+    #[test]
+    fn checksum_drift_is_never_retried() {
+        let tracked = tracked_one("kernels/a", 7, 100.0);
+        // Drift AND a slowdown: the drift makes the outcome non-retryable.
+        let mut cur = report(false, vec![entry("kernels/a", 8, 10.0)]);
+        let out = check_with_reruns(&mut cur, &tracked, 0.5, MAX_RERUNS, |_| {
+            panic!("drift must hard-fail without a rerun")
+        });
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("CHECKSUM DRIFT"), "{out:?}");
+    }
+
+    #[test]
+    fn rerun_checksum_drift_hard_fails() {
+        let tracked = tracked_one("kernels/a", 7, 100.0);
+        let mut cur = report(false, vec![entry("kernels/a", 7, 10.0)]);
+        let mut calls = 0;
+        let out = check_with_reruns(&mut cur, &tracked, 0.5, MAX_RERUNS, |_| {
+            calls += 1;
+            report(false, vec![entry("kernels/a", 9, 90.0)])
+        });
+        assert!(!out.passed());
+        assert_eq!(calls, 1, "intra-commit drift must stop the loop");
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("RERUN CHECKSUM DRIFT")),
+            "{out:?}"
+        );
+        assert_eq!(
+            cur.benches[0].per_second,
+            Some(10.0),
+            "a drifting reading must not be merged"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! output, a golden snapshot at a fixed seed, and the diff gate's failure
 //! mode on out-of-tolerance drift.
 
-use pcm_bench::report::{diff_reports, Report, Value};
+use pcm_bench::report::{diff_reports, DiffFinding, Report, ReportDiff, Value};
 use pcm_bench::{find, run_timed, Options};
 use pcm_trace::SpecApp;
 
@@ -66,10 +66,18 @@ fn diff_rejects_out_of_tolerance_drift() {
 
     // Outside it: the diff must fail and name the statistic.
     fresh.tables[0].rows[0].values[3] = Value::Num(v + 0.2, p);
-    let diff = diff_reports(&tracked, &fresh);
+    let diff: ReportDiff = diff_reports(&tracked, &fresh);
     assert!(!diff.passed());
     assert_eq!(diff.findings.len(), 1);
-    assert!(diff.findings[0].location.contains("col 'CR'"));
+    let DiffFinding {
+        location,
+        tolerance,
+        ..
+    } = &diff.findings[0];
+    assert!(location.contains("col 'CR'"));
+    // describe() must name both the statistic and the band that rejected it.
+    assert!(diff.describe().contains(location.as_str()), "{diff:?}");
+    assert!(diff.describe().contains(tolerance.as_str()), "{diff:?}");
 
     // Shape drift (a lost row) must also fail.
     let mut fresh = tracked.clone();

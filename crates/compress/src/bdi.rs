@@ -21,7 +21,7 @@ use pcm_util::{Line512, DATA_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Decompression latency of BDI in CPU cycles (paper Table I).
-pub const BDI_DECOMPRESSION_CYCLES: u64 = 1;
+pub(crate) const BDI_DECOMPRESSION_CYCLES: u64 = 1;
 
 /// Largest possible BDI payload (the B8D4 encoding, paper Table I).
 pub const BDI_MAX_BYTES: usize = 40;
@@ -136,11 +136,6 @@ impl BdiCompressed {
     pub fn size(&self) -> usize {
         self.data.len()
     }
-
-    /// Consumes the result, returning the payload without copying.
-    pub fn into_data(self) -> Vec<u8> {
-        self.data
-    }
 }
 
 /// Error returned when decompression is handed malformed input.
@@ -208,7 +203,8 @@ fn try_base_delta_into(
     Some(len)
 }
 
-/// Compresses a line with the smallest applicable BDI encoding.
+/// Compresses a line with the smallest applicable BDI encoding into a
+/// [`BdiCompressed`].
 ///
 /// Returns `None` when no encoding applies (the line must then be stored
 /// uncompressed or handed to FPC).
@@ -237,7 +233,7 @@ pub fn compress(line: &Line512) -> Option<BdiCompressed> {
 /// hold at least [`BDI_MAX_BYTES`]) and returns the encoding plus payload
 /// length. This is the hot-path entry point — `compress` delegates here, so
 /// the two can never disagree.
-pub fn compress_into(line: &Line512, out: &mut [u8]) -> Option<(BdiEncoding, usize)> {
+pub(crate) fn compress_into(line: &Line512, out: &mut [u8]) -> Option<(BdiEncoding, usize)> {
     assert!(out.len() >= BDI_MAX_BYTES, "output buffer too small");
     let bytes = line.to_bytes();
 

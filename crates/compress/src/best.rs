@@ -150,11 +150,6 @@ impl CompressedWrite {
     pub fn ratio(&self) -> f64 {
         self.size() as f64 / DATA_BYTES as f64
     }
-
-    /// Consumes the write, returning the method and payload without copying.
-    pub fn into_parts(self) -> (Method, Vec<u8>) {
-        (self.method, self.bytes)
-    }
 }
 
 /// Compresses a line with both BDI and FPC and keeps the smaller result
@@ -183,6 +178,7 @@ pub fn compress_best(line: &Line512) -> CompressedWrite {
 /// and returns the method plus payload length (64 for uncompressed). This
 /// is the hot-path entry point — `compress_best` delegates here, so the two
 /// can never disagree on method, size, or bytes.
+// pcm-audit: root(hotpath-alloc) — allocation-free compression entry point; the docstring promises it
 pub fn compress_best_into(line: &Line512, out: &mut [u8; DATA_BYTES]) -> (Method, usize) {
     // BDI first: its cascade tries encodings smallest-first and each
     // geometry aborts on the first out-of-range delta, so a miss is cheap.
@@ -239,6 +235,7 @@ pub fn compress_best_into(line: &Line512, out: &mut [u8; DATA_BYTES]) -> (Method
 /// assert_eq!(results.len(), 1);
 /// assert_eq!(results[0].1, 1); // BDI zeros encoding wins
 /// ```
+// pcm-audit: root(hotpath-alloc) — batch twin of compress_best_into; one Vec for the per-lane results is the only allowance
 pub fn compress_best_batch_into(
     batch: &LineBatch64,
     out: &mut [[u8; DATA_BYTES]],

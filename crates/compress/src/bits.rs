@@ -108,7 +108,7 @@ impl<'a> FixedBitWriter<'a> {
     ///
     /// Panics if `width` is 0 or greater than 64, if `value` has bits set
     /// above `width`, or if the buffer is full.
-    pub fn push(&mut self, value: u64, width: u32) {
+    pub fn put(&mut self, value: u64, width: u32) {
         assert!(
             (1..=64).contains(&width),
             "width must be 1..=64, got {width}"
@@ -297,7 +297,7 @@ mod tests {
         let mut fw = FixedBitWriter::new(&mut buf);
         for &(v, width) in values {
             w.push(v, width);
-            fw.push(v, width);
+            fw.put(v, width);
             assert_eq!(w.bit_len(), fw.bit_len());
         }
         let bit_len = fw.bit_len();
@@ -309,9 +309,9 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "wider than")]
-    fn fixed_push_rejects_overwide_value() {
+    fn fixed_put_rejects_overwide_value() {
         let mut buf = [0u8; 4];
-        FixedBitWriter::new(&mut buf).push(0b100, 2);
+        FixedBitWriter::new(&mut buf).put(0b100, 2);
     }
 
     #[test]

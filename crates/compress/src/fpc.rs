@@ -23,7 +23,7 @@ use pcm_util::Line512;
 use serde::{Deserialize, Serialize};
 
 /// Decompression latency of FPC in CPU cycles (paper Table I).
-pub const FPC_DECOMPRESSION_CYCLES: u64 = 5;
+pub(crate) const FPC_DECOMPRESSION_CYCLES: u64 = 5;
 
 /// Largest possible FPC output: sixteen raw words at 35 bits each, packed
 /// into 70 bytes. Buffers handed to [`compress_bounded_into`] must hold at
@@ -62,11 +62,6 @@ impl FpcCompressed {
     /// Exact compressed size in bits.
     pub fn bit_len(&self) -> usize {
         self.bit_len
-    }
-
-    /// Consumes the result, returning the payload without copying.
-    pub fn into_data(self) -> Vec<u8> {
-        self.data
     }
 }
 
@@ -183,33 +178,33 @@ pub fn compress_bounded_into(line: &Line512, max_bits: usize, out: &mut [u8]) ->
             while run < 8 && i + run < WORDS && words[i + run] == 0 {
                 run += 1;
             }
-            w.push(P_ZERO_RUN, 3);
-            w.push((run - 1) as u64, 3);
+            w.put(P_ZERO_RUN, 3);
+            w.put((run - 1) as u64, 3);
             i += run;
             continue;
         }
         if fits_signed(word, 4) {
-            w.push(P_SIGN4, 3);
-            w.push((word & 0xF) as u64, 4);
+            w.put(P_SIGN4, 3);
+            w.put((word & 0xF) as u64, 4);
         } else if fits_signed(word, 8) {
-            w.push(P_SIGN8, 3);
-            w.push((word & 0xFF) as u64, 8);
+            w.put(P_SIGN8, 3);
+            w.put((word & 0xFF) as u64, 8);
         } else if fits_signed(word, 16) {
-            w.push(P_SIGN16, 3);
-            w.push((word & 0xFFFF) as u64, 16);
+            w.put(P_SIGN16, 3);
+            w.put((word & 0xFFFF) as u64, 16);
         } else if word & 0xFFFF == 0 {
-            w.push(P_LOW_ZERO, 3);
-            w.push((word >> 16) as u64, 16);
+            w.put(P_LOW_ZERO, 3);
+            w.put((word >> 16) as u64, 16);
         } else if is_two_sign_extended_bytes(word) {
-            w.push(P_TWO_BYTES, 3);
-            w.push((word & 0xFF) as u64, 8);
-            w.push(((word >> 16) & 0xFF) as u64, 8);
+            w.put(P_TWO_BYTES, 3);
+            w.put((word & 0xFF) as u64, 8);
+            w.put(((word >> 16) & 0xFF) as u64, 8);
         } else if is_repeated_byte(word) {
-            w.push(P_REP_BYTE, 3);
-            w.push((word & 0xFF) as u64, 8);
+            w.put(P_REP_BYTE, 3);
+            w.put((word & 0xFF) as u64, 8);
         } else {
-            w.push(P_RAW, 3);
-            w.push(word as u64, 32);
+            w.put(P_RAW, 3);
+            w.put(word as u64, 32);
         }
         i += 1;
     }

@@ -118,8 +118,8 @@ impl FvcDictionary {
         self.index_bits
     }
 
-    /// Compresses a line: per 32-bit word, a 1-bit hit flag then either the
-    /// dictionary index or the 32-bit literal.
+    /// Compresses a line into an [`FvcCompressed`]: per 32-bit word, a 1-bit
+    /// hit flag then either the dictionary index or the 32-bit literal.
     pub fn compress(&self, line: &Line512) -> FvcCompressed {
         let mut w = BitWriter::new();
         for chunk in line.to_bytes().chunks_exact(4) {

@@ -40,12 +40,11 @@ pub mod bits;
 pub mod fpc;
 pub mod fvc;
 
-pub use bdi::{BdiEncoding, BDI_DECOMPRESSION_CYCLES};
+pub use bdi::BdiEncoding;
 pub use best::{
     compress_best, compress_best_batch_into, compress_best_into, decompress, CompressedWrite,
     Method,
 };
-pub use fpc::FPC_DECOMPRESSION_CYCLES;
 pub use fvc::FvcDictionary;
 
 #[cfg(test)]

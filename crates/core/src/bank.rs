@@ -103,13 +103,8 @@ impl BankCtl {
     }
 
     /// Physical lines (logical capacity plus the wear scheme's spares).
-    pub fn physical_line_count(&self) -> usize {
+    pub(crate) fn physical_line_count(&self) -> usize {
         self.phys.len()
-    }
-
-    /// The inter-line wear-leveling scheme driving this bank's remapping.
-    pub fn wear_scheme(&self) -> &dyn WearScheme {
-        self.scheme.as_ref()
     }
 
     /// Physical lines currently dead.

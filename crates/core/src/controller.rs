@@ -63,7 +63,7 @@ impl MemoryStats {
 /// Report of one successful demand write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WriteReport {
-    /// The line-level outcome.
+    /// The line-level outcome ([`LineWriteReport`]).
     pub line: LineWriteReport,
     /// Whether the payload was stored compressed.
     pub compressed: bool,
@@ -218,9 +218,9 @@ impl PcmMemory {
     ///
     /// # Errors
     ///
-    /// Returns [`WriteError::LineDead`] on an uncorrectable error (the line
-    /// cannot hold the payload) and [`WriteError::BadAddress`] for an
-    /// out-of-range address.
+    /// Returns a [`WriteReport`] on success, [`WriteError::LineDead`] on an
+    /// uncorrectable error (the line cannot hold the payload), and
+    /// [`WriteError::BadAddress`] for an out-of-range address.
     pub fn write(&mut self, logical: u64, data: Line512) -> Result<WriteReport, WriteError> {
         if logical >= self.logical_lines() {
             return Err(WriteError::BadAddress);

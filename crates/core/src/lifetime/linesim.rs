@@ -97,11 +97,15 @@ pub fn simulate_line(cfg: &LineSimConfig, seed: u64) -> LineRecord {
 
 /// [`simulate_line`] with caller-owned scratch buffers, reusable across
 /// lines (the campaign runner hands each pool worker one [`LineScratch`]).
+// pcm-audit: root(hotpath-alloc) — per-line inner loop of the campaign runner; scratch buffers exist so this chain never allocates
 pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScratch) -> LineRecord {
     let sys = &cfg.system;
+    // pcm-audit: allow(hotpath-alloc) — one-time engine construction per line, outside the write loop
     let engine = EccEngine::new(sys.ecc);
     let mut rng = seeded_rng(child_seed(seed, 0));
+    // pcm-audit: allow(hotpath-alloc) — one-time per-line endurance sampling, outside the write loop
     let mut line = ManagedLine::sample_with_tech(&sys.endurance, sys.tech, &mut rng);
+    // pcm-audit: allow(hotpath-alloc) — profile clone happens once per residency, amortized over residency_writes writes
     let mut block = BlockStream::new(cfg.profile.clone(), child_seed(seed, 1));
     let mut meta = HostMeta::default();
 
@@ -143,6 +147,7 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
             if writes >= cfg.max_writes {
                 break;
             }
+            // pcm-audit: allow(hotpath-alloc) — per-residency block refresh, amortized over residency_writes writes
             block = BlockStream::new(cfg.profile.clone(), child_seed(seed, block_counter));
             block_counter += 1;
             meta = HostMeta::default();
@@ -162,6 +167,7 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
                 .is_some()
             {
                 line.revive();
+                // pcm-audit: allow(hotpath-alloc) — stays within the with_capacity reservation made at entry
                 events.push(writes);
             }
             continue;
@@ -249,7 +255,9 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
                 first_death = Some(writes);
             }
             faults_at_death = Some(line.faults().count());
+            // pcm-audit: allow(hotpath-alloc) — stays within the with_capacity reservation made at entry
             death_fault_counts.push(line.faults().count());
+            // pcm-audit: allow(hotpath-alloc) — stays within the with_capacity reservation made at entry
             events.push(writes);
             continue;
         }
@@ -297,6 +305,7 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
 
         // Relocation: a fresh block arrives.
         if residency_left == 0 {
+            // pcm-audit: allow(hotpath-alloc) — per-residency block refresh, amortized over residency_writes writes
             block = BlockStream::new(cfg.profile.clone(), child_seed(seed, block_counter));
             block_counter += 1;
             meta = HostMeta::default();
@@ -335,7 +344,7 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
 /// # Panics
 ///
 /// Panics if more than [`pcm_util::BATCH_LANES`] seeds are passed.
-pub fn simulate_line_batch(
+pub(crate) fn simulate_line_batch(
     cfg: &LineSimConfig,
     seeds: &[u64],
     scratch: &mut LineScratch,

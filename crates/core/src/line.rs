@@ -41,7 +41,7 @@ pub struct EccEngine {
 
 /// Per-line ECC correction state from the most recent write.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum EccCode {
+pub(crate) enum EccCode {
     /// No write yet.
     None,
     /// ECP pointers + replacement bits.
@@ -298,7 +298,7 @@ impl ManagedLine {
         &self.wear
     }
 
-    /// Metadata-field update counters (paper §III-B).
+    /// Metadata-field update counters ([`MetaUpdateCounts`], paper §III-B).
     pub fn meta_updates(&self) -> MetaUpdateCounts {
         self.meta_updates
     }
@@ -329,7 +329,7 @@ impl ManagedLine {
 
     /// [`can_host`](Self::can_host) at a coarser window-placement
     /// granularity (see [`window::find_offset_with_step`]).
-    pub fn can_host_with_step(
+    pub(crate) fn can_host_with_step(
         &self,
         engine: &EccEngine,
         len: usize,
@@ -341,8 +341,9 @@ impl ManagedLine {
             window::find_offset_with_step(engine.scheme(), self.faults(), len, preferred, step)
         } else {
             let preferred = preferred / step * step;
-            let faults = window::faults_in(self.faults(), preferred, len);
-            engine.scheme().can_store(&faults).then_some(preferred)
+            let mut buf = [0u16; pcm_util::DATA_BITS];
+            let faults = window::faults_in_buf(self.faults(), preferred, len, &mut buf);
+            engine.scheme().can_store(faults).then_some(preferred)
         }
     }
 
@@ -389,7 +390,7 @@ impl ManagedLine {
     ///
     /// As [`write`](Self::write), plus if `step` is not a power of two
     /// dividing 64.
-    pub fn write_with_step(
+    pub(crate) fn write_with_step(
         &mut self,
         engine: &EccEngine,
         payload: Payload<'_>,

@@ -19,23 +19,25 @@ use std::sync::OnceLock;
 /// The process-wide SAFER-32 instance (shared partition tables).
 pub fn shared_safer32() -> &'static Safer {
     static SAFER32: OnceLock<Safer> = OnceLock::new();
+    // pcm-audit: allow(hotpath-alloc) — OnceLock construction runs at most once per process
     SAFER32.get_or_init(|| Safer::new(32))
 }
 
 /// The process-wide Aegis 17×31 instance (shared partition tables).
 pub fn shared_aegis_17x31() -> &'static Aegis {
     static AEGIS: OnceLock<Aegis> = OnceLock::new();
+    // pcm-audit: allow(hotpath-alloc) — OnceLock construction runs at most once per process
     AEGIS.get_or_init(|| Aegis::new(17, 31))
 }
 
 /// The process-wide restricted-coset scheme (shared mask table).
-pub fn shared_coset() -> &'static Coset {
+pub(crate) fn shared_coset() -> &'static Coset {
     static COSET: OnceLock<Coset> = OnceLock::new();
     COSET.get_or_init(Coset::new)
 }
 
 /// The process-wide SECDED instance.
-pub fn shared_secded() -> &'static Secded {
+pub(crate) fn shared_secded() -> &'static Secded {
     static SECDED: OnceLock<Secded> = OnceLock::new();
     SECDED.get_or_init(Secded::new)
 }

@@ -93,7 +93,8 @@ macro_rules! churn_check {
 ///
 /// # Errors
 ///
-/// Returns the first divergence, naming the line, write index, and seed.
+/// Returns [`ChurnStats`] on agreement and the first divergence as a
+/// [`ChurnError`] naming the line, write index, and seed.
 pub fn churn_lines(
     sys: &SystemConfig,
     plan: &FaultPlan,

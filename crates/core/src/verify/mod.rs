@@ -128,6 +128,9 @@ impl VerifyReport {
 /// Runs churn (and, unless `churn_only`, the differential oracle) for
 /// every [`SystemKind`] × [`EccChoice`] combination in the config.
 ///
+/// Returns a [`VerifyReport`] whose [`VerifyEntry`] rows name each
+/// combination.
+///
 /// Determinism: the sweep derives each sub-check's seed from
 /// `cfg.seed` and the combination's index, so a single failing
 /// combination can be reproduced in isolation with the seed printed in

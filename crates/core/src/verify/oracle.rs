@@ -116,7 +116,7 @@ pub struct OracleConfig {
     pub sample_writes: u32,
     /// Seed; the replay and the engine derive distinct child seeds.
     pub seed: u64,
-    /// Acceptance bands.
+    /// Acceptance bands ([`OracleTolerances`]).
     pub tolerances: OracleTolerances,
 }
 
@@ -160,7 +160,7 @@ pub struct OracleReport {
     pub system: SystemConfig,
     /// Workload used.
     pub app: SpecApp,
-    /// Per-statistic comparisons.
+    /// Per-statistic [`OracleDiff`] comparisons.
     pub diffs: Vec<OracleDiff>,
     /// Set when one simulator failed while the other was censored at its
     /// horizon — an irreconcilable disagreement about whether the memory
@@ -216,7 +216,7 @@ fn diff(stat: &'static str, replay: f64, engine: f64, bounds: RatioBand) -> Orac
 /// Replays the seeded trace through the functional [`PcmMemory`]
 /// (`replay_to_failure`) and the accelerated engine (`run_campaign`) and
 /// diffs per-line lifetime, mean flips per write, and mean faults at
-/// death under the configured tolerances.
+/// death under the configured tolerances, yielding an [`OracleReport`].
 pub fn run_oracle(cfg: &OracleConfig) -> OracleReport {
     let replay = replay_to_failure(&ReplayConfig {
         system: cfg.system,

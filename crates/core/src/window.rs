@@ -94,6 +94,24 @@ pub fn faults_in_scratch(faults: &FaultMap, offset: usize, len: usize, out: &mut
     out.extend(masked.iter_ones().map(|p| p as u16));
 }
 
+/// [`faults_in`] into a fixed stack buffer, returning the filled prefix —
+/// the no-slide placement probe sits on the per-write hot path, and a line
+/// has at most [`DATA_BITS`] stuck cells.
+pub fn faults_in_buf<'a>(
+    faults: &FaultMap,
+    offset: usize,
+    len: usize,
+    buf: &'a mut [u16; DATA_BITS],
+) -> &'a [u16] {
+    let masked = faults.positions() & window_mask(offset, len);
+    let mut n = 0;
+    for p in masked.iter_ones() {
+        buf[n] = p as u16;
+        n += 1;
+    }
+    &buf[..n]
+}
+
 /// The sub-map of faults inside a wrapped window.
 pub fn fault_map_in(faults: &FaultMap, offset: usize, len: usize) -> FaultMap {
     faults.masked(window_mask(offset, len))
@@ -219,6 +237,11 @@ mod tests {
         assert_eq!(faults_in(&faults, 62, 4), vec![5, 500]);
         assert_eq!(faults_in(&faults, 20, 10), vec![200]);
         assert_eq!(fault_map_in(&faults, 62, 4).count(), 2);
+        // The stack-buffer variant agrees with the allocating one.
+        let mut buf = [0u16; DATA_BITS];
+        assert_eq!(faults_in_buf(&faults, 62, 4, &mut buf), &[5, 500]);
+        assert_eq!(faults_in_buf(&faults, 20, 10, &mut buf), &[200]);
+        assert_eq!(faults_in_buf(&faults, 30, 4, &mut buf), &[] as &[u16]);
     }
 
     #[test]

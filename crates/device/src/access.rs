@@ -90,7 +90,8 @@ struct Bank {
     writes: VecDeque<u64>, // arrival times of queued write-backs
 }
 
-/// Simulates a request stream and returns latency statistics.
+/// Simulates a request stream and returns latency statistics as
+/// [`AccessStats`].
 ///
 /// Requests must be sorted by arrival time. Reads are served ahead of
 /// queued writes unless a bank's write queue is full, in which case the

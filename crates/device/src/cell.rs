@@ -50,11 +50,6 @@ impl EnduranceModel {
         EnduranceModel::new(1e7, 0.15)
     }
 
-    /// The §V.C process-variation sensitivity point: CoV 0.25.
-    pub fn paper_high_variation() -> Self {
-        EnduranceModel::new(1e7, 0.25)
-    }
-
     /// Mean endurance.
     pub fn mean(&self) -> f64 {
         self.mean
@@ -88,7 +83,7 @@ pub enum CellTech {
 
 impl CellTech {
     /// Bits stored per cell.
-    pub fn bits_per_cell(&self) -> usize {
+    pub(crate) fn bits_per_cell(&self) -> usize {
         match self {
             CellTech::Slc => 1,
             CellTech::Mlc2 => 2,
@@ -302,7 +297,7 @@ impl LineWear {
     ///
     /// Only differing cells are programmed. A cell that exhausts its
     /// endurance during this write keeps its *old* value and becomes stuck
-    /// there; the failure is reported in the outcome (write-verify), so the
+    /// there; the failure is reported in the [`WriteOutcome`] (write-verify), so the
     /// caller can immediately re-encode around it.
     pub fn write(&mut self, target: &Line512) -> WriteOutcome {
         let diff = self.stored ^ *target;
@@ -335,6 +330,7 @@ impl LineWear {
             return WriteOutcome {
                 flips,
                 flip_mask: diff,
+                // pcm-audit: allow(hotpath-alloc) — Vec::new does not allocate; the fast path returns an empty fault list
                 new_faults: Vec::new(),
             };
         }
@@ -347,6 +343,7 @@ impl LineWear {
         // Programmed cells that survived take the new value; dead cells
         // keep the value they held (stuck at the old value).
         self.stored = self.stored ^ (program & !died);
+        // pcm-audit: allow(hotpath-alloc) — allocation deferred to the first cell death, a once-per-cell event
         let mut new_faults = Vec::new();
         if !died.is_zero() {
             for pos in died.iter_ones() {
@@ -355,6 +352,7 @@ impl LineWear {
                     value: self.stored.bit(pos),
                 };
                 self.faults.insert(fault);
+                // pcm-audit: allow(hotpath-alloc) — pushes only when a cell dies, a once-per-cell event
                 new_faults.push(fault);
             }
         }
@@ -383,6 +381,7 @@ impl LineWear {
         // per-cell, not per-bit); drop it so SLC fast-path assumptions
         // cannot leak across a tech boundary.
         self.slack = 0;
+        // pcm-audit: allow(hotpath-alloc) — allocation deferred to the first cell death, a once-per-cell event
         let mut new_faults = Vec::new();
         let mut flips = 0u32;
         let bpc = self.tech.bits_per_cell();
@@ -412,6 +411,7 @@ impl LineWear {
                             value: self.stored.bit(bit),
                         };
                         self.faults.insert(fault);
+                        // pcm-audit: allow(hotpath-alloc) — pushes only when a cell dies, a once-per-cell event
                         new_faults.push(fault);
                     }
                 }

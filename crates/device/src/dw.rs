@@ -52,7 +52,7 @@ impl DiffWrite {
     }
 }
 
-/// Computes the differential write of `new` over `old`.
+/// Computes the differential write of `new` over `old` as a [`DiffWrite`].
 ///
 /// # Examples
 ///
@@ -243,12 +243,14 @@ impl DiffWriteBatch {
     }
 }
 
-/// Computes the differential writes of `new` over `old` for every live
-/// lane of a batch. Lane `i` matches `diff_write(&old.lane(i), &new.lane(i))`.
+/// Computes the differential writes of `new` over `old` for every live lane
+/// of a batch as a [`DiffWriteBatch`]. Lane `i` matches
+/// `diff_write(&old.lane(i), &new.lane(i))`.
 ///
 /// # Panics
 ///
 /// Panics if the batches have different live lanes.
+// pcm-audit: root(hotpath-alloc) — whole-plane SIMD kernels only; allocation here would defeat the batch layout
 pub fn diff_write_batch(old: &LineBatch64, new: &LineBatch64) -> DiffWriteBatch {
     let flip = simd::batch_xor(old, new);
     let set = simd::batch_and(&flip, new);

@@ -53,11 +53,6 @@ impl EnergyModel {
         dw.sets() as f64 * self.set_pj + dw.resets() as f64 * self.reset_pj
     }
 
-    /// Energy of reading a full 512-bit line, pJ.
-    pub fn line_read_pj(&self) -> f64 {
-        512.0 * self.read_pj
-    }
-
     /// Mean write energy over a sequence of line versions (each element
     /// differentially written over the previous one), pJ per write.
     ///

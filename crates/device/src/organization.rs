@@ -101,8 +101,8 @@ impl MemoryGeometry {
         self.lines / self.total_banks() as u64
     }
 
-    /// Maps a line address to its bank (cache-line interleaving: channel
-    /// bits first, then bank bits).
+    /// Maps a line address to its [`BankAddress`] (cache-line interleaving:
+    /// channel bits first, then bank bits).
     ///
     /// # Panics
     ///

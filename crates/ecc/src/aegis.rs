@@ -123,14 +123,17 @@ impl Aegis {
         if fault_positions.len() as u32 > self.u {
             return None;
         }
+        // Pairwise collision probe: fault counts stay small over a line's
+        // storable life, so O(f²) group comparisons beat allocating a
+        // per-group "seen" table on the per-write hot path.
         'part: for k in 0..=self.t {
-            let mut seen = vec![false; self.u as usize];
-            for &pos in fault_positions {
+            for (i, &pos) in fault_positions.iter().enumerate() {
                 let g = self.group(pos, k);
-                if seen[g] {
-                    continue 'part;
+                for &prior in &fault_positions[..i] {
+                    if self.group(prior, k) == g {
+                        continue 'part;
+                    }
                 }
-                seen[g] = true;
             }
             return Some(k);
         }
@@ -190,16 +193,19 @@ impl Aegis {
     }
 
     fn inversions_for(&self, k: u32, data: &Line512, faults: &FaultMap) -> Option<Vec<bool>> {
+        // pcm-audit: allow(hotpath-alloc) — the inversion vector is the stored per-line code word, not scratch; it escapes into AegisCode
         let mut inversions = vec![false; self.u as usize];
-        let mut fixed = vec![false; self.u as usize];
+        // Dense "group already constrained" bitmap: group indices are
+        // bounded by the 512 cell positions, so 8 words always suffice.
+        let mut fixed = [0u64; 8];
         for f in faults.iter() {
             let g = self.group(f.pos, k);
             let needed = data.bit(f.pos as usize) != f.value;
-            if fixed[g] && inversions[g] != needed {
+            if fixed[g / 64] >> (g % 64) & 1 == 1 && inversions[g] != needed {
                 return None;
             }
             inversions[g] = needed;
-            fixed[g] = true;
+            fixed[g / 64] |= 1 << (g % 64);
         }
         Some(inversions)
     }

@@ -49,7 +49,7 @@ pub mod secded;
 pub use aegis::Aegis;
 pub use coset::Coset;
 pub use ecp::Ecp;
-pub use montecarlo::{failure_probability, failure_probability_on, MonteCarlo};
+pub use montecarlo::{failure_probability, MonteCarlo};
 pub use safer::Safer;
 pub use scheme::{find_window, EccError, HardErrorScheme};
 pub use secded::Secded;

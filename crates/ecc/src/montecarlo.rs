@@ -86,7 +86,7 @@ pub fn failure_probability(
 /// [`failure_probability`] on a caller-provided pool; sweeps such as
 /// [`failure_surface`] reuse one pool across every `(window, errors)` point
 /// so the parallelism is resolved exactly once.
-pub fn failure_probability_on(
+pub(crate) fn failure_probability_on(
     pool: &Pool,
     scheme: &dyn HardErrorScheme,
     window_bytes: usize,

@@ -33,7 +33,7 @@ thread_local! {
 }
 
 /// Activates a mutation on this thread (pass [`Mutation::None`] to clear).
-pub fn set_mutation(m: Mutation) {
+pub(crate) fn set_mutation(m: Mutation) {
     ACTIVE.with(|a| a.set(m));
 }
 

@@ -263,6 +263,7 @@ impl Safer {
     /// Computes the inversion bit per group so every stuck cell matches the
     /// data; `None` if two faults in one group disagree.
     fn inversions_for(&self, mask: u16, data: &Line512, faults: &FaultMap) -> Option<Vec<bool>> {
+        // pcm-audit: allow(hotpath-alloc) — the inversion vector is the stored per-line code word, not scratch; it escapes into SaferCode
         let mut inversions = vec![false; self.groups as usize];
         // Dense "group already constrained" bitmap over at most 256 groups.
         let mut fixed = [0u64; 4];

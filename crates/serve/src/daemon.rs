@@ -17,9 +17,9 @@ use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 
 /// Error code for a line index outside the bank (see the protocol table).
-pub const ERR_BAD_ADDRESS: u8 = 6;
+pub(crate) const ERR_BAD_ADDRESS: u8 = 6;
 /// Error code for an uncorrectable line failure.
-pub const ERR_LINE_DEAD: u8 = 7;
+pub(crate) const ERR_LINE_DEAD: u8 = 7;
 
 /// What to do with the connection after handling a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +50,7 @@ impl Daemon {
         &self.engine
     }
 
-    /// The engine, mutably (batch preload before serving).
+    /// Mutable engine access for script replay (`pcm-serve --replay`).
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.engine
     }
@@ -104,7 +104,7 @@ impl Daemon {
 
     /// Serves a protocol error, returning its response frame and whether
     /// the connection survives.
-    pub fn handle_error(&mut self, err: &ProtoError) -> (Vec<u8>, ConnState) {
+    pub(crate) fn handle_error(&mut self, err: &ProtoError) -> (Vec<u8>, ConnState) {
         let state = if err.is_fatal() {
             ConnState::Closed
         } else {
@@ -137,6 +137,7 @@ impl Daemon {
     }
 
     /// Serves one byte stream (socket connection) to completion.
+    // pcm-audit: root(panic-reach) — a malformed or adversarial frame must produce an error response, never a panic
     fn serve_stream<S: Read + Write>(&mut self, stream: &mut S) -> std::io::Result<()> {
         let mut decoder = FrameDecoder::new();
         let mut buf = [0u8; 4096];
@@ -152,6 +153,7 @@ impl Daemon {
                 return Ok(());
             }
             let mut out = Vec::new();
+            // pcm-audit: allow(panic-reach) — Read::read returns n <= buf.len() by contract
             let state = self.handle_bytes(&mut decoder, &buf[..n], &mut out);
             stream.write_all(&out)?;
             if state == ConnState::Closed {

@@ -101,12 +101,7 @@ pub struct BankShard {
 }
 
 impl BankShard {
-    /// The bank controller (read-only).
-    pub fn ctl(&self) -> &BankCtl {
-        &self.ctl
-    }
-
-    /// The serve-path counters.
+    /// The serve-path counters ([`BankTelemetry`]).
     pub fn telemetry(&self) -> &BankTelemetry {
         &self.telem
     }
@@ -193,10 +188,12 @@ impl Engine {
     ///
     /// [`WriteError::BadAddress`] / [`WriteError::LineDead`] as from
     /// [`BankCtl::write`]; the bank still counts the attempt either way.
+    // pcm-audit: root(hotpath-alloc) — per-request demand-write path of the serve engine
     pub fn write(&mut self, w: &ScriptedWrite) -> Result<u64, WriteError> {
         self.now = self.now.max(w.at);
         let bank = self.bank_of(w.tenant);
         let timing = self.timing;
+        // pcm-audit: allow(panic-reach) — bank_of reduces modulo banks.len(), so the index is always in range
         self.banks[bank].apply_write(&timing, w)
     }
 
@@ -207,8 +204,10 @@ impl Engine {
     /// As [`BankCtl::read`].
     pub fn read(&mut self, tenant: u64, line: u64) -> Result<Line512, WriteError> {
         let bank = self.bank_of(tenant);
-        self.banks[bank].telem.reads += 1;
-        self.banks[bank].ctl.read(line)
+        // pcm-audit: allow(panic-reach) — bank_of reduces modulo banks.len(), so the index is always in range
+        let shard = &mut self.banks[bank];
+        shard.telem.reads += 1;
+        shard.ctl.read(line)
     }
 
     /// Replays a whole script: partitions it per bank (preserving arrival

@@ -62,11 +62,6 @@ impl TrafficGen {
         }
     }
 
-    /// The tenant popularity distribution (rank == tenant id).
-    pub fn tenant_zipf(&self) -> &Zipf {
-        &self.tenant_zipf
-    }
-
     /// Emits the next write-back.
     pub fn next_write(&mut self) -> ScriptedWrite {
         let at = self.arrivals.next_arrival();

@@ -49,9 +49,9 @@ pub const OP_WRITE: u8 = 0x01;
 /// READ opcode.
 pub const OP_READ: u8 = 0x02;
 /// TELEMETRY opcode.
-pub const OP_TELEMETRY: u8 = 0x03;
+pub(crate) const OP_TELEMETRY: u8 = 0x03;
 /// SHUTDOWN opcode.
-pub const OP_SHUTDOWN: u8 = 0x04;
+pub(crate) const OP_SHUTDOWN: u8 = 0x04;
 
 /// Response status: success.
 pub const STATUS_OK: u8 = 0;
@@ -203,11 +203,8 @@ impl FrameDecoder {
     /// [`ProtoError::BadOpcode`], [`ProtoError::BadLength`].
     #[allow(clippy::should_implement_trait)]
     pub fn next_frame(&mut self) -> Option<Result<Request, ProtoError>> {
-        let avail = &self.buf[self.pos..];
-        if avail.len() < 4 {
-            return None;
-        }
-        let declared = u32::from_le_bytes(avail[..4].try_into().expect("4-byte slice"));
+        let avail = self.buf.get(self.pos..).unwrap_or(&[]);
+        let declared = u32::from_le_bytes(*avail.first_chunk::<4>()?);
         if declared > MAX_FRAME {
             // Fatal: do not consume — the connection is closing and the
             // buffer is dead anyway.
@@ -218,10 +215,7 @@ impl FrameDecoder {
             return Some(Err(ProtoError::Empty));
         }
         let total = 4 + declared as usize;
-        if avail.len() < total {
-            return None;
-        }
-        let payload = &avail[4..total];
+        let payload = avail.get(4..total)?;
         self.pos += total;
         Some(decode_payload(payload))
     }
@@ -237,8 +231,10 @@ impl FrameDecoder {
 }
 
 fn decode_payload(payload: &[u8]) -> Result<Request, ProtoError> {
-    let opcode = payload[0];
-    let body = &payload[1..];
+    let Some(&opcode) = payload.first() else {
+        return Err(ProtoError::Empty);
+    };
+    let body = payload.get(1..).unwrap_or(&[]);
     let want = match opcode {
         OP_WRITE => WRITE_BODY,
         OP_READ => READ_BODY,
@@ -252,17 +248,24 @@ fn decode_payload(payload: &[u8]) -> Result<Request, ProtoError> {
             want,
         });
     }
-    let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes"));
+    // Body length is validated above; the accessors still degrade to
+    // zeroed fields rather than panic if a decode bug ever breaks that.
+    let u64_at = |off: usize| {
+        body.get(off..)
+            .and_then(|s| s.first_chunk::<8>())
+            .map(|c| u64::from_le_bytes(*c))
+            .unwrap_or(0)
+    };
+    let mut raw = [0u8; DATA_BYTES];
+    if let Some(src) = body.get(24..24 + DATA_BYTES) {
+        raw.copy_from_slice(src);
+    }
     Ok(match opcode {
         OP_WRITE => Request::Write {
             at: u64_at(0),
             tenant: u64_at(8),
             line: u64_at(16),
-            data: Line512::from_bytes(
-                body[24..24 + DATA_BYTES]
-                    .try_into()
-                    .expect("64-byte data slice"),
-            ),
+            data: Line512::from_bytes(&raw),
         },
         OP_READ => Request::Read {
             tenant: u64_at(0),

@@ -61,7 +61,7 @@ pub const ALL_CLASSES: [ContentClass; 8] = [
 
 impl ContentClass {
     /// Index of this class in the size-ordered [`ALL_CLASSES`] list.
-    pub fn size_rank(&self) -> usize {
+    pub(crate) fn size_rank(&self) -> usize {
         ALL_CLASSES
             .iter()
             .position(|c| c == self)

@@ -104,7 +104,7 @@ impl TraceGenerator {
         WriteRecord { line, data }
     }
 
-    /// Draws the next access (read or write), with the profile's
+    /// Draws the next [`Access`] (read or write), with the profile's
     /// reads-per-write ratio.
     pub fn next_access(&mut self) -> Access {
         let p_read = self.profile.reads_per_write / (self.profile.reads_per_write + 1.0);

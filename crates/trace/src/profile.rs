@@ -107,7 +107,7 @@ impl std::fmt::Display for SpecApp {
 }
 
 /// Weights over the eight content classes (need not be normalized).
-pub type ClassMix = [(ContentClass, f64); 8];
+pub(crate) type ClassMix = [(ContentClass, f64); 8];
 
 /// A generative workload model calibrated to one application's published
 /// statistics.

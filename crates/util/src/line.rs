@@ -191,7 +191,8 @@ impl Line512 {
         (*self ^ *other).count_ones()
     }
 
-    /// Iterates over the positions of set bits in ascending order.
+    /// Iterates over the positions of set bits in ascending order as an
+    /// [`IterOnes`].
     ///
     /// # Examples
     ///

@@ -31,10 +31,10 @@
 //! assert_ne!(sg.map(3), before);
 //! ```
 
-pub mod intra_line;
+pub(crate) mod intra_line;
 pub mod scheme;
-pub mod security_refresh;
-pub mod start_gap;
+pub(crate) mod security_refresh;
+pub(crate) mod start_gap;
 pub mod wolfram;
 
 pub use intra_line::IntraLineLeveler;

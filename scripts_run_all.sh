@@ -60,6 +60,13 @@ if ! /usr/bin/timeout 600 cargo run -q --release -p pcm-audit --bin pcm-audit > 
   tail -n 30 results/audit.txt >&2
   exit 1
 fi
+# Machine-readable twin of the report above: the same scan, emitted as
+# JSON for tooling (and diffed by artifact-sync, so it cannot go stale).
+if ! /usr/bin/timeout 600 cargo run -q --release -p pcm-audit --bin pcm-audit -- --json > results/audit.json 2>&1; then
+  echo "   AUDIT --json FAILED (see results/audit.json)" >&2
+  tail -n 30 results/audit.json >&2
+  exit 1
+fi
 echo "   ok ($(wc -l < results/audit.txt) lines)"
 
 cargo build -q --release -p pcm-bench 2>/dev/null

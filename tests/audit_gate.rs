@@ -95,6 +95,35 @@ fn audit_stage_is_unconditional() {
 }
 
 #[test]
+fn audit_stage_emits_the_json_twin() {
+    let script = gate_script();
+    // The audit stage runs the scan twice: once for the human-readable
+    // results/audit.txt, once as `--json` for results/audit.json — the
+    // machine-readable artifact artifact-sync diffs against the tree.
+    let audit = script.find("== audit ==").expect("audit stage present");
+    let build = script.find("cargo build").expect("build present");
+    let stage = &script[audit..build];
+    assert!(
+        stage.contains("--json > results/audit.json"),
+        "audit stage must emit the JSON report into results/:\n{stage}"
+    );
+    assert!(
+        stage.matches("exit 1").count() >= 2,
+        "both audit invocations must abort the gate non-zero:\n{stage}"
+    );
+    let text = stage
+        .find("results/audit.txt")
+        .expect("text report present");
+    let json = stage
+        .find("--json > results/audit.json")
+        .expect("json report present");
+    assert!(
+        text < json,
+        "human-readable report runs first so its tail lands in gate logs"
+    );
+}
+
+#[test]
 fn simd_stage_runs_dual_build_and_compares_checksums() {
     let script = gate_script();
     let simd = script
