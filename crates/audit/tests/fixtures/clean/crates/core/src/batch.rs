@@ -1,0 +1,22 @@
+//! Fixture batch near-miss: the lockstep-shaped root reuses caller
+//! scratch across every lane, the one per-wave push carries a justified
+//! pragma, and the allocating scratch builder sits outside the root's
+//! reachable set — a correct `hotpath-alloc` walk reports nothing.
+
+// pcm-audit: root(hotpath-alloc) — fixture lockstep batch driver; lanes reuse caller-owned scratch
+pub(crate) fn batch_loop(lanes: &[u64], scratch: &mut [u64], out: &mut Vec<u64>) {
+    for (i, &lane) in lanes.iter().enumerate() {
+        gather(lane, &mut scratch[i]);
+    }
+    // pcm-audit: allow(hotpath-alloc) — one push per wave, amortized over the whole lane set
+    out.push(scratch.iter().copied().sum());
+}
+
+fn gather(lane: u64, slot: &mut u64) {
+    *slot = lane.rotate_left(1);
+}
+
+/// Builds the per-wave lane scratch once, outside any hot root.
+pub(crate) fn lane_scratch(lanes: usize) -> Vec<u64> {
+    vec![0; lanes]
+}

@@ -1,0 +1,19 @@
+//! Fixture batch entry point: the lockstep-shaped root fans out over
+//! lanes and reaches a `.clone()` two hops down, inside the per-lane
+//! payload builder — `hotpath-alloc` must attribute the finding through
+//! the `batch_loop -> gather -> lane_payload` chain.
+
+// pcm-audit: root(hotpath-alloc) — fixture lockstep batch driver
+pub(crate) fn batch_loop(lanes: &[Vec<u64>], scratch: &mut Vec<u64>) {
+    for lane in lanes {
+        gather(lane, scratch);
+    }
+}
+
+fn gather(lane: &Vec<u64>, scratch: &mut Vec<u64>) {
+    *scratch = lane_payload(lane);
+}
+
+fn lane_payload(lane: &Vec<u64>) -> Vec<u64> {
+    lane.clone()
+}

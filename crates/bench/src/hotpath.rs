@@ -1,5 +1,5 @@
-//! The `pcm-bench-hotpath` subsystem: measures the simulator's four real
-//! hot paths and emits machine-readable `BENCH_hotpath.json` so every PR
+//! The `pcm-bench-hotpath` subsystem: measures the simulator's real hot
+//! paths and emits machine-readable `BENCH_hotpath.json` so every PR
 //! has a perf baseline to move (DESIGN.md §9).
 //!
 //! Measured paths:
@@ -9,10 +9,13 @@
 //! 2. `Line512` kernels — XOR/popcount, windowed popcount, byte rotation,
 //!    differential-write and Flip-N-Write encoding,
 //! 3. `simulate_line` throughput (simulated demand writes/sec) per
-//!    `SystemKind` × `EccChoice`,
+//!    `SystemKind` × `EccChoice`, plus the lockstep batch driver pushing a
+//!    full 64-lane wave through `simulate_line_batch` (`campaign/lockstep`),
 //! 4. `pcm_util::Pool` scheduling (threads ∈ {1, 2, 4, 8}, balanced vs.
 //!    skewed job cost),
-//! 5. end-to-end campaign wall-clock.
+//! 5. the serve engine's per-bank batched write path — a scripted traffic
+//!    replay through `Engine::run_script` (`serve/bank_batch`),
+//! 6. end-to-end campaign wall-clock.
 //!
 //! Every benchmark also folds its outputs into a seed-stable checksum, so
 //! two runs with the same `--seed` must agree on every non-timing field —
@@ -21,11 +24,14 @@
 //! value is caught immediately.
 
 use criterion::{Criterion, Throughput};
-use pcm_core::lifetime::{run_campaign, simulate_line, CampaignConfig, LineSimConfig};
+use pcm_core::lifetime::{
+    run_campaign, simulate_line, simulate_line_batch, CampaignConfig, LineScratch, LineSimConfig,
+};
 use pcm_core::{EccChoice, SystemConfig, SystemKind};
 use pcm_device::{diff_write, diff_write_batch, flip_n_write_batch, FlipNWrite};
+use pcm_serve::{Engine, ServeConfig, TrafficGen};
 use pcm_trace::{BlockStream, SpecApp};
-use pcm_util::{child_seed, seeded_rng, simd, Line512, LineBatch64, Pool, DATA_BYTES};
+use pcm_util::{child_seed, seeded_rng, simd, Line512, LineBatch64, Pool, BATCH_LANES, DATA_BYTES};
 use std::time::{Duration, Instant};
 
 /// Options of the `pcm-bench-hotpath` binary.
@@ -509,6 +515,39 @@ pub fn run(opts: &HotpathOptions) -> HotpathReport {
         entries.push(("writes", checksum));
     }
 
+    // --- 3b. campaign lockstep: one full wave through the batch driver -
+    // The unit the campaign runner hands each worker: a chunk of seeds
+    // driven through `simulate_line_batch` in lockstep. Smoke keeps the
+    // wave partial (16 lanes); the full run measures a complete 64-lane
+    // wave so lane-divergence cost is visible in the rate. The checksum
+    // folds every record in lane order — byte-identity with the scalar
+    // path is pinned separately by the differential tests, this pins the
+    // batch driver's own outputs across commits.
+    {
+        let lanes = if opts.smoke { 16 } else { BATCH_LANES };
+        let system = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(endurance);
+        let cfg = LineSimConfig::new(system, SpecApp::Milc.profile());
+        let seeds: Vec<u64> = (0..lanes)
+            .map(|i| child_seed(opts.seed, 600 + i as u64))
+            .collect();
+        let mut scratch = LineScratch::new();
+        let recs = simulate_line_batch(&cfg, &seeds, &mut scratch);
+        let demand: u64 = recs.iter().map(|r| r.demand_writes).sum();
+        let checksum = recs.iter().fold(0u64, |h, r| mix(h, record_checksum(r)));
+        let mut g = c.benchmark_group("campaign");
+        g.throughput(Throughput::Elements(demand));
+        g.bench_function("lockstep", |b| {
+            b.iter(|| {
+                simulate_line_batch(&cfg, &seeds, &mut scratch)
+                    .iter()
+                    .map(|r| r.demand_writes)
+                    .sum::<u64>()
+            })
+        });
+        g.finish();
+        entries.push(("writes", checksum));
+    }
+
     // --- 4. scheduler: pool scaling, balanced vs. skewed job cost ------
     // Each job spins a deterministic LCG seeded by its index; the skewed
     // shape makes every 8th job 16× heavier — the static-striping worst
@@ -546,6 +585,48 @@ pub fn run(opts: &HotpathOptions) -> HotpathReport {
             g.finish();
             entries.push(("jobs", checksum));
         }
+    }
+
+    // --- 4b. serve: per-bank batched write path ------------------------
+    // A scripted open-loop traffic burst replayed through the engine; one
+    // shard keeps the measurement on the bank batch path itself rather
+    // than pool spawn cost. Each iteration rebuilds the engine (bank
+    // construction is a small fraction of the scripted write work) so
+    // every replay starts from pristine wear state and the checksum — wear
+    // digests plus snapshot counters — is iteration-invariant.
+    {
+        let mut scfg = ServeConfig::new(child_seed(opts.seed, 500));
+        scfg.shards = 1;
+        scfg.banks = 4;
+        scfg.lines_per_bank = 32;
+        scfg.mean_gap_cycles = 20.0;
+        let horizon: u64 = if opts.smoke { 20_000 } else { 160_000 };
+        let script = TrafficGen::new(&scfg).script_until(horizon);
+        let run_serve = || {
+            let mut engine = Engine::new(scfg.clone());
+            engine.run_script(&script);
+            engine
+        };
+        let engine = run_serve();
+        let snap = engine.snapshot();
+        let mut checksum = engine.wear_digests().iter().fold(0u64, |h, &d| mix(h, d));
+        checksum = mix(checksum, snap.writes);
+        checksum = mix(checksum, snap.faults);
+        checksum = mix(checksum, snap.dead_lines);
+        checksum = mix(mix(mix(checksum, snap.p50), snap.p99), snap.p999);
+        checksum = mix_f64(checksum, snap.compressed_fraction);
+        let mut g = c.benchmark_group("serve");
+        g.throughput(Throughput::Elements(script.len() as u64));
+        g.bench_function("bank_batch", |b| {
+            b.iter(|| {
+                run_serve()
+                    .wear_digests()
+                    .iter()
+                    .fold(0u64, |h, &d| mix(h, d))
+            })
+        });
+        g.finish();
+        entries.push(("writes", checksum));
     }
 
     // --- micro-bench entries -------------------------------------------

@@ -11,14 +11,17 @@
 //!
 //! Only the kernel-shaped groups are ratcheted ([`RATCHET_PREFIXES`]):
 //! `scheduler/*` and `compress_best/*` wobble with container load and the
-//! campaign entries are wall-clock only. The floor factor is deliberately
+//! campaign wall-clock entries are not micro-benchmarks. The
+//! `campaign/lockstep` and `serve/bank_batch` micro-benchmarks *are*
+//! ratcheted — they pin the batched campaign and serve write paths so the
+//! lockstep win cannot silently regress. The floor factor is deliberately
 //! loose — the gate runs on shared, noisy machines — so it catches
 //! "accidentally deoptimized the hot loop 3×", not a 10% wobble.
 
 use crate::hotpath::HotpathReport;
 
 /// Benchmark id prefixes the ratchet enforces a throughput floor on.
-pub const RATCHET_PREFIXES: [&str; 3] = ["linesim/", "kernels/", "batch/"];
+pub const RATCHET_PREFIXES: [&str; 5] = ["linesim/", "kernels/", "batch/", "campaign/", "serve/"];
 
 /// Default throughput floor: current must reach half the tracked rate.
 pub const DEFAULT_MIN_RATIO: f64 = 0.5;

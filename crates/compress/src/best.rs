@@ -7,7 +7,7 @@
 
 use crate::bdi::{self, BdiEncoding};
 use crate::fpc;
-use pcm_util::{Line512, LineBatch64, DATA_BYTES};
+use pcm_util::{Line512, LineBatch64, BATCH_LANES, DATA_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// How a line is stored in memory.
@@ -240,13 +240,35 @@ pub fn compress_best_batch_into(
     batch: &LineBatch64,
     out: &mut [[u8; DATA_BYTES]],
 ) -> Vec<(Method, usize)> {
+    let mut results = [(Method::Uncompressed, 0usize); BATCH_LANES];
+    let n = compress_best_batch(batch, out, &mut results[..batch.len()]);
+    results[..n].to_vec()
+}
+
+/// Fully allocation-free twin of [`compress_best_batch_into`]: per-lane
+/// `(method, payload_len)` results land in caller-owned `results` storage
+/// instead of a fresh `Vec`. Returns the number of lanes written. This is
+/// what the lockstep campaign rounds and the serve batch path call once
+/// per round; `compress_best_batch_into` delegates here.
+///
+/// # Panics
+///
+/// Panics if `out` or `results` has fewer slots than the batch has live
+/// lanes.
+// pcm-audit: root(hotpath-alloc) — per-round compression stage of the lockstep drivers; everything lands in caller-owned buffers
+pub fn compress_best_batch(
+    batch: &LineBatch64,
+    out: &mut [[u8; DATA_BYTES]],
+    results: &mut [(Method, usize)],
+) -> usize {
     assert!(
-        out.len() >= batch.len(),
-        "need one output buffer per live lane"
+        out.len() >= batch.len() && results.len() >= batch.len(),
+        "need one output buffer and result slot per live lane"
     );
-    (0..batch.len())
-        .map(|lane| compress_best_into(&batch.lane(lane), &mut out[lane]))
-        .collect()
+    for lane in 0..batch.len() {
+        results[lane] = compress_best_into(&batch.lane(lane), &mut out[lane]);
+    }
+    batch.len()
 }
 
 /// Decompresses a [`CompressedWrite`] back into the original line.

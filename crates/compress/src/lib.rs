@@ -42,8 +42,8 @@ pub mod fvc;
 
 pub use bdi::BdiEncoding;
 pub use best::{
-    compress_best, compress_best_batch_into, compress_best_into, decompress, CompressedWrite,
-    Method,
+    compress_best, compress_best_batch, compress_best_batch_into, compress_best_into, decompress,
+    CompressedWrite, Method,
 };
 pub use fvc::FvcDictionary;
 

@@ -321,4 +321,50 @@ mod tests {
         let b = quick_campaign(SystemKind::Comp, SpecApp::Milc, 8);
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn lockstep_campaign_matches_scalar_per_line_path() {
+        // The lockstep batch driver against the scalar reference, record
+        // for record: every worker count must splice the same records in
+        // the same order, and batch-unaligned line counts (one short of a
+        // batch, one over, two batches plus two) exercise the partial
+        // final batch.
+        use crate::lifetime::linesim::simulate_line_with;
+        use pcm_util::child_seed;
+
+        let system = SystemConfig::new(SystemKind::CompWF).with_endurance_mean(800.0);
+        let mut line = LineSimConfig::new(system, SpecApp::Milc.profile());
+        line.sample_writes = 8;
+
+        for lines in [63usize, 65, 130] {
+            let mut scratch = LineScratch::new();
+            let want: Vec<LineRecord> = (0..lines)
+                .map(|i| simulate_line_with(&line, child_seed(99, i as u64), &mut scratch))
+                .collect();
+            let want_summary = summarize(&want, line.max_writes);
+
+            // Record-level identity of the batch splitting itself (the
+            // exact chunks run_campaign_on hands the pool).
+            let got_records: Vec<LineRecord> = (0..lines.div_ceil(BATCH_LANES))
+                .flat_map(|b| {
+                    let lo = b * BATCH_LANES;
+                    let hi = (lo + BATCH_LANES).min(lines);
+                    let seeds: Vec<u64> = (lo..hi).map(|i| child_seed(99, i as u64)).collect();
+                    simulate_line_batch(&line, &seeds, &mut scratch)
+                })
+                .collect();
+            assert_eq!(got_records, want, "records diverged at lines={lines}");
+
+            for threads in [1usize, 2, 4, 7] {
+                let mut cfg = CampaignConfig::new(line.clone(), 99);
+                cfg.lines = lines;
+                cfg.threads = threads;
+                let got = run_campaign(&cfg);
+                assert_eq!(
+                    got, want_summary,
+                    "campaign diverged from scalar path at lines={lines} threads={threads}"
+                );
+            }
+        }
+    }
 }

@@ -74,7 +74,7 @@ impl LineRecord {
 /// simulates, so the per-write hot path never touches the heap.
 #[derive(Debug, Default)]
 pub struct LineScratch {
-    bufs: PayloadBufs,
+    pub(crate) bufs: PayloadBufs,
 }
 
 impl LineScratch {
@@ -330,35 +330,32 @@ pub fn simulate_line_with(cfg: &LineSimConfig, seed: u64, scratch: &mut LineScra
 }
 
 /// Simulates one batch of lines (at most [`pcm_util::BATCH_LANES`] seeds)
-/// through a shared scratch, returning records in seed order.
+/// in lockstep, returning records in seed order.
 ///
 /// This is the campaign's unit of work: lines are handed to pool workers
-/// one whole batch at a time, which amortizes scratch reuse and keeps the
-/// struct-of-arrays kernels ([`pcm_util::simd`]) fed from one contiguous
-/// chunk of the seed stream. Record `i` is exactly
-/// `simulate_line_with(cfg, seeds[i], ..)` — per-line control flow
-/// diverges (deaths, revivals, rotations), so lanes are *not* run in
-/// lockstep; batching lives in the kernels, which is what keeps the
-/// output byte-identical to the per-line path.
+/// one whole batch at a time, and the lanes advance *together*, one
+/// sampled write per round — each round transposes every live lane's next
+/// trace write into [`pcm_util::simd::LineBatch64`] planes, compresses
+/// them through one `compress_best_batch` kernel call, and then finishes
+/// each write (heuristic decision, window checks, cell updates) per lane.
+/// A lane that reaches a control-flow boundary — death, revival,
+/// fast-forward, rotation, relocation — peels out of the round, replays
+/// the scalar boundary logic, and rejoins at its next sampled write.
+///
+/// Record `i` is byte-identical to `simulate_line_with(cfg, seeds[i], ..)`
+/// because compression is a pure function of the line data and every
+/// stateful step runs per lane in scalar program order; the differential
+/// tests in the `lockstep` module and the campaign suite pin this.
 ///
 /// # Panics
 ///
 /// Panics if more than [`pcm_util::BATCH_LANES`] seeds are passed.
-pub(crate) fn simulate_line_batch(
+pub fn simulate_line_batch(
     cfg: &LineSimConfig,
     seeds: &[u64],
     scratch: &mut LineScratch,
 ) -> Vec<LineRecord> {
-    assert!(
-        seeds.len() <= pcm_util::BATCH_LANES,
-        "a batch holds at most {} lines, got {}",
-        pcm_util::BATCH_LANES,
-        seeds.len()
-    );
-    seeds
-        .iter()
-        .map(|&seed| simulate_line_with(cfg, seed, scratch))
-        .collect()
+    super::lockstep::simulate_line_batch_lockstep(cfg, seeds, scratch).0
 }
 
 #[cfg(test)]

@@ -8,8 +8,9 @@
 //! `(scheme, W, k)` point yields the failure probability
 //! (`1 − reliability`) curves of Fig. 9.
 
-use crate::scheme::{find_window, HardErrorScheme};
-use pcm_util::{child_seed, seeded_rng, Pool, DATA_BITS};
+use crate::scheme::{count_window_failures, HardErrorScheme};
+use pcm_util::simd::LineBatch64;
+use pcm_util::{child_seed, seeded_rng, Line512, Pool, BATCH_LANES, DATA_BITS};
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
@@ -99,26 +100,53 @@ pub(crate) fn failure_probability_on(
     // Work is split into fixed-size batches of injections seeded by batch
     // index, not by worker id, so the estimate is bit-identical for every
     // thread count (each injection sees the same RNG stream no matter which
-    // worker claims its batch, and u64 summation commutes). The shuffle
-    // scratch and the sampled-position buffer live in per-worker scratch,
-    // reused across every batch a worker claims.
+    // worker claims its batch, and u64 summation commutes). Within a batch,
+    // injections are independent by construction, so they are evaluated in
+    // waves of up to `BATCH_LANES`: positions are sampled per injection in
+    // RNG order (the stream is unchanged), transposed into `LineBatch64`
+    // fault masks, and the whole wave's window search runs through one
+    // `count_window_failures` sweep — whose per-lane verdict equals
+    // `find_window(..).is_none()` exactly. The shuffle scratch and the
+    // wave buffers live in per-worker scratch, reused across every batch a
+    // worker claims.
     const BATCH: usize = 1_024;
     let batches = mc.injections.div_ceil(BATCH);
 
     let per_batch: Vec<u64> = pool.map_indexed_with(
         batches,
         1,
-        || ([0u16; DATA_BITS], Vec::with_capacity(errors)),
-        |(scratch, positions), c| {
+        || {
+            (
+                [0u16; DATA_BITS],
+                Vec::with_capacity(errors),
+                Vec::with_capacity(errors * BATCH_LANES),
+                Vec::with_capacity(BATCH_LANES),
+            )
+        },
+        |(scratch, positions, wave_positions, lane_ends), c| {
             let lo = c * BATCH;
             let hi = (lo + BATCH).min(mc.injections);
             let mut rng = seeded_rng(child_seed(mc.seed, c as u64));
             let mut fail = 0u64;
-            for _ in lo..hi {
-                sample_positions(&mut rng, errors, scratch, positions);
-                if find_window(scheme, positions, window_bytes).is_none() {
-                    fail += 1;
+            let mut remaining = hi - lo;
+            while remaining > 0 {
+                let wave = remaining.min(BATCH_LANES);
+                let mut masks = LineBatch64::new();
+                wave_positions.clear();
+                lane_ends.clear();
+                for _ in 0..wave {
+                    sample_positions(&mut rng, errors, scratch, positions);
+                    let mut mask = Line512::zero();
+                    for &p in positions.iter() {
+                        mask.set_bit(p as usize, true);
+                    }
+                    masks.push(&mask);
+                    wave_positions.extend_from_slice(positions);
+                    lane_ends.push(wave_positions.len());
                 }
+                fail +=
+                    count_window_failures(scheme, &masks, wave_positions, lane_ends, window_bytes);
+                remaining -= wave;
             }
             fail
         },

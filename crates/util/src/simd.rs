@@ -115,6 +115,20 @@ impl LineBatch64 {
         lane
     }
 
+    /// Empties the batch for reuse, zeroing only the lanes that were
+    /// live so dead lanes keep the all-zero invariant the whole-plane
+    /// kernels rely on. Much cheaper than a fresh [`LineBatch64::new`]
+    /// when a batch is refilled at low occupancy across many rounds
+    /// (the lockstep drivers do exactly that).
+    #[inline]
+    pub fn clear(&mut self) {
+        let n = self.len();
+        for plane in self.planes.iter_mut() {
+            plane[..n].fill(0);
+        }
+        self.live = 0;
+    }
+
     /// Number of live lanes.
     #[inline]
     pub fn len(&self) -> usize {
@@ -803,6 +817,27 @@ mod tests {
     fn push_rejects_overfull_batch() {
         let mut batch = LineBatch64::from_lines(&[Line512::zero(); 64]);
         batch.push(&Line512::zero());
+    }
+
+    #[test]
+    fn clear_preserves_the_dead_lane_invariant() {
+        // A cleared-then-refilled batch must be indistinguishable from a
+        // fresh one, including the all-zero dead lanes the whole-plane
+        // kernels rely on — even when the refill is narrower than the
+        // previous occupancy.
+        let mut rng = seeded_rng(72);
+        let wide: Vec<Line512> = (0..64).map(|_| random_line(&mut rng)).collect();
+        let narrow: Vec<Line512> = (0..3).map(|_| random_line(&mut rng)).collect();
+        let mut reused = LineBatch64::from_lines(&wide);
+        reused.clear();
+        assert_eq!(reused.len(), 0);
+        for line in &narrow {
+            reused.push(line);
+        }
+        let fresh = LineBatch64::from_lines(&narrow);
+        assert_eq!(reused.to_lines(), fresh.to_lines());
+        assert_eq!(reused.live_mask(), fresh.live_mask());
+        assert_eq!(batch_popcount(&reused), batch_popcount(&fresh));
     }
 
     #[test]
